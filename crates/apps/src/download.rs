@@ -1,0 +1,103 @@
+//! Program-download scenarios (§3.3): one host workstation downloading an
+//! application onto many processing nodes, per-process-stub vs tree mode.
+
+use desim::{SimDuration, SimTime};
+use vorx::host::{boot_loader, download_per_process, download_tree, tree_children};
+use vorx::hpcnet::{NodeAddr, Topology};
+use vorx::VorxBuilder;
+
+/// Which §3.3 download design to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DownloadMode {
+    /// One stub per process; each stub downloads its own copy of the text.
+    PerProcessStub,
+    /// One shared stub; the nodes relay the text in a fanout-2 tree.
+    Tree,
+}
+
+/// Topology with one host plus `n_nodes` processing nodes.
+fn download_topology(n_nodes: usize) -> Topology {
+    let total = n_nodes + 1;
+    if total <= 12 {
+        Topology::single_cluster(total).expect("<= 12 endpoints")
+    } else {
+        Topology::incomplete_hypercube(total.div_ceil(4), 4).expect("valid hypercube")
+    }
+}
+
+/// Download `text_bytes` of program text from one host onto `n_nodes`
+/// processing nodes; returns the time until every node holds the full text.
+pub fn run_download(n_nodes: usize, text_bytes: u32, mode: DownloadMode) -> SimDuration {
+    let mut v = VorxBuilder::with_topology(download_topology(n_nodes))
+        .hosts(1)
+        .trace(false)
+        .build();
+    let targets: Vec<NodeAddr> = (1..=n_nodes).map(|i| NodeAddr(i as u16)).collect();
+    match mode {
+        DownloadMode::PerProcessStub => {
+            for &t in &targets {
+                v.spawn(format!("n{}:loader", t.0), move |ctx| {
+                    boot_loader(&ctx, t, &format!("dl-{}", t.0), vec![], text_bytes);
+                });
+            }
+            let tgt = targets.clone();
+            v.spawn("host:download", move |ctx| {
+                download_per_process(&ctx, 0, &tgt, text_bytes);
+            });
+        }
+        DownloadMode::Tree => {
+            for (i, &t) in targets.iter().enumerate() {
+                let kids = tree_children(&targets, i);
+                v.spawn(format!("n{}:loader", t.0), move |ctx| {
+                    boot_loader(&ctx, t, &format!("dl-{}", t.0), kids, text_bytes);
+                });
+            }
+            let tgt = targets.clone();
+            v.spawn("host:download", move |ctx| {
+                download_tree(&ctx, 0, &tgt, text_bytes);
+            });
+        }
+    }
+    let end = v.run_all();
+    end - SimTime::ZERO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_beats_per_process_substantially() {
+        let text = 64 * 1024;
+        let per = run_download(8, text, DownloadMode::PerProcessStub);
+        let tree = run_download(8, text, DownloadMode::Tree);
+        assert!(
+            tree.as_ns() * 3 < per.as_ns(),
+            "tree {tree} should be well under per-process {per}"
+        );
+    }
+
+    #[test]
+    fn per_process_time_scales_linearly_with_nodes() {
+        let text = 32 * 1024;
+        let four = run_download(4, text, DownloadMode::PerProcessStub);
+        let eight = run_download(8, text, DownloadMode::PerProcessStub);
+        let ratio = eight.as_ns() as f64 / four.as_ns() as f64;
+        assert!(
+            (1.7..2.3).contains(&ratio),
+            "doubling nodes should double per-process time, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn tree_time_grows_sublinearly() {
+        let text = 32 * 1024;
+        let four = run_download(4, text, DownloadMode::Tree);
+        let sixteen = run_download(16, text, DownloadMode::Tree);
+        let ratio = sixteen.as_ns() as f64 / four.as_ns() as f64;
+        assert!(
+            ratio < 2.5,
+            "4x nodes should cost far less than 4x in tree mode, got {ratio:.2}"
+        );
+    }
+}

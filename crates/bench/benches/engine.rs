@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the simulation engine itself (host wall time):
+//! how fast `desim` dispatches events and switches cooperative processes.
+//! These guard the usability of the reproduction — every experiment in
+//! `src/bin/` runs on top of this engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use desim::{Ctx, SimDuration, Simulation};
+
+#[derive(Default)]
+struct World {
+    counter: u64,
+}
+
+/// Dispatch 10k pure events through the queue.
+fn bench_event_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("desim");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("event_dispatch_10k", |b| {
+        b.iter_batched(
+            || {
+                let sim = Simulation::new(World::default());
+                for i in 0..10_000u64 {
+                    sim.schedule_in(SimDuration::from_ns(i), |w: &mut World, _| {
+                        w.counter += 1;
+                    });
+                }
+                sim
+            },
+            |mut sim| {
+                let r = sim.run_to_idle();
+                assert!(r.all_finished());
+                assert_eq!(sim.world().counter, 10_000);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+/// 1k sleep/wake cycles of one cooperative process (two thread handoffs
+/// per cycle) — the cost floor of simulated blocking software.
+fn bench_process_switching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("desim");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("process_sleep_1k", |b| {
+        b.iter_batched(
+            || {
+                let sim = Simulation::new(World::default());
+                sim.spawn("sleeper", |ctx: Ctx<World>| {
+                    for _ in 0..1_000 {
+                        ctx.sleep(SimDuration::from_us(1));
+                    }
+                });
+                sim
+            },
+            |mut sim| {
+                assert!(sim.run_to_idle().all_finished());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_dispatch, bench_process_switching);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks of full VORX protocol stacks (host wall time):
+//! the per-cell runners that the Table 1 / Table 2 harnesses sweep, so a
+//! regression in simulator performance (or an accidental protocol change
+//! that alters simulated results) is caught by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vorx_bench::{table1_cell, table2_cell};
+
+fn bench_channel_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vorx");
+    g.sample_size(10);
+    g.bench_function("table2_cell_4B_x100", |b| {
+        b.iter(|| {
+            let us = table2_cell(4, 100);
+            assert!((250.0..360.0).contains(&us), "calibration drifted: {us}");
+        });
+    });
+    g.bench_function("table2_cell_1024B_x100", |b| {
+        b.iter(|| {
+            let us = table2_cell(1024, 100);
+            assert!((900.0..1150.0).contains(&us), "calibration drifted: {us}");
+        });
+    });
+    g.finish();
+}
+
+fn bench_sliding_window_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vorx");
+    g.sample_size(10);
+    g.bench_function("table1_cell_8bufs_4B_x100", |b| {
+        b.iter(|| {
+            let us = table1_cell(8, 4, 100);
+            assert!((120.0..260.0).contains(&us), "calibration drifted: {us}");
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_channel_cell, bench_sliding_window_cell);
+criterion_main!(benches);

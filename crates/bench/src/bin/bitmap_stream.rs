@@ -1,0 +1,25 @@
+//! E-BMP — §4.1 real-time bitmap transmission: "we obtained a rate of 3.2
+//! Mbyte/sec, sufficient to refresh a 900x900 pixel portion of a monochrome
+//! (bi-level black and white) display 30 times per second from a remote
+//! processor."
+
+use vorx_apps::bitmap::{run_bitmap, BitmapParams};
+use vorx_bench::report::{render, Row};
+
+fn main() {
+    let mut p = BitmapParams::paper_900();
+    p.frames = 30;
+    let r = run_bitmap(p);
+    let rows = vec![
+        Row::new("bitmap stream throughput", Some(3.2), r.mbytes_per_sec, "MB/s"),
+        Row::new("900x900 mono refresh rate", Some(30.0), r.fps, "fps"),
+    ];
+    print!("{}", render("E-BMP: no-flow-control bitmap streaming (§4.1)", &rows));
+    println!(
+        "{} bytes delivered in {} ({} frames of {} bytes)",
+        r.bytes_received,
+        r.elapsed,
+        p.frames,
+        p.frame_bytes()
+    );
+}

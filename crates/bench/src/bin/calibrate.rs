@@ -1,0 +1,18 @@
+//! Quick calibration check: prints measured vs paper for Tables 1 and 2.
+fn main() {
+    let n = 1000;
+    println!("Table 2 (channels), us/msg:");
+    for (i, &len) in vorx_bench::TABLE_SIZES.iter().enumerate() {
+        let m = vorx_bench::table2_cell(len, n);
+        println!("  {len:>5}B  paper {:>7.1}  measured {m:>7.1}", vorx_bench::TABLE2_PAPER[i]);
+    }
+    println!("Table 1 (sliding window), us/msg:");
+    for (r, &bufs) in vorx_bench::TABLE1_BUFS.iter().enumerate() {
+        print!("  bufs={bufs:>2} ");
+        for (i, &len) in vorx_bench::TABLE_SIZES.iter().enumerate() {
+            let m = vorx_bench::table1_cell(bufs, len, n);
+            print!(" {len}B: {:.0}/{m:.0}", vorx_bench::TABLE1_PAPER[r][i]);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,33 @@
+//! E-CTX — §5 subprocesses and the structuring alternatives.
+//!
+//! "A context switch, which includes saving both fixed and floating point
+//! registers takes 80 µsec using a 25 MHz Motorola 68020 with a Motorola
+//! 68882 floating point coprocessor. Because context switching is too slow
+//! for some applications, program structuring techniques other than
+//! subprocesses have been used" — coroutines (CEMU) and interrupt-level
+//! programming (parallel SPICE).
+
+use vorx_bench::report::{render, Row};
+use vorx_bench::{ctx_structuring, measured_ctx_switch_us, Structuring};
+
+fn main() {
+    let switch = Row::new(
+        "context switch (measured)",
+        Some(80.0),
+        measured_ctx_switch_us(),
+        "us",
+    );
+    print!("{}", render("E-CTX: context-switch cost (§5)", &[switch]));
+
+    println!("\nper-message service cost (64B messages, 50us of real work each):");
+    let rows: Vec<Row> = [
+        (Structuring::Subprocess, "subprocesses + semaphores"),
+        (Structuring::Coroutine, "coroutines (CEMU style)"),
+        (Structuring::InterruptLevel, "interrupt-level (SPICE style)"),
+    ]
+    .into_iter()
+    .map(|(t, label)| Row::new(label, None, ctx_structuring(t, 200, 50_000), "us/msg"))
+    .collect();
+    print!("{}", render("structuring techniques", &rows));
+    println!("(subprocesses pay ~2 context switches per message; coroutines save most registers; interrupt-level saves none)");
+}

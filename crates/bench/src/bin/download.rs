@@ -1,0 +1,46 @@
+//! E-DL — §3.3 program download: per-process stubs vs the shared-stub tree.
+//!
+//! "it takes 12 seconds to download and initialize a process on each of 70
+//! processors. [...] With this method [the tree], it takes only two seconds
+//! to download and start 70 processes."
+
+use vorx_apps::download::{run_download, DownloadMode};
+use vorx_bench::report::{render, Row};
+
+fn main() {
+    let text = 100 * 1024; // ~100 KB of program text
+    let nodes = 70;
+    let per = run_download(nodes, text, DownloadMode::PerProcessStub);
+    let tree = run_download(nodes, text, DownloadMode::Tree);
+    let rows = vec![
+        Row::new(
+            format!("per-process stubs, {nodes} nodes"),
+            Some(12.0),
+            per.as_secs_f64(),
+            "s",
+        ),
+        Row::new(
+            format!("shared stub + tree, {nodes} nodes"),
+            Some(2.0),
+            tree.as_secs_f64(),
+            "s",
+        ),
+    ];
+    print!("{}", render("E-DL: application download, 70 nodes (§3.3)", &rows));
+    println!(
+        "speedup: {:.1}x (paper: 6.0x)",
+        per.as_secs_f64() / tree.as_secs_f64()
+    );
+
+    // Scaling sweep: where the per-process cost goes (host serialization).
+    println!("\nper-node scaling:");
+    for n in [10usize, 20, 40, 70] {
+        let p = run_download(n, text, DownloadMode::PerProcessStub);
+        let t = run_download(n, text, DownloadMode::Tree);
+        println!(
+            "  {n:>3} nodes: per-process {:>7.2}s   tree {:>6.3}s",
+            p.as_secs_f64(),
+            t.as_secs_f64()
+        );
+    }
+}

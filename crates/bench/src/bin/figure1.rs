@@ -1,0 +1,87 @@
+//! F1 — Figure 1: "A Typical Local Area Multiprocessor System".
+//!
+//! The figure is a conceptual diagram: a pool of processing nodes on the
+//! left, LAN-style resources (workstations, file server, gateway) on the
+//! right, all on the HPC interconnect. This harness *constructs* that
+//! system — ten SUN-3-class workstations plus the 70-node pool of the real
+//! 1988 installation — prints its inventory, and runs one application that
+//! spans two workstations and a set of processing nodes, the paper's
+//! headline capability ("it is possible to build a single application that
+//! spans many workstations and many nodes").
+
+use desim::SimDuration;
+use vorx::channel;
+use vorx::hpcnet::{NodeAddr, Payload, Topology};
+use vorx::VorxBuilder;
+
+fn main() {
+    // 10 workstations + 70 processing nodes = 80 endpoints on an
+    // incomplete hypercube of 20 clusters x 4 ports.
+    let topo = Topology::incomplete_hypercube(20, 4).expect("valid configuration");
+    println!("Figure 1 system inventory:");
+    println!("  clusters:            {}", topo.n_clusters());
+    println!("  ports per cluster:   {}", vorx::hpcnet::PORTS_PER_CLUSTER);
+    println!("  endpoints:           {}", topo.n_endpoints());
+    println!("  host workstations:   10 (nodes n0..n9)");
+    println!("  processing nodes:    70 (nodes n10..n79)");
+    println!(
+        "  longest route:       {} cluster hops",
+        (0..topo.n_endpoints() as u16)
+            .map(|i| topo.hops(NodeAddr(0), NodeAddr(i)))
+            .max()
+            .unwrap()
+    );
+
+    let mut v = VorxBuilder::with_topology(topo).hosts(10).trace(false).build();
+
+    // A spanning application: workstation n0 sources a work list, eight
+    // processing nodes transform items, workstation n9 collects results.
+    let workers: Vec<u16> = (10..18).collect();
+    let items_per_worker = 20u32;
+
+    for &wk in &workers {
+        v.spawn(format!("n{wk}:worker"), move |ctx| {
+            let node = NodeAddr(wk);
+            let src = channel::open(&ctx, node, &format!("work-{wk}"));
+            let dst = channel::open(&ctx, node, &format!("done-{wk}"));
+            for _ in 0..items_per_worker {
+                let item = src.read(&ctx).unwrap();
+                vorx::api::user_compute(&ctx, node, SimDuration::from_ms(2));
+                dst.write(&ctx, item).unwrap();
+            }
+        });
+    }
+    let wk_list = workers.clone();
+    v.spawn("n0:source-ws", move |ctx| {
+        let chans: Vec<_> = wk_list
+            .iter()
+            .map(|wk| channel::open(&ctx, NodeAddr(0), &format!("work-{wk}")))
+            .collect();
+        for i in 0..items_per_worker {
+            for ch in &chans {
+                ch.write(&ctx, Payload::Synthetic(256)).unwrap();
+                let _ = i;
+            }
+        }
+    });
+    let wk_list = workers.clone();
+    v.spawn("n9:collect-ws", move |ctx| {
+        let chans: Vec<_> = wk_list
+            .iter()
+            .map(|wk| channel::open(&ctx, NodeAddr(9), &format!("done-{wk}")))
+            .collect();
+        let total = items_per_worker as usize * chans.len();
+        for _ in 0..total {
+            let _ = channel::read_any(&ctx, NodeAddr(9), &chans).unwrap();
+        }
+        println!("  spanning app:        {total} items processed across 2 workstations + 8 nodes");
+    });
+
+    let end = v.run_all();
+    println!("  spanning app time:   {end}");
+    let w = v.world();
+    println!(
+        "  frames delivered:    {} ({} payload bytes)",
+        w.net.stats.frames_delivered, w.net.stats.payload_bytes_delivered
+    );
+}

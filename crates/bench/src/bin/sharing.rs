@@ -1,0 +1,35 @@
+//! E-SHARE — §3.1: why programmers demanded exclusive access.
+//!
+//! "We found that programmers did not want to share their processors
+//! because they wanted to balance the computational load of their
+//! application in a repeatable fashion. Realizing our mistake, we added
+//! 'exclusive access' capabilities."
+//!
+//! A 4-worker, perfectly balanced computation is run twice: on exclusively
+//! held nodes, and with another user's process time-sharing one node (the
+//! Meglos default).
+
+use vorx_bench::shared_vs_exclusive;
+
+fn main() {
+    println!("== E-SHARE: load-balance repeatability, exclusive vs shared (§3.1) ==\n");
+    let (excl_make, excl_skew) = shared_vs_exclusive(false);
+    let (shared_make, shared_skew) = shared_vs_exclusive(true);
+    println!("4 balanced workers x 10ms of compute each:");
+    println!(
+        "  exclusive nodes:  makespan {:>8.2}ms   worker skew {:>8.3}ms",
+        excl_make / 1000.0,
+        excl_skew / 1000.0
+    );
+    println!(
+        "  one node shared:  makespan {:>8.2}ms   worker skew {:>8.3}ms",
+        shared_make / 1000.0,
+        shared_skew / 1000.0
+    );
+    println!(
+        "\nsharing one node stretches that worker by {:.1}x the others' time —",
+        1.0 + shared_skew / (excl_make - excl_skew.max(0.0)).max(1.0)
+    );
+    println!("the balanced decomposition is no longer balanced, and (worse for");
+    println!("debugging) the interference depends on what the *other* user runs.");
+}

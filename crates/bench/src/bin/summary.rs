@@ -1,0 +1,75 @@
+//! One-page digest: re-runs a reduced-size version of every experiment and
+//! prints the paper-vs-measured headline for each. The full-size harnesses
+//! are the individual `--bin` targets; this is the smoke-test entry point.
+
+use hpcnet::NodeAddr;
+use vorx::objmgr::ObjMgrMode;
+use vorx_apps::bitmap::{run_bitmap, BitmapParams};
+use vorx_apps::download::{run_download, DownloadMode};
+use vorx_apps::fft2d::{run_fft2d, Distribution, Fft2dParams};
+use vorx_bench::*;
+
+fn main() {
+    println!("HPC/VORX reproduction — one-page summary (reduced sizes)\n");
+
+    let t2 = table2_cell(4, 300);
+    println!("T2   channel latency, 4B:            paper 303us      ours {t2:.0}us");
+    let t2k = table2_cell(1024, 300);
+    println!("T2   channel latency, 1024B:         paper 997us      ours {t2k:.0}us");
+    let t1a = table1_cell(2, 4, 300);
+    println!("T1   sliding window, 2 bufs, 4B:     paper 290us      ours {t1a:.0}us");
+    let t1b = table1_cell(64, 4, 300);
+    println!("T1   sliding window, 64 bufs, 4B:    paper 164us      ours {t1b:.0}us");
+    println!(
+        "THRU 1024B channel stream:           paper 1027kB/s   ours {:.0}kB/s",
+        channel_stream_kbps(300)
+    );
+
+    let mut bp = BitmapParams::paper_900();
+    bp.frames = 5;
+    let bmp = run_bitmap(bp);
+    println!(
+        "BMP  bitmap streaming:               paper 3.2MB/s    ours {:.2}MB/s ({:.0}fps)",
+        bmp.mbytes_per_sec, bmp.fps
+    );
+
+    println!(
+        "CTX  context switch:                 paper 80us       ours {:.1}us",
+        measured_ctx_switch_us()
+    );
+
+    let per = run_download(20, 100 * 1024, DownloadMode::PerProcessStub);
+    let tree = run_download(20, 100 * 1024, DownloadMode::Tree);
+    println!(
+        "DL   download 20 nodes:              per-process {:.2}s, tree {:.2}s ({:.0}x)",
+        per.as_secs_f64(),
+        tree.as_secs_f64(),
+        per.as_secs_f64() / tree.as_secs_f64()
+    );
+
+    let central = open_scaling(8, ObjMgrMode::Centralized(NodeAddr(0)));
+    let distrib = open_scaling(8, ObjMgrMode::Distributed);
+    println!(
+        "OPEN 16 simultaneous opens:          centralized {:.2}ms, distributed {:.2}ms",
+        central.as_ms_f64(),
+        distrib.as_ms_f64()
+    );
+
+    let mc = run_fft2d(Fft2dParams { n: 32, p: 8, strategy: Distribution::Multicast }, 7);
+    let pp = run_fft2d(Fft2dParams { n: 32, p: 8, strategy: Distribution::PointToPoint }, 7);
+    println!(
+        "FFT  32x32/8 redistribution:         multicast {:.1}ms, p2p {:.1}ms (both verified)",
+        mc.distribute_max.as_ms_f64(),
+        pp.distribute_max.as_ms_f64()
+    );
+    assert!(mc.max_err < 1e-6 && pp.max_err < 1e-6);
+
+    let meglos: u32 = alloc_race(AllocPolicy::MeglosAutoFree, 20, 42).iter().sum();
+    println!(
+        "ALLOC 20 dev cycles x 2 users:       Meglos {meglos} 'not available' failures, VORX 0"
+    );
+
+    println!("\nfull-size harnesses: table1 table2 figure1 snet_flow download open_scaling");
+    println!("fft_multicast bitmap_stream spice_latency ctx_switch alloc_race sharing");
+    println!("conference scale1024 ablation  (see EXPERIMENTS.md)");
+}

@@ -1,0 +1,32 @@
+//! T1 — Table 1: "Message Latency for Reader-Active Communications
+//! Protocol" (sliding window over a user-defined communications object).
+//!
+//! Regenerates every cell: buffers ∈ {1,2,4,8,16,32,64} × message size
+//! ∈ {4,64,256,1024} bytes, 1000 messages per cell, exactly the paper's
+//! methodology (elapsed / 1000).
+
+use vorx_bench::report::{render, Row};
+use vorx_bench::{table1_cell, TABLE1_BUFS, TABLE1_PAPER, TABLE_SIZES};
+
+fn main() {
+    let n = 1000;
+    let mut rows = Vec::new();
+    for (r, &bufs) in TABLE1_BUFS.iter().enumerate() {
+        for (c, &len) in TABLE_SIZES.iter().enumerate() {
+            let measured = table1_cell(bufs, len, n);
+            rows.push(Row::new(
+                format!("{bufs:>2} buffers, {len:>4}B msgs"),
+                Some(TABLE1_PAPER[r][c]),
+                measured,
+                "us/msg",
+            ));
+        }
+    }
+    print!(
+        "{}",
+        render(
+            "Table 1: sliding-window (reader-active) protocol latency",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,28 @@
+//! T2 — Table 2: "Message Latency for Channel Communications" (the
+//! stop-and-wait kernel protocol), plus the §4 in-text claim that streaming
+//! 1024-byte channel messages reaches 1027 kbyte/sec.
+
+use vorx_bench::report::{render, Row};
+use vorx_bench::{channel_stream_kbps, table2_cell, TABLE2_PAPER, TABLE_SIZES};
+
+fn main() {
+    let n = 1000;
+    let mut rows = Vec::new();
+    for (i, &len) in TABLE_SIZES.iter().enumerate() {
+        rows.push(Row::new(
+            format!("{len:>4}B messages"),
+            Some(TABLE2_PAPER[i]),
+            table2_cell(len, n),
+            "us/msg",
+        ));
+    }
+    print!("{}", render("Table 2: channel latency (stop-and-wait)", &rows));
+
+    let thru = Row::new(
+        "1024B channel stream",
+        Some(1027.0),
+        channel_stream_kbps(n),
+        "kB/s",
+    );
+    print!("{}", render("E-THRU: channel streaming throughput (§4)", &[thru]));
+}

@@ -1,0 +1,443 @@
+//! Reusable experiment runners (one function per table/figure/in-text
+//! measurement). All return simulated-time measurements.
+
+use desim::{SimDuration, SimTime};
+use hpcnet::{NodeAddr, Payload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vorx::alloc::UserId;
+use vorx::api::user_compute;
+use vorx::cpu::CpuCat;
+use vorx::objmgr::ObjMgrMode;
+use vorx::protocols::sliding_window::{self, SwParams};
+use vorx::udco::{self, UdcoMode};
+use vorx::{channel, VorxBuilder};
+
+/// Message sizes used by Tables 1 and 2.
+pub const TABLE_SIZES: [u32; 4] = [4, 64, 256, 1024];
+/// Buffer counts used by Table 1.
+pub const TABLE1_BUFS: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+/// Paper values for Table 1 (µs/msg), rows = buffers, cols = sizes.
+pub const TABLE1_PAPER: [[f64; 4]; 7] = [
+    [414.0, 451.0, 574.0, 1071.0],
+    [290.0, 317.0, 412.0, 787.0],
+    [227.0, 251.0, 330.0, 644.0],
+    [196.0, 218.0, 289.0, 573.0],
+    [179.0, 200.0, 267.0, 535.0],
+    [172.0, 192.0, 257.0, 518.0],
+    [164.0, 184.0, 248.0, 504.0],
+];
+/// Paper values for Table 2 (µs/msg) per message size.
+pub const TABLE2_PAPER: [f64; 4] = [303.0, 341.0, 474.0, 997.0];
+
+/// Table 1: sliding-window ("reader-active") protocol latency between two
+/// nodes on one cluster. The sender transmits `n_msgs`; per-message latency
+/// is elapsed / n_msgs, exactly the paper's methodology.
+pub fn table1_cell(bufs: u32, msg_len: u32, n_msgs: u64) -> f64 {
+    let mut v = VorxBuilder::single_cluster(2).trace(false).build();
+    let p = SwParams {
+        data_tag: 1,
+        credit_tag: 2,
+        msg_len,
+        n_msgs,
+        bufs,
+    };
+    v.spawn("n0:sw-sender", move |ctx| {
+        sliding_window::sender(&ctx, NodeAddr(0), NodeAddr(1), p);
+    });
+    v.spawn("n1:sw-receiver", move |ctx| {
+        sliding_window::receiver(&ctx, NodeAddr(1), NodeAddr(0), p);
+    });
+    let end = v.run_all();
+    (end - SimTime::ZERO).as_us_f64() / n_msgs as f64
+}
+
+/// Table 2: channel (stop-and-wait) latency between two nodes, measured the
+/// same way: the writer issues `n_msgs` writes; the reader consumes them.
+pub fn table2_cell(msg_len: u32, n_msgs: u64) -> f64 {
+    table2_cell_with(vorx::Calibration::paper_1988(), msg_len, n_msgs)
+}
+
+/// [`table2_cell`] under an arbitrary software cost model (ablations).
+pub fn table2_cell_with(calib: vorx::Calibration, msg_len: u32, n_msgs: u64) -> f64 {
+    let mut v = VorxBuilder::single_cluster(2)
+        .calibration(calib)
+        .trace(false)
+        .build();
+    v.spawn("n0:writer", move |ctx| {
+        let ch = channel::open(&ctx, NodeAddr(0), "bench");
+        for _ in 0..n_msgs {
+            ch.write(&ctx, Payload::Synthetic(msg_len)).unwrap();
+        }
+    });
+    v.spawn("n1:reader", move |ctx| {
+        let ch = channel::open(&ctx, NodeAddr(1), "bench");
+        for _ in 0..n_msgs {
+            let m = ch.read(&ctx).unwrap();
+            debug_assert_eq!(m.len(), msg_len);
+        }
+    });
+    let end = v.run_all();
+    (end - SimTime::ZERO).as_us_f64() / n_msgs as f64
+}
+
+/// §4 in-text: streaming 1024-byte channel messages reaches ~1027 kB/s.
+/// Returns the measured throughput in kB/s.
+pub fn channel_stream_kbps(n_msgs: u64) -> f64 {
+    let per_msg_us = table2_cell(1024, n_msgs);
+    1024.0 / per_msg_us * 1000.0 // bytes per ms = kB/s
+}
+
+// ---------------------------------------------------------------------------
+// E-OPEN: channel-open scaling, centralized vs distributed object manager
+// ---------------------------------------------------------------------------
+
+/// `pairs` channel pairs open simultaneously at startup; returns the time
+/// until the last open completes. `mode` selects the §3.2 architecture.
+pub fn open_scaling(pairs: usize, mode: ObjMgrMode) -> SimDuration {
+    let n = pairs * 2;
+    let mut v = VorxBuilder::with_topology(vorx_apps::fft2d::topology_for(n))
+        .objmgr(mode)
+        .trace(false)
+        .build();
+    for i in 0..pairs {
+        let (a, b) = (2 * i, 2 * i + 1);
+        for node in [a, b] {
+            v.spawn(format!("n{node}:open"), move |ctx| {
+                let _ = channel::open(&ctx, NodeAddr(node as u16), &format!("startup-{i}"));
+            });
+        }
+    }
+    let end = v.run_all();
+    end - SimTime::ZERO
+}
+
+/// Opens served per node, for the load-distribution part of E-OPEN.
+pub fn open_scaling_served(pairs: usize, mode: ObjMgrMode) -> Vec<u64> {
+    let n = pairs * 2;
+    let mut v = VorxBuilder::with_topology(vorx_apps::fft2d::topology_for(n))
+        .objmgr(mode)
+        .trace(false)
+        .build();
+    for i in 0..pairs {
+        for node in [2 * i, 2 * i + 1] {
+            v.spawn(format!("n{node}:open"), move |ctx| {
+                let _ = channel::open(&ctx, NodeAddr(node as u16), &format!("startup-{i}"));
+            });
+        }
+    }
+    v.run_all();
+    let w = v.world();
+    w.nodes.iter().map(|n| n.mgr.served).collect()
+}
+
+// ---------------------------------------------------------------------------
+// E-CTX: §5 program-structuring techniques
+// ---------------------------------------------------------------------------
+
+/// The §5 alternatives for structuring message-driven computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Structuring {
+    /// Input and compute subprocesses exchanging via semaphores: two full
+    /// 80 µs context switches per message.
+    Subprocess,
+    /// Coroutines: switches "occur only at well defined places [...] so
+    /// that most registers need not be saved".
+    Coroutine,
+    /// Interrupt-level / polled: "the entire computation is done by the
+    /// interrupt service routines" — no switches at all.
+    InterruptLevel,
+}
+
+/// Service `n_msgs` incoming 64-byte messages, each requiring `work_ns` of
+/// computation, under the given structuring; returns the receiving node's
+/// CPU time per message in µs (the structuring overhead the paper weighs).
+pub fn ctx_structuring(technique: Structuring, n_msgs: u64, work_ns: u64) -> f64 {
+    let mut v = VorxBuilder::single_cluster(2).trace(false).build();
+    const TAG: u16 = 9;
+    v.spawn("n0:driver", move |ctx| {
+        // Pace the driver so the receiver's structuring dominates timing.
+        for i in 0..n_msgs {
+            udco::send(&ctx, NodeAddr(0), NodeAddr(1), TAG, i, Payload::Synthetic(64));
+            ctx.sleep(SimDuration::from_us(600));
+        }
+    });
+    let start_work = move |ctx: &vorx::VCtx| {
+        user_compute(ctx, NodeAddr(1), SimDuration::from_ns(work_ns));
+    };
+    match technique {
+        Structuring::Subprocess => {
+            v.spawn("n1:subproc", move |ctx| {
+                udco::register(&ctx, NodeAddr(1), TAG, UdcoMode::Interrupt);
+                let c = ctx.with(|w, _| w.calib);
+                for _ in 0..n_msgs {
+                    // The input subprocess is woken by the ISR (recv charges
+                    // the resume switch); handing the message to the compute
+                    // subprocess costs another full switch.
+                    let _ = udco::recv(&ctx, NodeAddr(1), TAG);
+                    vorx::api::compute_ns(&ctx, NodeAddr(1), CpuCat::System, c.ctx_switch_ns);
+                    start_work(&ctx);
+                }
+            });
+        }
+        Structuring::Coroutine => {
+            v.spawn("n1:coro", move |ctx| {
+                udco::register(&ctx, NodeAddr(1), TAG, UdcoMode::Raw);
+                for _ in 0..n_msgs {
+                    let _ = udco::recv_raw_spin(&ctx, NodeAddr(1), TAG);
+                    // Hand off input -> compute coroutine and back.
+                    vorx::sched::coroutine_switch(&ctx, NodeAddr(1));
+                    start_work(&ctx);
+                    vorx::sched::coroutine_switch(&ctx, NodeAddr(1));
+                }
+            });
+        }
+        Structuring::InterruptLevel => {
+            v.spawn("n1:isr", move |ctx| {
+                udco::register(&ctx, NodeAddr(1), TAG, UdcoMode::Raw);
+                for _ in 0..n_msgs {
+                    let _ = udco::recv_raw_spin(&ctx, NodeAddr(1), TAG);
+                    start_work(&ctx);
+                }
+            });
+        }
+    }
+    v.run_all();
+    let w = v.world();
+    (w.nodes[1].cpu.busy().as_ns() as f64 / 1000.0) / n_msgs as f64
+}
+
+/// Directly measure the §5 context-switch cost through the subprocess
+/// scheduler (one semaphore handoff = one switch). Returns µs.
+pub fn measured_ctx_switch_us() -> f64 {
+    let mut v = VorxBuilder::single_cluster(1).trace(false).build();
+    v.spawn("setup", |ctx| {
+        let node = NodeAddr(0);
+        let sem = vorx::sched::create_sem(&ctx, node, 0);
+        vorx::sched::spawn_subproc(&ctx, node, 2, "a", move |ctx, h| {
+            for _ in 0..100 {
+                h.sem_p(&ctx, sem);
+            }
+        });
+        vorx::sched::spawn_subproc(&ctx, node, 1, "b", move |ctx, h| {
+            for _ in 0..100 {
+                h.sem_v(&ctx, sem);
+            }
+        });
+    });
+    v.run_all();
+    let w = v.world();
+    w.nodes[0].cpu.system_ns as f64 / 1000.0 / w.nodes[0].sched.switches as f64
+}
+
+// ---------------------------------------------------------------------------
+// E-ALLOC: §3.1 allocation policies
+// ---------------------------------------------------------------------------
+
+/// Allocation discipline under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Meglos: allocate at run start, auto-free at run end.
+    MeglosAutoFree,
+    /// VORX: allocate the whole session up front, free at logout.
+    VorxExplicit,
+}
+
+/// Two developers iterate edit/compile/run on a shared pool; returns the
+/// number of "processors not available" failures each hits over `cycles`
+/// development cycles.
+pub fn alloc_race(policy: AllocPolicy, cycles: u32, seed: u64) -> [u32; 2] {
+    let mut v = VorxBuilder::single_cluster(8).trace(false).build();
+    let failures = std::sync::Arc::new(parking_lot::Mutex::new([0u32; 2]));
+    for dev in 0..2u32 {
+        let fail = std::sync::Arc::clone(&failures);
+        v.spawn(format!("dev{dev}"), move |ctx| {
+            let user = UserId(dev);
+            let mut rng = SmallRng::seed_from_u64(seed ^ u64::from(dev));
+            let want = 6; // each wants most of the 8-node pool
+            if policy == AllocPolicy::VorxExplicit {
+                // Allocate once for the whole session. The second developer
+                // simply cannot start with this pool size - VORX makes the
+                // conflict explicit and immediate instead of intermittent.
+                let r = ctx.with(move |w, _| w.alloc.allocate(user, want));
+                if r.is_err() {
+                    fail.lock()[dev as usize] = 0; // explicit early failure, not a mid-session surprise
+                    return;
+                }
+            }
+            for _ in 0..cycles {
+                // Edit + compile.
+                ctx.sleep(SimDuration::from_ms(500 + rng.random_range(0..500)));
+                // Run.
+                if policy == AllocPolicy::MeglosAutoFree {
+                    let got = ctx.with(move |w, _| w.alloc.allocate(user, want));
+                    match got {
+                        Ok(nodes) => {
+                            ctx.sleep(SimDuration::from_ms(300 + rng.random_range(0..300)));
+                            ctx.with(move |w, _| {
+                                w.alloc.free(user, &nodes);
+                            });
+                        }
+                        Err(_) => {
+                            // "processors not available"
+                            fail.lock()[dev as usize] += 1;
+                            ctx.sleep(SimDuration::from_ms(200));
+                        }
+                    }
+                } else {
+                    // VORX: the session allocation is still held.
+                    ctx.sleep(SimDuration::from_ms(300 + rng.random_range(0..300)));
+                }
+            }
+            if policy == AllocPolicy::VorxExplicit {
+                ctx.with(move |w, _| {
+                    w.alloc.free_all(user);
+                });
+            }
+        });
+    }
+    v.run_all();
+    let f = failures.lock();
+    *f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_4byte_lands_near_paper() {
+        let us = table2_cell(4, 100);
+        let paper = TABLE2_PAPER[0];
+        assert!(
+            (us - paper).abs() / paper < 0.15,
+            "4-byte channel latency {us:.1}us vs paper {paper}us"
+        );
+    }
+
+    #[test]
+    fn table1_shape_holds() {
+        // Monotone decreasing in buffer count; 2 buffers beat channels;
+        // 1 buffer loses to channels.
+        let k1 = table1_cell(1, 4, 200);
+        let k2 = table1_cell(2, 4, 200);
+        let k64 = table1_cell(64, 4, 200);
+        assert!(k1 > k2 && k2 > k64);
+        let chan = table2_cell(4, 200);
+        assert!(k2 < chan, "2-buffer sliding window {k2:.1} must beat channels {chan:.1}");
+        assert!(k1 > chan, "1-buffer sliding window {k1:.1} must lose to channels {chan:.1}");
+    }
+
+    #[test]
+    fn channel_stream_near_1027_kbps() {
+        let kbps = channel_stream_kbps(200);
+        assert!(
+            (900.0..1130.0).contains(&kbps),
+            "channel stream {kbps:.0} kB/s vs paper 1027"
+        );
+    }
+
+    #[test]
+    fn distributed_objmgr_beats_centralized() {
+        let central = open_scaling(8, ObjMgrMode::Centralized(NodeAddr(0)));
+        let distrib = open_scaling(8, ObjMgrMode::Distributed);
+        assert!(
+            distrib < central,
+            "distributed {distrib} should beat centralized {central}"
+        );
+        let served = open_scaling_served(8, ObjMgrMode::Distributed);
+        assert!(
+            served.iter().filter(|s| **s > 0).count() > 1,
+            "distributed mode must spread the load: {served:?}"
+        );
+    }
+
+    #[test]
+    fn structuring_costs_ordered_as_paper_says() {
+        let sp = ctx_structuring(Structuring::Subprocess, 20, 50_000);
+        let co = ctx_structuring(Structuring::Coroutine, 20, 50_000);
+        let il = ctx_structuring(Structuring::InterruptLevel, 20, 50_000);
+        assert!(
+            sp > co && co > il,
+            "expected subprocess ({sp:.0}us) > coroutine ({co:.0}us) > interrupt-level ({il:.0}us)"
+        );
+        // Subprocesses pay ~2 x 80us more than interrupt level per message.
+        assert!(
+            sp - il > 120.0,
+            "subprocess overhead {sp:.0} vs interrupt {il:.0}"
+        );
+    }
+
+    #[test]
+    fn measured_switch_is_80us() {
+        let us = measured_ctx_switch_us();
+        assert!((us - 80.0).abs() < 1.0, "measured {us:.1}us");
+    }
+
+    #[test]
+    fn meglos_policy_produces_not_available_failures() {
+        let meglos = alloc_race(AllocPolicy::MeglosAutoFree, 20, 42);
+        let vorx = alloc_race(AllocPolicy::VorxExplicit, 20, 42);
+        assert!(
+            meglos[0] + meglos[1] > 0,
+            "the §3.1 race should bite under auto-free: {meglos:?}"
+        );
+        assert_eq!(vorx, [0, 0], "explicit allocation has no mid-session failures");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E-SHARE: §3.1 — why programmers demanded exclusive access
+// ---------------------------------------------------------------------------
+
+/// Run a 4-worker balanced computation, optionally with another user's
+/// process sharing one of the nodes. Returns `(makespan_us, max_worker_us -
+/// min_worker_us)` — the §3.1 complaint is that sharing destroys the
+/// repeatable balance.
+pub fn shared_vs_exclusive(interferer: bool) -> (f64, f64) {
+    let mut v = VorxBuilder::single_cluster(5).trace(false).build();
+    let spans = std::sync::Arc::new(parking_lot::Mutex::new(vec![0u64; 4]));
+    for wk in 0..4usize {
+        let spans = std::sync::Arc::clone(&spans);
+        v.spawn(format!("n{wk}:worker"), move |ctx| {
+            let t0 = ctx.now();
+            for _ in 0..10 {
+                user_compute(&ctx, NodeAddr(wk as u16), SimDuration::from_ms(1));
+            }
+            spans.lock()[wk] = (ctx.now() - t0).as_ns();
+        });
+    }
+    if interferer {
+        // Somebody else's process time-shares node 0 (the Meglos default).
+        v.spawn("n0:other-user", |ctx| {
+            for _ in 0..10 {
+                user_compute(&ctx, NodeAddr(0), SimDuration::from_ms(1));
+                ctx.sleep(SimDuration::from_us(100));
+            }
+        });
+    }
+    let end = v.run_all();
+    let spans = spans.lock();
+    let max = *spans.iter().max().unwrap() as f64 / 1000.0;
+    let min = *spans.iter().min().unwrap() as f64 / 1000.0;
+    ((end - desim::SimTime::ZERO).as_us_f64(), max - min)
+}
+
+#[cfg(test)]
+mod share_tests {
+    use super::*;
+
+    #[test]
+    fn sharing_destroys_load_balance() {
+        let (excl_make, excl_skew) = shared_vs_exclusive(false);
+        let (shared_make, shared_skew) = shared_vs_exclusive(true);
+        // Exclusive: perfectly balanced and repeatable.
+        assert!(excl_skew < 1.0, "exclusive skew {excl_skew}us");
+        // Shared: the interfered worker lags far behind its siblings.
+        assert!(
+            shared_skew > 5_000.0,
+            "sharing should skew the balance, got {shared_skew}us"
+        );
+        assert!(shared_make > excl_make);
+    }
+}

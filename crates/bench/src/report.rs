@@ -1,0 +1,79 @@
+//! Paper-vs-measured reporting helpers shared by every experiment binary.
+
+/// One comparison row: a label, the paper's value, and ours.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (e.g. "4-byte messages, 8 buffers").
+    pub label: String,
+    /// The value the paper reports (None when the paper gives no number).
+    pub paper: Option<f64>,
+    /// The value we measured.
+    pub measured: f64,
+    /// Unit for both columns.
+    pub unit: &'static str,
+}
+
+impl Row {
+    /// Build a row.
+    pub fn new(label: impl Into<String>, paper: Option<f64>, measured: f64, unit: &'static str) -> Self {
+        Row {
+            label: label.into(),
+            paper,
+            measured,
+            unit,
+        }
+    }
+
+    /// measured / paper, if the paper reports a value.
+    pub fn ratio(&self) -> Option<f64> {
+        self.paper.map(|p| self.measured / p)
+    }
+}
+
+/// Render rows as an aligned paper-vs-measured table.
+pub fn render(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let w = rows.iter().map(|r| r.label.len()).max().unwrap_or(10).max(10);
+    out.push_str(&format!(
+        "{:w$}  {:>12}  {:>12}  {:>8}\n",
+        "workload", "paper", "measured", "ratio",
+    ));
+    for r in rows {
+        let paper = r
+            .paper
+            .map(|p| format!("{p:.1} {}", r.unit))
+            .unwrap_or_else(|| "-".into());
+        let ratio = r
+            .ratio()
+            .map(|x| format!("{x:.2}x"))
+            .unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "{:w$}  {:>12}  {:>12}  {:>8}\n",
+            r.label,
+            paper,
+            format!("{:.1} {}", r.measured, r.unit),
+            ratio,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_render() {
+        let rows = vec![
+            Row::new("a", Some(100.0), 110.0, "us"),
+            Row::new("b", None, 5.0, "us"),
+        ];
+        assert!((rows[0].ratio().unwrap() - 1.1).abs() < 1e-9);
+        assert!(rows[1].ratio().is_none());
+        let s = render("T", &rows);
+        assert!(s.contains("== T =="));
+        assert!(s.contains("1.10x"));
+        assert!(s.contains('-'));
+    }
+}

@@ -1,0 +1,275 @@
+//! Per-host process resource managers (§3.2).
+//!
+//! "Another bottleneck in Meglos was that all program developers and users
+//! ran their applications from a single host. VORX eliminates this problem
+//! by allowing programs to be run from different hosts. Each host has its
+//! own process resource manager that is responsible for applications
+//! started on that host and for keeping track of the mapping of
+//! applications to processors."
+//!
+//! An *application* here is: an allocation of processing nodes, a set of
+//! stubs on the launching host, and one process per node. The manager
+//! records the application→processor mapping (what the paper's tools query)
+//! and tears everything down on exit.
+
+use desim::SimDuration;
+use hpcnet::NodeAddr;
+
+use crate::alloc::{ProcessorsNotAvailable, UserId};
+use crate::host::create_stub;
+use crate::world::{VCtx, World};
+
+/// Lifecycle state of an application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppState {
+    /// Processes are running.
+    Running,
+    /// The application exited and its processors were released.
+    Exited,
+}
+
+/// One launched application, as tracked by its host's resource manager.
+#[derive(Debug, Clone)]
+pub struct AppRecord {
+    /// Application id (unique per installation).
+    pub id: u32,
+    /// The host it was launched from.
+    pub host: usize,
+    /// The owning user.
+    pub user: UserId,
+    /// Human-readable name.
+    pub name: String,
+    /// The processors it occupies (the application→processor mapping).
+    pub nodes: Vec<NodeAddr>,
+    /// Launch time, ns.
+    pub started_ns: u64,
+    /// Lifecycle state.
+    pub state: AppState,
+    /// Worker processes that have reported completion.
+    pub finished_procs: usize,
+}
+
+/// Per-installation application registry (all hosts' managers share the
+/// table; each row remembers which host owns it).
+#[derive(Debug, Default)]
+pub struct AppRegistry {
+    /// All applications ever launched.
+    pub apps: Vec<AppRecord>,
+}
+
+impl AppRegistry {
+    /// Applications launched from `host` (the per-host manager's view).
+    pub fn on_host(&self, host: usize) -> Vec<&AppRecord> {
+        self.apps.iter().filter(|a| a.host == host).collect()
+    }
+
+    /// The application currently occupying `node`, if any.
+    pub fn app_on_node(&self, node: NodeAddr) -> Option<&AppRecord> {
+        self.apps
+            .iter()
+            .find(|a| a.state == AppState::Running && a.nodes.contains(&node))
+    }
+}
+
+/// Launch an application from `host`: allocate `n_nodes` processors
+/// exclusively, create one stub per process, record the mapping, and spawn
+/// `body` once per node. When every process finishes, the processors are
+/// released automatically (the VORX "explicitly freed" step, done by the
+/// manager on clean exit).
+///
+/// Returns the application id, or the §3.1 diagnostic.
+pub fn start_application<F>(
+    ctx: &VCtx,
+    host: usize,
+    user: UserId,
+    name: &str,
+    n_nodes: usize,
+    body: F,
+) -> Result<u32, ProcessorsNotAvailable>
+where
+    F: Fn(VCtx, NodeAddr, usize) + Clone + Send + 'static,
+{
+    let name = name.to_string();
+    // Allocate processors up front (§3.1's VORX discipline).
+    let nodes = ctx.with(move |w, _| w.alloc.allocate(user, n_nodes))?;
+    // One stub per process: the faithful execution environment (§3.3).
+    for &n in &nodes {
+        create_stub(ctx, host, vec![n]);
+    }
+    let app_id = ctx.with({
+        let nodes = nodes.clone();
+        let name = name.clone();
+        move |w, s| {
+            let id = w.appmgr.apps.len() as u32;
+            w.appmgr.apps.push(AppRecord {
+                id,
+                host,
+                user,
+                name: name.clone(),
+                nodes: nodes.clone(),
+                started_ns: s.now().as_ns(),
+                state: AppState::Running,
+                finished_procs: 0,
+            });
+            id
+        }
+    });
+    // Spawn one process per node; each reports completion to the manager.
+    ctx.with(move |_, s| {
+        for (rank, &node) in nodes.iter().enumerate() {
+            let body = body.clone();
+            s.spawn(format!("app{app_id}:{name}@n{}", node.0), move |ctx: VCtx| {
+                body(ctx.clone(), node, rank);
+                ctx.with(move |w, _| on_proc_exit(w, app_id));
+            });
+        }
+    });
+    Ok(app_id)
+}
+
+/// Manager bookkeeping when one process of `app_id` exits; releases the
+/// allocation when the last one is done.
+fn on_proc_exit(w: &mut World, app_id: u32) {
+    let (done, user, nodes) = {
+        let a = &mut w.appmgr.apps[app_id as usize];
+        a.finished_procs += 1;
+        (
+            a.finished_procs == a.nodes.len(),
+            a.user,
+            a.nodes.clone(),
+        )
+    };
+    if done {
+        w.appmgr.apps[app_id as usize].state = AppState::Exited;
+        w.alloc.free(user, &nodes);
+    }
+}
+
+/// Block until `app_id` exits.
+pub fn wait_app(ctx: &VCtx, app_id: u32) {
+    // Poll-free would need a waitset; application exit is infrequent, so a
+    // coarse periodic check keeps the manager simple.
+    loop {
+        let state = ctx.with(move |w, _| w.appmgr.apps[app_id as usize].state);
+        if state == AppState::Exited {
+            return;
+        }
+        ctx.sleep(SimDuration::from_ms(1));
+    }
+}
+
+/// Render the manager's `ps`-style listing for one host.
+pub fn render(w: &World, host: usize) -> String {
+    let mut out = format!("appmgr@host{host}: applications\n");
+    out.push_str(&format!(
+        "{:<5} {:<16} {:<6} {:<9} {:<10} nodes\n",
+        "app", "name", "user", "state", "started"
+    ));
+    for a in w.appmgr.on_host(host) {
+        let nodes: Vec<String> = a.nodes.iter().map(|n| n.to_string()).collect();
+        out.push_str(&format!(
+            "{:<5} {:<16} u{:<5} {:<9} {:<10} {}\n",
+            a.id,
+            a.name,
+            a.user.0,
+            format!("{:?}", a.state),
+            format!("{:.1}ms", a.started_ns as f64 / 1e6),
+            nodes.join(",")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{syscall, SyscallOp, SyscallRet};
+    use crate::world::VorxBuilder;
+
+    #[test]
+    fn launch_track_and_release() {
+        let mut v = VorxBuilder::single_cluster(8).hosts(2).build();
+        v.spawn("host0:shell", |ctx| {
+            let app = start_application(
+                &ctx,
+                0,
+                UserId(1),
+                "solver",
+                3,
+                |ctx: VCtx, node, rank| {
+                    crate::api::user_compute(&ctx, node, SimDuration::from_ms(1 + rank as u64));
+                    // Each process can use its own stub.
+                    assert_eq!(
+                        syscall(&ctx, node, SyscallOp::WriteFile { bytes: 100 }),
+                        SyscallRet::Ok
+                    );
+                },
+            )
+            .expect("pool is free");
+            // While running, the mapping is visible.
+            let mapped = ctx.with(move |w, _| {
+                let a = &w.appmgr.apps[app as usize];
+                assert_eq!(a.state, AppState::Running);
+                assert_eq!(a.nodes.len(), 3);
+                w.appmgr.app_on_node(a.nodes[0]).map(|x| x.id)
+            });
+            assert_eq!(mapped, Some(app));
+            wait_app(&ctx, app);
+            // Exited: processors released.
+            ctx.with(|w, _| {
+                assert_eq!(w.alloc.free_count(), w.alloc.pool_size());
+                assert_eq!(w.appmgr.apps[0].state, AppState::Exited);
+            });
+        });
+        v.run_all();
+    }
+
+    #[test]
+    fn hosts_track_their_own_applications() {
+        let mut v = VorxBuilder::single_cluster(10).hosts(2).build();
+        for host in 0..2usize {
+            v.spawn(format!("host{host}:shell"), move |ctx| {
+                let app = start_application(
+                    &ctx,
+                    host,
+                    UserId(host as u32),
+                    &format!("app-h{host}"),
+                    2,
+                    |ctx: VCtx, node, _| {
+                        crate::api::user_compute(&ctx, node, SimDuration::from_ms(1));
+                    },
+                )
+                .expect("pool large enough for both");
+                wait_app(&ctx, app);
+            });
+        }
+        v.run_all();
+        let w = v.world();
+        assert_eq!(w.appmgr.on_host(0).len(), 1);
+        assert_eq!(w.appmgr.on_host(1).len(), 1);
+        assert_eq!(w.appmgr.on_host(0)[0].name, "app-h0");
+        let listing = render(&w, 1);
+        assert!(listing.contains("app-h1"), "{listing}");
+    }
+
+    #[test]
+    fn launch_fails_cleanly_when_pool_exhausted() {
+        let mut v = VorxBuilder::single_cluster(4).hosts(1).build();
+        v.spawn("host0:shell", |ctx| {
+            let first = start_application(&ctx, 0, UserId(1), "big", 3, |ctx: VCtx, node, _| {
+                crate::api::user_compute(&ctx, node, SimDuration::from_ms(5));
+            })
+            .expect("3 of 3 pool nodes");
+            let denied = start_application(&ctx, 0, UserId(2), "late", 2, |_ctx, _, _| {});
+            assert!(denied.is_err(), "pool is exhausted");
+            wait_app(&ctx, first);
+            // After release, the second user can start.
+            let ok = start_application(&ctx, 0, UserId(2), "late", 2, |ctx: VCtx, node, _| {
+                crate::api::user_compute(&ctx, node, SimDuration::from_us(10));
+            });
+            assert!(ok.is_ok());
+            wait_app(&ctx, ok.unwrap());
+        });
+        v.run_all();
+    }
+}

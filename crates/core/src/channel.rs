@@ -1,0 +1,1148 @@
+//! Channels: VORX's standard communications abstraction (§4).
+//!
+//! "Channels provide low latency, high bandwidth message passing
+//! communications between processors. [...] they are set up with a single
+//! open call and data is transferred with read and write calls."
+//!
+//! Implementation follows the paper:
+//!
+//! * **Rendezvous by name** through the object manager (§3.2 /
+//!   [`crate::objmgr`]).
+//! * **Stop-and-wait** protocol: the writer's kernel transmits one fragment
+//!   and blocks the writing process until the *receiving kernel*
+//!   acknowledges it. No sender-side copy is needed, because the data stays
+//!   in place until acknowledged.
+//! * **Side buffers**: the receiving kernel copies each fragment into a
+//!   side buffer and acks; if the side buffers are full (rare), the ack is
+//!   withheld until the reader frees space, which stalls the writer — the
+//!   protocol's flow control.
+//! * Writes larger than the 1024-byte hardware payload are fragmented and
+//!   reassembled transparently; a read returns one whole written message.
+//! * **Multiplexed read** ([`read_any`]): block until data arrives on any of
+//!   several channels.
+
+use std::collections::VecDeque;
+
+use bytes::BytesMut;
+use desim::{sync::WaitSet, Wakeup};
+use hpcnet::{Frame, NodeAddr, Payload, MAX_PAYLOAD};
+
+use crate::api;
+use crate::cpu::{BlockReason, CpuCat};
+use crate::kernel;
+use crate::proto;
+use crate::world::{OpenResult, VCtx, VSched, World};
+
+/// Channel operation errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChanError {
+    /// The peer end has been closed; no more data will arrive/be accepted.
+    PeerClosed,
+    /// This end was closed locally.
+    LocalClosed,
+}
+
+impl std::fmt::Display for ChanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChanError::PeerClosed => write!(f, "peer end of channel closed"),
+            ChanError::LocalClosed => write!(f, "channel closed locally"),
+        }
+    }
+}
+
+impl std::error::Error for ChanError {}
+
+/// Result of a channel operation.
+pub type ChanResult<T> = Result<T, ChanError>;
+
+/// Reassembles fragments of one written message.
+#[derive(Debug, Default)]
+pub struct PayloadAsm {
+    data: Option<BytesMut>,
+    synth: u32,
+    frags: usize,
+}
+
+impl PayloadAsm {
+    /// Append one fragment.
+    pub fn push(&mut self, p: Payload) {
+        self.frags += 1;
+        match p {
+            Payload::Data(b) => {
+                assert_eq!(self.synth, 0, "mixed data and synthetic fragments");
+                self.data.get_or_insert_with(BytesMut::new).extend_from_slice(&b);
+            }
+            Payload::Synthetic(n) => {
+                assert!(self.data.is_none(), "mixed data and synthetic fragments");
+                self.synth += n;
+            }
+        }
+    }
+
+    /// Number of fragments buffered.
+    pub fn frags(&self) -> usize {
+        self.frags
+    }
+
+    /// Take the assembled message, resetting the assembler.
+    pub fn take(&mut self) -> Payload {
+        self.frags = 0;
+        if let Some(b) = self.data.take() {
+            Payload::Data(b.freeze())
+        } else {
+            let n = self.synth;
+            self.synth = 0;
+            Payload::Synthetic(n)
+        }
+    }
+}
+
+/// One end of a channel, owned by a node's kernel.
+#[derive(Debug)]
+pub struct ChanEnd {
+    /// Channel id (same on both ends).
+    pub id: u32,
+    /// The rendezvous name.
+    pub name: String,
+    /// The other end's node.
+    pub peer: NodeAddr,
+    /// Complete received messages awaiting `read` (kernel side buffers).
+    pub rx: VecDeque<Payload>,
+    /// Partial message being reassembled.
+    pub asm: PayloadAsm,
+    /// Fragments received while the side buffers were full; their acks are
+    /// withheld until the reader frees space.
+    pub deferred: VecDeque<Frame>,
+    /// Processes blocked in `read`.
+    pub rx_waiters: WaitSet,
+    /// Process blocked in `write` awaiting the kernel ack.
+    pub tx_wait: WaitSet,
+    /// The ack for the outstanding fragment has arrived.
+    pub ack_ready: bool,
+    /// Fragments sent from this end (for `cdb`).
+    pub msgs_tx: u64,
+    /// Messages delivered to readers at this end (for `cdb`).
+    pub msgs_rx: u64,
+    /// A reader is currently blocked on this end (for `cdb`).
+    pub reader_blocked: bool,
+    /// A writer is currently blocked on this end (for `cdb`).
+    pub writer_blocked: bool,
+    /// This end has been closed by the local process.
+    pub closed_local: bool,
+    /// The peer's end has been closed (close notification received).
+    pub closed_remote: bool,
+}
+
+impl ChanEnd {
+    fn new(id: u32, name: String, peer: NodeAddr) -> Self {
+        ChanEnd {
+            id,
+            name,
+            peer,
+            rx: VecDeque::new(),
+            asm: PayloadAsm::default(),
+            deferred: VecDeque::new(),
+            rx_waiters: WaitSet::new(),
+            tx_wait: WaitSet::new(),
+            ack_ready: false,
+            msgs_tx: 0,
+            msgs_rx: 0,
+            reader_blocked: false,
+            writer_blocked: false,
+            closed_local: false,
+            closed_remote: false,
+        }
+    }
+
+    /// Side-buffer slots in use (complete messages + an in-progress
+    /// reassembly counts as one).
+    fn sidebuf_used(&self) -> usize {
+        self.rx.len() + usize::from(self.asm.frags() > 0)
+    }
+}
+
+/// Create a channel end on `node` (called by the object manager's reply
+/// handler, and directly by tests).
+pub fn create_end(w: &mut World, s: &mut VSched, node: NodeAddr, id: u32, name: String, peer: NodeAddr) {
+    let prev = w
+        .node_mut(node)
+        .chans
+        .insert(id, ChanEnd::new(id, name, peer));
+    assert!(prev.is_none(), "channel id {id} already exists on {node}");
+    kernel::drain_orphans(w, s, node, id);
+}
+
+/// A user-level handle to one channel end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelHandle {
+    /// Channel id.
+    pub id: u32,
+    /// The local node.
+    pub node: NodeAddr,
+    /// The peer node.
+    pub peer: NodeAddr,
+}
+
+/// Open a channel named `name` from `node`: sends an open request to the
+/// responsible object manager and blocks until another process opens the
+/// same name. Returns the connected handle.
+pub fn open(ctx: &VCtx, node: NodeAddr, name: &str) -> ChannelHandle {
+    let c = ctx.with(|w, _| w.calib);
+    api::compute_ns(ctx, node, CpuCat::System, c.chan_read_syscall_ns);
+    let name_owned = name.to_string();
+    let token = ctx.with(move |w, s| {
+        let token = w.token();
+        w.node_mut(node).open_waits.insert(token, OpenResult::Pending);
+        let mgr = crate::objmgr::manager_for(w, &name_owned);
+        let f = Frame::unicast(
+            node,
+            mgr,
+            proto::KIND_OPEN_REQ,
+            token,
+            proto::pack_open_req(&name_owned),
+        );
+        kernel::send_frame(w, s, f);
+        token
+    });
+    let pid = ctx.pid();
+    let (id, peer) = ctx.wait_until(|w, _| {
+        let done = match w.node(node).open_waits.get(&token) {
+            Some(OpenResult::Done(c, p)) => Some((*c, *p)),
+            _ => None,
+        };
+        if done.is_none() {
+            w.node_mut(node).open_waiters.register(pid);
+        }
+        done
+    });
+    ctx.with(|w, _| {
+        w.node_mut(node).open_waits.remove(&token);
+    });
+    ChannelHandle { id, node, peer }
+}
+
+/// Split a payload into hardware-sized fragments, flagging the last.
+fn fragment(payload: Payload) -> Vec<(Payload, bool)> {
+    let total = payload.len();
+    if total <= MAX_PAYLOAD {
+        return vec![(payload, true)];
+    }
+    let mut out = Vec::new();
+    match payload {
+        Payload::Data(b) => {
+            let mut off = 0usize;
+            while off < b.len() {
+                let end = (off + MAX_PAYLOAD as usize).min(b.len());
+                out.push((Payload::Data(b.slice(off..end)), end == b.len()));
+                off = end;
+            }
+        }
+        Payload::Synthetic(mut n) => {
+            while n > 0 {
+                let chunk = n.min(MAX_PAYLOAD);
+                n -= chunk;
+                out.push((Payload::Synthetic(chunk), n == 0));
+            }
+        }
+    }
+    out
+}
+
+impl ChannelHandle {
+    /// Write one message. Blocks (stop-and-wait) until the receiving kernel
+    /// has acknowledged every fragment. Fails if either end is closed
+    /// (writes racing a close may be partially delivered and then fail, as
+    /// on a real machine).
+    pub fn write(&self, ctx: &VCtx, payload: Payload) -> ChanResult<()> {
+        let h = *self;
+        let c = ctx.with(|w, _| w.calib);
+        let pid = ctx.pid();
+        for (frag, last) in fragment(payload) {
+            // Syscall entry + protocol work, then transmit and block.
+            api::compute_ns(ctx, h.node, CpuCat::System, c.chan_write_syscall_ns);
+            let pre = ctx.with(move |w, s| {
+                let now = s.now();
+                let end = w
+                    .node_mut(h.node)
+                    .chans
+                    .get_mut(&h.id)
+                    .expect("write on unknown channel");
+                if end.closed_local {
+                    return Err(ChanError::LocalClosed);
+                }
+                if end.closed_remote {
+                    return Err(ChanError::PeerClosed);
+                }
+                end.msgs_tx += 1;
+                let frag_no = end.msgs_tx as u32;
+                end.writer_blocked = true;
+                let kind = if last {
+                    proto::KIND_CHAN_DATA_LAST
+                } else {
+                    proto::KIND_CHAN_DATA
+                };
+                let f = Frame::unicast(
+                    h.node,
+                    h.peer,
+                    kind,
+                    proto::chan_seq(h.id, frag_no),
+                    frag,
+                );
+                w.block(now, h.node, BlockReason::Output);
+                kernel::send_frame(w, s, f);
+                Ok(())
+            });
+            pre?;
+            let acked = ctx.wait_until(move |w, _| {
+                let end = w
+                    .node_mut(h.node)
+                    .chans
+                    .get_mut(&h.id)
+                    .expect("channel vanished mid-write");
+                if end.ack_ready {
+                    end.ack_ready = false;
+                    end.writer_blocked = false;
+                    Some(Ok(()))
+                } else if end.closed_remote {
+                    end.writer_blocked = false;
+                    Some(Err(ChanError::PeerClosed))
+                } else {
+                    end.tx_wait.register(pid);
+                    None
+                }
+            });
+            ctx.with(move |w, s| {
+                let now = s.now();
+                w.unblock(now, h.node, BlockReason::Output);
+            });
+            // The writer was blocked; switching back in costs a context
+            // switch.
+            api::compute_ns(ctx, h.node, CpuCat::System, c.ctx_switch_ns);
+            acked?;
+        }
+        Ok(())
+    }
+
+    /// Read one whole message, blocking until it arrives. Buffered messages
+    /// remain readable after a close; once drained, reads fail.
+    pub fn read(&self, ctx: &VCtx) -> ChanResult<Payload> {
+        let h = *self;
+        let c = ctx.with(|w, _| w.calib);
+        api::compute_ns(ctx, h.node, CpuCat::System, c.chan_read_syscall_ns);
+        let pid = ctx.pid();
+        let mut blocked = false;
+        let outcome = ctx.wait_until(move |w, s| {
+            let now = s.now();
+            let end = w
+                .node_mut(h.node)
+                .chans
+                .get_mut(&h.id)
+                .expect("read on unknown channel");
+            match end.rx.pop_front() {
+                Some(p) => {
+                    if blocked {
+                        end.reader_blocked = false;
+                        w.unblock(now, h.node, BlockReason::Input);
+                    }
+                    Some((Ok(p), blocked))
+                }
+                None if end.closed_local || end.closed_remote => {
+                    let err = if end.closed_local {
+                        ChanError::LocalClosed
+                    } else {
+                        ChanError::PeerClosed
+                    };
+                    if blocked {
+                        end.reader_blocked = false;
+                        w.unblock(now, h.node, BlockReason::Input);
+                    }
+                    Some((Err(err), blocked))
+                }
+                None => {
+                    end.rx_waiters.register(pid);
+                    if !blocked {
+                        blocked = true;
+                        end.reader_blocked = true;
+                        w.block(now, h.node, BlockReason::Input);
+                    }
+                    None
+                }
+            }
+        });
+        let (outcome, was_blocked) = outcome;
+        if was_blocked {
+            api::compute_ns(ctx, h.node, CpuCat::System, c.ctx_switch_ns);
+        }
+        let payload = outcome?;
+        // Copy from the side buffer into the user's buffer.
+        api::compute(
+            ctx,
+            h.node,
+            CpuCat::System,
+            crate::calib::Calibration::per_byte(c.copy_user_ns_per_byte, payload.len()),
+        );
+        // Freeing the side buffer may release a deferred fragment (and its
+        // withheld ack).
+        ctx.with(move |w, s| release_deferred(w, s, h.node, h.id));
+        Ok(payload)
+    }
+
+    /// Number of complete messages ready to read (non-blocking peek).
+    pub fn readable(&self, ctx: &VCtx) -> usize {
+        let h = *self;
+        ctx.with(move |w, _| w.node(h.node).chans[&h.id].rx.len())
+    }
+
+    /// Close this end (§4: channels "are dynamically created and destroyed
+    /// during program execution"). Sends a close notification to the peer;
+    /// idempotent. Buffered inbound messages stay readable at the peer.
+    pub fn close(&self, ctx: &VCtx) {
+        let h = *self;
+        let c = ctx.with(|w, _| w.calib);
+        api::compute_ns(ctx, h.node, CpuCat::System, c.chan_read_syscall_ns);
+        ctx.with(move |w, s| {
+            let end = w
+                .node_mut(h.node)
+                .chans
+                .get_mut(&h.id)
+                .expect("close on unknown channel");
+            if end.closed_local {
+                return; // idempotent
+            }
+            end.closed_local = true;
+            let f = Frame::unicast(
+                h.node,
+                h.peer,
+                proto::KIND_CHAN_CLOSE,
+                proto::chan_seq(h.id, 0),
+                Payload::Synthetic(0),
+            );
+            kernel::send_frame(w, s, f);
+        });
+    }
+}
+
+/// Kernel handler: the peer closed its end.
+pub fn on_close(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
+    let chan = proto::seq_chan(f.seq);
+    let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
+        // Close may race the open reply; stash like data frames.
+        w.node_mut(node).orphans.push(f);
+        return;
+    };
+    end.closed_remote = true;
+    // Wake everyone so blocked reads/writes observe the close.
+    end.rx_waiters.wake_all(s, Wakeup::START);
+    end.tx_wait.wake_all(s, Wakeup::START);
+}
+
+/// Multiplexed read (§4): block until a message is available on *any* of
+/// `handles` (all local to `node`), then read it. Returns the index of the
+/// handle that produced data and the message.
+pub fn read_any(
+    ctx: &VCtx,
+    node: NodeAddr,
+    handles: &[ChannelHandle],
+) -> ChanResult<(usize, Payload)> {
+    assert!(!handles.is_empty(), "read_any with no channels");
+    assert!(
+        handles.iter().all(|h| h.node == node),
+        "read_any channels must share a node"
+    );
+    let c = ctx.with(|w, _| w.calib);
+    api::compute_ns(ctx, node, CpuCat::System, c.chan_read_syscall_ns);
+    let pid = ctx.pid();
+    let hs: Vec<ChannelHandle> = handles.to_vec();
+    let mut blocked = false;
+    let (outcome, was_blocked) = ctx.wait_until(move |w, s| {
+        let now = s.now();
+        let mut all_closed = true;
+        for (i, h) in hs.iter().enumerate() {
+            let end = w
+                .node_mut(h.node)
+                .chans
+                .get_mut(&h.id)
+                .expect("read_any on unknown channel");
+            if let Some(p) = end.rx.pop_front() {
+                if blocked {
+                    end.reader_blocked = false;
+                    w.unblock(now, node, BlockReason::Input);
+                }
+                return Some((Ok((i, p)), blocked));
+            }
+            if !(end.closed_local || end.closed_remote) {
+                all_closed = false;
+            }
+        }
+        if all_closed {
+            if blocked {
+                w.unblock(now, node, BlockReason::Input);
+            }
+            return Some((Err(ChanError::PeerClosed), blocked));
+        }
+        for h in &hs {
+            let end = w.node_mut(h.node).chans.get_mut(&h.id).expect("checked");
+            end.rx_waiters.register(pid);
+            if !blocked {
+                end.reader_blocked = true;
+            }
+        }
+        if !blocked {
+            blocked = true;
+            w.block(now, node, BlockReason::Input);
+        }
+        None
+    });
+    if was_blocked {
+        api::compute_ns(ctx, node, CpuCat::System, c.ctx_switch_ns);
+        // Clear the blocked marker on the channels that did not fire.
+        let hs: Vec<ChannelHandle> = handles.to_vec();
+        ctx.with(move |w, _| {
+            for h in &hs {
+                if let Some(end) = w.node_mut(h.node).chans.get_mut(&h.id) {
+                    end.reader_blocked = false;
+                }
+            }
+        });
+    }
+    let (idx, payload) = outcome?;
+    api::compute(
+        ctx,
+        node,
+        CpuCat::System,
+        crate::calib::Calibration::per_byte(c.copy_user_ns_per_byte, payload.len()),
+    );
+    let h = handles[idx];
+    ctx.with(move |w, s| release_deferred(w, s, h.node, h.id));
+    Ok((idx, payload))
+}
+
+/// Kernel handler: a channel data fragment arrived at `node`.
+pub fn on_data(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last: bool) {
+    let chan = proto::seq_chan(f.seq);
+    let Some(end) = w.node(node).chans.get(&chan) else {
+        // Open-reply race: the peer learned about the channel before we did.
+        w.node_mut(node).orphans.push(f);
+        return;
+    };
+    if end.sidebuf_used() >= w.calib.chan_side_buffers {
+        // Side buffers full: hold the fragment, withhold the ack. The
+        // writer stays blocked — this is the protocol's flow control.
+        w.node_mut(node)
+            .chans
+            .get_mut(&chan)
+            .expect("checked")
+            .deferred
+            .push_back(f);
+        return;
+    }
+    accept_fragment(w, s, node, f, last);
+}
+
+/// Copy a fragment into the side buffer (charged), then commit it and send
+/// the ack.
+fn accept_fragment(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last: bool) {
+    let c = w.calib;
+    let cost = c.chan_sidebuf_ns_per_byte * u64::from(f.payload.len()) + c.chan_ack_gen_ns;
+    let now = s.now();
+    let end_t = w.charge(now, node, CpuCat::System, desim::SimDuration::from_ns(cost));
+    s.schedule_in(end_t - now, move |w: &mut World, s| {
+        commit_fragment(w, s, node, f, last);
+    });
+}
+
+fn commit_fragment(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last: bool) {
+    let chan = proto::seq_chan(f.seq);
+    let src = f.src;
+    let seq = f.seq;
+    {
+        let end = w
+            .node_mut(node)
+            .chans
+            .get_mut(&chan)
+            .expect("channel vanished while fragment in flight");
+        end.asm.push(f.payload);
+        if last {
+            let msg = end.asm.take();
+            end.rx.push_back(msg);
+            end.msgs_rx += 1;
+            end.rx_waiters.wake_all(s, Wakeup::START);
+        }
+    }
+    // Kernel-level acknowledgement back to the writer's kernel.
+    let ack = Frame::unicast(
+        node,
+        src,
+        proto::KIND_CHAN_ACK,
+        seq,
+        Payload::Synthetic(0),
+    );
+    kernel::send_frame(w, s, ack);
+}
+
+/// Kernel handler: a channel ack arrived at the writer's node.
+pub fn on_ack(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
+    let chan = proto::seq_chan(f.seq);
+    let end = w
+        .node_mut(node)
+        .chans
+        .get_mut(&chan)
+        .expect("ack for unknown channel");
+    end.ack_ready = true;
+    end.tx_wait.wake_all(s, Wakeup::START);
+}
+
+/// After a reader frees a side buffer, accept one deferred fragment (and
+/// release its withheld ack).
+fn release_deferred(w: &mut World, s: &mut VSched, node: NodeAddr, chan: u32) {
+    let Some(end) = w.node(node).chans.get(&chan) else {
+        return;
+    };
+    if end.deferred.is_empty() || end.sidebuf_used() >= w.calib.chan_side_buffers {
+        return;
+    }
+    let f = w
+        .node_mut(node)
+        .chans
+        .get_mut(&chan)
+        .expect("checked")
+        .deferred
+        .pop_front()
+        .expect("checked");
+    let last = f.kind == proto::KIND_CHAN_DATA_LAST;
+    accept_fragment(w, s, node, f, last);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::Calibration;
+    use crate::world::VorxBuilder;
+    use bytes::Bytes;
+
+    #[test]
+    fn fragment_splits_and_flags_last() {
+        let frags = fragment(Payload::Synthetic(2500));
+        let lens: Vec<u32> = frags.iter().map(|(p, _)| p.len()).collect();
+        assert_eq!(lens, vec![1024, 1024, 452]);
+        let lasts: Vec<bool> = frags.iter().map(|(_, l)| *l).collect();
+        assert_eq!(lasts, vec![false, false, true]);
+
+        let frags = fragment(Payload::Data(Bytes::from(vec![7u8; 1500])));
+        assert_eq!(frags.len(), 2);
+        assert_eq!(frags[0].0.len(), 1024);
+        assert!(frags[1].1);
+    }
+
+    #[test]
+    fn assembler_concatenates_data() {
+        let mut asm = PayloadAsm::default();
+        asm.push(Payload::copy_from(&[1, 2]));
+        asm.push(Payload::copy_from(&[3]));
+        assert_eq!(asm.frags(), 2);
+        let p = asm.take();
+        assert_eq!(p.bytes().unwrap().as_ref(), &[1, 2, 3]);
+        assert_eq!(asm.frags(), 0);
+    }
+
+    #[test]
+    fn assembler_sums_synthetic() {
+        let mut asm = PayloadAsm::default();
+        asm.push(Payload::Synthetic(1024));
+        asm.push(Payload::Synthetic(476));
+        assert_eq!(asm.take().len(), 1500);
+    }
+
+    #[test]
+    fn open_write_read_round_trip() {
+        let mut v = VorxBuilder::single_cluster(3).build();
+        v.spawn("n1:writer", |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "pipe");
+            ch.write(&ctx, Payload::copy_from(b"hello vorx")).unwrap();
+        });
+        v.spawn("n2:reader", |ctx| {
+            let ch = open(&ctx, NodeAddr(2), "pipe");
+            let msg = ch.read(&ctx).unwrap();
+            assert_eq!(msg.bytes().unwrap().as_ref(), b"hello vorx");
+        });
+        v.run_all();
+    }
+
+    #[test]
+    fn open_rendezvous_connects_matching_names_only() {
+        let mut v = VorxBuilder::single_cluster(5).build();
+        for (node, name, msg) in [(1u16, "a", b"AA"), (3, "b", b"BB")] {
+            v.spawn(format!("n{node}:w"), move |ctx| {
+                let ch = open(&ctx, NodeAddr(node), name);
+                ch.write(&ctx, Payload::copy_from(msg)).unwrap();
+            });
+        }
+        for (node, name, expect) in [(2u16, "a", b"AA"), (4, "b", b"BB")] {
+            v.spawn(format!("n{node}:r"), move |ctx| {
+                let ch = open(&ctx, NodeAddr(node), name);
+                let m = ch.read(&ctx).unwrap();
+                assert_eq!(m.bytes().unwrap().as_ref(), expect);
+            });
+        }
+        v.run_all();
+    }
+
+    #[test]
+    fn large_write_is_fragmented_and_reassembled() {
+        let mut v = VorxBuilder::single_cluster(3).build();
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        let expect = data.clone();
+        v.spawn("n1:w", move |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "big");
+            ch.write(&ctx, Payload::Data(Bytes::from(data))).unwrap();
+        });
+        v.spawn("n2:r", move |ctx| {
+            let ch = open(&ctx, NodeAddr(2), "big");
+            let m = ch.read(&ctx).unwrap();
+            assert_eq!(m.bytes().unwrap().as_ref(), &expect[..]);
+        });
+        v.run_all();
+    }
+
+    #[test]
+    fn stop_and_wait_preserves_order_across_many_messages() {
+        let mut v = VorxBuilder::single_cluster(3).build();
+        v.spawn("n1:w", |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "seq");
+            for i in 0..20u8 {
+                ch.write(&ctx, Payload::copy_from(&[i])).unwrap();
+            }
+        });
+        v.spawn("n2:r", |ctx| {
+            let ch = open(&ctx, NodeAddr(2), "seq");
+            for i in 0..20u8 {
+                let m = ch.read(&ctx).unwrap();
+                assert_eq!(m.bytes().unwrap().as_ref(), &[i]);
+            }
+        });
+        v.run_all();
+    }
+
+    #[test]
+    fn bidirectional_traffic_on_one_channel() {
+        let mut v = VorxBuilder::single_cluster(3).build();
+        v.spawn("n1:pinger", |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "pp");
+            for i in 0..5u8 {
+                ch.write(&ctx, Payload::copy_from(&[i])).unwrap();
+                let r = ch.read(&ctx).unwrap();
+                assert_eq!(r.bytes().unwrap().as_ref(), &[i + 100]);
+            }
+        });
+        v.spawn("n2:ponger", |ctx| {
+            let ch = open(&ctx, NodeAddr(2), "pp");
+            for i in 0..5u8 {
+                let r = ch.read(&ctx).unwrap();
+                assert_eq!(r.bytes().unwrap().as_ref(), &[i]);
+                ch.write(&ctx, Payload::copy_from(&[i + 100])).unwrap();
+            }
+        });
+        v.run_all();
+    }
+
+    #[test]
+    fn read_any_picks_whichever_channel_has_data() {
+        let mut v = VorxBuilder::single_cluster(4).build();
+        v.spawn("n1:w1", |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "mux-a");
+            ctx.sleep(desim::SimDuration::from_ms(5));
+            ch.write(&ctx, Payload::copy_from(b"from-a")).unwrap();
+        });
+        v.spawn("n2:w2", |ctx| {
+            let ch = open(&ctx, NodeAddr(2), "mux-b");
+            ch.write(&ctx, Payload::copy_from(b"from-b")).unwrap();
+        });
+        v.spawn("n3:mux", |ctx| {
+            let a = open(&ctx, NodeAddr(3), "mux-a");
+            let b = open(&ctx, NodeAddr(3), "mux-b");
+            let (i1, m1) = read_any(&ctx, NodeAddr(3), &[a, b]).unwrap();
+            let (i2, m2) = read_any(&ctx, NodeAddr(3), &[a, b]).unwrap();
+            // b's writer is not delayed, so it arrives first.
+            assert_eq!(i1, 1);
+            assert_eq!(m1.bytes().unwrap().as_ref(), b"from-b");
+            assert_eq!(i2, 0);
+            assert_eq!(m2.bytes().unwrap().as_ref(), b"from-a");
+        });
+        v.run_all();
+    }
+
+    #[test]
+    fn slow_reader_stalls_writer_via_withheld_acks() {
+        // With instant software costs, a writer burst can outrun the reader;
+        // the side-buffer limit (8) plus withheld acks must bound the
+        // writer's lead rather than dropping anything.
+        let mut v = VorxBuilder::single_cluster(3)
+            .calibration(Calibration::instant())
+            .build();
+        v.spawn("n1:w", |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "stall");
+            for i in 0..30u8 {
+                ch.write(&ctx, Payload::copy_from(&[i])).unwrap();
+            }
+        });
+        v.spawn("n2:r", |ctx| {
+            let ch = open(&ctx, NodeAddr(2), "stall");
+            for i in 0..30u8 {
+                ctx.sleep(desim::SimDuration::from_ms(1)); // slow consumer
+                let m = ch.read(&ctx).unwrap();
+                assert_eq!(m.bytes().unwrap().as_ref(), &[i]);
+            }
+        });
+        v.run_all();
+    }
+
+    #[test]
+    fn message_counters_track_both_directions() {
+        let mut v = VorxBuilder::single_cluster(3).build();
+        v.spawn("n1:w", |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "count");
+            ch.write(&ctx, Payload::Synthetic(100)).unwrap();
+            ch.write(&ctx, Payload::Synthetic(100)).unwrap();
+            let _ = ch.read(&ctx).unwrap();
+        });
+        v.spawn("n2:r", |ctx| {
+            let ch = open(&ctx, NodeAddr(2), "count");
+            let _ = ch.read(&ctx).unwrap();
+            let _ = ch.read(&ctx).unwrap();
+            ch.write(&ctx, Payload::Synthetic(10)).unwrap();
+        });
+        v.run_all();
+        let w = v.world();
+        let end1 = w.nodes[1].chans.values().next().unwrap();
+        let end2 = w.nodes[2].chans.values().next().unwrap();
+        assert_eq!(end1.msgs_tx, 2);
+        assert_eq!(end1.msgs_rx, 1);
+        assert_eq!(end2.msgs_rx, 2);
+        assert_eq!(end2.msgs_tx, 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server name reuse (§4): "a mechanism that allows servers to continually
+// reuse a single channel name."
+// ---------------------------------------------------------------------------
+
+/// State of one listening name on a node.
+#[derive(Debug, Default)]
+pub struct ListenState {
+    /// Registration acknowledged by the object manager.
+    pub acked: bool,
+    /// Accepted-but-unclaimed connections: `(channel id, client node)`.
+    pub pending: std::collections::VecDeque<(u32, NodeAddr)>,
+    /// Processes blocked in `accept` (or awaiting the registration ack).
+    pub waiters: WaitSet,
+}
+
+/// A server-side listening name. Every client `open` of the name yields a
+/// *new* channel, delivered through [`Listener::accept`]; the name itself
+/// stays registered.
+#[derive(Debug, Clone)]
+pub struct Listener {
+    /// The server's node.
+    pub node: NodeAddr,
+    /// The listening name.
+    pub name: String,
+}
+
+/// Register `name` as a server name on `node` and wait until the object
+/// manager acknowledges the registration.
+///
+/// Note: plain `open`s are symmetric, so two clients that open the name
+/// *before* the server registers will pair with each other (the ordinary
+/// rendezvous). Register the server before starting clients, or use a name
+/// only clients-of-this-server open.
+pub fn listen(ctx: &VCtx, node: NodeAddr, name: &str) -> Listener {
+    let c = ctx.with(|w, _| w.calib);
+    api::compute_ns(ctx, node, CpuCat::System, c.chan_read_syscall_ns);
+    let name_owned = name.to_string();
+    ctx.with(move |w, s| {
+        let prev = w
+            .node_mut(node)
+            .listeners
+            .insert(name_owned.clone(), ListenState::default());
+        assert!(prev.is_none(), "name {name_owned:?} already listening on {node}");
+        let mgr = crate::objmgr::manager_for(w, &name_owned);
+        let token = w.token();
+        let f = Frame::unicast(
+            node,
+            mgr,
+            proto::KIND_SERVE_REQ,
+            token,
+            proto::pack_open_req(&name_owned),
+        );
+        kernel::send_frame(w, s, f);
+    });
+    let pid = ctx.pid();
+    let name_owned = name.to_string();
+    ctx.wait_until(move |w, _| {
+        let ls = w
+            .node_mut(node)
+            .listeners
+            .get_mut(&name_owned)
+            .expect("listener vanished");
+        if ls.acked {
+            Some(())
+        } else {
+            ls.waiters.register(pid);
+            None
+        }
+    });
+    Listener {
+        node,
+        name: name.to_string(),
+    }
+}
+
+impl Listener {
+    /// Block until the next client opens this name; returns the fresh
+    /// channel to that client.
+    pub fn accept(&self, ctx: &VCtx) -> ChannelHandle {
+        let node = self.node;
+        let name = self.name.clone();
+        let pid = ctx.pid();
+        let (id, peer) = ctx.wait_until(move |w, _| {
+            let ls = w
+                .node_mut(node)
+                .listeners
+                .get_mut(&name)
+                .expect("accept on unknown listener");
+            match ls.pending.pop_front() {
+                Some(conn) => Some(conn),
+                None => {
+                    ls.waiters.register(pid);
+                    None
+                }
+            }
+        });
+        let c = ctx.with(|w, _| w.calib);
+        api::compute_ns(ctx, node, CpuCat::System, c.chan_read_syscall_ns);
+        ChannelHandle { id, node, peer }
+    }
+
+    /// Connections waiting to be accepted.
+    pub fn backlog(&self, ctx: &VCtx) -> usize {
+        let node = self.node;
+        let name = self.name.clone();
+        ctx.with(move |w, _| w.node(node).listeners[&name].pending.len())
+    }
+}
+
+/// Kernel handler: the object manager acknowledged a listen registration.
+pub fn on_serve_ack(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
+    let name = proto::parse_open_req(&f.payload);
+    let ls = w
+        .node_mut(node)
+        .listeners
+        .get_mut(&name)
+        .expect("serve ack for unknown listener");
+    ls.acked = true;
+    ls.waiters.wake_all(s, Wakeup::START);
+}
+
+/// Kernel handler: a client connected to a listening name — create the
+/// server-side end of the new channel and queue it for `accept`.
+pub fn on_serve_conn(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
+    let (id, client, name) = proto::parse_open_rep(&f.payload);
+    create_end(w, s, node, id, name.clone(), client);
+    let ls = w
+        .node_mut(node)
+        .listeners
+        .get_mut(&name)
+        .expect("connection for unknown listener");
+    ls.pending.push_back((id, client));
+    ls.waiters.wake_all(s, Wakeup::START);
+}
+
+#[cfg(test)]
+mod close_tests {
+    use super::*;
+    use crate::world::VorxBuilder;
+
+    #[test]
+    fn reader_drains_buffer_then_sees_close() {
+        let mut v = VorxBuilder::single_cluster(3).build();
+        v.spawn("n1:w", |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "c");
+            ch.write(&ctx, Payload::copy_from(b"one")).unwrap();
+            ch.write(&ctx, Payload::copy_from(b"two")).unwrap();
+            ch.close(&ctx);
+        });
+        v.spawn("n2:r", |ctx| {
+            let ch = open(&ctx, NodeAddr(2), "c");
+            ctx.sleep(desim::SimDuration::from_ms(20)); // let the close land
+            assert_eq!(ch.read(&ctx).unwrap().bytes().unwrap().as_ref(), b"one");
+            assert_eq!(ch.read(&ctx).unwrap().bytes().unwrap().as_ref(), b"two");
+            assert_eq!(ch.read(&ctx), Err(ChanError::PeerClosed));
+        });
+        v.run_all();
+    }
+
+    #[test]
+    fn blocked_reader_is_woken_by_close() {
+        let mut v = VorxBuilder::single_cluster(3).build();
+        v.spawn("n1:w", |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "c");
+            ctx.sleep(desim::SimDuration::from_ms(5));
+            ch.close(&ctx);
+        });
+        v.spawn("n2:r", |ctx| {
+            let ch = open(&ctx, NodeAddr(2), "c");
+            // Blocks with nothing buffered; must not hang forever.
+            assert_eq!(ch.read(&ctx), Err(ChanError::PeerClosed));
+            assert!(ctx.now() >= desim::SimTime::from_ns(5_000_000));
+        });
+        v.run_all();
+    }
+
+    #[test]
+    fn write_after_peer_close_fails() {
+        let mut v = VorxBuilder::single_cluster(3).build();
+        v.spawn("n1:closer", |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "c");
+            ch.close(&ctx);
+        });
+        v.spawn("n2:w", |ctx| {
+            let ch = open(&ctx, NodeAddr(2), "c");
+            ctx.sleep(desim::SimDuration::from_ms(20));
+            assert_eq!(ch.write(&ctx, Payload::Synthetic(4)), Err(ChanError::PeerClosed));
+        });
+        v.run_all();
+    }
+
+    #[test]
+    fn local_close_fails_own_operations() {
+        let mut v = VorxBuilder::single_cluster(3).build();
+        v.spawn("n1:a", |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "c");
+            ch.close(&ctx);
+            ch.close(&ctx); // idempotent
+            assert_eq!(ch.write(&ctx, Payload::Synthetic(1)), Err(ChanError::LocalClosed));
+            assert_eq!(ch.read(&ctx), Err(ChanError::LocalClosed));
+        });
+        v.spawn("n2:b", |ctx| {
+            let ch = open(&ctx, NodeAddr(2), "c");
+            assert_eq!(ch.read(&ctx), Err(ChanError::PeerClosed));
+        });
+        v.run_all();
+    }
+
+    #[test]
+    fn read_any_errors_when_every_channel_closed() {
+        let mut v = VorxBuilder::single_cluster(4).build();
+        for n in [1u16, 2] {
+            v.spawn(format!("n{n}:c"), move |ctx| {
+                let ch = open(&ctx, NodeAddr(n), &format!("m{n}"));
+                ch.close(&ctx);
+            });
+        }
+        v.spawn("n3:mux", |ctx| {
+            let a = open(&ctx, NodeAddr(3), "m1");
+            let b = open(&ctx, NodeAddr(3), "m2");
+            assert_eq!(
+                read_any(&ctx, NodeAddr(3), &[a, b]),
+                Err(ChanError::PeerClosed)
+            );
+        });
+        v.run_all();
+    }
+}
+
+#[cfg(test)]
+mod listen_tests {
+    use super::*;
+    use crate::world::VorxBuilder;
+
+    #[test]
+    fn server_accepts_many_clients_on_one_name() {
+        // §4: "a mechanism that allows servers to continually reuse a
+        // single channel name."
+        let mut v = VorxBuilder::single_cluster(6).build();
+        v.spawn("n1:server", |ctx| {
+            let listener = listen(&ctx, NodeAddr(1), "service");
+            for _ in 0..4 {
+                let ch = listener.accept(&ctx);
+                let req = ch.read(&ctx).unwrap();
+                ch.write(&ctx, req).unwrap(); // echo
+                ch.close(&ctx);
+            }
+        });
+        for n in 2..6u16 {
+            v.spawn(format!("n{n}:client"), move |ctx| {
+                let ch = open(&ctx, NodeAddr(n), "service");
+                assert_eq!(ch.peer, NodeAddr(1));
+                ch.write(&ctx, Payload::copy_from(&[n as u8])).unwrap();
+                let rep = ch.read(&ctx).unwrap();
+                assert_eq!(rep.bytes().unwrap().as_ref(), &[n as u8]);
+            });
+        }
+        v.run_all();
+    }
+
+    #[test]
+    fn client_queued_before_listen_is_connected() {
+        // A single client that opens before the server registers is parked
+        // at the manager and connected when the registration arrives. (Two
+        // early clients would pair with *each other* — plain opens are
+        // symmetric; see `listen` docs.)
+        let mut v = VorxBuilder::single_cluster(4).build();
+        v.spawn("n1:early", move |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "late-srv");
+            assert_eq!(ch.peer, NodeAddr(3));
+            ch.write(&ctx, Payload::Synthetic(8)).unwrap();
+        });
+        v.spawn("n3:server", |ctx| {
+            ctx.sleep(desim::SimDuration::from_ms(10)); // client queues first
+            let l = listen(&ctx, NodeAddr(3), "late-srv");
+            let ch = l.accept(&ctx);
+            let _ = ch.read(&ctx).unwrap();
+        });
+        v.run_all();
+    }
+
+    #[test]
+    fn each_accept_gets_a_distinct_channel() {
+        let mut v = VorxBuilder::single_cluster(4).build();
+        v.spawn("n1:server", |ctx| {
+            let l = listen(&ctx, NodeAddr(1), "s");
+            let a = l.accept(&ctx);
+            let b = l.accept(&ctx);
+            assert_ne!(a.id, b.id);
+            let ma = a.read(&ctx).unwrap();
+            let mb = b.read(&ctx).unwrap();
+            // Channels keep client streams separate.
+            let (pa, pb) = (ma.bytes().unwrap()[0], mb.bytes().unwrap()[0]);
+            assert_ne!(pa, pb);
+        });
+        for n in 2..4u16 {
+            v.spawn(format!("n{n}:client"), move |ctx| {
+                let ch = open(&ctx, NodeAddr(n), "s");
+                ch.write(&ctx, Payload::copy_from(&[n as u8])).unwrap();
+            });
+        }
+        v.run_all();
+    }
+
+    #[test]
+    fn backlog_counts_unaccepted_connections() {
+        let mut v = VorxBuilder::single_cluster(4).build();
+        v.spawn("n1:server", |ctx| {
+            let l = listen(&ctx, NodeAddr(1), "b");
+            ctx.sleep(desim::SimDuration::from_ms(50));
+            assert_eq!(l.backlog(&ctx), 2);
+            let _ = l.accept(&ctx);
+            assert_eq!(l.backlog(&ctx), 1);
+        });
+        for n in 2..4u16 {
+            v.spawn(format!("n{n}:client"), move |ctx| {
+                let _ = open(&ctx, NodeAddr(n), "b");
+            });
+        }
+        v.run_all();
+    }
+}

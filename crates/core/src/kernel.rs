@@ -1,0 +1,157 @@
+//! The VORX kernel: frame transmit queueing, the receive-interrupt service
+//! loop, and protocol dispatch.
+//!
+//! "It never deadlocks because the VORX kernel reads in messages immediately
+//! when they arrive." (§2) — the receive service loop below drains the
+//! endpoint FIFO as fast as the CPU allows, unconditionally; received data
+//! parks in kernel side buffers (channels) or user-level queues (UDCOs), so
+//! the hardware buffers never stay full.
+
+use desim::{SimDuration, Wakeup};
+use hpcnet::{Frame, NodeAddr, Notify, Output};
+
+use crate::cpu::CpuCat;
+use crate::world::{VSched, World};
+use crate::{channel, host, objmgr, proto, udco};
+
+/// Current time as raw ns (the fabric's clock unit).
+pub fn now_ns(s: &VSched) -> u64 {
+    s.now().as_ns()
+}
+
+/// Queue a frame for transmission from `frame.src`. If the hardware output
+/// register is free (and nothing is queued ahead), injection happens
+/// immediately; otherwise the kernel holds the frame and refills the
+/// register from the transmit-complete interrupt.
+pub fn send_frame(w: &mut World, s: &mut VSched, frame: Frame) {
+    let src = frame.src;
+    if w.net.can_send(src) && w.node(src).tx_q.is_empty() {
+        let out = w
+            .net
+            .try_send(now_ns(s), frame)
+            .expect("can_send was checked");
+        process_output(w, s, out);
+    } else {
+        w.node_mut(src).tx_q.push_back(frame);
+    }
+}
+
+/// True iff a user-level sender could inject a frame right now (hardware
+/// register free and no kernel frames queued ahead).
+pub fn can_inject(w: &World, a: NodeAddr) -> bool {
+    w.net.can_send(a) && w.node(a).tx_q.is_empty()
+}
+
+/// Apply a fabric [`Output`]: schedule its future events and act on its
+/// notifications.
+pub fn process_output(w: &mut World, s: &mut VSched, out: Output) {
+    for (delay_ns, ev) in out.schedule {
+        s.schedule_in(SimDuration::from_ns(delay_ns), move |w: &mut World, s| {
+            let o = w.net.handle(now_ns(s), ev);
+            process_output(w, s, o);
+        });
+    }
+    for n in out.notifies {
+        match n {
+            Notify::TxReady(a) => on_tx_ready(w, s, a),
+            Notify::RxArrived(a) => on_rx_arrived(w, s, a),
+        }
+    }
+}
+
+/// Transmit-complete interrupt: refill the output register from the kernel
+/// queue, or wake user-level senders waiting for space.
+fn on_tx_ready(w: &mut World, s: &mut VSched, a: NodeAddr) {
+    if let Some(frame) = w.node_mut(a).tx_q.pop_front() {
+        let out = w
+            .net
+            .try_send(now_ns(s), frame)
+            .expect("register must be free after TxReady");
+        process_output(w, s, out);
+    } else {
+        w.node_mut(a).tx_waiters.wake_all(s, Wakeup::START);
+    }
+}
+
+/// Receive interrupt: start the kernel receive-service loop if idle.
+fn on_rx_arrived(w: &mut World, s: &mut VSched, a: NodeAddr) {
+    if !w.node(a).rx_in_service {
+        w.node_mut(a).rx_in_service = true;
+        rx_service(w, s, a, true);
+    }
+}
+
+/// Service one frame: charge the CPU for interrupt entry (first frame only),
+/// the FIFO read, and dispatch; then pop the frame and hand it to the
+/// protocol layer; repeat while more frames are waiting.
+fn rx_service(w: &mut World, s: &mut VSched, a: NodeAddr, first: bool) {
+    let Some(frame) = w.net.rx_peek(a) else {
+        w.node_mut(a).rx_in_service = false;
+        return;
+    };
+    if udco::is_raw(w, a, frame.kind) {
+        // Raw UDCO (§4.1, parallel SPICE): the kernel never touches these
+        // frames — the application reads the hardware itself. Hand the frame
+        // over at zero kernel cost and keep draining.
+        let (frame, out) = w.net.rx_pop(now_ns(s), a);
+        process_output(w, s, out);
+        if let Some(f) = frame {
+            dispatch(w, s, a, f);
+        }
+        rx_service(w, s, a, first);
+        return;
+    }
+    let wire = frame.wire_bytes();
+    let c = w.calib;
+    let cost = if first { c.intr_entry_ns } else { 0 }
+        + c.fifo_read_ns_per_byte * u64::from(wire)
+        + c.rx_dispatch_ns;
+    let now = s.now();
+    let end = w.charge(now, a, CpuCat::System, SimDuration::from_ns(cost));
+    s.schedule_in(end - now, move |w: &mut World, s| {
+        let (frame, out) = w.net.rx_pop(now_ns(s), a);
+        process_output(w, s, out);
+        if let Some(f) = frame {
+            dispatch(w, s, a, f);
+        }
+        if w.net.rx_depth(a) > 0 {
+            rx_service(w, s, a, false);
+        } else {
+            w.node_mut(a).rx_in_service = false;
+        }
+    });
+}
+
+/// Demultiplex a received frame to its protocol handler.
+fn dispatch(w: &mut World, s: &mut VSched, a: NodeAddr, f: Frame) {
+    match f.kind {
+        proto::KIND_CHAN_DATA => channel::on_data(w, s, a, f, false),
+        proto::KIND_CHAN_DATA_LAST => channel::on_data(w, s, a, f, true),
+        proto::KIND_CHAN_ACK => channel::on_ack(w, s, a, f),
+        proto::KIND_OPEN_REQ => objmgr::on_open_req(w, s, a, f),
+        proto::KIND_OPEN_REP => objmgr::on_open_rep(w, s, a, f),
+        proto::KIND_SYSCALL_REQ => host::on_syscall_req(w, s, a, f),
+        proto::KIND_SYSCALL_REP => host::on_syscall_rep(w, s, a, f),
+        proto::KIND_DOWNLOAD => host::on_download(w, s, a, f),
+        proto::KIND_CHAN_CLOSE => channel::on_close(w, s, a, f),
+        proto::KIND_SERVE_REQ => objmgr::on_serve_req(w, s, a, f),
+        proto::KIND_SERVE_ACK => channel::on_serve_ack(w, s, a, f),
+        proto::KIND_SERVE_CONN => channel::on_serve_conn(w, s, a, f),
+        proto::KIND_MCAST_DATA | proto::KIND_MCAST_DATA_LAST => crate::multicast::on_data(w, s, a, f),
+        proto::KIND_MCAST_ACK => crate::multicast::on_ack(w, s, a, f),
+        k if k >= proto::KIND_UDCO_BASE => udco::on_frame(w, s, a, f),
+        k => panic!("node {a}: frame with unknown protocol kind {k}"),
+    }
+}
+
+/// Re-dispatch frames that arrived for a channel before its end existed.
+pub fn drain_orphans(w: &mut World, s: &mut VSched, a: NodeAddr, chan: u32) {
+    let orphans = std::mem::take(&mut w.node_mut(a).orphans);
+    let (mine, rest): (Vec<Frame>, Vec<Frame>) = orphans
+        .into_iter()
+        .partition(|f| proto::seq_chan(f.seq) == chan);
+    w.node_mut(a).orphans = rest;
+    for f in mine {
+        dispatch(w, s, a, f);
+    }
+}

@@ -1,0 +1,305 @@
+//! The communications object manager (§3.2).
+//!
+//! "All resource management in Meglos was centralized on a single host.
+//! While this is appropriate for a small system, it causes a serious
+//! performance bottleneck for systems with over ten processors. [...] We
+//! solved this problem in VORX by splitting the resource manager into
+//! several functional pieces and replicating the individual pieces for
+//! increased performance. [...] The object manager uses distributed hashing
+//! to map a channel name to a particular processor."
+//!
+//! Both architectures are provided: [`ObjMgrMode::Centralized`] (the Meglos
+//! bottleneck) and [`ObjMgrMode::Distributed`] (a manager replica on every
+//! node, selected by hashing the channel name). Because two processes
+//! opening the same name hash to the same manager, the rendezvous is correct
+//! in either mode; only the load distribution differs — which is exactly
+//! what the E-OPEN experiment measures.
+
+use std::collections::{HashMap, VecDeque};
+
+use desim::{SimDuration, Wakeup};
+use hpcnet::{Frame, NodeAddr};
+
+use crate::channel;
+use crate::cpu::CpuCat;
+use crate::kernel;
+use crate::proto;
+use crate::world::{OpenResult, VSched, World};
+
+/// Where channel-open requests are served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjMgrMode {
+    /// Every open is processed by the single manager on this node
+    /// (Meglos-style; the paper's bottleneck).
+    Centralized(NodeAddr),
+    /// A manager replica runs on every node; the name's hash picks the
+    /// replica (VORX-style).
+    Distributed,
+}
+
+/// Per-node object-manager state.
+#[derive(Debug, Default)]
+pub struct MgrState {
+    /// Unmatched open requests by name: `(requester, token)`.
+    pub pending: HashMap<String, VecDeque<(NodeAddr, u64)>>,
+    /// Registered server names (§4 name reuse): name -> server node.
+    pub servers: HashMap<String, NodeAddr>,
+    /// Requests this manager has served (load statistics for E-OPEN).
+    pub served: u64,
+}
+
+/// FNV-1a hash of a channel name; stable across runs and platforms.
+pub fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The manager node responsible for `name`.
+pub fn manager_for(w: &World, name: &str) -> NodeAddr {
+    match w.objmgr_mode {
+        ObjMgrMode::Centralized(a) => a,
+        ObjMgrMode::Distributed => {
+            NodeAddr((name_hash(name) % w.nodes.len() as u64) as u16)
+        }
+    }
+}
+
+/// Kernel handler: an open request reached its manager node.
+pub fn on_open_req(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
+    // The manager is software: serving a request costs CPU time. Requests
+    // queue on the manager's CPU — with the centralized manager and many
+    // simultaneous opens, this queueing *is* the §3.2 bottleneck.
+    let cost = SimDuration::from_ns(w.calib.objmgr_service_ns);
+    let now = s.now();
+    let end = w.charge(now, mgr, CpuCat::System, cost);
+    s.schedule_in(end - now, move |w: &mut World, s| {
+        serve_open(w, s, mgr, f);
+    });
+}
+
+fn serve_open(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
+    let (kind, name) = proto::parse_open_req_kind(&f.payload);
+    let key = format!("{}\0{name}", kind as u8);
+    let requester = (f.src, f.seq);
+    let st = &mut w.node_mut(mgr).mgr;
+    st.served += 1;
+    // A registered server takes priority: every client open yields a fresh
+    // channel to the server without consuming the registration.
+    if let Some(&server) = st.servers.get(&key) {
+        let id = w.next_chan;
+        w.next_chan += 1;
+        let rep = Frame::unicast(
+            mgr,
+            requester.0,
+            proto::KIND_OPEN_REP,
+            requester.1,
+            proto::pack_open_rep_kind(kind, id, server, &name),
+        );
+        kernel::send_frame(w, s, rep);
+        let conn = Frame::unicast(
+            mgr,
+            server,
+            proto::KIND_SERVE_CONN,
+            0,
+            proto::pack_open_rep_kind(kind, id, requester.0, &name),
+        );
+        kernel::send_frame(w, s, conn);
+        return;
+    }
+    let q = st.pending.entry(key).or_default();
+    q.push_back(requester);
+    if q.len() < 2 {
+        return;
+    }
+    let a = q.pop_front().expect("len >= 2");
+    let b = q.pop_front().expect("len >= 2");
+    let id = w.next_chan;
+    w.next_chan += 1;
+    for (me, other) in [(a, b), (b, a)] {
+        let rep = Frame::unicast(
+            mgr,
+            me.0,
+            proto::KIND_OPEN_REP,
+            me.1,
+            proto::pack_open_rep_kind(kind, id, other.0, &name),
+        );
+        kernel::send_frame(w, s, rep);
+    }
+}
+
+/// Kernel handler: a server registration reached its manager node. Matches
+/// any clients already queued for the name, then acknowledges.
+pub fn on_serve_req(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
+    let cost = SimDuration::from_ns(w.calib.objmgr_service_ns);
+    let now = s.now();
+    let end = w.charge(now, mgr, CpuCat::System, cost);
+    s.schedule_in(end - now, move |w: &mut World, s| {
+        let (kind, name) = proto::parse_open_req_kind(&f.payload);
+        let key = format!("{}\0{name}", kind as u8);
+        let server = f.src;
+        let st = &mut w.node_mut(mgr).mgr;
+        st.served += 1;
+        let prev = st.servers.insert(key.clone(), server);
+        assert!(prev.is_none(), "name {name:?} already has a server");
+        let waiting: Vec<(NodeAddr, u64)> = st
+            .pending
+            .remove(&key)
+            .map(|q| q.into_iter().collect())
+            .unwrap_or_default();
+        // Acknowledge the registration.
+        let ack = Frame::unicast(
+            mgr,
+            server,
+            proto::KIND_SERVE_ACK,
+            f.seq,
+            proto::pack_open_req_kind(kind, &name),
+        );
+        kernel::send_frame(w, s, ack);
+        // Connect clients that were already waiting.
+        for (client, token) in waiting {
+            let id = w.next_chan;
+            w.next_chan += 1;
+            let rep = Frame::unicast(
+                mgr,
+                client,
+                proto::KIND_OPEN_REP,
+                token,
+                proto::pack_open_rep_kind(kind, id, server, &name),
+            );
+            kernel::send_frame(w, s, rep);
+            let conn = Frame::unicast(
+                mgr,
+                server,
+                proto::KIND_SERVE_CONN,
+                0,
+                proto::pack_open_rep_kind(kind, id, client, &name),
+            );
+            kernel::send_frame(w, s, conn);
+        }
+    });
+}
+
+/// Kernel handler: an open reply reached the requesting node.
+pub fn on_open_rep(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
+    let (kind, id, peer, name) = proto::parse_open_rep_kind(&f.payload);
+    let token = f.seq;
+    match kind {
+        proto::ObjKind::Channel => {
+            // Create the channel end if this node does not have it yet
+            // (both ends of a same-node channel share one kernel, so the
+            // second reply is a no-op at the kernel level but still
+            // resolves its own token).
+            if !w.node(node).chans.contains_key(&id) {
+                channel::create_end(w, s, node, id, name, peer);
+            }
+        }
+        proto::ObjKind::Udco => {
+            // The UDCO itself is registered by `udco::open` once the
+            // assigned tag is known (receive discipline is a local choice).
+        }
+    }
+    w.node_mut(node)
+        .open_waits
+        .insert(token, OpenResult::Done(id, peer));
+    w.node_mut(node).open_waiters.wake_all(s, Wakeup::START);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::Calibration;
+    use crate::channel::open;
+    use crate::world::VorxBuilder;
+    use hpcnet::Payload;
+
+    #[test]
+    fn name_hash_is_stable() {
+        assert_eq!(name_hash("pipe"), name_hash("pipe"));
+        assert_ne!(name_hash("pipe"), name_hash("pipf"));
+    }
+
+    #[test]
+    fn distributed_mode_spreads_managers() {
+        let v = VorxBuilder::single_cluster(8).build();
+        let w = v.world();
+        let mgrs: std::collections::HashSet<u16> = (0..50)
+            .map(|i| manager_for(&w, &format!("chan-{i}")).0)
+            .collect();
+        assert!(mgrs.len() > 3, "hashing should spread across nodes: {mgrs:?}");
+    }
+
+    #[test]
+    fn centralized_mode_uses_one_manager() {
+        let v = VorxBuilder::single_cluster(8)
+            .objmgr(ObjMgrMode::Centralized(NodeAddr(0)))
+            .build();
+        let w = v.world();
+        for i in 0..20 {
+            assert_eq!(manager_for(&w, &format!("chan-{i}")), NodeAddr(0));
+        }
+    }
+
+    #[test]
+    fn centralized_manager_serves_all_opens() {
+        let mut v = VorxBuilder::single_cluster(6)
+            .objmgr(ObjMgrMode::Centralized(NodeAddr(0)))
+            .build();
+        for pair in 0..2u16 {
+            let (wn, rn) = (1 + pair * 2, 2 + pair * 2);
+            v.spawn(format!("n{wn}:w"), move |ctx| {
+                let ch = open(&ctx, NodeAddr(wn), &format!("c{pair}"));
+                ch.write(&ctx, Payload::Synthetic(4)).unwrap();
+            });
+            v.spawn(format!("n{rn}:r"), move |ctx| {
+                let ch = open(&ctx, NodeAddr(rn), &format!("c{pair}"));
+                let _ = ch.read(&ctx).unwrap();
+            });
+        }
+        v.run_all();
+        let w = v.world();
+        assert_eq!(w.nodes[0].mgr.served, 4);
+        assert!(w.nodes[1..].iter().all(|n| n.mgr.served == 0));
+    }
+
+    #[test]
+    fn same_node_processes_can_rendezvous() {
+        let mut v = VorxBuilder::single_cluster(2)
+            .calibration(Calibration::paper_1988())
+            .build();
+        v.spawn("n1:a", |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "local");
+            ch.write(&ctx, Payload::copy_from(b"x")).unwrap();
+        });
+        v.spawn("n1:b", |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "local");
+            let m = ch.read(&ctx).unwrap();
+            assert_eq!(m.bytes().unwrap().as_ref(), b"x");
+        });
+        v.run_all();
+    }
+
+    #[test]
+    fn three_openers_match_first_two() {
+        let mut v = VorxBuilder::single_cluster(4).build();
+        v.spawn("n1:w", |ctx| {
+            let ch = open(&ctx, NodeAddr(1), "popular");
+            ch.write(&ctx, Payload::Synthetic(8)).unwrap();
+        });
+        v.spawn("n2:r", |ctx| {
+            let ch = open(&ctx, NodeAddr(2), "popular");
+            let _ = ch.read(&ctx).unwrap();
+        });
+        // The third open never matches; it must park, not crash.
+        v.spawn("n3:odd", |ctx| {
+            let _ = open(&ctx, NodeAddr(3), "popular");
+            unreachable!("third opener should wait forever");
+        });
+        let report = v.run();
+        assert_eq!(report.parked.len(), 1);
+        assert_eq!(report.parked[0].1, "n3:odd");
+    }
+}

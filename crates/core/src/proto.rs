@@ -1,0 +1,174 @@
+//! Wire-protocol constants and encoding helpers.
+//!
+//! The HPC hardware carries an opaque `kind` discriminator and a 64-bit
+//! `seq` tag in every frame envelope; VORX uses them to demultiplex received
+//! frames to the channel machinery, the object manager, the host syscall
+//! service, or user-defined communications objects.
+
+use bytes::{BufMut, BytesMut};
+use hpcnet::{NodeAddr, Payload};
+
+/// Channel data fragment; more fragments of the same write follow.
+pub const KIND_CHAN_DATA: u16 = 1;
+/// Final (or only) fragment of a channel write.
+pub const KIND_CHAN_DATA_LAST: u16 = 2;
+/// Kernel-level channel acknowledgement (stop-and-wait).
+pub const KIND_CHAN_ACK: u16 = 3;
+/// Channel-open request to an object manager.
+pub const KIND_OPEN_REQ: u16 = 4;
+/// Channel-open reply from an object manager.
+pub const KIND_OPEN_REP: u16 = 5;
+/// Forwarded UNIX system call from a node process to its host stub.
+pub const KIND_SYSCALL_REQ: u16 = 6;
+/// System-call result from the stub back to the node.
+pub const KIND_SYSCALL_REP: u16 = 7;
+/// Program-text download chunk (tree download, §3.3).
+pub const KIND_DOWNLOAD: u16 = 8;
+/// First user-defined communications object tag. Frame kind for UDCO tag
+/// `t` is `KIND_UDCO_BASE + t`.
+pub const KIND_UDCO_BASE: u16 = 0x100;
+
+/// Pack a channel id and fragment number into a frame `seq`.
+pub fn chan_seq(chan: u32, frag: u32) -> u64 {
+    (u64::from(chan) << 32) | u64::from(frag)
+}
+
+/// Extract the channel id from a frame `seq`.
+pub fn seq_chan(seq: u64) -> u32 {
+    (seq >> 32) as u32
+}
+
+/// Extract the fragment number from a frame `seq`.
+pub fn seq_frag(seq: u64) -> u32 {
+    seq as u32
+}
+
+/// Kind of object being rendezvoused through the object manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjKind {
+    /// An ordinary channel.
+    Channel,
+    /// A user-defined communications object (§4.1: UDCOs "use the same
+    /// rendezvous mechanism as channels").
+    Udco,
+}
+
+impl ObjKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            ObjKind::Channel => 0,
+            ObjKind::Udco => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Self {
+        match b {
+            0 => ObjKind::Channel,
+            1 => ObjKind::Udco,
+            x => panic!("unknown object kind {x}"),
+        }
+    }
+}
+
+/// Encode an open-request payload (object kind + name).
+pub fn pack_open_req_kind(kind: ObjKind, name: &str) -> Payload {
+    let mut b = BytesMut::with_capacity(1 + name.len());
+    b.put_u8(kind.to_byte());
+    b.put_slice(name.as_bytes());
+    Payload::Data(b.freeze())
+}
+
+/// Encode a channel open-request payload.
+pub fn pack_open_req(name: &str) -> Payload {
+    pack_open_req_kind(ObjKind::Channel, name)
+}
+
+/// Decode an open-request payload into `(kind, name)`.
+pub fn parse_open_req_kind(p: &Payload) -> (ObjKind, String) {
+    let b = p.bytes().expect("open request must carry the name");
+    (
+        ObjKind::from_byte(b[0]),
+        String::from_utf8(b[1..].to_vec()).expect("object names are UTF-8"),
+    )
+}
+
+/// Decode an open-request payload, ignoring the object kind.
+pub fn parse_open_req(p: &Payload) -> String {
+    parse_open_req_kind(p).1
+}
+
+/// Encode an open-reply payload: object kind + assigned id + peer address +
+/// the name (kept so the receiving kernel can label the end for `cdb`).
+pub fn pack_open_rep_kind(kind: ObjKind, id: u32, peer: NodeAddr, name: &str) -> Payload {
+    let mut b = BytesMut::with_capacity(7 + name.len());
+    b.put_u8(kind.to_byte());
+    b.put_u32(id);
+    b.put_u16(peer.0);
+    b.put_slice(name.as_bytes());
+    Payload::Data(b.freeze())
+}
+
+/// Encode a channel open-reply payload.
+pub fn pack_open_rep(chan: u32, peer: NodeAddr, name: &str) -> Payload {
+    pack_open_rep_kind(ObjKind::Channel, chan, peer, name)
+}
+
+/// Decode an open-reply payload into `(kind, id, peer, name)`.
+pub fn parse_open_rep_kind(p: &Payload) -> (ObjKind, u32, NodeAddr, String) {
+    let b = p.bytes().expect("open reply carries data");
+    assert!(b.len() >= 7, "short open reply");
+    let kind = ObjKind::from_byte(b[0]);
+    let id = u32::from_be_bytes([b[1], b[2], b[3], b[4]]);
+    let peer = NodeAddr(u16::from_be_bytes([b[5], b[6]]));
+    let name = String::from_utf8(b[7..].to_vec()).expect("object names are UTF-8");
+    (kind, id, peer, name)
+}
+
+/// Decode a channel open-reply payload.
+pub fn parse_open_rep(p: &Payload) -> (u32, NodeAddr, String) {
+    let (kind, id, peer, name) = parse_open_rep_kind(p);
+    assert_eq!(kind, ObjKind::Channel, "expected a channel reply");
+    (id, peer, name)
+}
+
+/// Flow-controlled multicast data (§4.2).
+pub const KIND_MCAST_DATA: u16 = 9;
+/// Multicast per-destination acknowledgement.
+pub const KIND_MCAST_ACK: u16 = 10;
+
+/// Channel close notification (§4: channels are dynamically destroyed).
+pub const KIND_CHAN_CLOSE: u16 = 11;
+/// Server listen registration at the object manager (§4 name reuse).
+pub const KIND_SERVE_REQ: u16 = 12;
+/// Manager acknowledgement of a listen registration.
+pub const KIND_SERVE_ACK: u16 = 13;
+/// Manager notification to a server: a client connected (new channel).
+pub const KIND_SERVE_CONN: u16 = 14;
+
+/// Final fragment of a multicast write (non-final fragments use
+/// `KIND_MCAST_DATA`).
+pub const KIND_MCAST_DATA_LAST: u16 = 15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_round_trip() {
+        let s = chan_seq(0xDEAD_BEEF, 42);
+        assert_eq!(seq_chan(s), 0xDEAD_BEEF);
+        assert_eq!(seq_frag(s), 42);
+    }
+
+    #[test]
+    fn open_req_round_trip() {
+        let p = pack_open_req("results/π");
+        assert_eq!(parse_open_req(&p), "results/π");
+    }
+
+    #[test]
+    fn open_rep_round_trip() {
+        let p = pack_open_rep(7, NodeAddr(300), "pipe");
+        assert_eq!(parse_open_rep(&p), (7, NodeAddr(300), "pipe".to_string()));
+    }
+}

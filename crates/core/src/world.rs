@@ -1,0 +1,338 @@
+//! The simulated world: the fabric, every node's kernel state, the hosts,
+//! the resource managers, and the measurement trace.
+
+use std::collections::HashMap;
+
+use desim::{sync::WaitSet, Ctx, Scheduler, SimDuration, SimTime, Simulation, Trace};
+use hpcnet::{Fabric, NetConfig, NodeAddr, Topology};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::alloc::Allocator;
+use crate::calib::Calibration;
+use crate::channel::ChanEnd;
+use crate::cpu::{BlockReason, Cpu, CpuCat, TraceEvent};
+use crate::host::Host;
+use crate::objmgr::{MgrState, ObjMgrMode};
+use crate::udco::Udco;
+
+/// Process context over the VORX world.
+pub type VCtx = Ctx<World>;
+/// Scheduler over the VORX world.
+pub type VSched = Scheduler<World>;
+
+/// Result slot for an in-flight channel open.
+#[derive(Debug, Clone, Copy)]
+pub enum OpenResult {
+    /// Request sent, no reply yet.
+    Pending,
+    /// Manager matched us: `(channel id, peer node)`.
+    Done(u32, NodeAddr),
+}
+
+/// Per-node kernel state.
+pub struct Node {
+    /// This node's fabric address.
+    pub addr: NodeAddr,
+    /// The node's CPU.
+    pub cpu: Cpu,
+    /// Kernel frames waiting for the hardware output register.
+    pub tx_q: std::collections::VecDeque<hpcnet::Frame>,
+    /// Processes blocked waiting to inject a frame (user-level senders).
+    pub tx_waiters: WaitSet,
+    /// The kernel receive-service loop is active.
+    pub rx_in_service: bool,
+    /// Channel ends on this node, by channel id.
+    pub chans: HashMap<u32, ChanEnd>,
+    /// In-flight opens issued from this node, by token.
+    pub open_waits: HashMap<u64, OpenResult>,
+    /// Processes blocked in `open`.
+    pub open_waiters: WaitSet,
+    /// User-defined communications objects on this node, by tag.
+    pub udcos: HashMap<u16, Udco>,
+    /// In-flight forwarded syscalls from this node, by token.
+    pub syscall_waits: HashMap<u64, Option<crate::host::SyscallRet>>,
+    /// Processes blocked in `syscall`.
+    pub syscall_waiters: WaitSet,
+    /// Listening server names on this node (§4 name reuse).
+    pub listeners: HashMap<String, crate::channel::ListenState>,
+    /// Object-manager role state (every node can serve opens).
+    pub mgr: MgrState,
+    /// Subprocess scheduler state (§5).
+    pub sched: crate::sched::SchedState,
+    /// Multicast group receiver ends (§4.2).
+    pub mcast: HashMap<u16, crate::multicast::McastEnd>,
+    /// Outstanding multicast writes from this node, by sequence token.
+    pub mcast_pending: HashMap<u64, crate::multicast::McastPending>,
+    /// Data frames that arrived before their channel end existed (the
+    /// open-reply race); re-dispatched when the channel is created.
+    pub orphans: Vec<hpcnet::Frame>,
+}
+
+impl Node {
+    fn new(addr: NodeAddr) -> Self {
+        Node {
+            addr,
+            cpu: Cpu::new(),
+            tx_q: Default::default(),
+            tx_waiters: WaitSet::new(),
+            rx_in_service: false,
+            chans: HashMap::new(),
+            open_waits: HashMap::new(),
+            open_waiters: WaitSet::new(),
+            syscall_waits: HashMap::new(),
+            syscall_waiters: WaitSet::new(),
+            udcos: HashMap::new(),
+            listeners: HashMap::new(),
+            mgr: MgrState::default(),
+            sched: crate::sched::SchedState::default(),
+            mcast: HashMap::new(),
+            mcast_pending: HashMap::new(),
+            orphans: Vec::new(),
+        }
+    }
+}
+
+/// The complete state of a simulated HPC/VORX installation.
+pub struct World {
+    /// Software cost model.
+    pub calib: Calibration,
+    /// The HPC interconnect.
+    pub net: Fabric,
+    /// Kernel state per endpoint.
+    pub nodes: Vec<Node>,
+    /// Object-manager configuration.
+    pub objmgr_mode: ObjMgrMode,
+    /// Processor allocator (§3.1).
+    pub alloc: Allocator,
+    /// Host workstations (§3.3), by host id.
+    pub hosts: Vec<Host>,
+    /// Per-host application resource managers' registry (§3.2).
+    pub appmgr: crate::appmgr::AppRegistry,
+    /// Debugger registry (`vdb`, §6).
+    pub dbg: crate::debug::DbgState,
+    /// Measurement trace (oscilloscope, profiler).
+    pub trace: Trace<TraceEvent>,
+    /// Deterministic randomness for workloads.
+    pub rng: SmallRng,
+    /// Next channel id.
+    pub next_chan: u32,
+    /// Next open token / generic correlation id.
+    pub next_token: u64,
+}
+
+impl World {
+    /// Mutable access to a node's kernel state.
+    pub fn node_mut(&mut self, a: NodeAddr) -> &mut Node {
+        &mut self.nodes[a.0 as usize]
+    }
+
+    /// Shared access to a node's kernel state.
+    pub fn node(&self, a: NodeAddr) -> &Node {
+        &self.nodes[a.0 as usize]
+    }
+
+    /// Allocate a fresh correlation token.
+    pub fn token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    /// Charge `d` of *system* (interrupt-priority) CPU time on node `a`
+    /// starting at `now` or when earlier system work completes; records the
+    /// interval in the trace and returns its end time. System work preempts
+    /// user compute (see [`crate::cpu`]); user time is charged through
+    /// [`crate::api::compute`], which handles the preemption extension.
+    pub fn charge(&mut self, now: SimTime, a: NodeAddr, cat: CpuCat, d: SimDuration) -> SimTime {
+        debug_assert_eq!(
+            cat,
+            CpuCat::System,
+            "user compute must go through api::compute"
+        );
+        let (start, end) = self.nodes[a.0 as usize].cpu.reserve_system(now, d);
+        if self.trace.is_enabled() && !d.is_zero() {
+            self.trace.record(
+                now,
+                TraceEvent::Cpu {
+                    node: a.0,
+                    cat,
+                    start_ns: start.as_ns(),
+                    end_ns: end.as_ns(),
+                },
+            );
+        }
+        end
+    }
+
+    /// Record that a process on `a` blocked for `reason`.
+    pub fn block(&mut self, now: SimTime, a: NodeAddr, reason: BlockReason) {
+        self.trace
+            .record(now, TraceEvent::Block { node: a.0, reason });
+    }
+
+    /// Record that a process on `a` unblocked.
+    pub fn unblock(&mut self, now: SimTime, a: NodeAddr, reason: BlockReason) {
+        self.trace
+            .record(now, TraceEvent::Unblock { node: a.0, reason });
+    }
+}
+
+/// Builder for a simulated HPC/VORX installation.
+pub struct VorxBuilder {
+    topo: Topology,
+    netcfg: NetConfig,
+    calib: Calibration,
+    objmgr_mode: ObjMgrMode,
+    trace_enabled: bool,
+    seed: u64,
+    n_hosts: usize,
+}
+
+impl VorxBuilder {
+    /// A system whose endpoints all hang off one HPC cluster.
+    pub fn single_cluster(n_endpoints: usize) -> Self {
+        Self::with_topology(
+            Topology::single_cluster(n_endpoints).expect("at most 12 endpoints per cluster"),
+        )
+    }
+
+    /// The paper's incomplete-hypercube configuration.
+    pub fn hypercube(n_clusters: usize, endpoints_per_cluster: usize) -> Self {
+        Self::with_topology(
+            Topology::incomplete_hypercube(n_clusters, endpoints_per_cluster)
+                .expect("valid hypercube configuration"),
+        )
+    }
+
+    /// Any custom topology.
+    pub fn with_topology(topo: Topology) -> Self {
+        VorxBuilder {
+            topo,
+            netcfg: NetConfig::paper_1988(),
+            calib: Calibration::paper_1988(),
+            objmgr_mode: ObjMgrMode::Distributed,
+            trace_enabled: true,
+            seed: 0x5EED,
+            n_hosts: 0,
+        }
+    }
+
+    /// Override the software cost model.
+    pub fn calibration(mut self, c: Calibration) -> Self {
+        self.calib = c;
+        self
+    }
+
+    /// Override the hardware parameters.
+    pub fn net_config(mut self, c: NetConfig) -> Self {
+        self.netcfg = c;
+        self
+    }
+
+    /// Select the object-manager architecture (§3.2).
+    pub fn objmgr(mut self, m: ObjMgrMode) -> Self {
+        self.objmgr_mode = m;
+        self
+    }
+
+    /// Enable or disable trace recording (disable for long benchmarks).
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace_enabled = enabled;
+        self
+    }
+
+    /// Seed for workload randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Designate the first `n` endpoints as host workstations (§3.3). Hosts
+    /// get ids `0..n` and live on node addresses `0..n`; processing nodes
+    /// occupy the remaining addresses.
+    pub fn hosts(mut self, n: usize) -> Self {
+        self.n_hosts = n;
+        self
+    }
+
+    /// Construct the simulation.
+    pub fn build(self) -> VorxSim {
+        let n = self.topo.n_endpoints();
+        assert!(self.n_hosts <= n, "more hosts than endpoints");
+        let nodes = (0..n).map(|i| Node::new(NodeAddr(i as u16))).collect();
+        let hosts = (0..self.n_hosts)
+            .map(|i| Host::new(i, NodeAddr(i as u16), &self.calib))
+            .collect();
+        let world = World {
+            calib: self.calib,
+            net: Fabric::new(self.topo, self.netcfg),
+            nodes,
+            objmgr_mode: self.objmgr_mode,
+            alloc: Allocator::new(self.n_hosts, n),
+            hosts,
+            appmgr: crate::appmgr::AppRegistry::default(),
+            dbg: crate::debug::DbgState::default(),
+            trace: if self.trace_enabled {
+                Trace::new()
+            } else {
+                Trace::disabled()
+            },
+            rng: SmallRng::seed_from_u64(self.seed),
+            next_chan: 1,
+            next_token: 0,
+        };
+        VorxSim {
+            sim: Simulation::new(world),
+        }
+    }
+}
+
+/// A runnable HPC/VORX installation: a thin wrapper over
+/// `desim::Simulation<World>` with VORX-flavoured conveniences.
+pub struct VorxSim {
+    /// The underlying simulation.
+    pub sim: Simulation<World>,
+}
+
+impl VorxSim {
+    /// Spawn a simulated process. By convention the closure's code runs "on"
+    /// whatever node it charges CPU to; `name` should identify the node for
+    /// diagnostics (e.g. `"n3:fft-worker"`).
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> desim::ProcId
+    where
+        F: FnOnce(VCtx) + Send + 'static,
+    {
+        self.sim.spawn(name, f)
+    }
+
+    /// Run to quiescence, returning the idle report.
+    pub fn run(&mut self) -> desim::IdleReport {
+        self.sim.run_to_idle()
+    }
+
+    /// Run to quiescence and assert every process finished (no deadlock).
+    pub fn run_all(&mut self) -> SimTime {
+        let report = self.sim.run_to_idle();
+        assert!(
+            report.all_finished(),
+            "processes deadlocked: {:?}",
+            report.parked
+        );
+        report.now
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Inspect or mutate the world between runs.
+    pub fn world(&self) -> parking_lot::MutexGuard<'_, World> {
+        self.sim.world()
+    }
+
+    /// Number of endpoints.
+    pub fn n_nodes(&self) -> usize {
+        self.world().nodes.len()
+    }
+}

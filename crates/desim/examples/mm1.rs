@@ -1,0 +1,64 @@
+//! An M/M/1 queue on the bare simulation kernel — `desim` without any of
+//! the HPC/VORX layers. Shows the two activity styles working together:
+//! the arrival generator is an event chain, the server is a process.
+//!
+//! Run with: `cargo run -p desim --example mm1`
+
+use desim::{sync::Mailbox, Ctx, SimDuration, Simulation};
+
+struct World {
+    queue: Mailbox<u64>, // arrival times, ns
+    served: u64,
+    total_wait_ns: u64,
+    // xorshift state for exponential variates
+    rng: u64,
+}
+
+fn exp_sample(rng: &mut u64, mean_ns: f64) -> u64 {
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    let u = (*rng >> 11) as f64 / (1u64 << 53) as f64;
+    (-mean_ns * (1.0 - u).ln()) as u64
+}
+
+fn schedule_arrival(w: &mut World, s: &mut desim::Scheduler<World>, remaining: u32) {
+    if remaining == 0 {
+        return;
+    }
+    let gap = exp_sample(&mut w.rng, 120_000.0); // lambda = 1/120us
+    s.schedule_in(SimDuration::from_ns(gap), move |w: &mut World, s| {
+        let now = s.now().as_ns();
+        w.queue.post(s, now);
+        schedule_arrival(w, s, remaining - 1);
+    });
+}
+
+fn main() {
+    let mut sim = Simulation::new(World {
+        queue: Mailbox::new(),
+        served: 0,
+        total_wait_ns: 0,
+        rng: 0x9E3779B97F4A7C15,
+    });
+    const JOBS: u32 = 10_000;
+    sim.setup(|w, s| schedule_arrival(w, s, JOBS));
+    sim.spawn("server", |ctx: Ctx<World>| {
+        for _ in 0..JOBS {
+            let arrived = desim::sync::mailbox_recv(&ctx, |w: &mut World| &mut w.queue);
+            let service = ctx.with(|w, _| exp_sample(&mut w.rng, 100_000.0)); // mu = 1/100us
+            ctx.sleep(SimDuration::from_ns(service));
+            ctx.with(move |w, s| {
+                w.served += 1;
+                w.total_wait_ns += s.now().as_ns() - arrived;
+            });
+        }
+    });
+    let report = sim.run_to_idle();
+    assert!(report.all_finished());
+    let w = sim.world();
+    let mean_t_us = w.total_wait_ns as f64 / w.served as f64 / 1000.0;
+    // M/M/1: T = 1/(mu - lambda) = 1/(10000 - 8333) per s = 600us.
+    println!("served {} jobs in {}", w.served, report.now);
+    println!("mean time in system: {mean_t_us:.0}us (M/M/1 theory: ~600us)");
+}

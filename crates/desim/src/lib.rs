@@ -1,0 +1,54 @@
+//! # desim — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the HPC/VORX reproduction. Everything the paper
+//! measures happens in *simulated* time on simulated 1988 hardware; this
+//! crate provides that substrate:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time.
+//! * [`Simulation`] — the executor. Hardware models run as **event
+//!   callbacks** over a user-defined world state `W`; software (operating
+//!   system code, application processes) runs as **cooperative-thread
+//!   processes** written in ordinary blocking style via [`Ctx`].
+//! * [`sync`] — wait sets, semaphores, and mailboxes for simulated
+//!   processes.
+//! * [`Trace`] — timestamped event recording for the measurement tools.
+//!
+//! ## Determinism
+//!
+//! Exactly one simulated activity executes at any moment; the event queue is
+//! ordered by `(time, sequence)`. Two runs of the same scenario produce
+//! bit-identical traces. Processes are real OS threads, but they are resumed
+//! one at a time by the executor, so there is no scheduling nondeterminism.
+//!
+//! ## Example
+//!
+//! ```
+//! use desim::{Simulation, SimDuration, Ctx};
+//!
+//! #[derive(Default)]
+//! struct World { delivered: bool }
+//!
+//! let mut sim = Simulation::new(World::default());
+//! let rx = sim.spawn("receiver", |ctx: Ctx<World>| {
+//!     ctx.wait_until(|w, _| w.delivered.then_some(()));
+//!     assert_eq!(ctx.now().as_us_f64(), 5.0);
+//! });
+//! sim.schedule_in(SimDuration::from_us(5), move |w: &mut World, s| {
+//!     w.delivered = true;          // "hardware" delivers a message
+//!     s.wake(rx, desim::Wakeup::START);
+//! });
+//! assert!(sim.run_to_idle().all_finished());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod sim;
+mod time;
+
+pub mod sync;
+pub mod trace;
+
+pub use sim::{Ctx, IdleReport, ProcId, RunOutcome, Scheduler, Simulation, Wakeup};
+pub use time::{SimDuration, SimTime};
+pub use trace::Trace;

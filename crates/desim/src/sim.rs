@@ -1,0 +1,887 @@
+//! The deterministic discrete-event executor.
+//!
+//! Two kinds of simulated activity coexist:
+//!
+//! * **Events** — boxed closures over the world state `W`, used for hardware
+//!   models (links freeing, messages arriving, interrupts firing). They run
+//!   to completion and never block.
+//! * **Processes** — cooperative OS threads, used for software (VORX
+//!   subprocesses, host programs). Process code is written in direct blocking
+//!   style: it parks and is resumed by events or other processes. Exactly one
+//!   simulated activity executes at a time, so the simulation is fully
+//!   deterministic despite using real threads.
+//!
+//! Determinism contract: the event queue is ordered by `(time, sequence
+//! number)`; ties fire in scheduling order. Any randomness must come from an
+//! explicitly seeded RNG stored in `W`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a simulated process for the lifetime of a [`Simulation`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc#{}", self.0)
+    }
+}
+
+/// Token delivered to a parked process when it is woken.
+///
+/// Wakeups are *advisory*: a process may be woken for a reason other than the
+/// one it parked for (e.g. a stale timer). Blocking code must therefore
+/// re-check its condition in a loop, condition-variable style.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Wakeup(pub u64);
+
+impl Wakeup {
+    /// Wakeup used for process start and generic notifications.
+    pub const START: Wakeup = Wakeup(0);
+    /// Wakeup used by [`Ctx::sleep`] timers.
+    pub const TIMER: Wakeup = Wakeup(u64::MAX);
+}
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>) + Send>;
+type ProcFn<W> = Box<dyn FnOnce(Ctx<W>) + Send + 'static>;
+
+enum Pending<W> {
+    Run(EventFn<W>),
+    Wake(ProcId, Wakeup),
+}
+
+struct QEntry<W> {
+    t: SimTime,
+    seq: u64,
+    act: Pending<W>,
+}
+
+impl<W> PartialEq for QEntry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl<W> Eq for QEntry<W> {}
+impl<W> PartialOrd for QEntry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for QEntry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest (time, seq)
+        // at the top.
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+enum Resume {
+    Go(Wakeup),
+    Kill,
+}
+
+enum YieldMsg {
+    Parked,
+    Finished,
+    Panicked(String),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ProcState {
+    Parked,
+    Running,
+    Finished,
+}
+
+struct ProcSlot {
+    name: String,
+    state: ProcState,
+    resume_tx: Sender<Resume>,
+    yield_rx: Receiver<YieldMsg>,
+    join: Option<JoinHandle<()>>,
+}
+
+struct Core<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QEntry<W>>,
+    procs: Vec<Option<ProcSlot>>,
+}
+
+impl<W> Core<W> {
+    fn push(&mut self, t: SimTime, act: Pending<W>) {
+        debug_assert!(t >= self.now, "scheduled event in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QEntry { t, seq, act });
+    }
+
+    fn slot_mut(&mut self, pid: ProcId) -> &mut ProcSlot {
+        self.procs
+            .get_mut(pid.0 as usize)
+            .and_then(Option::as_mut)
+            .expect("unknown ProcId")
+    }
+}
+
+struct SimInner<W> {
+    core: Mutex<Core<W>>,
+    world: Mutex<W>,
+    next_pid: Arc<AtomicU32>,
+}
+
+/// Marker payload used to unwind process threads when the simulation is
+/// dropped while they are still parked.
+struct Killed;
+
+struct SpawnReq<W> {
+    name: String,
+    at: SimTime,
+    f: ProcFn<W>,
+    pid: ProcId,
+}
+
+/// Collects actions scheduled from inside an event callback or a
+/// [`Ctx::with`] block; they are committed to the event queue when the block
+/// ends. Scheduling is therefore transactional with respect to the world
+/// lock, which keeps lock ordering trivial.
+pub struct Scheduler<W> {
+    now: SimTime,
+    pending: Vec<(SimTime, Pending<W>)>,
+    spawns: Vec<SpawnReq<W>>,
+    /// Simulation-global process-id allocator (shared with `SimInner`).
+    next_pid: Arc<AtomicU32>,
+}
+
+impl<W: Send + 'static> Scheduler<W> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run `f` against the world after `d` has elapsed.
+    pub fn schedule_in<F>(&mut self, d: SimDuration, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
+    {
+        self.pending.push((self.now + d, Pending::Run(Box::new(f))));
+    }
+
+    /// Wake `pid` with `token` after `d` has elapsed.
+    pub fn wake_in(&mut self, d: SimDuration, pid: ProcId, token: Wakeup) {
+        self.pending.push((self.now + d, Pending::Wake(pid, token)));
+    }
+
+    /// Wake `pid` with `token` at the current instant (ordered after all
+    /// actions already scheduled for this instant).
+    pub fn wake(&mut self, pid: ProcId, token: Wakeup) {
+        self.wake_in(SimDuration::ZERO, pid, token);
+    }
+
+    /// Spawn a new process whose body starts running after `d`.
+    /// Returns its id immediately so it can be recorded in world state.
+    pub fn spawn_in<F>(&mut self, d: SimDuration, name: impl Into<String>, f: F) -> ProcId
+    where
+        F: FnOnce(Ctx<W>) + Send + 'static,
+    {
+        let pid = ProcId(self.next_pid.fetch_add(1, AtomicOrdering::Relaxed));
+        self.spawns.push(SpawnReq {
+            name: name.into(),
+            at: self.now + d,
+            f: Box::new(f),
+            pid,
+        });
+        pid
+    }
+
+    /// Spawn a new process that starts at the current instant.
+    pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> ProcId
+    where
+        F: FnOnce(Ctx<W>) + Send + 'static,
+    {
+        self.spawn_in(SimDuration::ZERO, name, f)
+    }
+}
+
+/// Handle a process uses to interact with the simulation. Bound to the
+/// process it was created for; do not move it to another simulated process.
+pub struct Ctx<W> {
+    inner: Arc<SimInner<W>>,
+    pid: ProcId,
+    resume_rx: Receiver<Resume>,
+    yield_tx: Sender<YieldMsg>,
+}
+
+impl<W> Clone for Ctx<W> {
+    fn clone(&self) -> Self {
+        Ctx {
+            inner: Arc::clone(&self.inner),
+            pid: self.pid,
+            resume_rx: self.resume_rx.clone(),
+            yield_tx: self.yield_tx.clone(),
+        }
+    }
+}
+
+impl<W: Send + 'static> Ctx<W> {
+    /// This process's id.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.inner.core.lock().now
+    }
+
+    /// Access the world and scheduler without simulated time passing.
+    ///
+    /// Do not call other `Ctx` methods from inside `f` (the world lock is
+    /// held) and do not park: `with` blocks are instantaneous.
+    pub fn with<R>(&self, f: impl FnOnce(&mut W, &mut Scheduler<W>) -> R) -> R {
+        let now = self.inner.core.lock().now;
+        let mut sch = scheduler(now, &self.inner);
+        let r = {
+            let mut world = self.inner.world.lock();
+            f(&mut world, &mut sch)
+        };
+        drain(&self.inner, sch);
+        r
+    }
+
+    /// Park until woken. Returns the (advisory) wakeup token.
+    pub fn park(&self) -> Wakeup {
+        self.yield_tx
+            .send(YieldMsg::Parked)
+            .expect("simulation executor disappeared");
+        match self.resume_rx.recv() {
+            Ok(Resume::Go(w)) => w,
+            Ok(Resume::Kill) | Err(_) => resume_unwind(Box::new(Killed)),
+        }
+    }
+
+    /// Advance this process's local time by `d` (modelling computation or a
+    /// fixed-cost operation). Tolerates spurious wakeups: always sleeps the
+    /// full duration.
+    pub fn sleep(&self, d: SimDuration) {
+        let deadline = self.now() + d;
+        let pid = self.pid;
+        self.with(move |_, s| s.wake_in(d, pid, Wakeup::TIMER));
+        while self.now() < deadline {
+            self.park();
+        }
+    }
+
+    /// Park repeatedly until `cond` (evaluated against the world) yields
+    /// `Some(r)`. The standard condition-loop: immune to spurious wakeups.
+    pub fn wait_until<R>(&self, mut cond: impl FnMut(&mut W, &mut Scheduler<W>) -> Option<R>) -> R {
+        loop {
+            if let Some(r) = self.with(&mut cond) {
+                return r;
+            }
+            self.park();
+        }
+    }
+}
+
+fn scheduler<W>(now: SimTime, inner: &Arc<SimInner<W>>) -> Scheduler<W> {
+    Scheduler {
+        now,
+        pending: Vec::new(),
+        spawns: Vec::new(),
+        next_pid: Arc::clone(&inner.next_pid),
+    }
+}
+
+/// Commit everything a `Scheduler` collected: create spawned process threads,
+/// register them, and push all pending actions into the queue.
+fn drain<W: Send + 'static>(inner: &Arc<SimInner<W>>, sch: Scheduler<W>) {
+    let Scheduler {
+        pending, spawns, ..
+    } = sch;
+    let mut started = Vec::with_capacity(spawns.len());
+    for req in spawns {
+        started.push(start_proc(inner, req));
+    }
+    let mut core = inner.core.lock();
+    for (pid, at, slot) in started {
+        let idx = pid.0 as usize;
+        if core.procs.len() <= idx {
+            core.procs.resize_with(idx + 1, || None);
+        }
+        assert!(core.procs[idx].is_none(), "ProcId reused");
+        core.procs[idx] = Some(slot);
+        core.push(at, Pending::Wake(pid, Wakeup::START));
+    }
+    for (t, act) in pending {
+        core.push(t, act);
+    }
+}
+
+fn start_proc<W: Send + 'static>(
+    inner: &Arc<SimInner<W>>,
+    req: SpawnReq<W>,
+) -> (ProcId, SimTime, ProcSlot) {
+    let (resume_tx, resume_rx) = bounded::<Resume>(1);
+    let (yield_tx, yield_rx) = bounded::<YieldMsg>(1);
+    let ctx = Ctx {
+        inner: Arc::clone(inner),
+        pid: req.pid,
+        resume_rx: resume_rx.clone(),
+        yield_tx: yield_tx.clone(),
+    };
+    let f = req.f;
+    let name = req.name.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("sim:{name}"))
+        .spawn(move || {
+            // Wait for the initial resume before running the body.
+            match resume_rx.recv() {
+                Ok(Resume::Go(_)) => {}
+                Ok(Resume::Kill) | Err(_) => return,
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| f(ctx)));
+            match result {
+                Ok(()) => {
+                    let _ = yield_tx.send(YieldMsg::Finished);
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<Killed>().is_some() {
+                        // Simulation is being torn down; exit quietly.
+                        return;
+                    }
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".into());
+                    let _ = yield_tx.send(YieldMsg::Panicked(msg));
+                }
+            }
+        })
+        .expect("failed to spawn simulation process thread");
+    (
+        req.pid,
+        req.at,
+        ProcSlot {
+            name: req.name,
+            state: ProcState::Parked,
+            resume_tx,
+            yield_rx,
+            join: Some(join),
+        },
+    )
+}
+
+/// Why a call to [`Simulation::run_until`] / [`Simulation::run_to_idle`]
+/// returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// No events remain. Carries a report of processes still parked — a
+    /// non-empty list after an application "finished" usually means deadlock.
+    Idle(IdleReport),
+    /// The time bound was reached with events still outstanding.
+    DeadlineReached,
+}
+
+/// Snapshot of the simulation at quiescence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdleReport {
+    /// Time of the last executed event.
+    pub now: SimTime,
+    /// Processes that are still parked (id, name).
+    pub parked: Vec<(ProcId, String)>,
+}
+
+impl IdleReport {
+    /// True iff every spawned process ran to completion.
+    pub fn all_finished(&self) -> bool {
+        self.parked.is_empty()
+    }
+}
+
+/// A deterministic discrete-event simulation over world state `W`.
+pub struct Simulation<W: Send + 'static> {
+    inner: Arc<SimInner<W>>,
+}
+
+impl<W: Send + 'static> Simulation<W> {
+    /// Create a simulation owning `world`, at time zero.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            inner: Arc::new(SimInner {
+                core: Mutex::new(Core {
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    queue: BinaryHeap::new(),
+                    procs: Vec::new(),
+                }),
+                world: Mutex::new(world),
+                next_pid: Arc::new(AtomicU32::new(0)),
+            }),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.inner.core.lock().now
+    }
+
+    /// Mutable access to the world between runs (inspection, setup).
+    pub fn world(&self) -> MutexGuard<'_, W> {
+        self.inner.world.lock()
+    }
+
+    /// Schedule and spawn from outside the run loop (setup).
+    pub fn setup(&self, f: impl FnOnce(&mut W, &mut Scheduler<W>)) {
+        let now = self.inner.core.lock().now;
+        let mut sch = self.mk_scheduler(now);
+        {
+            let mut w = self.inner.world.lock();
+            f(&mut w, &mut sch);
+        }
+        drain(&self.inner, sch);
+    }
+
+    /// Spawn a process starting at the current time. Convenience wrapper
+    /// around [`Simulation::setup`].
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> ProcId
+    where
+        F: FnOnce(Ctx<W>) + Send + 'static,
+    {
+        let now = self.inner.core.lock().now;
+        let mut sch = self.mk_scheduler(now);
+        let pid = sch.spawn(name, f);
+        drain(&self.inner, sch);
+        pid
+    }
+
+    /// Schedule an event callback after `d`.
+    pub fn schedule_in<F>(&self, d: SimDuration, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
+    {
+        let now = self.inner.core.lock().now;
+        let mut sch = self.mk_scheduler(now);
+        sch.schedule_in(d, f);
+        drain(&self.inner, sch);
+    }
+
+    fn mk_scheduler(&self, now: SimTime) -> Scheduler<W> {
+        scheduler(now, &self.inner)
+    }
+
+    /// Run until no events remain.
+    pub fn run_to_idle(&mut self) -> IdleReport {
+        match self.run_until(SimTime::MAX) {
+            RunOutcome::Idle(r) => r,
+            RunOutcome::DeadlineReached => unreachable!("MAX deadline reached"),
+        }
+    }
+
+    /// Run until no events remain or the next event is later than `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        loop {
+            let next = {
+                let mut core = self.inner.core.lock();
+                match core.queue.peek() {
+                    None => {
+                        let report = idle_report(&core);
+                        return RunOutcome::Idle(report);
+                    }
+                    Some(e) if e.t > deadline => {
+                        core.now = deadline.max(core.now);
+                        return RunOutcome::DeadlineReached;
+                    }
+                    Some(_) => {
+                        let e = core.queue.pop().expect("peeked");
+                        debug_assert!(e.t >= core.now, "time ran backwards");
+                        core.now = e.t;
+                        e
+                    }
+                }
+            };
+            match next.act {
+                Pending::Run(f) => {
+                    let mut sch = scheduler(next.t, &self.inner);
+                    {
+                        let mut w = self.inner.world.lock();
+                        f(&mut w, &mut sch);
+                    }
+                    drain(&self.inner, sch);
+                }
+                Pending::Wake(pid, token) => self.resume(pid, token),
+            }
+        }
+    }
+
+    fn resume(&self, pid: ProcId, token: Wakeup) {
+        let (tx, rx, name) = {
+            let mut core = self.inner.core.lock();
+            let slot = core.slot_mut(pid);
+            if slot.state == ProcState::Finished {
+                return; // stale wakeup for a completed process
+            }
+            debug_assert_eq!(slot.state, ProcState::Parked, "woke a running process");
+            slot.state = ProcState::Running;
+            (slot.resume_tx.clone(), slot.yield_rx.clone(), slot.name.clone())
+        };
+        tx.send(Resume::Go(token))
+            .expect("simulation process thread disappeared");
+        match rx.recv().expect("simulation process thread disappeared") {
+            YieldMsg::Parked => {
+                self.inner.core.lock().slot_mut(pid).state = ProcState::Parked;
+            }
+            YieldMsg::Finished => {
+                self.inner.core.lock().slot_mut(pid).state = ProcState::Finished;
+            }
+            YieldMsg::Panicked(msg) => {
+                self.inner.core.lock().slot_mut(pid).state = ProcState::Finished;
+                panic!("simulated process '{name}' panicked: {msg}");
+            }
+        }
+    }
+
+    /// Names of processes that are still parked.
+    pub fn parked_processes(&self) -> Vec<(ProcId, String)> {
+        idle_report(&self.inner.core.lock()).parked
+    }
+}
+
+fn idle_report<W>(core: &Core<W>) -> IdleReport {
+    let parked = core
+        .procs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| {
+            s.as_ref()
+                .filter(|s| s.state == ProcState::Parked)
+                .map(|s| (ProcId(i as u32), s.name.clone()))
+        })
+        .collect();
+    IdleReport {
+        now: core.now,
+        parked,
+    }
+}
+
+impl<W: Send + 'static> Drop for Simulation<W> {
+    fn drop(&mut self) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut core = self.inner.core.lock();
+            let mut handles = Vec::new();
+            for slot in core.procs.iter_mut().flatten() {
+                if slot.state != ProcState::Finished {
+                    let _ = slot.resume_tx.send(Resume::Kill);
+                }
+                if let Some(h) = slot.join.take() {
+                    handles.push(h);
+                }
+            }
+            handles
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct TestWorld {
+        log: Vec<(u64, String)>,
+        flag: bool,
+        counter: u64,
+    }
+
+    impl TestWorld {
+        fn log(&mut self, now: SimTime, msg: impl Into<String>) {
+            self.log.push((now.as_ns(), msg.into()));
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_then_fifo_order() {
+        let mut sim = Simulation::new(TestWorld::default());
+        sim.schedule_in(SimDuration::from_ns(20), |w: &mut TestWorld, s| {
+            w.log(s.now(), "b")
+        });
+        sim.schedule_in(SimDuration::from_ns(10), |w: &mut TestWorld, s| {
+            w.log(s.now(), "a")
+        });
+        sim.schedule_in(SimDuration::from_ns(20), |w: &mut TestWorld, s| {
+            w.log(s.now(), "c")
+        });
+        sim.run_to_idle();
+        let w = sim.world();
+        assert_eq!(
+            w.log,
+            vec![(10, "a".into()), (20, "b".into()), (20, "c".into())]
+        );
+    }
+
+    #[test]
+    fn nested_event_scheduling() {
+        let mut sim = Simulation::new(TestWorld::default());
+        sim.schedule_in(SimDuration::from_ns(5), |w: &mut TestWorld, s| {
+            w.log(s.now(), "outer");
+            s.schedule_in(SimDuration::from_ns(7), |w: &mut TestWorld, s| {
+                w.log(s.now(), "inner");
+            });
+        });
+        let report = sim.run_to_idle();
+        assert_eq!(report.now, SimTime::from_ns(12));
+        assert_eq!(
+            sim.world().log,
+            vec![(5, "outer".into()), (12, "inner".into())]
+        );
+    }
+
+    #[test]
+    fn process_sleep_advances_time() {
+        let mut sim = Simulation::new(TestWorld::default());
+        sim.spawn("sleeper", |ctx: Ctx<TestWorld>| {
+            ctx.sleep(SimDuration::from_us(3));
+            let now = ctx.now();
+            ctx.with(|w, _| w.log(now, "woke"));
+        });
+        let report = sim.run_to_idle();
+        assert!(report.all_finished());
+        assert_eq!(sim.world().log, vec![(3_000, "woke".into())]);
+    }
+
+    #[test]
+    fn wait_until_sees_event_updates() {
+        let mut sim = Simulation::new(TestWorld::default());
+        let pid = sim.spawn("waiter", |ctx: Ctx<TestWorld>| {
+            ctx.wait_until(|w, _| if w.flag { Some(()) } else { None });
+            let now = ctx.now();
+            ctx.with(|w, _| w.log(now, "flagged"));
+        });
+        sim.schedule_in(SimDuration::from_us(7), move |w: &mut TestWorld, s| {
+            w.flag = true;
+            s.wake(pid, Wakeup::START);
+        });
+        let report = sim.run_to_idle();
+        assert!(report.all_finished());
+        assert_eq!(sim.world().log, vec![(7_000, "flagged".into())]);
+    }
+
+    #[test]
+    fn spurious_wakeups_do_not_break_sleep_or_wait() {
+        let mut sim = Simulation::new(TestWorld::default());
+        let pid = sim.spawn("sleeper", |ctx: Ctx<TestWorld>| {
+            ctx.sleep(SimDuration::from_us(10));
+            assert_eq!(ctx.now(), SimTime::from_ns(10_000));
+        });
+        // Hammer the sleeper with early spurious wakeups.
+        for i in 1..5u64 {
+            sim.schedule_in(SimDuration::from_us(i), move |_w: &mut TestWorld, s| {
+                s.wake(pid, Wakeup(99));
+            });
+        }
+        assert!(sim.run_to_idle().all_finished());
+    }
+
+    #[test]
+    fn processes_communicate_through_world() {
+        let mut sim = Simulation::new(TestWorld::default());
+        let consumer = sim.spawn("consumer", |ctx: Ctx<TestWorld>| {
+            let got = ctx.wait_until(|w, _| (w.counter >= 3).then_some(w.counter));
+            assert_eq!(got, 3);
+        });
+        sim.spawn("producer", move |ctx: Ctx<TestWorld>| {
+            for _ in 0..3 {
+                ctx.sleep(SimDuration::from_us(1));
+                ctx.with(|w, s| {
+                    w.counter += 1;
+                    s.wake(consumer, Wakeup::START);
+                });
+            }
+        });
+        assert!(sim.run_to_idle().all_finished());
+        assert_eq!(sim.now(), SimTime::from_ns(3_000));
+    }
+
+    #[test]
+    fn deadlocked_process_reported_parked() {
+        let mut sim = Simulation::new(TestWorld::default());
+        sim.spawn("stuck", |ctx: Ctx<TestWorld>| {
+            ctx.wait_until(|w, _| w.flag.then_some(())); // never set
+        });
+        let report = sim.run_to_idle();
+        assert_eq!(report.parked.len(), 1);
+        assert_eq!(report.parked[0].1, "stuck");
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(TestWorld::default());
+        sim.schedule_in(SimDuration::from_us(10), |w: &mut TestWorld, s| {
+            w.log(s.now(), "late")
+        });
+        let outcome = sim.run_until(SimTime::from_ns(5_000));
+        assert_eq!(outcome, RunOutcome::DeadlineReached);
+        assert_eq!(sim.now(), SimTime::from_ns(5_000));
+        assert!(sim.world().log.is_empty());
+        let report = sim.run_to_idle();
+        assert_eq!(report.now, SimTime::from_ns(10_000));
+        assert_eq!(sim.world().log.len(), 1);
+    }
+
+    #[test]
+    fn processes_can_spawn_processes() {
+        let mut sim = Simulation::new(TestWorld::default());
+        sim.spawn("parent", |ctx: Ctx<TestWorld>| {
+            ctx.sleep(SimDuration::from_us(1));
+            ctx.with(|_, s| {
+                s.spawn("child", |ctx: Ctx<TestWorld>| {
+                    ctx.sleep(SimDuration::from_us(2));
+                    let now = ctx.now();
+                    ctx.with(|w, _| w.log(now, "child done"));
+                });
+            });
+        });
+        assert!(sim.run_to_idle().all_finished());
+        assert_eq!(sim.world().log, vec![(3_000, "child done".into())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated process 'bad' panicked")]
+    fn process_panic_propagates_to_executor() {
+        let mut sim = Simulation::new(TestWorld::default());
+        sim.spawn("bad", |_ctx: Ctx<TestWorld>| {
+            panic!("boom");
+        });
+        sim.run_to_idle();
+    }
+
+    #[test]
+    fn dropping_simulation_with_parked_processes_does_not_hang() {
+        let mut sim = Simulation::new(TestWorld::default());
+        for i in 0..8 {
+            sim.spawn(format!("p{i}"), |ctx: Ctx<TestWorld>| {
+                ctx.wait_until(|w, _| w.flag.then_some(()));
+            });
+        }
+        sim.run_to_idle();
+        drop(sim); // must join all eight threads without deadlock
+    }
+
+    #[test]
+    fn determinism_two_runs_identical_log() {
+        fn run() -> Vec<(u64, String)> {
+            let mut sim = Simulation::new(TestWorld::default());
+            for i in 0..10u64 {
+                sim.schedule_in(SimDuration::from_ns(100 - i * 3), move |w: &mut TestWorld, s| {
+                    w.log(s.now(), format!("e{i}"));
+                });
+            }
+            for i in 0..4u64 {
+                sim.spawn(format!("p{i}"), move |ctx: Ctx<TestWorld>| {
+                    ctx.sleep(SimDuration::from_ns(50 + i));
+                    let now = ctx.now();
+                    ctx.with(|w, _| w.log(now, format!("p{i}")));
+                });
+            }
+            sim.run_to_idle();
+            let w = sim.world();
+            w.log.clone()
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stale_wake_for_finished_process_is_ignored() {
+        let mut sim = Simulation::new(TestWorld::default());
+        let pid = sim.spawn("quick", |ctx: Ctx<TestWorld>| {
+            ctx.sleep(SimDuration::from_ns(1));
+        });
+        sim.schedule_in(SimDuration::from_us(1), move |_w: &mut TestWorld, s| {
+            s.wake(pid, Wakeup(7)); // fires long after 'quick' finished
+        });
+        assert!(sim.run_to_idle().all_finished());
+    }
+}
+
+impl<W: Send + 'static> Simulation<W> {
+    /// Run for `d` of simulated time from now (or until idle, whichever is
+    /// first). Convenience over [`Simulation::run_until`].
+    pub fn run_for(&mut self, d: SimDuration) -> RunOutcome {
+        let deadline = self.now() + d;
+        self.run_until(deadline)
+    }
+}
+
+#[cfg(test)]
+mod run_for_tests {
+    use super::*;
+
+    #[test]
+    fn run_for_advances_by_the_duration() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_in(SimDuration::from_us(50), |w: &mut u32, _| *w += 1);
+        assert_eq!(
+            sim.run_for(SimDuration::from_us(10)),
+            RunOutcome::DeadlineReached
+        );
+        assert_eq!(sim.now(), SimTime::from_ns(10_000));
+        assert_eq!(*sim.world(), 0);
+        assert!(matches!(
+            sim.run_for(SimDuration::from_us(100)),
+            RunOutcome::Idle(_)
+        ));
+        assert_eq!(*sim.world(), 1);
+    }
+}
+
+impl<W: Send + 'static> Ctx<W> {
+    /// Spawn a sibling process from process context (sugar over
+    /// [`Ctx::with`] + [`Scheduler::spawn`]).
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> ProcId
+    where
+        F: FnOnce(Ctx<W>) + Send + 'static,
+    {
+        let name = name.into();
+        self.with(move |_, s| s.spawn(name, f))
+    }
+}
+
+#[cfg(test)]
+mod ctx_spawn_tests {
+    use super::*;
+
+    #[test]
+    fn ctx_spawn_runs_the_child() {
+        let mut sim = Simulation::new(0u32);
+        sim.spawn("parent", |ctx: Ctx<u32>| {
+            ctx.sleep(SimDuration::from_us(2));
+            let parent = ctx.pid();
+            let child = ctx.spawn("child", move |ctx: Ctx<u32>| {
+                ctx.with(move |w, s| {
+                    *w += 1;
+                    s.wake(parent, Wakeup::START);
+                });
+            });
+            // The child starts after we yield; wait for its effect.
+            ctx.wait_until(|w, _| (*w == 1).then_some(()));
+            let _ = child;
+        });
+        assert!(sim.run_to_idle().all_finished());
+        assert_eq!(*sim.world(), 1);
+    }
+}

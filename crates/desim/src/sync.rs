@@ -1,0 +1,324 @@
+//! Synchronization primitives for simulated processes.
+//!
+//! These structures live *inside* the world state `W`; waking requires a
+//! [`Scheduler`], so all operations that release waiters take one. Blocking
+//! helpers take an accessor closure that finds the primitive inside `W`
+//! (the world cannot be borrowed across a park).
+//!
+//! All primitives use condition-loop semantics: a woken process re-checks its
+//! condition, so spurious or stolen wakeups are harmless.
+
+use std::collections::VecDeque;
+
+use crate::sim::{Ctx, ProcId, Scheduler, Wakeup};
+
+/// A set of parked processes waiting on some condition in the world.
+#[derive(Debug, Default, Clone)]
+pub struct WaitSet {
+    waiters: Vec<ProcId>,
+}
+
+impl WaitSet {
+    /// An empty wait set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `pid` as waiting. Duplicate registrations are coalesced.
+    pub fn register(&mut self, pid: ProcId) {
+        if !self.waiters.contains(&pid) {
+            self.waiters.push(pid);
+        }
+    }
+
+    /// Remove a registration (e.g. on timeout or cancellation).
+    pub fn deregister(&mut self, pid: ProcId) {
+        self.waiters.retain(|p| *p != pid);
+    }
+
+    /// Wake the longest-waiting process, if any. Returns who was woken.
+    pub fn wake_one<W: Send + 'static>(
+        &mut self,
+        s: &mut Scheduler<W>,
+        token: Wakeup,
+    ) -> Option<ProcId> {
+        if self.waiters.is_empty() {
+            None
+        } else {
+            let pid = self.waiters.remove(0);
+            s.wake(pid, token);
+            Some(pid)
+        }
+    }
+
+    /// Wake every waiting process. Returns how many were woken.
+    pub fn wake_all<W: Send + 'static>(&mut self, s: &mut Scheduler<W>, token: Wakeup) -> usize {
+        let n = self.waiters.len();
+        for pid in self.waiters.drain(..) {
+            s.wake(pid, token);
+        }
+        n
+    }
+
+    /// Number of registered waiters.
+    pub fn len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// True iff no process is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.waiters.is_empty()
+    }
+
+    /// The registered waiters, oldest first.
+    pub fn waiters(&self) -> &[ProcId] {
+        &self.waiters
+    }
+}
+
+/// A counting semaphore for simulated processes (the primitive VORX offers
+/// subprocesses for intra-process synchronization, §5 of the paper).
+#[derive(Debug, Clone)]
+pub struct SimSemaphore {
+    count: i64,
+    waiters: WaitSet,
+}
+
+impl SimSemaphore {
+    /// Create with an initial count (may be zero).
+    pub fn new(initial: i64) -> Self {
+        SimSemaphore {
+            count: initial,
+            waiters: WaitSet::new(),
+        }
+    }
+
+    /// Current count (for inspection/debugging).
+    pub fn count(&self) -> i64 {
+        self.count
+    }
+
+    /// Number of processes blocked in `acquire`.
+    pub fn waiting(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// V operation: increment and wake one waiter.
+    pub fn release<W: Send + 'static>(&mut self, s: &mut Scheduler<W>) {
+        self.count += 1;
+        self.waiters.wake_one(s, Wakeup::START);
+    }
+
+    /// Non-blocking P: take a unit if available.
+    pub fn try_acquire(&mut self, pid: ProcId) -> bool {
+        if self.count > 0 {
+            self.count -= 1;
+            // A successful acquire cancels any stale registration.
+            self.waiters.deregister(pid);
+            true
+        } else {
+            self.waiters.register(pid);
+            false
+        }
+    }
+}
+
+/// Blocking P operation on a semaphore located inside the world by `get`.
+pub fn sem_acquire<W, F>(ctx: &Ctx<W>, mut get: F)
+where
+    W: Send + 'static,
+    F: FnMut(&mut W) -> &mut SimSemaphore,
+{
+    let pid = ctx.pid();
+    ctx.wait_until(|w, _| get(w).try_acquire(pid).then_some(()));
+}
+
+/// Blocking V operation on a semaphore located inside the world by `get`.
+/// (Non-blocking in simulated time; provided for symmetry.)
+pub fn sem_release<W, F>(ctx: &Ctx<W>, mut get: F)
+where
+    W: Send + 'static,
+    F: FnMut(&mut W) -> &mut SimSemaphore,
+{
+    ctx.with(|w, s| get(w).release(s));
+}
+
+/// An unbounded FIFO mailbox between simulated processes.
+#[derive(Debug)]
+pub struct Mailbox<T> {
+    queue: VecDeque<T>,
+    waiters: WaitSet,
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Mailbox {
+            queue: VecDeque::new(),
+            waiters: WaitSet::new(),
+        }
+    }
+}
+
+impl<T> Mailbox<T> {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a message and wake one waiting receiver.
+    pub fn post<W: Send + 'static>(&mut self, s: &mut Scheduler<W>, msg: T) {
+        self.queue.push_back(msg);
+        self.waiters.wake_one(s, Wakeup::START);
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self, pid: ProcId) -> Option<T> {
+        match self.queue.pop_front() {
+            Some(m) => {
+                self.waiters.deregister(pid);
+                Some(m)
+            }
+            None => {
+                self.waiters.register(pid);
+                None
+            }
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True iff no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Peek at the head message.
+    pub fn peek(&self) -> Option<&T> {
+        self.queue.front()
+    }
+}
+
+/// Blocking receive from a mailbox located inside the world by `get`.
+pub fn mailbox_recv<W, T, F>(ctx: &Ctx<W>, mut get: F) -> T
+where
+    W: Send + 'static,
+    T: Send + 'static,
+    F: FnMut(&mut W) -> &mut Mailbox<T>,
+{
+    let pid = ctx.pid();
+    ctx.wait_until(|w, _| get(w).try_recv(pid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use crate::time::SimDuration;
+
+    #[derive(Default)]
+    struct World {
+        sem: Option<SimSemaphore>,
+        mbox: Mailbox<u32>,
+        order: Vec<u32>,
+    }
+
+    #[test]
+    fn semaphore_serializes_critical_sections() {
+        let mut sim = Simulation::new(World {
+            sem: Some(SimSemaphore::new(1)),
+            ..Default::default()
+        });
+        for i in 0..3u32 {
+            sim.spawn(format!("w{i}"), move |ctx| {
+                sem_acquire(&ctx, |w: &mut World| w.sem.as_mut().unwrap());
+                ctx.with(|w, _| w.order.push(i * 10));
+                ctx.sleep(SimDuration::from_us(5));
+                ctx.with(|w, _| w.order.push(i * 10 + 1));
+                sem_release(&ctx, |w: &mut World| w.sem.as_mut().unwrap());
+            });
+        }
+        let report = sim.run_to_idle();
+        assert!(report.all_finished());
+        let order = sim.world().order.clone();
+        // Enter/exit pairs must not interleave.
+        for pair in order.chunks(2) {
+            assert_eq!(pair[0] + 1, pair[1], "critical sections interleaved: {order:?}");
+        }
+    }
+
+    #[test]
+    fn semaphore_counts_waiters() {
+        let mut sem = SimSemaphore::new(0);
+        assert_eq!(sem.count(), 0);
+        assert!(!sem.try_acquire(ProcId(1)));
+        assert!(!sem.try_acquire(ProcId(2)));
+        assert!(!sem.try_acquire(ProcId(2))); // duplicate coalesced
+        assert_eq!(sem.waiting(), 2);
+    }
+
+    #[test]
+    fn mailbox_delivers_fifo_across_processes() {
+        let mut sim = Simulation::new(World::default());
+        sim.spawn("rx", |ctx| {
+            for expect in [7u32, 8, 9] {
+                let got = mailbox_recv(&ctx, |w: &mut World| &mut w.mbox);
+                assert_eq!(got, expect);
+            }
+        });
+        sim.spawn("tx", |ctx| {
+            for v in [7u32, 8, 9] {
+                ctx.sleep(SimDuration::from_us(1));
+                ctx.with(|w, s| w.mbox.post(s, v));
+            }
+        });
+        assert!(sim.run_to_idle().all_finished());
+    }
+
+    #[test]
+    fn waitset_wake_one_is_fifo() {
+        let mut sim = Simulation::new(World::default());
+        // Three processes park on the mailbox; posts release them in order.
+        for i in 0..3u32 {
+            sim.spawn(format!("rx{i}"), move |ctx| {
+                // Stagger registration so FIFO order is well-defined.
+                ctx.sleep(SimDuration::from_us(u64::from(i)));
+                let v = mailbox_recv(&ctx, |w: &mut World| &mut w.mbox);
+                ctx.with(move |w, _| w.order.push(v));
+            });
+        }
+        sim.spawn("tx", |ctx| {
+            ctx.sleep(SimDuration::from_us(10));
+            for v in [100u32, 200, 300] {
+                ctx.with(|w, s| w.mbox.post(s, v));
+                ctx.sleep(SimDuration::from_us(1));
+            }
+        });
+        assert!(sim.run_to_idle().all_finished());
+        assert_eq!(sim.world().order, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn waitset_deregister_removes() {
+        let mut ws = WaitSet::new();
+        ws.register(ProcId(1));
+        ws.register(ProcId(2));
+        ws.deregister(ProcId(1));
+        assert_eq!(ws.waiters(), &[ProcId(2)]);
+        assert_eq!(ws.len(), 1);
+        assert!(!ws.is_empty());
+    }
+
+    #[test]
+    fn mailbox_basics() {
+        let mut m: Mailbox<u8> = Mailbox::new();
+        assert!(m.is_empty());
+        assert_eq!(m.try_recv(ProcId(0)), None);
+        m.queue.push_back(5);
+        assert_eq!(m.peek(), Some(&5));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.try_recv(ProcId(0)), Some(5));
+    }
+}

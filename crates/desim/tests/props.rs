@@ -1,0 +1,70 @@
+//! Property tests for the simulation kernel's core guarantees.
+
+use desim::{Ctx, SimDuration, SimTime, Simulation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Events fire in nondecreasing time order, with FIFO order among ties,
+    /// regardless of scheduling order.
+    #[test]
+    fn events_fire_in_time_then_fifo_order(delays in proptest::collection::vec(0u64..1_000, 1..80)) {
+        let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
+        for (i, d) in delays.iter().enumerate() {
+            let d = *d;
+            sim.schedule_in(SimDuration::from_ns(d), move |w: &mut Vec<(u64, usize)>, s| {
+                w.push((s.now().as_ns(), i));
+            });
+        }
+        sim.run_to_idle();
+        let log = sim.world().clone();
+        prop_assert_eq!(log.len(), delays.len());
+        for pair in log.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time went backwards: {pair:?}");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "FIFO violated at ties: {pair:?}");
+            }
+        }
+    }
+
+    /// Sleeps always advance exactly the requested duration, even stacked.
+    #[test]
+    fn sleeps_are_exact(naps in proptest::collection::vec(1u64..10_000, 1..30)) {
+        let total: u64 = naps.iter().sum();
+        let mut sim = Simulation::new(());
+        sim.spawn("sleeper", move |ctx: Ctx<()>| {
+            for d in naps {
+                ctx.sleep(SimDuration::from_ns(d));
+            }
+        });
+        let report = sim.run_to_idle();
+        prop_assert!(report.all_finished());
+        prop_assert_eq!(report.now, SimTime::from_ns(total));
+    }
+
+    /// run_until never overshoots and resuming completes identically to an
+    /// uninterrupted run.
+    #[test]
+    fn run_until_is_resumable(delays in proptest::collection::vec(0u64..1_000, 1..40), cut in 0u64..1_000) {
+        fn build(delays: &[u64]) -> Simulation<Vec<u64>> {
+            let sim = Simulation::new(Vec::new());
+            for d in delays {
+                let d = *d;
+                sim.schedule_in(SimDuration::from_ns(d), move |w: &mut Vec<u64>, s| {
+                    w.push(s.now().as_ns());
+                });
+            }
+            sim
+        }
+        let mut whole = build(&delays);
+        whole.run_to_idle();
+        let expect = whole.world().clone();
+
+        let mut split = build(&delays);
+        split.run_until(SimTime::from_ns(cut));
+        prop_assert!(split.now() <= SimTime::from_ns(cut));
+        split.run_to_idle();
+        prop_assert_eq!(split.world().clone(), expect);
+    }
+}

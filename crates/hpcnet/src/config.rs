@@ -1,0 +1,63 @@
+//! Hardware timing/capacity parameters of the HPC interconnect.
+
+/// Number of ports on one HPC cluster (§1 of the paper: "self-routing star
+/// networks called clusters, each of which contains twelve ports").
+pub const PORTS_PER_CLUSTER: usize = 12;
+
+/// Timing and buffering parameters for the fabric model.
+///
+/// Durations are expressed in nanoseconds here (this crate is independent of
+/// `desim`); the embedding layer converts them to `SimDuration`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Serialization time of one byte on a port, in ns. The paper's ports
+    /// run at 160 Mbit/s = 20 MB/s, i.e. 50 ns/byte.
+    pub ns_per_byte: u64,
+    /// Fixed per-hop latency (switch decision + propagation), in ns. Fiber
+    /// runs "over a kilometer" are possible; we default to a short in-room
+    /// link. Hardware latency is "much smaller than the latency introduced
+    /// by the communications software" (§1), so this stays ≤ a few µs.
+    pub hop_latency_ns: u64,
+    /// Whole-message buffer slots at each cluster input port. A link
+    /// "refuses to accept a message unless the hardware has room to buffer
+    /// an entire message" (§2) — this is the hardware flow control.
+    pub cluster_port_slots: usize,
+    /// Whole-message buffer slots in an endpoint's receive FIFO.
+    pub endpoint_rx_slots: usize,
+}
+
+impl NetConfig {
+    /// The 1988 HPC hardware as described by the paper.
+    pub fn paper_1988() -> Self {
+        NetConfig {
+            ns_per_byte: 50,     // 160 Mbit/s
+            hop_latency_ns: 500, // self-routing switch decision, short fiber
+            cluster_port_slots: 2,
+            endpoint_rx_slots: 4,
+        }
+    }
+
+    /// Serialization time for `bytes` on a port, in ns.
+    pub fn serialize_ns(&self, bytes: u32) -> u64 {
+        self.ns_per_byte * u64::from(bytes)
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::paper_1988()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rate_is_160_mbit() {
+        let c = NetConfig::paper_1988();
+        // 20 MB/s => 1024 bytes serialize in 51.2 us.
+        assert_eq!(c.serialize_ns(1024), 51_200);
+        assert_eq!(c.serialize_ns(0), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! A minimal standalone event loop for driving a [`Fabric`] without any
+//! operating-system layer: the "software" at every endpoint is an idealized
+//! kernel that drains the receive FIFO instantly and retries busy
+//! transmitters as soon as `TxReady` fires.
+//!
+//! Used by hpcnet's own tests, property tests, and micro-examples; the real
+//! embedding (VORX) replaces this with simulated kernel software that
+//! charges CPU time for every action.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::fabric::{Fabric, NetEvent, Notify, Output};
+use crate::frame::{Frame, NodeAddr};
+
+enum Action {
+    Net(NetEvent),
+    Inject(Frame),
+}
+
+struct Entry {
+    t: u64,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.t, self.seq) == (other.t, other.seq)
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.t, other.seq).cmp(&(self.t, self.seq)) // min-heap
+    }
+}
+
+/// Standalone fabric driver. See module docs.
+pub struct StandaloneNet {
+    /// The fabric under test.
+    pub fabric: Fabric,
+    /// Frames delivered to endpoint software: `(time_ns, endpoint, frame)`.
+    pub delivered: Vec<(u64, NodeAddr, Frame)>,
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Entry>,
+    waiting_tx: HashMap<NodeAddr, VecDeque<Frame>>,
+}
+
+impl StandaloneNet {
+    /// Wrap a fabric.
+    pub fn new(fabric: Fabric) -> Self {
+        StandaloneNet {
+            fabric,
+            delivered: Vec::new(),
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            waiting_tx: HashMap::new(),
+        }
+    }
+
+    /// Current time, ns.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn push(&mut self, t: u64, action: Action) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry { t, seq, action });
+    }
+
+    /// Ask the endpoint software to inject `frame` at time `t` (busy
+    /// transmitters are retried on `TxReady`).
+    pub fn send_at(&mut self, t: u64, frame: Frame) {
+        self.push(t, Action::Inject(frame));
+    }
+
+    /// Run until quiescent. Panics if any frame remains stuck in the fabric.
+    pub fn run(&mut self) {
+        self.run_inner();
+        assert_eq!(
+            self.fabric.in_flight(),
+            0,
+            "frames stuck inside the fabric at quiescence"
+        );
+        assert!(
+            self.waiting_tx.values().all(VecDeque::is_empty),
+            "frames never injected"
+        );
+    }
+
+    /// Run until quiescent without asserting delivery (for tests that
+    /// deliberately wedge the fabric).
+    pub fn run_inner(&mut self) {
+        while let Some(e) = self.queue.pop() {
+            debug_assert!(e.t >= self.now);
+            self.now = e.t;
+            let out = match e.action {
+                Action::Net(ev) => self.fabric.handle(self.now, ev),
+                Action::Inject(frame) => {
+                    let src = frame.src;
+                    if self.fabric.can_send(src) {
+                        match self.fabric.try_send(self.now, frame) {
+                            Ok(out) => out,
+                            Err(e) => panic!("injection failed: {e}"),
+                        }
+                    } else {
+                        // Transmitter busy: queue for retry on TxReady.
+                        self.waiting_tx.entry(src).or_default().push_back(frame);
+                        Output::default()
+                    }
+                }
+            };
+            self.process(out);
+        }
+    }
+
+    fn process(&mut self, out: Output) {
+        let mut work = vec![out];
+        while let Some(out) = work.pop() {
+            for (delay, ev) in out.schedule {
+                self.push(self.now + delay, Action::Net(ev));
+            }
+            for n in out.notifies {
+                match n {
+                    Notify::TxReady(a) => {
+                        if let Some(q) = self.waiting_tx.get_mut(&a) {
+                            if let Some(frame) = q.pop_front() {
+                                match self.fabric.try_send(self.now, frame) {
+                                    Ok(o) => work.push(o),
+                                    Err(e) => panic!("retry injection failed: {e}"),
+                                }
+                            }
+                        }
+                    }
+                    Notify::RxArrived(a) => {
+                        // Idealized kernel: drain immediately.
+                        let (frame, o) = self.fabric.rx_pop(self.now, a);
+                        if let Some(f) = frame {
+                            self.delivered.push((self.now, a, f));
+                        }
+                        work.push(o);
+                    }
+                }
+            }
+        }
+    }
+}

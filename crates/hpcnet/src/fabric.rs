@@ -1,0 +1,818 @@
+//! The HPC fabric: an event-driven model of clusters, links, and endpoint
+//! adapters with *hardware* flow control.
+//!
+//! "Flow-control in the HPC is implemented entirely in the interconnect
+//! hardware. This makes loss of messages due to buffer overflow impossible.
+//! [...] Each HPC link refuses to accept a message unless the hardware has
+//! room to buffer an entire message, forcing the sender to wait until the
+//! space is available. For outgoing processor links, the processor receives
+//! an interrupt when room becomes available. This scheme guarantees that
+//! messages are never lost by the interconnect and a fair hardware
+//! scheduling mechanism ensures that every sender is eventually serviced."
+//! (§2)
+//!
+//! **Deadlock freedom.** Store-and-forward with finite buffers is
+//! deadlock-free only when routes cannot form a buffer-dependency cycle.
+//! The provided topologies guarantee this: single clusters trivially,
+//! incomplete hypercubes by two-phase dimension-ordered routing, and any
+//! acyclic (tree) graph under BFS. Custom cyclic graphs routed by BFS can
+//! wedge under saturation (see `tests/topology_traffic.rs`); that matches
+//! real store-and-forward hardware, which is why the paper's machine is a
+//! hypercube.
+//!
+//! The model is a Mealy machine: [`Fabric::try_send`], [`Fabric::handle`]
+//! and [`Fabric::rx_pop`] mutate state and return an [`Output`] containing
+//! notifications for the embedding software layer plus future [`NetEvent`]s
+//! the embedder must schedule. The fabric itself holds no clock, so it can
+//! be driven by `desim`, by the standalone driver in [`crate::driver`], or
+//! directly by unit tests.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::config::{NetConfig, PORTS_PER_CLUSTER};
+use crate::frame::{Dest, Frame, FrameError, NodeAddr};
+use crate::topology::{Attachment, ClusterId, PortRef, Topology};
+
+/// Identifies one directed link in the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub u32);
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// One side of a directed link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Element {
+    Endpoint(NodeAddr),
+    Port(PortRef),
+}
+
+struct Link {
+    from: Element,
+    to: Element,
+    /// Transmitting right now.
+    busy: bool,
+    /// Frames fully arrived at the `to` side, awaiting forwarding/drain.
+    buf: VecDeque<Frame>,
+    /// Slots claimed by in-flight frames (reserved at transmission start —
+    /// this reservation *is* the hardware flow control).
+    reserved: usize,
+    cap: usize,
+    /// Total ns this link has spent transmitting (utilization statistics).
+    busy_ns: u64,
+}
+
+impl Link {
+    fn can_accept(&self) -> bool {
+        self.buf.len() + self.reserved < self.cap
+    }
+}
+
+struct EndpointState {
+    /// endpoint -> cluster.
+    up: LinkId,
+    /// cluster -> endpoint.
+    down: LinkId,
+    /// The output register is serializing.
+    tx_busy: bool,
+    /// Frame written by software, waiting for downstream buffer space.
+    out_reg: Option<Frame>,
+}
+
+/// Internal fabric event; opaque to embedders, who only need to schedule it
+/// back into [`Fabric::handle`] after the indicated delay.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A link finished serializing a frame.
+    LinkFree(LinkId),
+    /// A frame fully arrived at the receiving side of a link.
+    Arrive(LinkId, Frame),
+}
+
+/// Notification to the embedding software layer.
+#[derive(Debug)]
+pub enum Notify {
+    /// The endpoint's output register is free again ("the processor receives
+    /// an interrupt when room becomes available").
+    TxReady(NodeAddr),
+    /// A frame arrived in the endpoint's receive FIFO; drain it with
+    /// [`Fabric::rx_pop`].
+    RxArrived(NodeAddr),
+}
+
+/// What a fabric operation produced: software notifications plus events to
+/// schedule `delay_ns` in the future.
+#[derive(Debug, Default)]
+pub struct Output {
+    /// Notifications for the software layer, in order.
+    pub notifies: Vec<Notify>,
+    /// `(delay_ns, event)` pairs the embedder must schedule.
+    pub schedule: Vec<(u64, NetEvent)>,
+}
+
+/// Why [`Fabric::try_send`] rejected a frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// The output register still holds / is serializing a previous frame;
+    /// wait for [`Notify::TxReady`].
+    TxBusy,
+    /// The frame violates hardware limits.
+    Invalid(FrameError),
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::TxBusy => write!(f, "endpoint output register busy"),
+            SendError::Invalid(e) => write!(f, "invalid frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+fn elem_name(e: Element) -> String {
+    match e {
+        Element::Endpoint(a) => a.to_string(),
+        Element::Port(p) => format!("c{}p{}", p.cluster.0, p.port),
+    }
+}
+
+/// Aggregate fabric statistics.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// Frames handed to endpoint software (multicast counted per copy).
+    pub frames_delivered: u64,
+    /// Payload bytes delivered.
+    pub payload_bytes_delivered: u64,
+    /// Frames injected by endpoints.
+    pub frames_sent: u64,
+    /// Per-endpoint delivered-frame counts.
+    pub per_endpoint_rx: Vec<u64>,
+    /// Per-endpoint injected-frame counts.
+    pub per_endpoint_tx: Vec<u64>,
+}
+
+/// The HPC interconnect model. See module docs.
+pub struct Fabric {
+    cfg: NetConfig,
+    topo: Topology,
+    links: Vec<Link>,
+    eps: Vec<EndpointState>,
+    /// Per-cluster list of links terminating at that cluster, ordered by the
+    /// receiving port index (deterministic arbitration order).
+    cluster_inputs: Vec<Vec<LinkId>>,
+    /// Per-cluster outgoing link for each port.
+    port_out: Vec<[Option<LinkId>; PORTS_PER_CLUSTER]>,
+    /// Round-robin pointer per output link into `cluster_inputs` (fairness).
+    rr: Vec<usize>,
+    /// Frames currently inside the fabric (in a register, buffer or flight).
+    in_flight: usize,
+    /// Statistics.
+    pub stats: Stats,
+    now_ns: u64,
+}
+
+impl Fabric {
+    /// Build a fabric over `topo` with hardware parameters `cfg`.
+    pub fn new(topo: Topology, cfg: NetConfig) -> Self {
+        let mut links = Vec::new();
+        let mut cluster_inputs = vec![Vec::new(); topo.n_clusters()];
+        let mut port_out = vec![[None; PORTS_PER_CLUSTER]; topo.n_clusters()];
+        let mut eps = Vec::with_capacity(topo.n_endpoints());
+
+        let add_link = |links: &mut Vec<Link>, from: Element, to: Element, cap: usize| {
+            let id = LinkId(links.len() as u32);
+            links.push(Link {
+                from,
+                to,
+                busy: false,
+                buf: VecDeque::new(),
+                reserved: 0,
+                cap,
+                busy_ns: 0,
+            });
+            id
+        };
+
+        // Endpoint links first (ids correlate with NodeAddr order).
+        for addr in topo.endpoints() {
+            let p = topo.endpoint_port(addr);
+            let up = add_link(
+                &mut links,
+                Element::Endpoint(addr),
+                Element::Port(p),
+                cfg.cluster_port_slots,
+            );
+            let down = add_link(
+                &mut links,
+                Element::Port(p),
+                Element::Endpoint(addr),
+                cfg.endpoint_rx_slots,
+            );
+            cluster_inputs[p.cluster.0 as usize].push(up);
+            port_out[p.cluster.0 as usize][usize::from(p.port)] = Some(down);
+            eps.push(EndpointState {
+                up,
+                down,
+                tx_busy: false,
+                out_reg: None,
+            });
+        }
+
+        // Cluster-to-cluster links (each wired pair appears once per
+        // direction). Scan ports; create the pair when we see the lower id.
+        for c in 0..topo.n_clusters() {
+            for port in 0..PORTS_PER_CLUSTER {
+                let here = PortRef {
+                    cluster: ClusterId(c as u16),
+                    port: port as u8,
+                };
+                if let Attachment::Cluster(peer) = topo.attachment(here) {
+                    if (peer.cluster.0 as usize, usize::from(peer.port)) > (c, port) {
+                        let out = add_link(
+                            &mut links,
+                            Element::Port(here),
+                            Element::Port(peer),
+                            cfg.cluster_port_slots,
+                        );
+                        let back = add_link(
+                            &mut links,
+                            Element::Port(peer),
+                            Element::Port(here),
+                            cfg.cluster_port_slots,
+                        );
+                        port_out[c][port] = Some(out);
+                        port_out[peer.cluster.0 as usize][usize::from(peer.port)] = Some(back);
+                        cluster_inputs[peer.cluster.0 as usize].push(out);
+                        cluster_inputs[c].push(back);
+                    }
+                }
+            }
+        }
+        // Deterministic arbitration order: by receiving port index.
+        for (c, inputs) in cluster_inputs.iter_mut().enumerate() {
+            inputs.sort_by_key(|l| match links[l.0 as usize].to {
+                Element::Port(p) => {
+                    debug_assert_eq!(p.cluster.0 as usize, c);
+                    p.port
+                }
+                Element::Endpoint(_) => unreachable!("cluster input ends at a port"),
+            });
+        }
+
+        let n_links = links.len();
+        let n_eps = eps.len();
+        Fabric {
+            cfg,
+            topo,
+            links,
+            eps,
+            cluster_inputs,
+            port_out,
+            rr: vec![0; n_links],
+            in_flight: 0,
+            stats: Stats {
+                per_endpoint_rx: vec![0; n_eps],
+                per_endpoint_tx: vec![0; n_eps],
+                ..Default::default()
+            },
+            now_ns: 0,
+        }
+    }
+
+    /// The topology this fabric was built over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// True iff `src` can accept a new frame into its output register.
+    pub fn can_send(&self, src: NodeAddr) -> bool {
+        let e = &self.eps[src.0 as usize];
+        !e.tx_busy && e.out_reg.is_none()
+    }
+
+    /// Software writes a frame to the endpoint's output register.
+    ///
+    /// On success the frame is inside the hardware and will be delivered;
+    /// progress (serialization start, etc.) is reflected in the returned
+    /// [`Output`]. `now_ns` is the current time (statistics only).
+    pub fn try_send(&mut self, now_ns: u64, frame: Frame) -> Result<Output, SendError> {
+        self.now_ns = now_ns;
+        frame.validate().map_err(SendError::Invalid)?;
+        if !self.can_send(frame.src) {
+            return Err(SendError::TxBusy);
+        }
+        self.stats.frames_sent += 1;
+        self.stats.per_endpoint_tx[frame.src.0 as usize] += 1;
+        let src = frame.src;
+        self.eps[src.0 as usize].out_reg = Some(frame);
+        self.in_flight += 1;
+        let mut out = Output::default();
+        self.progress(&mut out);
+        Ok(out)
+    }
+
+    /// Process a previously scheduled fabric event.
+    pub fn handle(&mut self, now_ns: u64, ev: NetEvent) -> Output {
+        self.now_ns = now_ns;
+        let mut out = Output::default();
+        match ev {
+            NetEvent::LinkFree(l) => {
+                let link = &mut self.links[l.0 as usize];
+                debug_assert!(link.busy);
+                link.busy = false;
+                if let Element::Endpoint(a) = link.from {
+                    self.eps[a.0 as usize].tx_busy = false;
+                    self.progress(&mut out);
+                    // Only signal readiness if progress did not immediately
+                    // refill the transmitter (it cannot: software has not
+                    // run), but keep the check for robustness.
+                    if self.can_send(a) {
+                        out.notifies.push(Notify::TxReady(a));
+                    }
+                } else {
+                    self.progress(&mut out);
+                }
+            }
+            NetEvent::Arrive(l, frame) => {
+                let link = &mut self.links[l.0 as usize];
+                debug_assert!(link.reserved > 0);
+                link.reserved -= 1;
+                let to = link.to;
+                link.buf.push_back(frame);
+                if let Element::Endpoint(a) = to {
+                    out.notifies.push(Notify::RxArrived(a));
+                }
+                self.progress(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Number of frames waiting in an endpoint's receive FIFO.
+    pub fn rx_depth(&self, node: NodeAddr) -> usize {
+        self.links[self.eps[node.0 as usize].down.0 as usize].buf.len()
+    }
+
+    /// Peek at the head of an endpoint's receive FIFO.
+    pub fn rx_peek(&self, node: NodeAddr) -> Option<&Frame> {
+        self.links[self.eps[node.0 as usize].down.0 as usize]
+            .buf
+            .front()
+    }
+
+    /// Software drains one frame from the endpoint's receive FIFO, freeing
+    /// the hardware buffer slot (which may unblock upstream transmissions,
+    /// reflected in the returned [`Output`]).
+    pub fn rx_pop(&mut self, now_ns: u64, node: NodeAddr) -> (Option<Frame>, Output) {
+        self.now_ns = now_ns;
+        let down = self.eps[node.0 as usize].down;
+        let frame = self.links[down.0 as usize].buf.pop_front();
+        let mut out = Output::default();
+        if let Some(f) = &frame {
+            self.in_flight -= 1;
+            self.stats.frames_delivered += 1;
+            self.stats.payload_bytes_delivered += u64::from(f.payload.len());
+            self.stats.per_endpoint_rx[node.0 as usize] += 1;
+            self.progress(&mut out);
+        }
+        (frame, out)
+    }
+
+    /// Frames currently inside the fabric (registers, buffers, in flight).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Total transmitting time of the busiest link, in ns (diagnostics).
+    pub fn max_link_busy_ns(&self) -> u64 {
+        self.links.iter().map(|l| l.busy_ns).max().unwrap_or(0)
+    }
+
+    /// Per-link utilization snapshot: `(link, description, busy_ns,
+    /// buffered frames)` for every directed link, in id order. The
+    /// description names the two elements the link joins.
+    pub fn link_report(&self) -> Vec<(LinkId, String, u64, usize)> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let desc = format!("{} -> {}", elem_name(l.from), elem_name(l.to));
+                (LinkId(i as u32), desc, l.busy_ns, l.buf.len())
+            })
+            .collect()
+    }
+
+    /// Number of directed links in the fabric.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The destination port on `cluster` for each target of `dst`, grouped:
+    /// returns the ports in ascending order with their target subsets.
+    fn group_by_port(&self, cluster: ClusterId, dst: &Dest) -> Vec<(u8, Vec<NodeAddr>)> {
+        let mut groups: Vec<(u8, Vec<NodeAddr>)> = Vec::new();
+        for &t in dst.targets() {
+            let port = self.topo.route(cluster, t);
+            match groups.iter_mut().find(|(p, _)| *p == port) {
+                Some((_, v)) => v.push(t),
+                None => groups.push((port, vec![t])),
+            }
+        }
+        groups.sort_by_key(|(p, _)| *p);
+        groups
+    }
+
+    /// Start every transmission that can start, repeating until quiescent.
+    fn progress(&mut self, out: &mut Output) {
+        loop {
+            let mut changed = false;
+
+            // Endpoint injections.
+            for i in 0..self.eps.len() {
+                let up = self.eps[i].up;
+                if !self.eps[i].tx_busy
+                    && self.eps[i].out_reg.is_some()
+                    && !self.links[up.0 as usize].busy
+                    && self.links[up.0 as usize].can_accept()
+                {
+                    let frame = self.eps[i].out_reg.take().expect("checked");
+                    self.eps[i].tx_busy = true;
+                    self.start_tx(up, frame, out);
+                    changed = true;
+                }
+            }
+
+            // Cluster forwarding, one output port at a time, fair
+            // round-robin over that cluster's inputs.
+            for c in 0..self.cluster_inputs.len() {
+                for port in 0..PORTS_PER_CLUSTER {
+                    let Some(out_link) = self.port_out[c][port] else {
+                        continue;
+                    };
+                    if self.links[out_link.0 as usize].busy
+                        || !self.links[out_link.0 as usize].can_accept()
+                    {
+                        continue;
+                    }
+                    if self.forward_one(ClusterId(c as u16), port as u8, out_link, out) {
+                        changed = true;
+                    }
+                }
+            }
+
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// Try to start one transmission on `out_link` (output `port` of
+    /// `cluster`), taking the next input in round-robin order whose head
+    /// frame routes (at least partially) through this port. Returns true if
+    /// a transmission started.
+    fn forward_one(
+        &mut self,
+        cluster: ClusterId,
+        port: u8,
+        out_link: LinkId,
+        out: &mut Output,
+    ) -> bool {
+        let inputs = &self.cluster_inputs[cluster.0 as usize];
+        let n = inputs.len();
+        if n == 0 {
+            return false;
+        }
+        let start = self.rr[out_link.0 as usize] % n;
+        for k in 0..n {
+            let input = inputs[(start + k) % n];
+            let Some(head) = self.links[input.0 as usize].buf.front() else {
+                continue;
+            };
+            let groups = self.group_by_port(cluster, &head.dst);
+            let Some((_, targets)) = groups.into_iter().find(|(p, _)| *p == port) else {
+                continue;
+            };
+            // Found a frame (or a multicast branch of one) for this port.
+            self.rr[out_link.0 as usize] = (start + k + 1) % n;
+            let head = self.links[input.0 as usize]
+                .buf
+                .front_mut()
+                .expect("checked");
+            let sub_dst = if targets.len() == 1 {
+                Dest::Unicast(targets[0])
+            } else {
+                Dest::Multicast(targets.clone())
+            };
+            let mut copy = head.clone();
+            copy.dst = sub_dst;
+            // Remove the transmitted targets from the head frame; pop the
+            // buffer slot when every branch has been forwarded.
+            let remaining: Vec<NodeAddr> = head
+                .dst
+                .targets()
+                .iter()
+                .copied()
+                .filter(|t| !targets.contains(t))
+                .collect();
+            if remaining.is_empty() {
+                self.links[input.0 as usize].buf.pop_front();
+            } else {
+                head.dst = Dest::Multicast(remaining);
+                // A replicated branch is a new frame inside the fabric.
+                self.in_flight += 1;
+            }
+            self.start_tx(out_link, copy, out);
+            return true;
+        }
+        false
+    }
+
+    fn start_tx(&mut self, l: LinkId, frame: Frame, out: &mut Output) {
+        let ser = self.cfg.serialize_ns(frame.wire_bytes());
+        let link = &mut self.links[l.0 as usize];
+        debug_assert!(!link.busy && link.can_accept());
+        link.busy = true;
+        link.reserved += 1;
+        link.busy_ns += ser;
+        out.schedule.push((ser, NetEvent::LinkFree(l)));
+        out.schedule
+            .push((ser + self.cfg.hop_latency_ns, NetEvent::Arrive(l, frame)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::StandaloneNet;
+    use crate::frame::Payload;
+
+    fn two_node_net() -> StandaloneNet {
+        StandaloneNet::new(Fabric::new(
+            Topology::single_cluster(2).unwrap(),
+            NetConfig::paper_1988(),
+        ))
+    }
+
+    #[test]
+    fn unicast_delivery_same_cluster() {
+        let mut net = two_node_net();
+        net.send_at(
+            0,
+            Frame::unicast(NodeAddr(0), NodeAddr(1), 7, 42, Payload::Synthetic(4)),
+        );
+        net.run();
+        assert_eq!(net.delivered.len(), 1);
+        let (t, to, f) = &net.delivered[0];
+        assert_eq!(*to, NodeAddr(1));
+        assert_eq!(f.kind, 7);
+        assert_eq!(f.seq, 42);
+        // Two hops (node->cluster, cluster->node), each 40 B * 50 ns + 500 ns.
+        assert_eq!(*t, 2 * (40 * 50 + 500));
+        assert_eq!(net.fabric.in_flight(), 0);
+    }
+
+    #[test]
+    fn payload_data_survives_transit() {
+        let mut net = two_node_net();
+        net.send_at(
+            0,
+            Frame::unicast(
+                NodeAddr(0),
+                NodeAddr(1),
+                0,
+                0,
+                Payload::copy_from(&[9, 8, 7, 6]),
+            ),
+        );
+        net.run();
+        assert_eq!(
+            net.delivered[0].2.payload.bytes().unwrap().as_ref(),
+            &[9, 8, 7, 6]
+        );
+    }
+
+    #[test]
+    fn multi_hop_crosses_clusters() {
+        let topo = Topology::incomplete_hypercube(4, 2).unwrap();
+        let hops = topo.hops(NodeAddr(0), NodeAddr(7));
+        assert_eq!(hops, 2); // cluster 0 -> 1 -> 3 or 0 -> 2 -> 3
+        let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
+        net.send_at(
+            0,
+            Frame::unicast(NodeAddr(0), NodeAddr(7), 0, 0, Payload::Synthetic(100)),
+        );
+        net.run();
+        assert_eq!(net.delivered.len(), 1);
+        // Store-and-forward over 4 links (node->c0->c3' path->node): time is
+        // 4 * (serialize + hop latency) for (100+36) bytes.
+        let per_hop = 136 * 50 + 500;
+        assert_eq!(net.delivered[0].0, 4 * per_hop);
+    }
+
+    #[test]
+    fn back_to_back_frames_keep_fifo_order() {
+        let mut net = two_node_net();
+        // Queue three sends; the driver retries TxBusy when TxReady fires.
+        for seq in 0..3 {
+            net.send_at(
+                0,
+                Frame::unicast(NodeAddr(0), NodeAddr(1), 0, seq, Payload::Synthetic(512)),
+            );
+        }
+        net.run();
+        let seqs: Vec<u64> = net.delivered.iter().map(|(_, _, f)| f.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn oversize_frame_rejected() {
+        let mut f = Fabric::new(
+            Topology::single_cluster(2).unwrap(),
+            NetConfig::paper_1988(),
+        );
+        let err = f
+            .try_send(
+                0,
+                Frame::unicast(NodeAddr(0), NodeAddr(1), 0, 0, Payload::Synthetic(2000)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SendError::Invalid(FrameError::TooLong { .. })));
+    }
+
+    #[test]
+    fn tx_busy_until_ready() {
+        let mut f = Fabric::new(
+            Topology::single_cluster(2).unwrap(),
+            NetConfig::paper_1988(),
+        );
+        let mk = |seq| Frame::unicast(NodeAddr(0), NodeAddr(1), 0, seq, Payload::Synthetic(4));
+        assert!(f.can_send(NodeAddr(0)));
+        f.try_send(0, mk(0)).unwrap();
+        assert!(!f.can_send(NodeAddr(0)));
+        assert_eq!(f.try_send(0, mk(1)).unwrap_err(), SendError::TxBusy);
+    }
+
+    #[test]
+    fn multicast_replicates_in_fabric_not_at_source() {
+        // 2 clusters, 3 endpoints each; node 0 multicasts to 3..6 on the
+        // other cluster: the inter-cluster link must carry the frame ONCE.
+        let topo = Topology::incomplete_hypercube(2, 3).unwrap();
+        let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
+        net.send_at(
+            0,
+            Frame {
+                src: NodeAddr(0),
+                dst: Dest::Multicast(vec![NodeAddr(3), NodeAddr(4), NodeAddr(5)]),
+                kind: 0,
+                seq: 0,
+                payload: Payload::Synthetic(1024),
+            },
+        );
+        net.run();
+        assert_eq!(net.delivered.len(), 3);
+        let mut who: Vec<u16> = net.delivered.iter().map(|(_, to, _)| to.0).collect();
+        who.sort_unstable();
+        assert_eq!(who, vec![3, 4, 5]);
+        // Source sent exactly one frame.
+        assert_eq!(net.fabric.stats.frames_sent, 1);
+        assert_eq!(net.fabric.stats.frames_delivered, 3);
+        assert_eq!(net.fabric.in_flight(), 0);
+    }
+
+    #[test]
+    fn multicast_to_local_and_remote_targets() {
+        let topo = Topology::incomplete_hypercube(2, 3).unwrap();
+        let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
+        net.send_at(
+            0,
+            Frame {
+                src: NodeAddr(0),
+                dst: Dest::Multicast(vec![NodeAddr(1), NodeAddr(2), NodeAddr(4)]),
+                kind: 0,
+                seq: 9,
+                payload: Payload::Synthetic(64),
+            },
+        );
+        net.run();
+        let mut who: Vec<u16> = net.delivered.iter().map(|(_, to, _)| to.0).collect();
+        who.sort_unstable();
+        assert_eq!(who, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn many_to_one_never_loses_frames() {
+        // The §2 scenario that broke the S/NET: many senders target one
+        // receiver simultaneously. The HPC must deliver everything.
+        let topo = Topology::single_cluster(12).unwrap();
+        let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
+        for src in 1..12u16 {
+            for seq in 0..5 {
+                net.send_at(
+                    0,
+                    Frame::unicast(NodeAddr(src), NodeAddr(0), 0, seq, Payload::Synthetic(1024)),
+                );
+            }
+        }
+        net.run();
+        assert_eq!(net.delivered.len(), 55);
+        assert_eq!(net.fabric.in_flight(), 0);
+        // Fairness: every sender's frame 0 arrives before any sender's
+        // frame 4 (round-robin arbitration cannot starve anyone).
+        let pos_of = |src: u16, seq: u64| {
+            net.delivered
+                .iter()
+                .position(|(_, _, f)| f.src == NodeAddr(src) && f.seq == seq)
+                .unwrap()
+        };
+        for src in 1..12u16 {
+            for other in 1..12u16 {
+                assert!(
+                    pos_of(src, 0) < pos_of(other, 4),
+                    "sender {src} frame 0 starved behind {other} frame 4"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_pair_fifo_under_contention() {
+        let topo = Topology::incomplete_hypercube(4, 3).unwrap();
+        let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
+        let n = net.fabric.topology().n_endpoints() as u16;
+        for src in 0..n {
+            for seq in 0..4 {
+                let dst = (src + 1) % n;
+                net.send_at(
+                    0,
+                    Frame::unicast(NodeAddr(src), NodeAddr(dst), 0, seq, Payload::Synthetic(256)),
+                );
+            }
+        }
+        net.run();
+        assert_eq!(net.delivered.len(), usize::from(n) * 4);
+        // FIFO per (src, dst) pair.
+        for src in 0..n {
+            let seqs: Vec<u64> = net
+                .delivered
+                .iter()
+                .filter(|(_, _, f)| f.src == NodeAddr(src))
+                .map(|(_, _, f)| f.seq)
+                .collect();
+            assert_eq!(seqs, vec![0, 1, 2, 3], "src {src} reordered");
+        }
+    }
+
+    #[test]
+    fn stats_account_bytes() {
+        let mut net = two_node_net();
+        net.send_at(
+            0,
+            Frame::unicast(NodeAddr(0), NodeAddr(1), 0, 0, Payload::Synthetic(100)),
+        );
+        net.run();
+        assert_eq!(net.fabric.stats.payload_bytes_delivered, 100);
+        assert_eq!(net.fabric.stats.per_endpoint_tx[0], 1);
+        assert_eq!(net.fabric.stats.per_endpoint_rx[1], 1);
+        assert!(net.fabric.max_link_busy_ns() > 0);
+    }
+}
+
+#[cfg(test)]
+mod report_tests {
+    use super::*;
+    use crate::driver::StandaloneNet;
+    use crate::frame::Payload;
+
+    #[test]
+    fn link_report_names_and_accounts() {
+        let topo = Topology::incomplete_hypercube(2, 2).unwrap();
+        let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
+        net.send_at(
+            0,
+            Frame::unicast(NodeAddr(0), NodeAddr(3), 0, 0, Payload::Synthetic(100)),
+        );
+        net.run();
+        let report = net.fabric.link_report();
+        // 4 endpoints x 2 links + 2 inter-cluster links.
+        assert_eq!(report.len(), net.fabric.n_links());
+        assert_eq!(report.len(), 10);
+        // The frame crossed clusters: some inter-cluster link was busy.
+        let cross_busy = report
+            .iter()
+            .any(|(_, d, busy, _)| d.contains("c0p0") && d.contains("c1p0") && *busy > 0);
+        assert!(cross_busy, "{report:?}");
+        // Quiescent: nothing buffered anywhere.
+        assert!(report.iter().all(|(_, _, _, buffered)| *buffered == 0));
+    }
+}

@@ -1,0 +1,578 @@
+//! Interconnect topology: clusters, ports, endpoint attachment, and routing.
+//!
+//! "A twelve node system can be constructed using a single cluster. Larger
+//! systems are built by using some port connections for processing nodes and
+//! some for connections to other clusters. While the hardware allows
+//! connections with arbitrary topologies, we have chosen to connect the
+//! clusters in the shape of an incomplete hypercube." (§1)
+//!
+//! Both options exist here: an arbitrary-graph builder routed by BFS, and the
+//! paper's incomplete hypercube routed by the deadlock-free two-phase rule
+//! (clear differing bits from high to low, then set differing bits from low
+//! to high — every intermediate cluster id stays below the cluster count,
+//! which is Katseff's incomplete-hypercube property).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::config::PORTS_PER_CLUSTER;
+use crate::frame::NodeAddr;
+
+/// Identifies one HPC cluster (a 12-port self-routing star).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterId(pub u16);
+
+impl fmt::Debug for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// One port of one cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct PortRef {
+    /// The cluster.
+    pub cluster: ClusterId,
+    /// Port index, `0..PORTS_PER_CLUSTER`.
+    pub port: u8,
+}
+
+/// What a cluster port is wired to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Attachment {
+    /// Nothing connected.
+    #[default]
+    Empty,
+    /// An endpoint (processing node or workstation).
+    Endpoint(NodeAddr),
+    /// A port of another cluster.
+    Cluster(PortRef),
+}
+
+/// Errors raised while building a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Port index outside `0..12`.
+    PortOutOfRange(PortRef),
+    /// The port already has an attachment.
+    PortInUse(PortRef),
+    /// A cluster id that was never added.
+    UnknownCluster(ClusterId),
+    /// Cluster connected to itself.
+    SelfLoop(ClusterId),
+    /// Some endpoint cannot reach some other endpoint.
+    Unreachable {
+        /// Cluster with no route.
+        from: ClusterId,
+        /// Unreachable destination cluster.
+        to: ClusterId,
+    },
+    /// A hypercube was requested with more endpoints per cluster than free
+    /// ports.
+    NotEnoughPorts {
+        /// Ports needed.
+        needed: usize,
+        /// Ports available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::PortOutOfRange(p) => write!(f, "port out of range: {p:?}"),
+            TopologyError::PortInUse(p) => write!(f, "port already in use: {p:?}"),
+            TopologyError::UnknownCluster(c) => write!(f, "unknown cluster {c:?}"),
+            TopologyError::SelfLoop(c) => write!(f, "cluster {c:?} connected to itself"),
+            TopologyError::Unreachable { from, to } => {
+                write!(f, "no route from {from:?} to {to:?}")
+            }
+            TopologyError::NotEnoughPorts { needed, available } => {
+                write!(f, "need {needed} ports per cluster, only {available} available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Incremental topology construction.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    clusters: Vec<[Attachment; PORTS_PER_CLUSTER]>,
+    endpoints: Vec<PortRef>, // indexed by NodeAddr
+}
+
+impl TopologyBuilder {
+    /// Start with no clusters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a cluster; returns its id.
+    pub fn add_cluster(&mut self) -> ClusterId {
+        let id = ClusterId(self.clusters.len() as u16);
+        self.clusters.push(Default::default());
+        id
+    }
+
+    fn check_port(&self, p: PortRef) -> Result<(), TopologyError> {
+        if p.cluster.0 as usize >= self.clusters.len() {
+            return Err(TopologyError::UnknownCluster(p.cluster));
+        }
+        if usize::from(p.port) >= PORTS_PER_CLUSTER {
+            return Err(TopologyError::PortOutOfRange(p));
+        }
+        if self.clusters[p.cluster.0 as usize][usize::from(p.port)] != Attachment::Empty {
+            return Err(TopologyError::PortInUse(p));
+        }
+        Ok(())
+    }
+
+    /// Wire two cluster ports together (full duplex).
+    pub fn connect(&mut self, a: PortRef, b: PortRef) -> Result<(), TopologyError> {
+        if a.cluster == b.cluster {
+            return Err(TopologyError::SelfLoop(a.cluster));
+        }
+        self.check_port(a)?;
+        self.check_port(b)?;
+        self.clusters[a.cluster.0 as usize][usize::from(a.port)] = Attachment::Cluster(b);
+        self.clusters[b.cluster.0 as usize][usize::from(b.port)] = Attachment::Cluster(a);
+        Ok(())
+    }
+
+    /// Attach a new endpoint to a cluster port; returns its address.
+    pub fn attach_endpoint(&mut self, p: PortRef) -> Result<NodeAddr, TopologyError> {
+        self.check_port(p)?;
+        let addr = NodeAddr(self.endpoints.len() as u16);
+        self.clusters[p.cluster.0 as usize][usize::from(p.port)] = Attachment::Endpoint(addr);
+        self.endpoints.push(p);
+        Ok(addr)
+    }
+
+    /// Attach a new endpoint to the first free port of `cluster`.
+    pub fn attach_endpoint_auto(&mut self, cluster: ClusterId) -> Result<NodeAddr, TopologyError> {
+        if cluster.0 as usize >= self.clusters.len() {
+            return Err(TopologyError::UnknownCluster(cluster));
+        }
+        let free = self.clusters[cluster.0 as usize]
+            .iter()
+            .position(|a| *a == Attachment::Empty)
+            .ok_or(TopologyError::NotEnoughPorts {
+                needed: 1,
+                available: 0,
+            })?;
+        self.attach_endpoint(PortRef {
+            cluster,
+            port: free as u8,
+        })
+    }
+
+    /// Finalize: compute routing tables (BFS over the cluster graph).
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        Topology::finish(self.clusters, self.endpoints, RoutingMode::Bfs)
+    }
+}
+
+/// How inter-cluster routes are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// Shortest path by breadth-first search (arbitrary topologies).
+    Bfs,
+    /// Incomplete-hypercube two-phase bit-fixing (clear high→low, then set
+    /// low→high). Deterministic, minimal, and every intermediate cluster id
+    /// is `< cluster count`.
+    IncompleteHypercube,
+}
+
+/// A finalized interconnect topology with routing tables.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    clusters: Vec<[Attachment; PORTS_PER_CLUSTER]>,
+    endpoints: Vec<PortRef>,
+    /// `next_port[c][d]` = output port on cluster `c` toward cluster `d`
+    /// (`u8::MAX` for c == d).
+    next_port: Vec<Vec<u8>>,
+    mode: RoutingMode,
+}
+
+impl Topology {
+    /// A single cluster with `n` endpoints (`n <= 12`).
+    pub fn single_cluster(n: usize) -> Result<Topology, TopologyError> {
+        if n > PORTS_PER_CLUSTER {
+            return Err(TopologyError::NotEnoughPorts {
+                needed: n,
+                available: PORTS_PER_CLUSTER,
+            });
+        }
+        let mut b = TopologyBuilder::new();
+        let c = b.add_cluster();
+        for _ in 0..n {
+            b.attach_endpoint_auto(c)?;
+        }
+        b.build()
+    }
+
+    /// The paper's incomplete hypercube: `n_clusters` clusters (any count
+    /// ≥ 1, not necessarily a power of two), cluster `c` linked to
+    /// `c ^ (1<<d)` for every dimension `d` where the partner exists, with
+    /// `endpoints_per_cluster` endpoints on each cluster's remaining ports.
+    ///
+    /// Dimension `d` always uses port `d` on both sides, so with `D`
+    /// dimensions the endpoints occupy ports `D..D+endpoints_per_cluster`.
+    /// A 1024-node system is `incomplete_hypercube(256, 4)`: 8 dimension
+    /// ports + 4 endpoint ports, exactly the paper's example.
+    pub fn incomplete_hypercube(
+        n_clusters: usize,
+        endpoints_per_cluster: usize,
+    ) -> Result<Topology, TopologyError> {
+        assert!(n_clusters >= 1, "need at least one cluster");
+        let dims = dims_for(n_clusters);
+        if dims + endpoints_per_cluster > PORTS_PER_CLUSTER {
+            return Err(TopologyError::NotEnoughPorts {
+                needed: dims + endpoints_per_cluster,
+                available: PORTS_PER_CLUSTER,
+            });
+        }
+        let mut b = TopologyBuilder::new();
+        for _ in 0..n_clusters {
+            b.add_cluster();
+        }
+        for c in 0..n_clusters {
+            for d in 0..dims {
+                let peer = c ^ (1 << d);
+                if peer < n_clusters && peer > c {
+                    b.connect(
+                        PortRef {
+                            cluster: ClusterId(c as u16),
+                            port: d as u8,
+                        },
+                        PortRef {
+                            cluster: ClusterId(peer as u16),
+                            port: d as u8,
+                        },
+                    )?;
+                }
+            }
+        }
+        for c in 0..n_clusters {
+            for e in 0..endpoints_per_cluster {
+                b.attach_endpoint(PortRef {
+                    cluster: ClusterId(c as u16),
+                    port: (dims + e) as u8,
+                })?;
+            }
+        }
+        Topology::finish(b.clusters, b.endpoints, RoutingMode::IncompleteHypercube)
+    }
+
+    fn finish(
+        clusters: Vec<[Attachment; PORTS_PER_CLUSTER]>,
+        endpoints: Vec<PortRef>,
+        mode: RoutingMode,
+    ) -> Result<Topology, TopologyError> {
+        let n = clusters.len();
+        let mut next_port = vec![vec![u8::MAX; n]; n];
+        match mode {
+            RoutingMode::Bfs => {
+                // BFS from every destination cluster over reversed edges
+                // gives, per source, the first hop of one shortest path.
+                for dst in 0..n {
+                    let mut dist = vec![usize::MAX; n];
+                    dist[dst] = 0;
+                    let mut q = VecDeque::from([dst]);
+                    while let Some(c) = q.pop_front() {
+                        for (port, att) in clusters[c].iter().enumerate() {
+                            if let Attachment::Cluster(peer) = att {
+                                let p = peer.cluster.0 as usize;
+                                if dist[p] == usize::MAX {
+                                    dist[p] = dist[c] + 1;
+                                    q.push_back(p);
+                                }
+                                // Record the port on `p` that leads back to
+                                // `c` if that is a step toward `dst`.
+                                if dist[p] == dist[c] + 1
+                                    && next_port[p][dst] == u8::MAX
+                                {
+                                    next_port[p][dst] = peer.port;
+                                }
+                                let _ = port;
+                            }
+                        }
+                    }
+                    for (src, d) in dist.iter().enumerate() {
+                        if src != dst && *d == usize::MAX {
+                            return Err(TopologyError::Unreachable {
+                                from: ClusterId(src as u16),
+                                to: ClusterId(dst as u16),
+                            });
+                        }
+                    }
+                }
+            }
+            RoutingMode::IncompleteHypercube => {
+                for (src, row) in next_port.iter_mut().enumerate() {
+                    for (dst, port) in row.iter_mut().enumerate() {
+                        if src != dst {
+                            *port = hypercube_next_dim(src, dst) as u8;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Topology {
+            clusters,
+            endpoints,
+            next_port,
+            mode,
+        })
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of endpoints.
+    pub fn n_endpoints(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// All endpoint addresses.
+    pub fn endpoints(&self) -> impl Iterator<Item = NodeAddr> + '_ {
+        (0..self.endpoints.len()).map(|i| NodeAddr(i as u16))
+    }
+
+    /// The routing mode in effect.
+    pub fn mode(&self) -> RoutingMode {
+        self.mode
+    }
+
+    /// The port an endpoint is attached to.
+    pub fn endpoint_port(&self, addr: NodeAddr) -> PortRef {
+        self.endpoints[addr.0 as usize]
+    }
+
+    /// The cluster an endpoint is attached to.
+    pub fn cluster_of(&self, addr: NodeAddr) -> ClusterId {
+        self.endpoints[addr.0 as usize].cluster
+    }
+
+    /// What is attached to a given cluster port.
+    pub fn attachment(&self, p: PortRef) -> Attachment {
+        self.clusters[p.cluster.0 as usize][usize::from(p.port)]
+    }
+
+    /// The output port on `cluster` for a frame addressed to `dst`.
+    pub fn route(&self, cluster: ClusterId, dst: NodeAddr) -> u8 {
+        let dp = self.endpoints[dst.0 as usize];
+        if dp.cluster == cluster {
+            dp.port
+        } else {
+            self.next_port[cluster.0 as usize][dp.cluster.0 as usize]
+        }
+    }
+
+    /// The sequence of clusters a unicast frame traverses from the cluster
+    /// of `src` to the cluster of `dst` (inclusive). Diagnostic helper.
+    pub fn cluster_path(&self, src: NodeAddr, dst: NodeAddr) -> Vec<ClusterId> {
+        let mut here = self.cluster_of(src);
+        let goal = self.cluster_of(dst);
+        let mut path = vec![here];
+        while here != goal {
+            let port = self.route(here, dst);
+            match self.attachment(PortRef {
+                cluster: here,
+                port,
+            }) {
+                Attachment::Cluster(peer) => {
+                    here = peer.cluster;
+                    path.push(here);
+                }
+                other => panic!("route led to non-cluster attachment {other:?}"),
+            }
+            assert!(path.len() <= self.clusters.len() + 1, "routing loop");
+        }
+        path
+    }
+
+    /// Number of cluster-to-cluster hops between two endpoints.
+    pub fn hops(&self, src: NodeAddr, dst: NodeAddr) -> usize {
+        self.cluster_path(src, dst).len() - 1
+    }
+}
+
+/// Number of hypercube dimensions needed for `n` clusters.
+fn dims_for(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Next dimension to correct when routing `src -> dst` in an incomplete
+/// hypercube: first clear differing 1-bits of `src` from high to low, then
+/// set differing 1-bits of `dst` from low to high. Every intermediate id is
+/// `<= max(src, dst)`, hence always a valid cluster.
+fn hypercube_next_dim(src: usize, dst: usize) -> usize {
+    debug_assert_ne!(src, dst);
+    let diff = src ^ dst;
+    let clears = diff & src; // bits that are 1 in src, 0 in dst
+    if clears != 0 {
+        (usize::BITS - 1 - clears.leading_zeros()) as usize
+    } else {
+        diff.trailing_zeros() as usize // lowest bit to set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cluster_layout() {
+        let t = Topology::single_cluster(12).unwrap();
+        assert_eq!(t.n_clusters(), 1);
+        assert_eq!(t.n_endpoints(), 12);
+        assert_eq!(t.hops(NodeAddr(0), NodeAddr(11)), 0);
+        assert!(Topology::single_cluster(13).is_err());
+    }
+
+    #[test]
+    fn route_on_same_cluster_is_direct_port() {
+        let t = Topology::single_cluster(3).unwrap();
+        let c = ClusterId(0);
+        assert_eq!(t.route(c, NodeAddr(0)), 0);
+        assert_eq!(t.route(c, NodeAddr(2)), 2);
+    }
+
+    #[test]
+    fn paper_1024_node_configuration() {
+        // "A hypercube-based system with 1024 nodes can be built with 256
+        // clusters by using 8 of the 12 ports on each cluster for
+        // connections to other clusters and the other four for connections
+        // to processing nodes." (§1)
+        let t = Topology::incomplete_hypercube(256, 4).unwrap();
+        assert_eq!(t.n_clusters(), 256);
+        assert_eq!(t.n_endpoints(), 1024);
+        // Longest route: 8 dimension corrections.
+        assert_eq!(t.hops(NodeAddr(0), NodeAddr(1023)), 8);
+    }
+
+    #[test]
+    fn incomplete_hypercube_routes_stay_valid() {
+        // 6 clusters: ids 0..6, 3 dimensions, some links missing.
+        let t = Topology::incomplete_hypercube(6, 2).unwrap();
+        for s in t.endpoints() {
+            for d in t.endpoints() {
+                if s != d {
+                    let path = t.cluster_path(s, d);
+                    for c in &path {
+                        assert!((c.0 as usize) < 6, "intermediate {c:?} out of range");
+                    }
+                    // Minimality: hop count equals hamming distance when it
+                    // uses only existing links; never exceeds dims * 2.
+                    let sc = t.cluster_of(s).0 as usize;
+                    let dc = t.cluster_of(d).0 as usize;
+                    assert_eq!(path.len() - 1, (sc ^ dc).count_ones() as usize);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_routing_on_arbitrary_graph() {
+        // A line of three clusters: 0 - 1 - 2.
+        let mut b = TopologyBuilder::new();
+        let c0 = b.add_cluster();
+        let c1 = b.add_cluster();
+        let c2 = b.add_cluster();
+        b.connect(
+            PortRef { cluster: c0, port: 0 },
+            PortRef { cluster: c1, port: 0 },
+        )
+        .unwrap();
+        b.connect(
+            PortRef { cluster: c1, port: 1 },
+            PortRef { cluster: c2, port: 0 },
+        )
+        .unwrap();
+        let a = b.attach_endpoint_auto(c0).unwrap();
+        let z = b.attach_endpoint_auto(c2).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.hops(a, z), 2);
+        assert_eq!(
+            t.cluster_path(a, z),
+            vec![ClusterId(0), ClusterId(1), ClusterId(2)]
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let mut b = TopologyBuilder::new();
+        let c0 = b.add_cluster();
+        let c1 = b.add_cluster();
+        b.attach_endpoint_auto(c0).unwrap();
+        b.attach_endpoint_auto(c1).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(TopologyError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_detects_misuse() {
+        let mut b = TopologyBuilder::new();
+        let c0 = b.add_cluster();
+        let c1 = b.add_cluster();
+        assert!(matches!(
+            b.connect(
+                PortRef { cluster: c0, port: 0 },
+                PortRef { cluster: c0, port: 1 }
+            ),
+            Err(TopologyError::SelfLoop(_))
+        ));
+        assert!(matches!(
+            b.connect(
+                PortRef { cluster: c0, port: 12 },
+                PortRef { cluster: c1, port: 0 }
+            ),
+            Err(TopologyError::PortOutOfRange(_))
+        ));
+        b.connect(
+            PortRef { cluster: c0, port: 0 },
+            PortRef { cluster: c1, port: 0 },
+        )
+        .unwrap();
+        assert!(matches!(
+            b.attach_endpoint(PortRef { cluster: c0, port: 0 }),
+            Err(TopologyError::PortInUse(_))
+        ));
+        assert!(matches!(
+            b.attach_endpoint(PortRef {
+                cluster: ClusterId(9),
+                port: 0
+            }),
+            Err(TopologyError::UnknownCluster(_))
+        ));
+    }
+
+    #[test]
+    fn dims_for_counts() {
+        assert_eq!(dims_for(1), 0);
+        assert_eq!(dims_for(2), 1);
+        assert_eq!(dims_for(3), 2);
+        assert_eq!(dims_for(4), 2);
+        assert_eq!(dims_for(5), 3);
+        assert_eq!(dims_for(256), 8);
+    }
+
+    #[test]
+    fn two_phase_rule_clears_then_sets() {
+        // 2(010) -> 5(101): clear bit1 first, then set bit0, then bit2.
+        assert_eq!(hypercube_next_dim(0b010, 0b101), 1);
+        assert_eq!(hypercube_next_dim(0b000, 0b101), 0);
+        assert_eq!(hypercube_next_dim(0b001, 0b101), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Parameters of the S/NET bus, receiver FIFOs, and recovery strategies.
+
+/// Timing/capacity parameters for the S/NET model. All times in ns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnetConfig {
+    /// Receiver FIFO capacity in bytes. "The hardware provided a fifo input
+    /// buffer for each processor that could hold several incoming messages,
+    /// with a combined length up to 2048 bytes." (§2)
+    pub fifo_bytes: u32,
+    /// Bus serialization time per byte. The S/NET was "a high speed
+    /// interconnect" for its day; we model 10 MB/s.
+    pub bus_ns_per_byte: u64,
+    /// Fixed per-transfer bus overhead (arbitration, addressing).
+    pub bus_overhead_ns: u64,
+    /// Hardware envelope per message on the bus.
+    pub header_bytes: u32,
+    /// Receiver software FIFO read rate (kernel word-copy loop on a
+    /// Motorola 68000-class CPU), per byte.
+    pub sw_read_ns_per_byte: u64,
+    /// Receiver software per-message overhead (interrupt entry + dispatch).
+    pub sw_per_msg_ns: u64,
+    /// Granularity at which the receiver's FIFO read loop frees space. The
+    /// lockout of §2 depends on space being freed gradually ("the receiver
+    /// could not remove words from its fifo fast enough").
+    pub drain_chunk_bytes: u32,
+    /// Busy-retry loop interval: how quickly a rejected sender re-offers its
+    /// message ("continuously resend their message until it was
+    /// successfully received").
+    pub retry_ns: u64,
+    /// Initial random-backoff window; doubles per consecutive rejection.
+    pub backoff_initial_ns: u64,
+    /// Random-backoff window cap.
+    pub backoff_max_ns: u64,
+    /// Length of a reservation-protocol control message (request / grant).
+    pub control_bytes: u32,
+    /// Software cost to generate or act on a reservation control message.
+    pub reservation_sw_ns: u64,
+}
+
+impl SnetConfig {
+    /// The mid-1980s S/NET–Meglos system as described by the paper.
+    pub fn paper_1985() -> Self {
+        SnetConfig {
+            fifo_bytes: 2048,
+            bus_ns_per_byte: 100, // 10 MB/s
+            bus_overhead_ns: 2_000,
+            header_bytes: 12,
+            sw_read_ns_per_byte: 300,
+            sw_per_msg_ns: 50_000,
+            drain_chunk_bytes: 64,
+            retry_ns: 10_000,
+            backoff_initial_ns: 100_000,
+            backoff_max_ns: 10_000_000,
+            control_bytes: 16,
+            reservation_sw_ns: 30_000,
+        }
+    }
+
+    /// Bus occupancy of a message with `payload` bytes.
+    pub fn transfer_ns(&self, payload: u32) -> u64 {
+        self.bus_overhead_ns + self.bus_ns_per_byte * u64::from(payload + self.header_bytes)
+    }
+}
+
+impl Default for SnetConfig {
+    fn default() -> Self {
+        SnetConfig::paper_1985()
+    }
+}
+
+/// How a sender recovers when the receiver's FIFO rejects its message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Original Meglos plan: "continuously resend their message until it was
+    /// successfully received". Subject to lockout.
+    BusyRetry,
+    /// Ethernet-style random exponential backoff: avoids lockout "but when
+    /// many messages need to be retransmitted, communications runs at the
+    /// timeout rate".
+    RandomBackoff,
+    /// Reservation protocol: a short request precedes the data; the receiver
+    /// authorizes one sender at a time, eliminating overflow at the cost of
+    /// "extra software and communications overhead [that] would increase
+    /// latency for all messages".
+    Reservation,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Strategy::BusyRetry => "busy-retry",
+            Strategy::RandomBackoff => "random-backoff",
+            Strategy::Reservation => "reservation",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_includes_header_and_overhead() {
+        let c = SnetConfig::paper_1985();
+        assert_eq!(c.transfer_ns(0), 2_000 + 1_200);
+        assert_eq!(c.transfer_ns(1024), 2_000 + 100 * 1036);
+    }
+
+    #[test]
+    fn lockout_preconditions_hold_for_paper_defaults() {
+        // The §2 lockout requires the bus to deliver faster than the
+        // receiver software frees space: bytes freed during one long
+        // transfer must be smaller than the message.
+        let c = SnetConfig::paper_1985();
+        let msg = 1024 + c.header_bytes;
+        let transfer = c.transfer_ns(1024);
+        let freed_during_transfer = transfer / c.sw_read_ns_per_byte;
+        assert!(freed_during_transfer < u64::from(msg));
+    }
+
+    #[test]
+    fn twelve_150_byte_messages_fit_the_fifo() {
+        // "12 processors could each send a 150 byte message to a single
+        // processor without overflowing its fifo." (§2)
+        let c = SnetConfig::paper_1985();
+        assert!(12 * (150 + c.header_bytes) <= c.fifo_bytes);
+    }
+}

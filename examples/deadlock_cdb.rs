@@ -1,0 +1,60 @@
+//! The §6.1 scenario: an application deadlocks with "each process waiting
+//! for input from another process", and `cdb` pinpoints it.
+//!
+//! Run with: `cargo run --example deadlock_cdb`
+
+use hpc_vorx::vorx::channel;
+use hpc_vorx::vorx::hpcnet::{NodeAddr, Payload};
+use hpc_vorx::vorx::VorxBuilder;
+use hpc_vorx::vorx_tools::cdb;
+
+fn main() {
+    let mut system = VorxBuilder::single_cluster(4).build();
+
+    // A three-stage ring where every stage reads before writing — the
+    // "surprisingly common" §6.1 programming error.
+    for (me, inbound, outbound) in [(1u16, "c3", "c1"), (2, "c1", "c2"), (3, "c2", "c3")] {
+        system.spawn(format!("n{me}:stage"), move |ctx| {
+            let node = NodeAddr(me);
+            // Open in global name order so the rendezvous itself succeeds;
+            // the deadlock we are demonstrating is in the *communication*
+            // pattern, not in startup.
+            let (first, second) = if inbound < outbound {
+                (inbound, outbound)
+            } else {
+                (outbound, inbound)
+            };
+            let a = channel::open(&ctx, node, first);
+            let b = channel::open(&ctx, node, second);
+            let (rx, tx) = if inbound < outbound { (a, b) } else { (b, a) };
+            loop {
+                let _ = rx.read(&ctx).unwrap(); // everyone reads first: deadlock
+                tx.write(&ctx, Payload::Synthetic(8)).unwrap();
+            }
+        });
+    }
+
+    let report = system.run();
+    println!(
+        "application stopped with {} process(es) blocked:\n",
+        report.parked.len()
+    );
+
+    let world = system.world();
+    // Full channel-state listing...
+    print!("{}", cdb::render(&cdb::snapshot(&world)));
+    // ...filtered to blocked channels only...
+    let blocked = cdb::filtered(
+        &world,
+        &cdb::CdbFilter {
+            blocked_only: true,
+            ..Default::default()
+        },
+    );
+    println!("\nblocked-only filter: {} channels", blocked.len());
+    // ...and the wait-for cycle that explains it.
+    for cycle in cdb::deadlock_cycles(&world) {
+        let names: Vec<String> = cycle.iter().map(|n| n.to_string()).collect();
+        println!("deadlock cycle: {} -> (back to start)", names.join(" -> "));
+    }
+}

@@ -1,0 +1,32 @@
+//! The §4.2 image-processing workload: a 64x64 complex 2D FFT across eight
+//! processing nodes, redistributed both ways — multicast (the anti-pattern)
+//! and point-to-point (the paper's recommendation) — and verified against
+//! the serial transform.
+//!
+//! Run with: `cargo run --release --example fft2d`
+
+use hpc_vorx::vorx_apps::fft2d::{run_fft2d, Distribution, Fft2dParams};
+
+fn main() {
+    let n = 64;
+    let p = 8;
+    println!("distributed 2D FFT: {n}x{n} image on {p} nodes\n");
+    for (name, strategy) in [
+        ("multicast rows to everyone", Distribution::Multicast),
+        ("point-to-point (only needed data)", Distribution::PointToPoint),
+    ] {
+        let r = run_fft2d(Fft2dParams { n, p, strategy }, 42);
+        println!("{name}:");
+        println!("  total time          {}", r.elapsed);
+        println!("  redistribution time {}", r.distribute_max);
+        println!("  bytes/node received {}", r.bytes_rx[0]);
+        println!(
+            "  verified vs serial  max |err| = {:.2e}{}",
+            r.max_err,
+            if r.max_err < 1e-6 { "  ok" } else { "  MISMATCH" }
+        );
+        println!();
+    }
+    println!("\"It is usually better for the sender to produce a different message");
+    println!(" for each receiver that contains only the data that it needs.\" (§4.2)");
+}

@@ -1,0 +1,63 @@
+//! The Linda tuple space (§1/§4.1) running a master/worker program — the
+//! S/NET's marquee application, on simulated HPC/VORX.
+//!
+//! Run with: `cargo run --example linda`
+
+use desim::SimDuration;
+use hpc_vorx::vorx::hpcnet::NodeAddr;
+use hpc_vorx::vorx::VorxBuilder;
+use hpc_vorx::vorx_apps::linda::{Pat, TupleSpace, Val};
+
+fn main() {
+    let mut system = VorxBuilder::single_cluster(7).build();
+    // Tuple space partitioned over two kernel nodes.
+    let ts = TupleSpace::spawn(&system, vec![NodeAddr(0), NodeAddr(1)]);
+
+    const JOBS: i64 = 20;
+    for wk in 2..6u16 {
+        let ts = ts.clone();
+        system.spawn(format!("n{wk}:worker"), move |ctx| {
+            ts.join(&ctx, NodeAddr(wk));
+            let mut done = 0;
+            loop {
+                let t = ts.in_(&ctx, NodeAddr(wk), vec![Pat::Eq(Val::Str("job".into())), Pat::Any]);
+                let Val::Int(x) = t[1] else { unreachable!() };
+                if x < 0 {
+                    println!("worker n{wk}: retired after {done} jobs");
+                    break;
+                }
+                hpc_vorx::vorx::api::user_compute(&ctx, NodeAddr(wk), SimDuration::from_ms(2));
+                ts.out(&ctx, NodeAddr(wk), vec![Val::Str("done".into()), Val::Int(x * x)]);
+                done += 1;
+            }
+        });
+    }
+    let ts_m = ts.clone();
+    system.spawn("n6:master", move |ctx| {
+        ts_m.join(&ctx, NodeAddr(6));
+        for x in 0..JOBS {
+            ts_m.out(&ctx, NodeAddr(6), vec![Val::Str("job".into()), Val::Int(x)]);
+        }
+        let mut sum = 0;
+        for _ in 0..JOBS {
+            let t = ts_m.in_(&ctx, NodeAddr(6), vec![Pat::Eq(Val::Str("done".into())), Pat::Any]);
+            let Val::Int(x) = t[1] else { unreachable!() };
+            sum += x;
+        }
+        println!("master: sum of squares 0..{JOBS} = {sum}");
+        for _ in 0..4 {
+            ts_m.out(&ctx, NodeAddr(6), vec![Val::Str("job".into()), Val::Int(-1)]);
+        }
+    });
+
+    let report = system.run();
+    println!(
+        "finished at {}; {} tuple-space kernels still resident (as designed)",
+        report.now,
+        report
+            .parked
+            .iter()
+            .filter(|(_, n)| n.contains("linda-kernel"))
+            .count()
+    );
+}

@@ -1,0 +1,73 @@
+//! The §6.2 software oscilloscope on a deliberately imbalanced pipeline:
+//! one producer feeds two consumers, one of which has 4x the work. The
+//! display makes the idle-waiting-for-input time visible — "the major
+//! problem is one of improper load balance".
+//!
+//! Run with: `cargo run --example oscilloscope`
+
+use desim::{SimDuration, SimTime};
+use hpc_vorx::vorx::api::user_compute;
+use hpc_vorx::vorx::channel;
+use hpc_vorx::vorx::hpcnet::{NodeAddr, Payload};
+use hpc_vorx::vorx::VorxBuilder;
+use hpc_vorx::vorx_tools::oscillo::Oscilloscope;
+use hpc_vorx::vorx_tools::prof;
+
+fn main() {
+    let mut system = VorxBuilder::single_cluster(3).build();
+
+    system.spawn("n0:producer", |ctx| {
+        let fast = channel::open(&ctx, NodeAddr(0), "to-fast");
+        let slow = channel::open(&ctx, NodeAddr(0), "to-slow");
+        for _ in 0..12 {
+            prof::region(&ctx, NodeAddr(0), "generate", || {
+                user_compute(&ctx, NodeAddr(0), SimDuration::from_us(400));
+            });
+            fast.write(&ctx, Payload::Synthetic(512)).unwrap();
+            slow.write(&ctx, Payload::Synthetic(512)).unwrap();
+        }
+    });
+    system.spawn("n1:fast-consumer", |ctx| {
+        let ch = channel::open(&ctx, NodeAddr(1), "to-fast");
+        for _ in 0..12 {
+            let _ = ch.read(&ctx).unwrap();
+            prof::region(&ctx, NodeAddr(1), "light-work", || {
+                user_compute(&ctx, NodeAddr(1), SimDuration::from_us(500));
+            });
+        }
+    });
+    system.spawn("n2:slow-consumer", |ctx| {
+        let ch = channel::open(&ctx, NodeAddr(2), "to-slow");
+        for _ in 0..12 {
+            let _ = ch.read(&ctx).unwrap();
+            prof::region(&ctx, NodeAddr(2), "heavy-work", || {
+                user_compute(&ctx, NodeAddr(2), SimDuration::from_ms(2));
+            });
+        }
+    });
+
+    let end = system.run_all();
+    let world = system.world();
+    let scope = Oscilloscope::from_trace(&world.trace, 3);
+
+    // The synchronized full-run display.
+    print!("{}", scope.render(SimTime::ZERO, end, 72));
+
+    // "freeze the display [...] or seek to any moment in execution time":
+    let mid = SimTime::from_ns(end.as_ns() / 2);
+    let window = SimTime::from_ns(end.as_ns() / 2 + end.as_ns() / 8);
+    println!("\nzoomed into the middle eighth of the run:");
+    print!("{}", scope.render(mid, window, 72));
+
+    let (min, max, mean) = scope.balance();
+    println!(
+        "\nload balance (user-time fraction): min {:.0}%  max {:.0}%  mean {:.0}%",
+        min * 100.0,
+        max * 100.0,
+        mean * 100.0
+    );
+
+    // And where the time went, per prof.
+    println!();
+    print!("{}", prof::ProfReport::from_trace(&world.trace).render());
+}

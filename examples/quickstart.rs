@@ -1,0 +1,44 @@
+//! Quickstart: bring up a small HPC/VORX system, connect two processes with
+//! a named channel, and measure what the paper measures.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use desim::SimTime;
+use hpc_vorx::vorx::channel;
+use hpc_vorx::vorx::hpcnet::{NodeAddr, Payload};
+use hpc_vorx::vorx::VorxBuilder;
+
+fn main() {
+    // Three endpoints on one HPC cluster: the smallest interesting machine.
+    let mut system = VorxBuilder::single_cluster(3).build();
+
+    // A writer on node 1 and a reader on node 2 rendezvous on the channel
+    // name "greetings" — "two processes rendezvous on a channel by
+    // specifying its name in an open call".
+    system.spawn("n1:writer", |ctx| {
+        let ch = channel::open(&ctx, NodeAddr(1), "greetings");
+        for i in 0..5u8 {
+            ch.write(&ctx, Payload::copy_from(&[i; 16])).unwrap();
+        }
+    });
+    system.spawn("n2:reader", |ctx| {
+        let ch = channel::open(&ctx, NodeAddr(2), "greetings");
+        let t0 = ctx.now();
+        for i in 0..5u8 {
+            let msg = ch.read(&ctx).unwrap();
+            assert_eq!(msg.bytes().unwrap().as_ref(), &[i; 16]);
+        }
+        let per_msg = (ctx.now() - t0) / 5;
+        println!("received 5 x 16B messages, ~{per_msg} per message (stop-and-wait channel)");
+    });
+
+    let end = system.run_all();
+    println!("simulation finished at {}", end - SimTime::ZERO);
+
+    // The kernel kept the bookkeeping cdb reads:
+    let world = system.world();
+    print!(
+        "{}",
+        hpc_vorx::vorx_tools::cdb::render(&hpc_vorx::vorx_tools::cdb::snapshot(&world))
+    );
+}

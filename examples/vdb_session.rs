@@ -1,0 +1,62 @@
+//! A vdb debugging session (§6): attach to a running process of a
+//! multiprocess application, stop it at a breakpoint, examine its
+//! variables, single-step by continuing, and detach.
+//!
+//! Run with: `cargo run --example vdb_session`
+
+use desim::{SimDuration, SimTime};
+use hpc_vorx::vorx::debug::{breakpoint, publish, register_process};
+use hpc_vorx::vorx::hpcnet::{NodeAddr, Payload};
+use hpc_vorx::vorx::{channel, VorxBuilder};
+use hpc_vorx::vorx_tools::vdb;
+
+fn main() {
+    let mut system = VorxBuilder::single_cluster(3).build();
+
+    // A two-process application: a producer feeding a consumer.
+    system.spawn("n1:producer", |ctx| {
+        let me = register_process(&ctx, NodeAddr(1), "producer");
+        let ch = channel::open(&ctx, NodeAddr(1), "feed");
+        for i in 0..8u32 {
+            publish(&ctx, me, "next_item", i);
+            breakpoint(&ctx, me, "before-send");
+            ch.write(&ctx, Payload::copy_from(&i.to_be_bytes())).unwrap();
+        }
+    });
+    system.spawn("n2:consumer", |ctx| {
+        let me = register_process(&ctx, NodeAddr(2), "consumer");
+        let ch = channel::open(&ctx, NodeAddr(2), "feed");
+        let mut sum = 0u32;
+        for _ in 0..8 {
+            let m = ch.read(&ctx).unwrap();
+            sum += u32::from_be_bytes(m.bytes().unwrap().as_ref().try_into().unwrap());
+            publish(&ctx, me, "sum", sum);
+            hpc_vorx::vorx::api::user_compute(&ctx, NodeAddr(2), SimDuration::from_us(200));
+        }
+    });
+
+    // --- the debugging session ---
+    println!("$ vdb attach producer");
+    let at = vdb::attach(&mut system, "producer");
+    vdb::set_break(&system, at, "before-send");
+    let far = SimTime::from_ns(u64::MAX / 2);
+
+    let label = vdb::run_until_stopped(&mut system, at, far).expect("breakpoint");
+    println!("stopped at breakpoint '{label}'");
+    print!("{}", vdb::render(&system.world()));
+
+    println!("\n$ vdb cont  (x3: stepping through iterations)");
+    for _ in 0..3 {
+        vdb::cont(&system, at);
+        vdb::run_until_stopped(&mut system, at, far);
+        let vars = vdb::examine(&system, at);
+        println!("  stopped again; {} = {}", vars[0].0, vars[0].1);
+    }
+
+    println!("\n$ vdb clear + cont  (detach and let it run)");
+    vdb::clear_break(&system, at, "before-send");
+    vdb::cont(&system, at);
+    system.run_all();
+
+    print!("\nfinal state:\n{}", vdb::render(&system.world()));
+}

