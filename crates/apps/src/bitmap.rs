@@ -13,8 +13,8 @@
 //! white) display 30 times per second from a remote processor."
 
 use desim::{SimDuration, SimTime};
-use std::sync::Arc;
 use parking_lot::Mutex;
+use std::sync::Arc;
 use vorx::hpcnet::{NodeAddr, Payload, MAX_PAYLOAD};
 use vorx::udco::{self, UdcoMode};
 use vorx::VorxBuilder;

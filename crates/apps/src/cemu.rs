@@ -201,7 +201,9 @@ pub fn run_cemu(c: &Circuit, p: usize, ticks: usize, seed: u64) -> CemuResult {
         }
     }
 
-    let mut v = VorxBuilder::with_topology(topology_for(p)).trace(false).build();
+    let mut v = VorxBuilder::with_topology(topology_for(p))
+        .trace(false)
+        .build();
     let waves = Arc::new(Mutex::new(vec![Vec::<(usize, Vec<bool>)>::new(); p]));
 
     for me in 0..p {
@@ -282,9 +284,7 @@ pub fn run_cemu(c: &Circuit, p: usize, ticks: usize, seed: u64) -> CemuResult {
             // Record (signal ids are implicit in gate order).
             let sigs: Vec<usize> = my_gates.iter().map(|g| g.out).collect();
             let mut w = waves.lock();
-            w[me] = out_wave
-                .into_iter()
-                .collect();
+            w[me] = out_wave.into_iter().collect();
             // Stash the signal order as a final pseudo-entry.
             w[me].push((usize::MAX, sigs.iter().map(|s| *s != 0).collect()));
             drop(w);
@@ -385,7 +385,10 @@ mod tests {
         let w = simulate_serial(&c, &stim);
         // Oscillates with period 4: T T F F T T F F.
         let sig: Vec<bool> = w.iter().map(|t| t[1]).collect();
-        assert_eq!(sig, vec![true, true, false, false, true, true, false, false]);
+        assert_eq!(
+            sig,
+            vec![true, true, false, false, true, true, false, false]
+        );
     }
 
     #[test]

@@ -169,7 +169,8 @@ mod tests {
             .map(|k| {
                 let mut s = Complex::ZERO;
                 for (j, v) in x.iter().enumerate() {
-                    s = s + *v * Complex::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
+                    s = s + *v
+                        * Complex::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
                 }
                 s
             })
@@ -232,7 +233,9 @@ mod tests {
         // 1D FFTs.
         let n = 8;
         let row: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
-        let col: Vec<Complex> = (0..n).map(|i| Complex::new(1.0 / (i + 1) as f64, 0.0)).collect();
+        let col: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(1.0 / (i + 1) as f64, 0.0))
+            .collect();
         let mut img = vec![Complex::ZERO; n * n];
         for r in 0..n {
             for c in 0..n {

@@ -86,10 +86,7 @@ fn parse_chunk(p: &Payload) -> (usize, usize, Vec<Complex>) {
     let b = p.bytes().expect("chunk carries data");
     let row = u32::from_be_bytes(b[0..4].try_into().expect("4")) as usize;
     let off = u32::from_be_bytes(b[4..8].try_into().expect("4")) as usize;
-    let data = b[8..]
-        .chunks_exact(16)
-        .map(Complex::from_bytes)
-        .collect();
+    let data = b[8..].chunks_exact(16).map(Complex::from_bytes).collect();
     (row, off, data)
 }
 
@@ -259,7 +256,9 @@ pub fn run_fft2d(params: Fft2dParams, seed: u64) -> Fft2dResult {
                     for k in 1..p {
                         let q = (me + k) % p;
                         let range = q * cols_per..(q + 1) * cols_per;
-                        by_q[&q].write(&ctx, pack_block(&rows, range)).expect("peer closed mid-exchange");
+                        by_q[&q]
+                            .write(&ctx, pack_block(&rows, range))
+                            .expect("peer closed mid-exchange");
                     }
                     // Receive our columns of everyone else's rows.
                     for (q, ch) in &p2p_in {

@@ -26,7 +26,7 @@ pub mod cemu;
 pub mod conference;
 pub mod download;
 pub mod fft;
-pub mod linda;
 pub mod fft2d;
+pub mod linda;
 pub mod patterns;
 pub mod spice;

@@ -418,7 +418,10 @@ mod tests {
             assert_eq!(t[1], i(99));
         });
         let report = v.run();
-        assert!(report.parked.iter().all(|(_, n)| n.contains("linda-kernel")));
+        assert!(report
+            .parked
+            .iter()
+            .all(|(_, n)| n.contains("linda-kernel")));
     }
 
     #[test]
@@ -440,7 +443,10 @@ mod tests {
             ts3.out(&ctx, NodeAddr(2), vec![s("late"), i(5)]);
         });
         let report = v.run();
-        assert!(report.parked.iter().all(|(_, n)| n.contains("linda-kernel")));
+        assert!(report
+            .parked
+            .iter()
+            .all(|(_, n)| n.contains("linda-kernel")));
     }
 
     #[test]
@@ -473,7 +479,10 @@ mod tests {
             .iter()
             .filter(|(_, n)| !n.contains("linda-kernel"))
             .collect();
-        assert!(stuck.is_empty(), "one out should satisfy 2 rds + 1 in: {stuck:?}");
+        assert!(
+            stuck.is_empty(),
+            "one out should satisfy 2 rds + 1 in: {stuck:?}"
+        );
     }
 
     #[test]

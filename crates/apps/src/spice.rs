@@ -121,7 +121,9 @@ pub fn run_spice(params: SpiceParams, seed: u64) -> SpiceResult {
     let b: Vec<f64> = (0..m).map(|_| rng.random::<f64>()).collect();
     let serial = serial_jacobi(&b, iters);
 
-    let mut v = VorxBuilder::with_topology(topology_for(p)).trace(false).build();
+    let mut v = VorxBuilder::with_topology(topology_for(p))
+        .trace(false)
+        .build();
     let solution = Arc::new(Mutex::new(vec![0.0f64; m]));
 
     for me in 0..p {
@@ -139,7 +141,14 @@ pub fn run_spice(params: SpiceParams, seed: u64) -> SpiceResult {
                 // Send both boundaries first (raw sends do not wait for the
                 // receiver — no flow-control protocol at all), then receive.
                 if let Some(l) = left {
-                    udco::send_raw(&ctx, node, l, TAG_TO_LEFT, it as u64, pack_boundary(it, x[0]));
+                    udco::send_raw(
+                        &ctx,
+                        node,
+                        l,
+                        TAG_TO_LEFT,
+                        it as u64,
+                        pack_boundary(it, x[0]),
+                    );
                 }
                 if let Some(r) = right {
                     udco::send_raw(
@@ -213,8 +222,22 @@ mod tests {
 
     #[test]
     fn residual_decreases_with_iterations() {
-        let few = run_spice(SpiceParams { m: 32, p: 2, iters: 5 }, 3);
-        let many = run_spice(SpiceParams { m: 32, p: 2, iters: 200 }, 3);
+        let few = run_spice(
+            SpiceParams {
+                m: 32,
+                p: 2,
+                iters: 5,
+            },
+            3,
+        );
+        let many = run_spice(
+            SpiceParams {
+                m: 32,
+                p: 2,
+                iters: 200,
+            },
+            3,
+        );
         assert!(
             many.residual < few.residual,
             "more iterations should reduce the residual: {} vs {}",

@@ -4,7 +4,7 @@
 //! `src/bin/` runs on top of this engine.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use desim::{Ctx, SimDuration, Simulation};
+use desim::{Ctx, ProcId, SimDuration, Simulation, Wakeup};
 
 #[derive(Default)]
 struct World {
@@ -62,5 +62,54 @@ fn bench_process_switching(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_dispatch, bench_process_switching);
+#[derive(Default)]
+struct ChainWorld {
+    pids: Vec<ProcId>,
+    turn: usize,
+}
+
+/// A 256-process wake chain: each process waits its turn, then wakes its
+/// successor with a zero-delay wake. Every link is one park/unpark handoff
+/// plus one same-instant event — the dominant pattern of simulated kernels
+/// acknowledging each other (and the worst case for the old channel baton).
+fn bench_wake_chain(c: &mut Criterion) {
+    const LINKS: usize = 256;
+    let mut g = c.benchmark_group("desim");
+    g.throughput(Throughput::Elements(LINKS as u64));
+    g.bench_function("wake_chain_256", |b| {
+        b.iter_batched(
+            || {
+                let sim = Simulation::new(ChainWorld::default());
+                let pids: Vec<ProcId> = (0..LINKS)
+                    .map(|i| {
+                        sim.spawn(format!("link{i}"), move |ctx: Ctx<ChainWorld>| {
+                            ctx.wait_until(move |w, _| (w.turn == i).then_some(()));
+                            ctx.with(move |w, s| {
+                                w.turn += 1;
+                                if let Some(&next) = w.pids.get(i + 1) {
+                                    s.wake(next, Wakeup::START);
+                                }
+                            });
+                        })
+                    })
+                    .collect();
+                sim.setup(move |w, _| w.pids = pids);
+                sim
+            },
+            |mut sim| {
+                assert!(sim.run_to_idle().all_finished());
+                assert_eq!(sim.world().turn, LINKS);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_dispatch,
+    bench_process_switching,
+    bench_wake_chain
+);
 criterion_main!(benches);

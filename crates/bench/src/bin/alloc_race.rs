@@ -11,15 +11,23 @@ use vorx_bench::{alloc_race, AllocPolicy};
 fn main() {
     println!("== E-ALLOC: two developers, 8-node pool, 30 edit/compile/run cycles ==\n");
     let mut total_meglos = 0u32;
-    println!("{:<10} {:>22} {:>22}", "seed", "Meglos failures (a,b)", "VORX failures (a,b)");
+    println!(
+        "{:<10} {:>22} {:>22}",
+        "seed", "Meglos failures (a,b)", "VORX failures (a,b)"
+    );
     for seed in [1u64, 2, 3, 4, 5] {
         let m = alloc_race(AllocPolicy::MeglosAutoFree, 30, seed);
         let v = alloc_race(AllocPolicy::VorxExplicit, 30, seed);
         total_meglos += m[0] + m[1];
-        println!("{:<10} {:>12},{:<9} {:>12},{:<9}", seed, m[0], m[1], v[0], v[1]);
+        println!(
+            "{:<10} {:>12},{:<9} {:>12},{:<9}",
+            seed, m[0], m[1], v[0], v[1]
+        );
     }
     println!(
         "\nMeglos auto-free policy: {total_meglos} 'processors not available' diagnostics across 5 sessions."
     );
-    println!("VORX explicit allocation: 0 mid-session failures (conflicts surface once, up front).");
+    println!(
+        "VORX explicit allocation: 0 mid-session failures (conflicts surface once, up front)."
+    );
 }

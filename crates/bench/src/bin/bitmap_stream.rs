@@ -11,10 +11,18 @@ fn main() {
     p.frames = 30;
     let r = run_bitmap(p);
     let rows = vec![
-        Row::new("bitmap stream throughput", Some(3.2), r.mbytes_per_sec, "MB/s"),
+        Row::new(
+            "bitmap stream throughput",
+            Some(3.2),
+            r.mbytes_per_sec,
+            "MB/s",
+        ),
         Row::new("900x900 mono refresh rate", Some(30.0), r.fps, "fps"),
     ];
-    print!("{}", render("E-BMP: no-flow-control bitmap streaming (§4.1)", &rows));
+    print!(
+        "{}",
+        render("E-BMP: no-flow-control bitmap streaming (§4.1)", &rows)
+    );
     println!(
         "{} bytes delivered in {} ({} frames of {} bytes)",
         r.bytes_received,

@@ -4,7 +4,10 @@ fn main() {
     println!("Table 2 (channels), us/msg:");
     for (i, &len) in vorx_bench::TABLE_SIZES.iter().enumerate() {
         let m = vorx_bench::table2_cell(len, n);
-        println!("  {len:>5}B  paper {:>7.1}  measured {m:>7.1}", vorx_bench::TABLE2_PAPER[i]);
+        println!(
+            "  {len:>5}B  paper {:>7.1}  measured {m:>7.1}",
+            vorx_bench::TABLE2_PAPER[i]
+        );
     }
     println!("Table 1 (sliding window), us/msg:");
     for (r, &bufs) in vorx_bench::TABLE1_BUFS.iter().enumerate() {

@@ -26,7 +26,10 @@ fn main() {
             "s",
         ),
     ];
-    print!("{}", render("E-DL: application download, 70 nodes (§3.3)", &rows));
+    print!(
+        "{}",
+        render("E-DL: application download, 70 nodes (§3.3)", &rows)
+    );
     println!(
         "speedup: {:.1}x (paper: 6.0x)",
         per.as_secs_f64() / tree.as_secs_f64()

@@ -15,7 +15,14 @@ fn main() {
         "{:>5} {:>4} | {:>14} {:>14} | {:>13} {:>13} | {:>8}",
         "n", "p", "mc bytes/node", "p2p bytes/node", "mc dist (ms)", "p2p dist (ms)", "p2p wins"
     );
-    for (n, p) in [(32usize, 4usize), (32, 8), (64, 8), (64, 16), (64, 32), (128, 16)] {
+    for (n, p) in [
+        (32usize, 4usize),
+        (32, 8),
+        (64, 8),
+        (64, 16),
+        (64, 32),
+        (128, 16),
+    ] {
         let mc = run_fft2d(
             Fft2dParams {
                 n,
@@ -32,7 +39,10 @@ fn main() {
             },
             7,
         );
-        assert!(mc.max_err < 1e-6 && pp.max_err < 1e-6, "numeric check failed");
+        assert!(
+            mc.max_err < 1e-6 && pp.max_err < 1e-6,
+            "numeric check failed"
+        );
         println!(
             "{:>5} {:>4} | {:>14} {:>14} | {:>13.2} {:>13.2} | {:>7.1}x",
             n,

@@ -32,7 +32,10 @@ fn main() {
             .unwrap()
     );
 
-    let mut v = VorxBuilder::with_topology(topo).hosts(10).trace(false).build();
+    let mut v = VorxBuilder::with_topology(topo)
+        .hosts(10)
+        .trace(false)
+        .build();
 
     // A spanning application: workstation n0 sources a work list, eight
     // processing nodes transform items, workstation n9 collects results.

@@ -30,7 +30,5 @@ fn main() {
 
     let served = open_scaling_served(16, ObjMgrMode::Distributed);
     let busy = served.iter().filter(|s| **s > 0).count();
-    println!(
-        "\ndistributed hashing spread 32 opens over {busy} manager replicas (centralized: 1)"
-    );
+    println!("\ndistributed hashing spread 32 opens over {busy} manager replicas (centralized: 1)");
 }

@@ -13,7 +13,13 @@ use hpcnet::driver::StandaloneNet;
 use hpcnet::{Fabric, Frame, NetConfig, NodeAddr, Payload, Topology};
 
 /// Mean/max hardware latency of random unicast traffic on a fabric.
-fn random_traffic(topo: Topology, frames: u64, len: u32, spacing_ns: u64, seed: u64) -> (f64, f64, usize) {
+fn random_traffic(
+    topo: Topology,
+    frames: u64,
+    len: u32,
+    spacing_ns: u64,
+    seed: u64,
+) -> (f64, f64, usize) {
     let n = topo.n_endpoints() as u64;
     let max_hops = (0..n.min(64))
         .map(|i| topo.hops(NodeAddr(0), NodeAddr(((i * 97 + 13) % n) as u16)))
@@ -36,7 +42,13 @@ fn random_traffic(topo: Topology, frames: u64, len: u32, spacing_ns: u64, seed: 
         // Spread injections so the fabric (not queueing) dominates.
         net.send_at(
             i * spacing_ns,
-            Frame::unicast(NodeAddr(src), NodeAddr(dst), 0, i << 16 | u64::from(src), Payload::Synthetic(len)),
+            Frame::unicast(
+                NodeAddr(src),
+                NodeAddr(dst),
+                0,
+                i << 16 | u64::from(src),
+                Payload::Synthetic(len),
+            ),
         );
     }
     // Record send times by seq for latency measurement.

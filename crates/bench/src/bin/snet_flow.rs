@@ -32,7 +32,11 @@ fn main() {
         "{:<16} {:>10} {:>12} {:>12} {:>14}",
         "strategy", "delivered", "undelivered", "rejects", "last delivery"
     );
-    for strategy in [Strategy::BusyRetry, Strategy::RandomBackoff, Strategy::Reservation] {
+    for strategy in [
+        Strategy::BusyRetry,
+        Strategy::RandomBackoff,
+        Strategy::Reservation,
+    ] {
         let r = burst(strategy, 11, 1024, 20);
         println!(
             "{:<16} {:>10} {:>12} {:>12} {:>11.1}ms{}",

@@ -18,7 +18,14 @@ fn raw_latency_us(len: u32) -> f64 {
     let mut v = VorxBuilder::single_cluster(2).trace(false).build();
     v.spawn("n0:tx", move |ctx| {
         udco::register(&ctx, NodeAddr(0), 5, UdcoMode::Raw);
-        udco::send_raw(&ctx, NodeAddr(0), NodeAddr(1), 5, 0, Payload::Synthetic(len));
+        udco::send_raw(
+            &ctx,
+            NodeAddr(0),
+            NodeAddr(1),
+            5,
+            0,
+            Payload::Synthetic(len),
+        );
     });
     v.spawn("n1:rx", move |ctx| {
         udco::register(&ctx, NodeAddr(1), 5, UdcoMode::Raw);

@@ -55,8 +55,22 @@ fn main() {
         distrib.as_ms_f64()
     );
 
-    let mc = run_fft2d(Fft2dParams { n: 32, p: 8, strategy: Distribution::Multicast }, 7);
-    let pp = run_fft2d(Fft2dParams { n: 32, p: 8, strategy: Distribution::PointToPoint }, 7);
+    let mc = run_fft2d(
+        Fft2dParams {
+            n: 32,
+            p: 8,
+            strategy: Distribution::Multicast,
+        },
+        7,
+    );
+    let pp = run_fft2d(
+        Fft2dParams {
+            n: 32,
+            p: 8,
+            strategy: Distribution::PointToPoint,
+        },
+        7,
+    );
     println!(
         "FFT  32x32/8 redistribution:         multicast {:.1}ms, p2p {:.1}ms (both verified)",
         mc.distribute_max.as_ms_f64(),

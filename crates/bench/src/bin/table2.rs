@@ -16,7 +16,10 @@ fn main() {
             "us/msg",
         ));
     }
-    print!("{}", render("Table 2: channel latency (stop-and-wait)", &rows));
+    print!(
+        "{}",
+        render("Table 2: channel latency (stop-and-wait)", &rows)
+    );
 
     let thru = Row::new(
         "1024B channel stream",
@@ -24,5 +27,8 @@ fn main() {
         channel_stream_kbps(n),
         "kB/s",
     );
-    print!("{}", render("E-THRU: channel streaming throughput (§4)", &[thru]));
+    print!(
+        "{}",
+        render("E-THRU: channel streaming throughput (§4)", &[thru])
+    );
 }

@@ -158,7 +158,14 @@ pub fn ctx_structuring(technique: Structuring, n_msgs: u64, work_ns: u64) -> f64
     v.spawn("n0:driver", move |ctx| {
         // Pace the driver so the receiver's structuring dominates timing.
         for i in 0..n_msgs {
-            udco::send(&ctx, NodeAddr(0), NodeAddr(1), TAG, i, Payload::Synthetic(64));
+            udco::send(
+                &ctx,
+                NodeAddr(0),
+                NodeAddr(1),
+                TAG,
+                i,
+                Payload::Synthetic(64),
+            );
             ctx.sleep(SimDuration::from_us(600));
         }
     });
@@ -324,8 +331,14 @@ mod tests {
         let k64 = table1_cell(64, 4, 200);
         assert!(k1 > k2 && k2 > k64);
         let chan = table2_cell(4, 200);
-        assert!(k2 < chan, "2-buffer sliding window {k2:.1} must beat channels {chan:.1}");
-        assert!(k1 > chan, "1-buffer sliding window {k1:.1} must lose to channels {chan:.1}");
+        assert!(
+            k2 < chan,
+            "2-buffer sliding window {k2:.1} must beat channels {chan:.1}"
+        );
+        assert!(
+            k1 > chan,
+            "1-buffer sliding window {k1:.1} must lose to channels {chan:.1}"
+        );
     }
 
     #[test]
@@ -382,7 +395,11 @@ mod tests {
             meglos[0] + meglos[1] > 0,
             "the §3.1 race should bite under auto-free: {meglos:?}"
         );
-        assert_eq!(vorx, [0, 0], "explicit allocation has no mid-session failures");
+        assert_eq!(
+            vorx,
+            [0, 0],
+            "explicit allocation has no mid-session failures"
+        );
     }
 }
 

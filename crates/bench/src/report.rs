@@ -15,7 +15,12 @@ pub struct Row {
 
 impl Row {
     /// Build a row.
-    pub fn new(label: impl Into<String>, paper: Option<f64>, measured: f64, unit: &'static str) -> Self {
+    pub fn new(
+        label: impl Into<String>,
+        paper: Option<f64>,
+        measured: f64,
+        unit: &'static str,
+    ) -> Self {
         Row {
             label: label.into(),
             paper,
@@ -34,7 +39,12 @@ impl Row {
 pub fn render(title: &str, rows: &[Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!("== {title} ==\n"));
-    let w = rows.iter().map(|r| r.label.len()).max().unwrap_or(10).max(10);
+    let w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(10)
+        .max(10);
     out.push_str(&format!(
         "{:w$}  {:>12}  {:>12}  {:>8}\n",
         "workload", "paper", "measured", "ratio",

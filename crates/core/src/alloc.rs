@@ -371,7 +371,7 @@ mod tests {
         a.allocate_shared(UserId(1), 1).unwrap(); // lands on node 0
         let got = a.allocate(UserId(2), 1).unwrap();
         assert_eq!(got, vec![NodeAddr(1)]); // skips the shared node
-        // And shared placement refuses the exclusive node.
+                                            // And shared placement refuses the exclusive node.
         let err = a.allocate_shared(UserId(3), 30);
         assert!(err.is_err(), "only node 0 is usable, 15-process cap");
     }

@@ -118,10 +118,13 @@ where
     ctx.with(move |_, s| {
         for (rank, &node) in nodes.iter().enumerate() {
             let body = body.clone();
-            s.spawn(format!("app{app_id}:{name}@n{}", node.0), move |ctx: VCtx| {
-                body(ctx.clone(), node, rank);
-                ctx.with(move |w, _| on_proc_exit(w, app_id));
-            });
+            s.spawn(
+                format!("app{app_id}:{name}@n{}", node.0),
+                move |ctx: VCtx| {
+                    body(ctx.clone(), node, rank);
+                    ctx.with(move |w, _| on_proc_exit(w, app_id));
+                },
+            );
         }
     });
     Ok(app_id)
@@ -133,11 +136,7 @@ fn on_proc_exit(w: &mut World, app_id: u32) {
     let (done, user, nodes) = {
         let a = &mut w.appmgr.apps[app_id as usize];
         a.finished_procs += 1;
-        (
-            a.finished_procs == a.nodes.len(),
-            a.user,
-            a.nodes.clone(),
-        )
+        (a.finished_procs == a.nodes.len(), a.user, a.nodes.clone())
     };
     if done {
         w.appmgr.apps[app_id as usize].state = AppState::Exited;
@@ -190,22 +189,16 @@ mod tests {
     fn launch_track_and_release() {
         let mut v = VorxBuilder::single_cluster(8).hosts(2).build();
         v.spawn("host0:shell", |ctx| {
-            let app = start_application(
-                &ctx,
-                0,
-                UserId(1),
-                "solver",
-                3,
-                |ctx: VCtx, node, rank| {
+            let app =
+                start_application(&ctx, 0, UserId(1), "solver", 3, |ctx: VCtx, node, rank| {
                     crate::api::user_compute(&ctx, node, SimDuration::from_ms(1 + rank as u64));
                     // Each process can use its own stub.
                     assert_eq!(
                         syscall(&ctx, node, SyscallOp::WriteFile { bytes: 100 }),
                         SyscallRet::Ok
                     );
-                },
-            )
-            .expect("pool is free");
+                })
+                .expect("pool is free");
             // While running, the mapping is visible.
             let mapped = ctx.with(move |w, _| {
                 let a = &w.appmgr.apps[app as usize];

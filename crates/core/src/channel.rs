@@ -71,7 +71,9 @@ impl PayloadAsm {
         match p {
             Payload::Data(b) => {
                 assert_eq!(self.synth, 0, "mixed data and synthetic fragments");
-                self.data.get_or_insert_with(BytesMut::new).extend_from_slice(&b);
+                self.data
+                    .get_or_insert_with(BytesMut::new)
+                    .extend_from_slice(&b);
             }
             Payload::Synthetic(n) => {
                 assert!(self.data.is_none(), "mixed data and synthetic fragments");
@@ -164,7 +166,14 @@ impl ChanEnd {
 
 /// Create a channel end on `node` (called by the object manager's reply
 /// handler, and directly by tests).
-pub fn create_end(w: &mut World, s: &mut VSched, node: NodeAddr, id: u32, name: String, peer: NodeAddr) {
+pub fn create_end(
+    w: &mut World,
+    s: &mut VSched,
+    node: NodeAddr,
+    id: u32,
+    name: String,
+    peer: NodeAddr,
+) {
     let prev = w
         .node_mut(node)
         .chans
@@ -193,7 +202,9 @@ pub fn open(ctx: &VCtx, node: NodeAddr, name: &str) -> ChannelHandle {
     let name_owned = name.to_string();
     let token = ctx.with(move |w, s| {
         let token = w.token();
-        w.node_mut(node).open_waits.insert(token, OpenResult::Pending);
+        w.node_mut(node)
+            .open_waits
+            .insert(token, OpenResult::Pending);
         let mgr = crate::objmgr::manager_for(w, &name_owned);
         let f = Frame::unicast(
             node,
@@ -211,13 +222,18 @@ pub fn open(ctx: &VCtx, node: NodeAddr, name: &str) -> ChannelHandle {
             Some(OpenResult::Done(c, p)) => Some((*c, *p)),
             _ => None,
         };
-        if done.is_none() {
-            w.node_mut(node).open_waiters.register(pid);
+        match done {
+            // Clean up inside the wait closure: one lock acquisition
+            // instead of a separate `with` round trip afterwards.
+            Some(d) => {
+                w.node_mut(node).open_waits.remove(&token);
+                Some(d)
+            }
+            None => {
+                w.node_mut(node).open_waiters.register(pid);
+                None
+            }
         }
-        done
-    });
-    ctx.with(|w, _| {
-        w.node_mut(node).open_waits.remove(&token);
     });
     ChannelHandle { id, node, peer }
 }
@@ -282,25 +298,19 @@ impl ChannelHandle {
                 } else {
                     proto::KIND_CHAN_DATA
                 };
-                let f = Frame::unicast(
-                    h.node,
-                    h.peer,
-                    kind,
-                    proto::chan_seq(h.id, frag_no),
-                    frag,
-                );
+                let f = Frame::unicast(h.node, h.peer, kind, proto::chan_seq(h.id, frag_no), frag);
                 w.block(now, h.node, BlockReason::Output);
                 kernel::send_frame(w, s, f);
                 Ok(())
             });
             pre?;
-            let acked = ctx.wait_until(move |w, _| {
+            let acked = ctx.wait_until(move |w, s| {
                 let end = w
                     .node_mut(h.node)
                     .chans
                     .get_mut(&h.id)
                     .expect("channel vanished mid-write");
-                if end.ack_ready {
+                let outcome = if end.ack_ready {
                     end.ack_ready = false;
                     end.writer_blocked = false;
                     Some(Ok(()))
@@ -310,11 +320,14 @@ impl ChannelHandle {
                 } else {
                     end.tx_wait.register(pid);
                     None
+                };
+                if outcome.is_some() {
+                    // Unblock inside the wait closure (as `read` does): one
+                    // lock acquisition instead of a trailing `with`.
+                    let now = s.now();
+                    w.unblock(now, h.node, BlockReason::Output);
                 }
-            });
-            ctx.with(move |w, s| {
-                let now = s.now();
-                w.unblock(now, h.node, BlockReason::Output);
+                outcome
             });
             // The writer was blocked; switching back in costs a context
             // switch.
@@ -571,13 +584,7 @@ fn commit_fragment(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last
         }
     }
     // Kernel-level acknowledgement back to the writer's kernel.
-    let ack = Frame::unicast(
-        node,
-        src,
-        proto::KIND_CHAN_ACK,
-        seq,
-        Payload::Synthetic(0),
-    );
+    let ack = Frame::unicast(node, src, proto::KIND_CHAN_ACK, seq, Payload::Synthetic(0));
     kernel::send_frame(w, s, ack);
 }
 
@@ -866,7 +873,10 @@ pub fn listen(ctx: &VCtx, node: NodeAddr, name: &str) -> Listener {
             .node_mut(node)
             .listeners
             .insert(name_owned.clone(), ListenState::default());
-        assert!(prev.is_none(), "name {name_owned:?} already listening on {node}");
+        assert!(
+            prev.is_none(),
+            "name {name_owned:?} already listening on {node}"
+        );
         let mgr = crate::objmgr::manager_for(w, &name_owned);
         let token = w.token();
         let f = Frame::unicast(
@@ -1010,7 +1020,10 @@ mod close_tests {
         v.spawn("n2:w", |ctx| {
             let ch = open(&ctx, NodeAddr(2), "c");
             ctx.sleep(desim::SimDuration::from_ms(20));
-            assert_eq!(ch.write(&ctx, Payload::Synthetic(4)), Err(ChanError::PeerClosed));
+            assert_eq!(
+                ch.write(&ctx, Payload::Synthetic(4)),
+                Err(ChanError::PeerClosed)
+            );
         });
         v.run_all();
     }
@@ -1022,7 +1035,10 @@ mod close_tests {
             let ch = open(&ctx, NodeAddr(1), "c");
             ch.close(&ctx);
             ch.close(&ctx); // idempotent
-            assert_eq!(ch.write(&ctx, Payload::Synthetic(1)), Err(ChanError::LocalClosed));
+            assert_eq!(
+                ch.write(&ctx, Payload::Synthetic(1)),
+                Err(ChanError::LocalClosed)
+            );
             assert_eq!(ch.read(&ctx), Err(ChanError::LocalClosed));
         });
         v.spawn("n2:b", |ctx| {

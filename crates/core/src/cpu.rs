@@ -25,7 +25,7 @@ use desim::{SimDuration, SimTime};
 use serde::Serialize;
 
 /// What a span of CPU time was spent on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CpuCat {
     /// Application code.
     User,
@@ -34,8 +34,19 @@ pub enum CpuCat {
     System,
 }
 
+// Hand-written (derive unavailable offline, see vendor/README.md); matches
+// what `#[derive(Serialize)]` would emit.
+impl Serialize for CpuCat {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            CpuCat::User => serializer.serialize_unit_variant("CpuCat", 0, "User"),
+            CpuCat::System => serializer.serialize_unit_variant("CpuCat", 1, "System"),
+        }
+    }
+}
+
 /// Why a process is blocked (oscilloscope idle-time categories, §6.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockReason {
     /// Waiting for message input.
     Input,
@@ -45,8 +56,18 @@ pub enum BlockReason {
     Other,
 }
 
+impl Serialize for BlockReason {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            BlockReason::Input => serializer.serialize_unit_variant("BlockReason", 0, "Input"),
+            BlockReason::Output => serializer.serialize_unit_variant("BlockReason", 1, "Output"),
+            BlockReason::Other => serializer.serialize_unit_variant("BlockReason", 2, "Other"),
+        }
+    }
+}
+
 /// Events recorded into the world trace for the tools.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub enum TraceEvent {
     /// The CPU of `node` was busy on `cat` during `[start_ns, end_ns)`.
     Cpu {
@@ -83,6 +104,46 @@ pub enum TraceEvent {
         /// True on entry, false on exit.
         enter: bool,
     },
+}
+
+impl Serialize for TraceEvent {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStructVariant;
+        match self {
+            TraceEvent::Cpu {
+                node,
+                cat,
+                start_ns,
+                end_ns,
+            } => {
+                let mut sv = serializer.serialize_struct_variant("TraceEvent", 0, "Cpu", 4)?;
+                sv.serialize_field("node", node)?;
+                sv.serialize_field("cat", cat)?;
+                sv.serialize_field("start_ns", start_ns)?;
+                sv.serialize_field("end_ns", end_ns)?;
+                sv.end()
+            }
+            TraceEvent::Block { node, reason } => {
+                let mut sv = serializer.serialize_struct_variant("TraceEvent", 1, "Block", 2)?;
+                sv.serialize_field("node", node)?;
+                sv.serialize_field("reason", reason)?;
+                sv.end()
+            }
+            TraceEvent::Unblock { node, reason } => {
+                let mut sv = serializer.serialize_struct_variant("TraceEvent", 2, "Unblock", 2)?;
+                sv.serialize_field("node", node)?;
+                sv.serialize_field("reason", reason)?;
+                sv.end()
+            }
+            TraceEvent::Region { node, name, enter } => {
+                let mut sv = serializer.serialize_struct_variant("TraceEvent", 3, "Region", 3)?;
+                sv.serialize_field("node", node)?;
+                sv.serialize_field("name", name)?;
+                sv.serialize_field("enter", enter)?;
+                sv.end()
+            }
+        }
+    }
 }
 
 /// One node's CPU.

@@ -213,13 +213,11 @@ pub fn syscall(ctx: &VCtx, node: NodeAddr, op: SyscallOp) -> SyscallRet {
         token
     });
     let pid = ctx.pid();
-    let ret = ctx.wait_until(move |w, _| {
-        match w.node(node).syscall_waits.get(&token) {
-            Some(Some(r)) => Some(*r),
-            _ => {
-                w.node_mut(node).syscall_waiters.register(pid);
-                None
-            }
+    let ret = ctx.wait_until(move |w, _| match w.node(node).syscall_waits.get(&token) {
+        Some(Some(r)) => Some(*r),
+        _ => {
+            w.node_mut(node).syscall_waiters.register(pid);
+            None
         }
     });
     ctx.with(move |w, _| {
@@ -266,7 +264,12 @@ fn kick_stub(w: &mut World, s: &mut VSched, host_id: usize, stub_id: usize) {
             _ => 0,
         };
     let now = s.now();
-    let cpu_done = w.charge(now, host_node, CpuCat::System, SimDuration::from_ns(cpu_cost));
+    let cpu_done = w.charge(
+        now,
+        host_node,
+        CpuCat::System,
+        SimDuration::from_ns(cpu_cost),
+    );
     let extra = match op {
         SyscallOp::Blocking { dur_ns } => SimDuration::from_ns(dur_ns),
         _ => SimDuration::ZERO,
@@ -308,7 +311,13 @@ fn finish_syscall(
         SyscallOp::WriteFile { .. } | SyscallOp::Blocking { .. } => SyscallRet::Ok,
     };
     stub.in_service = false;
-    let rep = Frame::unicast(host_node, from, proto::KIND_SYSCALL_REP, token, pack_ret(ret));
+    let rep = Frame::unicast(
+        host_node,
+        from,
+        proto::KIND_SYSCALL_REP,
+        token,
+        pack_ret(ret),
+    );
     kernel::send_frame(w, s, rep);
     kick_stub(w, s, host_id, stub_id);
 }
@@ -356,7 +365,8 @@ pub fn boot_loader(
     for _ in 0..n_chunks(text_bytes) {
         let chunk = parent.read(ctx).expect("download stream closed early");
         for k in &kids {
-            k.write(ctx, chunk.clone()).expect("child loader closed early");
+            k.write(ctx, chunk.clone())
+                .expect("child loader closed early");
         }
     }
 }
@@ -381,8 +391,11 @@ pub fn download_per_process(ctx: &VCtx, host_id: usize, targets: &[NodeAddr], te
         );
         let chan = channel::open(ctx, host_node, &format!("dl-{}", t.0));
         for _ in 0..n_chunks(text_bytes) {
-            chan.write(ctx, Payload::Data(Bytes::from(vec![0u8; DL_CHUNK as usize])))
-                .expect("boot loader closed early");
+            chan.write(
+                ctx,
+                Payload::Data(Bytes::from(vec![0u8; DL_CHUNK as usize])),
+            )
+            .expect("boot loader closed early");
         }
     }
 }
@@ -415,8 +428,11 @@ pub fn download_tree(ctx: &VCtx, host_id: usize, targets: &[NodeAddr], text_byte
     );
     let chan = channel::open(ctx, host_node, &format!("dl-{}", targets[0].0));
     for _ in 0..n_chunks(text_bytes) {
-        chan.write(ctx, Payload::Data(Bytes::from(vec![0u8; DL_CHUNK as usize])))
-            .expect("tree root loader closed early");
+        chan.write(
+            ctx,
+            Payload::Data(Bytes::from(vec![0u8; DL_CHUNK as usize])),
+        )
+        .expect("tree root loader closed early");
     }
 }
 
@@ -712,7 +728,8 @@ mod decentral_tests {
                 ctx.with(move |_, s| {
                     s.spawn(format!("n{nd}:storm"), move |ctx: VCtx| {
                         for _ in 0..8u64 {
-                            let r = syscall(&ctx, NodeAddr(nd), SyscallOp::WriteFile { bytes: 2048 });
+                            let r =
+                                syscall(&ctx, NodeAddr(nd), SyscallOp::WriteFile { bytes: 2048 });
                             assert_eq!(r, SyscallRet::Ok);
                         }
                     });

@@ -137,7 +137,9 @@ fn dispatch(w: &mut World, s: &mut VSched, a: NodeAddr, f: Frame) {
         proto::KIND_SERVE_REQ => objmgr::on_serve_req(w, s, a, f),
         proto::KIND_SERVE_ACK => channel::on_serve_ack(w, s, a, f),
         proto::KIND_SERVE_CONN => channel::on_serve_conn(w, s, a, f),
-        proto::KIND_MCAST_DATA | proto::KIND_MCAST_DATA_LAST => crate::multicast::on_data(w, s, a, f),
+        proto::KIND_MCAST_DATA | proto::KIND_MCAST_DATA_LAST => {
+            crate::multicast::on_data(w, s, a, f)
+        }
         proto::KIND_MCAST_ACK => crate::multicast::on_ack(w, s, a, f),
         k if k >= proto::KIND_UDCO_BASE => udco::on_frame(w, s, a, f),
         k => panic!("node {a}: frame with unknown protocol kind {k}"),

@@ -62,9 +62,10 @@ pub fn join(ctx: &VCtx, node: NodeAddr, gid: u16) {
     ctx.with(move |w, s| {
         w.node_mut(node).mcast.entry(gid).or_default();
         let orphans = std::mem::take(&mut w.node_mut(node).orphans);
-        let (mine, rest): (Vec<Frame>, Vec<Frame>) = orphans
-            .into_iter()
-            .partition(|f| (f.kind == KIND_MCAST_DATA || f.kind == KIND_MCAST_DATA_LAST) && (f.seq >> 48) as u16 == gid);
+        let (mine, rest): (Vec<Frame>, Vec<Frame>) = orphans.into_iter().partition(|f| {
+            (f.kind == KIND_MCAST_DATA || f.kind == KIND_MCAST_DATA_LAST)
+                && (f.seq >> 48) as u16 == gid
+        });
         w.node_mut(node).orphans = rest;
         for f in mine {
             on_data(w, s, node, f);
@@ -125,7 +126,11 @@ pub fn mwrite(ctx: &VCtx, node: NodeAddr, gid: u16, dsts: Vec<NodeAddr>, payload
             let f = Frame {
                 src: node,
                 dst: Dest::Multicast(dsts),
-                kind: if last { KIND_MCAST_DATA_LAST } else { KIND_MCAST_DATA },
+                kind: if last {
+                    KIND_MCAST_DATA_LAST
+                } else {
+                    KIND_MCAST_DATA
+                },
                 seq: (u64::from(gid) << 48) | seq,
                 payload: frag,
             };
@@ -187,7 +192,11 @@ pub fn mread(ctx: &VCtx, node: NodeAddr, gid: u16) -> (NodeAddr, Payload) {
 
 /// The recommended alternative for small fan-outs: issue ordinary channel
 /// writes to each receiver in turn.
-pub fn multi_write(ctx: &VCtx, chans: &[ChannelHandle], payload: &Payload) -> crate::channel::ChanResult<()> {
+pub fn multi_write(
+    ctx: &VCtx,
+    chans: &[ChannelHandle],
+    payload: &Payload,
+) -> crate::channel::ChanResult<()> {
     for ch in chans {
         ch.write(ctx, payload.clone())?;
     }

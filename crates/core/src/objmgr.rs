@@ -62,9 +62,7 @@ pub fn name_hash(name: &str) -> u64 {
 pub fn manager_for(w: &World, name: &str) -> NodeAddr {
     match w.objmgr_mode {
         ObjMgrMode::Centralized(a) => a,
-        ObjMgrMode::Distributed => {
-            NodeAddr((name_hash(name) % w.nodes.len() as u64) as u16)
-        }
+        ObjMgrMode::Distributed => NodeAddr((name_hash(name) % w.nodes.len() as u64) as u16),
     }
 }
 
@@ -229,7 +227,10 @@ mod tests {
         let mgrs: std::collections::HashSet<u16> = (0..50)
             .map(|i| manager_for(&w, &format!("chan-{i}")).0)
             .collect();
-        assert!(mgrs.len() > 3, "hashing should spread across nodes: {mgrs:?}");
+        assert!(
+            mgrs.len() > 3,
+            "hashing should spread across nodes: {mgrs:?}"
+        );
     }
 
     #[test]

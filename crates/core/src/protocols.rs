@@ -76,7 +76,14 @@ pub mod sliding_window {
                 });
             }
             credits -= 1;
-            udco::send(ctx, node, peer, p.data_tag, i, Payload::Synthetic(p.msg_len));
+            udco::send(
+                ctx,
+                node,
+                peer,
+                p.data_tag,
+                i,
+                Payload::Synthetic(p.msg_len),
+            );
         }
     }
 }
@@ -88,14 +95,7 @@ pub mod no_flow {
 
     /// Send `n_msgs` messages of `msg_len` bytes to `dst` as fast as the
     /// hardware accepts them.
-    pub fn stream(
-        ctx: &VCtx,
-        node: NodeAddr,
-        dst: NodeAddr,
-        tag: u16,
-        n_msgs: u64,
-        msg_len: u32,
-    ) {
+    pub fn stream(ctx: &VCtx, node: NodeAddr, dst: NodeAddr, tag: u16, n_msgs: u64, msg_len: u32) {
         for i in 0..n_msgs {
             udco::send(ctx, node, dst, tag, i, Payload::Synthetic(msg_len));
         }

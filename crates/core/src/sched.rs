@@ -55,8 +55,8 @@ struct Sp {
 #[derive(Debug, Default)]
 pub struct SpSem {
     count: i64,
-    /// Blocked subprocess indices, FIFO.
-    waiters: Vec<u32>,
+    /// Blocked subprocess indices, FIFO (ring buffer: O(1) wake).
+    waiters: std::collections::VecDeque<u32>,
 }
 
 /// Per-node subprocess scheduler state.
@@ -160,9 +160,7 @@ where
     let handle = SubprocHandle { node, idx };
     let pid = s.spawn(name, move |ctx: VCtx| {
         // Wait to be dispatched for the first time.
-        ctx.wait_until(move |w, _| {
-            (w.node(node).sched.current == Some(idx)).then_some(())
-        });
+        ctx.wait_until(move |w, _| (w.node(node).sched.current == Some(idx)).then_some(()));
         body(ctx.clone(), handle);
         // Exit: release the CPU and dispatch the next subprocess.
         ctx.with(move |w, s| {
@@ -273,7 +271,7 @@ impl SubprocHandle {
                 st.sems[sem].count -= 1;
                 true
             } else {
-                st.sems[sem].waiters.push(h.idx);
+                st.sems[sem].waiters.push_back(h.idx);
                 false
             }
         });
@@ -300,7 +298,7 @@ pub fn create_sem(ctx: &VCtx, node: NodeAddr, initial: i64) -> usize {
         let st = &mut w.node_mut(node).sched;
         st.sems.push(SpSem {
             count: initial,
-            waiters: Vec::new(),
+            waiters: std::collections::VecDeque::new(),
         });
         st.sems.len() - 1
     })
@@ -316,11 +314,10 @@ pub fn sem_v_in(
     from: Option<u32>,
 ) -> bool {
     let st = &mut w.node_mut(node).sched;
-    if st.sems[sem].waiters.is_empty() {
+    let Some(woken) = st.sems[sem].waiters.pop_front() else {
         st.sems[sem].count += 1;
         return false;
-    }
-    let woken = st.sems[sem].waiters.remove(0);
+    };
     st.subprocs[woken as usize].state = SpState::Ready;
     let woken_prio = st.subprocs[woken as usize].prio;
     let preempt = match (from, st.current) {
@@ -388,13 +385,19 @@ mod tests {
         let mut v = VorxBuilder::single_cluster(1).build();
         v.spawn("setup", |ctx| {
             for (prio, tag) in [(1u8, 10u64), (5, 50), (3, 30)] {
-                spawn_subproc(&ctx, NodeAddr(0), prio, format!("sp{prio}"), move |ctx, h| {
-                    h.compute(&ctx, SimDuration::from_us(10));
-                    ctx.with(move |w, _| {
-                        // Record completion order via the trace-free route:
-                        w.next_token = w.next_token * 100 + tag;
-                    });
-                });
+                spawn_subproc(
+                    &ctx,
+                    NodeAddr(0),
+                    prio,
+                    format!("sp{prio}"),
+                    move |ctx, h| {
+                        h.compute(&ctx, SimDuration::from_us(10));
+                        ctx.with(move |w, _| {
+                            // Record completion order via the trace-free route:
+                            w.next_token = w.next_token * 100 + tag;
+                        });
+                    },
+                );
             }
         });
         v.run_all();
@@ -435,10 +438,7 @@ mod tests {
             w.nodes[0].sched.switches
         );
         // All time is switch overhead (no compute was charged).
-        assert_eq!(
-            w.nodes[0].cpu.system_ns,
-            w.nodes[0].sched.switches * 80_000
-        );
+        assert_eq!(w.nodes[0].cpu.system_ns, w.nodes[0].sched.switches * 80_000);
     }
 
     #[test]
@@ -449,7 +449,7 @@ mod tests {
             let sem = create_sem(&ctx, node, 0);
             spawn_subproc(&ctx, node, 9, "hi", move |ctx, h| {
                 h.sem_p(&ctx, sem); // blocks: count is 0
-                // Once V'd by `lo`, we must run *before* lo continues.
+                                    // Once V'd by `lo`, we must run *before* lo continues.
                 ctx.with(|w, _| w.next_token = 1);
             });
             spawn_subproc(&ctx, node, 1, "lo", move |ctx, h| {
@@ -479,11 +479,7 @@ mod tests {
                 ctx.with(move |w, s| {
                     sem_v_in(w, s, node, sem, None); // from an "interrupt"
                 });
-                h.compute_sliced(
-                    &ctx,
-                    SimDuration::from_ms(10),
-                    SimDuration::from_us(500),
-                );
+                h.compute_sliced(&ctx, SimDuration::from_ms(10), SimDuration::from_us(500));
             });
         });
         v.run_all();

@@ -89,12 +89,14 @@ pub fn register_in(w: &mut World, s: &mut VSched, node: NodeAddr, tag: u16, mode
             frames_tx: 0,
         },
     );
-    assert!(prev.is_none(), "UDCO tag {tag} already registered on {node}");
+    assert!(
+        prev.is_none(),
+        "UDCO tag {tag} already registered on {node}"
+    );
     // Deliver any frames that raced registration.
     let kind = KIND_UDCO_BASE + tag;
     let orphans = std::mem::take(&mut w.node_mut(node).orphans);
-    let (mine, rest): (Vec<Frame>, Vec<Frame>) =
-        orphans.into_iter().partition(|f| f.kind == kind);
+    let (mine, rest): (Vec<Frame>, Vec<Frame>) = orphans.into_iter().partition(|f| f.kind == kind);
     w.node_mut(node).orphans = rest;
     for f in mine {
         on_frame(w, s, node, f);
@@ -111,7 +113,13 @@ pub fn send(ctx: &VCtx, node: NodeAddr, dst: NodeAddr, tag: u16, seq: u64, paylo
     let cost = c.udco_send_ns + c.udco_copy_ns_per_byte * u64::from(payload.len());
     api::compute(ctx, node, CpuCat::User, SimDuration::from_ns(cost));
     let pid = ctx.pid();
-    let mut frame = Some(Frame::unicast(node, dst, KIND_UDCO_BASE + tag, seq, payload));
+    let mut frame = Some(Frame::unicast(
+        node,
+        dst,
+        KIND_UDCO_BASE + tag,
+        seq,
+        payload,
+    ));
     let mut blocked = false;
     ctx.wait_until(move |w, s| {
         let now = s.now();
@@ -272,7 +280,13 @@ pub fn send_raw(ctx: &VCtx, node: NodeAddr, dst: NodeAddr, tag: u16, seq: u64, p
     let cost = c.raw_send_ns + c.udco_copy_ns_per_byte * u64::from(payload.len());
     api::compute(ctx, node, CpuCat::User, SimDuration::from_ns(cost));
     let pid = ctx.pid();
-    let mut frame = Some(Frame::unicast(node, dst, KIND_UDCO_BASE + tag, seq, payload));
+    let mut frame = Some(Frame::unicast(
+        node,
+        dst,
+        KIND_UDCO_BASE + tag,
+        seq,
+        payload,
+    ));
     ctx.wait_until(move |w, s| {
         if kernel::can_inject(w, node) {
             let f = frame.take().expect("frame sent twice");
@@ -407,7 +421,14 @@ mod tests {
         v.spawn("n0:tx", |ctx| {
             register(&ctx, NodeAddr(0), 3, UdcoMode::Polled);
             for seq in 0..3 {
-                send(&ctx, NodeAddr(0), NodeAddr(1), 3, seq, Payload::Synthetic(16));
+                send(
+                    &ctx,
+                    NodeAddr(0),
+                    NodeAddr(1),
+                    3,
+                    seq,
+                    Payload::Synthetic(16),
+                );
             }
         });
         v.spawn("n1:rx", |ctx| {
@@ -626,7 +647,13 @@ pub fn send_gather(
         Payload::Synthetic(total)
     };
     let pid = ctx.pid();
-    let mut frame = Some(Frame::unicast(node, dst, KIND_UDCO_BASE + tag, seq, payload));
+    let mut frame = Some(Frame::unicast(
+        node,
+        dst,
+        KIND_UDCO_BASE + tag,
+        seq,
+        payload,
+    ));
     ctx.wait_until(move |w, s| {
         if kernel::can_inject(w, node) {
             let f = frame.take().expect("frame sent twice");
@@ -685,7 +712,14 @@ mod rendezvous_tests {
         v.spawn("n1:a", |ctx| {
             let b = open(&ctx, NodeAddr(1), "fastpath", UdcoMode::Interrupt);
             assert_eq!(b.peer, NodeAddr(2));
-            send(&ctx, NodeAddr(1), b.peer, b.tag, 7, Payload::copy_from(&[1, 2]));
+            send(
+                &ctx,
+                NodeAddr(1),
+                b.peer,
+                b.tag,
+                7,
+                Payload::copy_from(&[1, 2]),
+            );
         });
         v.spawn("n2:b", |ctx| {
             let b = open(&ctx, NodeAddr(2), "fastpath", UdcoMode::Interrupt);
@@ -802,5 +836,4 @@ mod multi_tests {
         // The source injected exactly one frame (hardware replication).
         assert_eq!(v.world().net.stats.per_endpoint_tx[0], 1);
     }
-
 }

@@ -48,7 +48,14 @@ fn kernel_and_udco_share_the_transmitter() {
             // Interleave: one channel write (kernel frames + acks) and one
             // raw frame per round.
             ch.write(&ctx, Payload::Synthetic(512)).unwrap();
-            udco::send_raw(&ctx, NodeAddr(0), NodeAddr(2), 9, i, Payload::Synthetic(512));
+            udco::send_raw(
+                &ctx,
+                NodeAddr(0),
+                NodeAddr(2),
+                9,
+                i,
+                Payload::Synthetic(512),
+            );
         }
     });
     v.spawn("n1:chan-rx", |ctx| {

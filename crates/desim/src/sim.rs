@@ -14,16 +14,27 @@
 //! Determinism contract: the event queue is ordered by `(time, sequence
 //! number)`; ties fire in scheduling order. Any randomness must come from an
 //! explicitly seeded RNG stored in `W`.
+//!
+//! # Hot-path design
+//!
+//! The executor⇄process handoff is a single shared [`Baton`] per process — a
+//! `turn` word flipped with release/acquire ordering plus
+//! `thread::park`/`unpark` — so a context switch moves no heap data and takes
+//! no channel locks. Same-instant wakes (the common case in protocol code:
+//! `wake` + `park` chains at one timestamp) bypass the binary heap through a
+//! FIFO *lane*, making zero-delay scheduling O(1). Simulated time lives in an
+//! atomic mirror ([`SimInner::now_ns`]) so [`Ctx::now`] is lock-free, and
+//! [`Scheduler`] buffers are pooled so steady-state event dispatch allocates
+//! nothing.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::thread::{JoinHandle, Thread};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::time::{SimDuration, SimTime};
@@ -86,15 +97,74 @@ impl<W> Ord for QEntry<W> {
     }
 }
 
-enum Resume {
-    Go(Wakeup),
-    Kill,
+/// `Baton::turn`: the process may run.
+const TURN_PROC: u32 = 0;
+/// `Baton::turn`: the executor may run.
+const TURN_EXEC: u32 = 1;
+
+/// `Baton::report`: the process parked and can be resumed again.
+const REPORT_PARKED: u32 = 0;
+/// `Baton::report`: the process body returned.
+const REPORT_FINISHED: u32 = 1;
+/// `Baton::report`: the process body panicked; `panic_msg` is set.
+const REPORT_PANICKED: u32 = 2;
+
+/// The executor⇄process handoff cell. Exactly one side is running at any
+/// moment; `turn` says which. A handoff is: write your payload (`token` or
+/// `report`) with relaxed stores, flip `turn` with a release store (which
+/// publishes the payload), and unpark the peer. The waiter loops on an
+/// acquire load of `turn` around `thread::park()`, which makes it immune to
+/// spurious unparks. No allocation, no channel, no lock on the hot path.
+struct Baton {
+    /// Whose turn it is: [`TURN_PROC`] or [`TURN_EXEC`].
+    turn: AtomicU32,
+    /// Wakeup token payload; written by the executor before flipping `turn`.
+    token: AtomicU64,
+    /// What the process reported when handing back: `REPORT_*`.
+    report: AtomicU32,
+    /// Set (before a `turn` flip) to make the process unwind instead of
+    /// resuming; used when the simulation is dropped with parked processes.
+    kill: AtomicBool,
+    /// The executor thread to unpark when handing the turn back. Updated by
+    /// the executor on each resume (the run loop may move between threads).
+    exec: Mutex<Option<Thread>>,
+    /// Panic message, set before reporting `REPORT_PANICKED`.
+    panic_msg: Mutex<Option<String>>,
 }
 
-enum YieldMsg {
-    Parked,
-    Finished,
-    Panicked(String),
+impl Baton {
+    fn new() -> Self {
+        Baton {
+            turn: AtomicU32::new(TURN_EXEC),
+            token: AtomicU64::new(0),
+            report: AtomicU32::new(REPORT_PARKED),
+            kill: AtomicBool::new(false),
+            exec: Mutex::new(None),
+            panic_msg: Mutex::new(None),
+        }
+    }
+
+    /// Process side: hand the turn to the executor and wake it.
+    fn yield_to_exec(&self, report: u32) {
+        self.report.store(report, AtomicOrdering::Relaxed);
+        self.turn.store(TURN_EXEC, AtomicOrdering::Release);
+        if let Some(t) = self.exec.lock().as_ref() {
+            t.unpark();
+        }
+    }
+
+    /// Process side: wait until the executor hands the turn over. Returns the
+    /// wakeup token; unwinds with [`Killed`] if the simulation is tearing
+    /// down.
+    fn await_turn(&self) -> Wakeup {
+        while self.turn.load(AtomicOrdering::Acquire) != TURN_PROC {
+            std::thread::park();
+        }
+        if self.kill.load(AtomicOrdering::Relaxed) {
+            resume_unwind(Box::new(Killed));
+        }
+        Wakeup(self.token.load(AtomicOrdering::Relaxed))
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -107,15 +177,23 @@ enum ProcState {
 struct ProcSlot {
     name: String,
     state: ProcState,
-    resume_tx: Sender<Resume>,
-    yield_rx: Receiver<YieldMsg>,
+    baton: Arc<Baton>,
+    /// The process's OS thread, for `unpark`.
+    thread: Thread,
     join: Option<JoinHandle<()>>,
 }
 
 struct Core<W> {
     now: SimTime,
     seq: u64,
+    /// Future events, ordered by `(time, seq)`.
     queue: BinaryHeap<QEntry<W>>,
+    /// Events scheduled *at the current instant*, FIFO. Every entry's time is
+    /// `now`, so ordering within the lane is by `seq` alone, and `push` is
+    /// O(1) instead of a heap insert. Invariant: any heap entry at `t == now`
+    /// was pushed before `now` advanced to `t` and therefore has a smaller
+    /// `seq` than every lane entry; the pop logic relies on this.
+    lane: VecDeque<(u64, Pending<W>)>,
     procs: Vec<Option<ProcSlot>>,
 }
 
@@ -124,7 +202,11 @@ impl<W> Core<W> {
         debug_assert!(t >= self.now, "scheduled event in the past");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(QEntry { t, seq, act });
+        if t == self.now {
+            self.lane.push_back((seq, act));
+        } else {
+            self.queue.push(QEntry { t, seq, act });
+        }
     }
 
     fn slot_mut(&mut self, pid: ProcId) -> &mut ProcSlot {
@@ -135,10 +217,35 @@ impl<W> Core<W> {
     }
 }
 
+/// Recycled `Scheduler` buffers (see [`SimInner::pool`]).
+struct SchBufs<W> {
+    pending: Vec<(SimTime, Pending<W>)>,
+    spawns: Vec<SpawnReq<W>>,
+}
+
+impl<W> Default for SchBufs<W> {
+    fn default() -> Self {
+        SchBufs {
+            pending: Vec::new(),
+            spawns: Vec::new(),
+        }
+    }
+}
+
+/// How many `SchBufs` the pool keeps; beyond this, buffers are dropped.
+const POOL_CAP: usize = 4;
+
 struct SimInner<W> {
     core: Mutex<Core<W>>,
     world: Mutex<W>,
+    /// Lock-free mirror of `Core::now` (ns). Written only by the executor
+    /// while it holds the core lock; read by [`Ctx::now`] /
+    /// [`Simulation::now`] without locking.
+    now_ns: AtomicU64,
     next_pid: Arc<AtomicU32>,
+    /// Pool of spent `Scheduler` buffers, so steady-state event dispatch and
+    /// `Ctx::with` reuse their allocations instead of growing fresh `Vec`s.
+    pool: Mutex<Vec<SchBufs<W>>>,
 }
 
 /// Marker payload used to unwind process threads when the simulation is
@@ -219,8 +326,7 @@ impl<W: Send + 'static> Scheduler<W> {
 pub struct Ctx<W> {
     inner: Arc<SimInner<W>>,
     pid: ProcId,
-    resume_rx: Receiver<Resume>,
-    yield_tx: Sender<YieldMsg>,
+    baton: Arc<Baton>,
 }
 
 impl<W> Clone for Ctx<W> {
@@ -228,8 +334,7 @@ impl<W> Clone for Ctx<W> {
         Ctx {
             inner: Arc::clone(&self.inner),
             pid: self.pid,
-            resume_rx: self.resume_rx.clone(),
-            yield_tx: self.yield_tx.clone(),
+            baton: Arc::clone(&self.baton),
         }
     }
 }
@@ -240,9 +345,10 @@ impl<W: Send + 'static> Ctx<W> {
         self.pid
     }
 
-    /// Current simulated time.
+    /// Current simulated time. Lock-free: reads the executor-maintained
+    /// atomic clock.
     pub fn now(&self) -> SimTime {
-        self.inner.core.lock().now
+        SimTime::from_ns(self.inner.now_ns.load(AtomicOrdering::Acquire))
     }
 
     /// Access the world and scheduler without simulated time passing.
@@ -250,8 +356,7 @@ impl<W: Send + 'static> Ctx<W> {
     /// Do not call other `Ctx` methods from inside `f` (the world lock is
     /// held) and do not park: `with` blocks are instantaneous.
     pub fn with<R>(&self, f: impl FnOnce(&mut W, &mut Scheduler<W>) -> R) -> R {
-        let now = self.inner.core.lock().now;
-        let mut sch = scheduler(now, &self.inner);
+        let mut sch = scheduler(self.now(), &self.inner);
         let r = {
             let mut world = self.inner.world.lock();
             f(&mut world, &mut sch)
@@ -262,22 +367,22 @@ impl<W: Send + 'static> Ctx<W> {
 
     /// Park until woken. Returns the (advisory) wakeup token.
     pub fn park(&self) -> Wakeup {
-        self.yield_tx
-            .send(YieldMsg::Parked)
-            .expect("simulation executor disappeared");
-        match self.resume_rx.recv() {
-            Ok(Resume::Go(w)) => w,
-            Ok(Resume::Kill) | Err(_) => resume_unwind(Box::new(Killed)),
-        }
+        self.baton.yield_to_exec(REPORT_PARKED);
+        self.baton.await_turn()
     }
 
     /// Advance this process's local time by `d` (modelling computation or a
     /// fixed-cost operation). Tolerates spurious wakeups: always sleeps the
     /// full duration.
     pub fn sleep(&self, d: SimDuration) {
-        let deadline = self.now() + d;
-        let pid = self.pid;
-        self.with(move |_, s| s.wake_in(d, pid, Wakeup::TIMER));
+        // The timer wake needs no world access: push it under the core lock
+        // directly rather than paying for a scheduler round-trip.
+        let deadline = {
+            let mut core = self.inner.core.lock();
+            let t = core.now + d;
+            core.push(t, Pending::Wake(self.pid, Wakeup::TIMER));
+            t
+        };
         while self.now() < deadline {
             self.park();
         }
@@ -296,22 +401,25 @@ impl<W: Send + 'static> Ctx<W> {
 }
 
 fn scheduler<W>(now: SimTime, inner: &Arc<SimInner<W>>) -> Scheduler<W> {
+    let SchBufs { pending, spawns } = inner.pool.lock().pop().unwrap_or_default();
     Scheduler {
         now,
-        pending: Vec::new(),
-        spawns: Vec::new(),
+        pending,
+        spawns,
         next_pid: Arc::clone(&inner.next_pid),
     }
 }
 
 /// Commit everything a `Scheduler` collected: create spawned process threads,
-/// register them, and push all pending actions into the queue.
-fn drain<W: Send + 'static>(inner: &Arc<SimInner<W>>, sch: Scheduler<W>) {
-    let Scheduler {
-        pending, spawns, ..
-    } = sch;
-    let mut started = Vec::with_capacity(spawns.len());
-    for req in spawns {
+/// register them, and push all pending actions into the queue. Leaves the
+/// scheduler's buffers empty (capacity retained) so the caller can reuse or
+/// pool them. Takes no locks at all when nothing was scheduled.
+fn commit<W: Send + 'static>(inner: &Arc<SimInner<W>>, sch: &mut Scheduler<W>) {
+    if sch.pending.is_empty() && sch.spawns.is_empty() {
+        return;
+    }
+    let mut started = Vec::with_capacity(sch.spawns.len());
+    for req in sch.spawns.drain(..) {
         started.push(start_proc(inner, req));
     }
     let mut core = inner.core.lock();
@@ -324,8 +432,20 @@ fn drain<W: Send + 'static>(inner: &Arc<SimInner<W>>, sch: Scheduler<W>) {
         core.procs[idx] = Some(slot);
         core.push(at, Pending::Wake(pid, Wakeup::START));
     }
-    for (t, act) in pending {
+    for (t, act) in sch.pending.drain(..) {
         core.push(t, act);
+    }
+}
+
+/// [`commit`], then hand the scheduler's buffers back to the pool.
+fn drain<W: Send + 'static>(inner: &Arc<SimInner<W>>, mut sch: Scheduler<W>) {
+    commit(inner, &mut sch);
+    let Scheduler {
+        pending, spawns, ..
+    } = sch;
+    let mut pool = inner.pool.lock();
+    if pool.len() < POOL_CAP {
+        pool.push(SchBufs { pending, spawns });
     }
 }
 
@@ -333,32 +453,31 @@ fn start_proc<W: Send + 'static>(
     inner: &Arc<SimInner<W>>,
     req: SpawnReq<W>,
 ) -> (ProcId, SimTime, ProcSlot) {
-    let (resume_tx, resume_rx) = bounded::<Resume>(1);
-    let (yield_tx, yield_rx) = bounded::<YieldMsg>(1);
+    let baton = Arc::new(Baton::new());
     let ctx = Ctx {
         inner: Arc::clone(inner),
         pid: req.pid,
-        resume_rx: resume_rx.clone(),
-        yield_tx: yield_tx.clone(),
+        baton: Arc::clone(&baton),
     };
+    let thread_baton = Arc::clone(&baton);
     let f = req.f;
-    let name = req.name.clone();
     let join = std::thread::Builder::new()
-        .name(format!("sim:{name}"))
+        .name(format!("sim:{}", req.name))
         .spawn(move || {
+            let baton = thread_baton;
             // Wait for the initial resume before running the body.
-            match resume_rx.recv() {
-                Ok(Resume::Go(_)) => {}
-                Ok(Resume::Kill) | Err(_) => return,
+            while baton.turn.load(AtomicOrdering::Acquire) != TURN_PROC {
+                std::thread::park();
             }
-            let result = catch_unwind(AssertUnwindSafe(|| f(ctx)));
-            match result {
-                Ok(()) => {
-                    let _ = yield_tx.send(YieldMsg::Finished);
-                }
+            if baton.kill.load(AtomicOrdering::Relaxed) {
+                return;
+            }
+            let report = match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
+                Ok(()) => REPORT_FINISHED,
                 Err(payload) => {
                     if payload.downcast_ref::<Killed>().is_some() {
-                        // Simulation is being torn down; exit quietly.
+                        // Simulation is being torn down; exit quietly without
+                        // handing the turn back (nobody is waiting for it).
                         return;
                     }
                     let msg = payload
@@ -366,19 +485,22 @@ fn start_proc<W: Send + 'static>(
                         .map(|s| s.to_string())
                         .or_else(|| payload.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "<non-string panic payload>".into());
-                    let _ = yield_tx.send(YieldMsg::Panicked(msg));
+                    *baton.panic_msg.lock() = Some(msg);
+                    REPORT_PANICKED
                 }
-            }
+            };
+            baton.yield_to_exec(report);
         })
         .expect("failed to spawn simulation process thread");
+    let thread = join.thread().clone();
     (
         req.pid,
         req.at,
         ProcSlot {
             name: req.name,
             state: ProcState::Parked,
-            resume_tx,
-            yield_rx,
+            baton,
+            thread,
             join: Some(join),
         },
     )
@@ -416,6 +538,12 @@ pub struct Simulation<W: Send + 'static> {
     inner: Arc<SimInner<W>>,
 }
 
+/// What the locked dequeue step handed the run loop to execute.
+enum Next<W> {
+    Run(EventFn<W>, SimTime),
+    Wake(Arc<Baton>, Thread, ProcId, Wakeup),
+}
+
 impl<W: Send + 'static> Simulation<W> {
     /// Create a simulation owning `world`, at time zero.
     pub fn new(world: W) -> Self {
@@ -425,17 +553,21 @@ impl<W: Send + 'static> Simulation<W> {
                     now: SimTime::ZERO,
                     seq: 0,
                     queue: BinaryHeap::new(),
+                    lane: VecDeque::new(),
                     procs: Vec::new(),
                 }),
                 world: Mutex::new(world),
+                now_ns: AtomicU64::new(0),
                 next_pid: Arc::new(AtomicU32::new(0)),
+                pool: Mutex::new(Vec::new()),
             }),
         }
     }
 
-    /// Current simulated time.
+    /// Current simulated time. Lock-free: reads the executor-maintained
+    /// atomic clock.
     pub fn now(&self) -> SimTime {
-        self.inner.core.lock().now
+        SimTime::from_ns(self.inner.now_ns.load(AtomicOrdering::Acquire))
     }
 
     /// Mutable access to the world between runs (inspection, setup).
@@ -445,8 +577,7 @@ impl<W: Send + 'static> Simulation<W> {
 
     /// Schedule and spawn from outside the run loop (setup).
     pub fn setup(&self, f: impl FnOnce(&mut W, &mut Scheduler<W>)) {
-        let now = self.inner.core.lock().now;
-        let mut sch = self.mk_scheduler(now);
+        let mut sch = self.mk_scheduler(self.now());
         {
             let mut w = self.inner.world.lock();
             f(&mut w, &mut sch);
@@ -460,8 +591,7 @@ impl<W: Send + 'static> Simulation<W> {
     where
         F: FnOnce(Ctx<W>) + Send + 'static,
     {
-        let now = self.inner.core.lock().now;
-        let mut sch = self.mk_scheduler(now);
+        let mut sch = self.mk_scheduler(self.now());
         let pid = sch.spawn(name, f);
         drain(&self.inner, sch);
         pid
@@ -472,8 +602,7 @@ impl<W: Send + 'static> Simulation<W> {
     where
         F: FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
     {
-        let now = self.inner.core.lock().now;
-        let mut sch = self.mk_scheduler(now);
+        let mut sch = self.mk_scheduler(self.now());
         sch.schedule_in(d, f);
         drain(&self.inner, sch);
     }
@@ -492,62 +621,136 @@ impl<W: Send + 'static> Simulation<W> {
 
     /// Run until no events remain or the next event is later than `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
-        loop {
+        // The run loop may be called from different threads across calls;
+        // capture the current one once for the baton handoffs below.
+        let me = std::thread::current();
+        // One set of scheduler buffers serves every event callback this run
+        // dispatches; per-event pool traffic would cost more than it saves.
+        let mut bufs = self.inner.pool.lock().pop().unwrap_or_default();
+        let outcome = 'run: loop {
             let next = {
                 let mut core = self.inner.core.lock();
-                match core.queue.peek() {
-                    None => {
-                        let report = idle_report(&core);
-                        return RunOutcome::Idle(report);
-                    }
-                    Some(e) if e.t > deadline => {
-                        core.now = deadline.max(core.now);
-                        return RunOutcome::DeadlineReached;
-                    }
-                    Some(_) => {
+                // Inner loop so stale wakeups are skipped without bouncing
+                // the core lock.
+                loop {
+                    // Does the same-instant lane or the heap fire next? Lane
+                    // entries are all at `now`; a heap entry wins only if it
+                    // is also at `now` with a smaller seq (pushed before time
+                    // advanced here — see the `Core::lane` invariant).
+                    let use_lane = match (core.lane.front(), core.queue.peek()) {
+                        (Some(_), None) => true,
+                        (Some(&(lane_seq, _)), Some(h)) => h.t > core.now || h.seq > lane_seq,
+                        (None, Some(_)) => false,
+                        (None, None) => break 'run RunOutcome::Idle(idle_report(&core)),
+                    };
+                    let act = if use_lane {
+                        if core.now > deadline {
+                            // Lane entries fire at `now`, which is already
+                            // past the bound; time does not move.
+                            break 'run RunOutcome::DeadlineReached;
+                        }
+                        core.lane.pop_front().expect("lane front").1
+                    } else {
+                        let t = core.queue.peek().expect("heap top").t;
+                        if t > deadline {
+                            core.now = deadline.max(core.now);
+                            self.inner
+                                .now_ns
+                                .store(core.now.as_ns(), AtomicOrdering::Release);
+                            break 'run RunOutcome::DeadlineReached;
+                        }
                         let e = core.queue.pop().expect("peeked");
                         debug_assert!(e.t >= core.now, "time ran backwards");
                         core.now = e.t;
-                        e
+                        self.inner
+                            .now_ns
+                            .store(e.t.as_ns(), AtomicOrdering::Release);
+                        e.act
+                    };
+                    match act {
+                        Pending::Run(f) => break Next::Run(f, core.now),
+                        Pending::Wake(pid, token) => {
+                            let slot = core.slot_mut(pid);
+                            if slot.state == ProcState::Finished {
+                                continue; // stale wakeup for a completed process
+                            }
+                            debug_assert_eq!(
+                                slot.state,
+                                ProcState::Parked,
+                                "woke a running process"
+                            );
+                            slot.state = ProcState::Running;
+                            break Next::Wake(
+                                Arc::clone(&slot.baton),
+                                slot.thread.clone(),
+                                pid,
+                                token,
+                            );
+                        }
                     }
                 }
             };
-            match next.act {
-                Pending::Run(f) => {
-                    let mut sch = scheduler(next.t, &self.inner);
+            match next {
+                Next::Run(f, now) => {
+                    let mut sch = Scheduler {
+                        now,
+                        pending: std::mem::take(&mut bufs.pending),
+                        spawns: std::mem::take(&mut bufs.spawns),
+                        next_pid: Arc::clone(&self.inner.next_pid),
+                    };
                     {
                         let mut w = self.inner.world.lock();
                         f(&mut w, &mut sch);
                     }
-                    drain(&self.inner, sch);
+                    commit(&self.inner, &mut sch);
+                    bufs.pending = sch.pending;
+                    bufs.spawns = sch.spawns;
                 }
-                Pending::Wake(pid, token) => self.resume(pid, token),
+                Next::Wake(baton, thread, pid, token) => {
+                    self.resume(&me, baton, thread, pid, token)
+                }
             }
+        };
+        let mut pool = self.inner.pool.lock();
+        if pool.len() < POOL_CAP {
+            pool.push(bufs);
         }
+        outcome
     }
 
-    fn resume(&self, pid: ProcId, token: Wakeup) {
-        let (tx, rx, name) = {
-            let mut core = self.inner.core.lock();
-            let slot = core.slot_mut(pid);
-            if slot.state == ProcState::Finished {
-                return; // stale wakeup for a completed process
-            }
-            debug_assert_eq!(slot.state, ProcState::Parked, "woke a running process");
-            slot.state = ProcState::Running;
-            (slot.resume_tx.clone(), slot.yield_rx.clone(), slot.name.clone())
-        };
-        tx.send(Resume::Go(token))
-            .expect("simulation process thread disappeared");
-        match rx.recv().expect("simulation process thread disappeared") {
-            YieldMsg::Parked => {
+    /// Hand the turn to `pid`'s thread, wait for it to hand back, and record
+    /// how it yielded. The baton and thread handle were fetched under the
+    /// same core lock that dequeued the wake, so the happy path (process
+    /// parks again) costs one lock to re-mark it parked and nothing else.
+    fn resume(&self, me: &Thread, baton: Arc<Baton>, thread: Thread, pid: ProcId, token: Wakeup) {
+        *baton.exec.lock() = Some(me.clone());
+        baton.token.store(token.0, AtomicOrdering::Relaxed);
+        baton.turn.store(TURN_PROC, AtomicOrdering::Release);
+        thread.unpark();
+        while baton.turn.load(AtomicOrdering::Acquire) != TURN_EXEC {
+            std::thread::park();
+        }
+        match baton.report.load(AtomicOrdering::Relaxed) {
+            REPORT_PARKED => {
                 self.inner.core.lock().slot_mut(pid).state = ProcState::Parked;
             }
-            YieldMsg::Finished => {
+            REPORT_FINISHED => {
                 self.inner.core.lock().slot_mut(pid).state = ProcState::Finished;
             }
-            YieldMsg::Panicked(msg) => {
-                self.inner.core.lock().slot_mut(pid).state = ProcState::Finished;
+            _ => {
+                // Panic path: only now is the process name needed, so the
+                // clone happens here instead of on every resume.
+                let name = {
+                    let mut core = self.inner.core.lock();
+                    let slot = core.slot_mut(pid);
+                    slot.state = ProcState::Finished;
+                    slot.name.clone()
+                };
+                let msg = baton
+                    .panic_msg
+                    .lock()
+                    .take()
+                    .unwrap_or_else(|| "<missing panic message>".into());
                 panic!("simulated process '{name}' panicked: {msg}");
             }
         }
@@ -583,7 +786,11 @@ impl<W: Send + 'static> Drop for Simulation<W> {
             let mut handles = Vec::new();
             for slot in core.procs.iter_mut().flatten() {
                 if slot.state != ProcState::Finished {
-                    let _ = slot.resume_tx.send(Resume::Kill);
+                    // The kill flag is published by the release flip of
+                    // `turn`; the woken process unwinds instead of resuming.
+                    slot.baton.kill.store(true, AtomicOrdering::Relaxed);
+                    slot.baton.turn.store(TURN_PROC, AtomicOrdering::Release);
+                    slot.thread.unpark();
                 }
                 if let Some(h) = slot.join.take() {
                     handles.push(h);
@@ -787,9 +994,12 @@ mod tests {
         fn run() -> Vec<(u64, String)> {
             let mut sim = Simulation::new(TestWorld::default());
             for i in 0..10u64 {
-                sim.schedule_in(SimDuration::from_ns(100 - i * 3), move |w: &mut TestWorld, s| {
-                    w.log(s.now(), format!("e{i}"));
-                });
+                sim.schedule_in(
+                    SimDuration::from_ns(100 - i * 3),
+                    move |w: &mut TestWorld, s| {
+                        w.log(s.now(), format!("e{i}"));
+                    },
+                );
             }
             for i in 0..4u64 {
                 sim.spawn(format!("p{i}"), move |ctx: Ctx<TestWorld>| {

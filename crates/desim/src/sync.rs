@@ -13,9 +13,24 @@ use std::collections::VecDeque;
 use crate::sim::{Ctx, ProcId, Scheduler, Wakeup};
 
 /// A set of parked processes waiting on some condition in the world.
+///
+/// Waiters form a FIFO: [`wake_one`](WaitSet::wake_one) releases the
+/// longest-waiting process in O(1) (ring buffer pop, not a `Vec` shift).
+///
+/// # Coalescing semantics
+///
+/// A process is registered **at most once** no matter how many times it
+/// re-registers between wakeups; `register` on an already-registered pid is
+/// a no-op that keeps the original FIFO position. This matters because
+/// condition loops re-register on every failed re-check: without
+/// coalescing, a process that loops k times would occupy k queue slots and
+/// absorb k `wake_one` calls meant for k distinct waiters. Conversely, a
+/// wakeup is advisory — the woken process re-checks its condition, so a
+/// wake delivered to a process whose condition is already satisfied (or
+/// that was concurrently deregistered) is harmless.
 #[derive(Debug, Default, Clone)]
 pub struct WaitSet {
-    waiters: Vec<ProcId>,
+    waiters: VecDeque<ProcId>,
 }
 
 impl WaitSet {
@@ -24,10 +39,11 @@ impl WaitSet {
         Self::default()
     }
 
-    /// Register `pid` as waiting. Duplicate registrations are coalesced.
+    /// Register `pid` as waiting. Duplicate registrations are coalesced
+    /// (see the type-level docs); the original FIFO position is kept.
     pub fn register(&mut self, pid: ProcId) {
         if !self.waiters.contains(&pid) {
-            self.waiters.push(pid);
+            self.waiters.push_back(pid);
         }
     }
 
@@ -42,13 +58,9 @@ impl WaitSet {
         s: &mut Scheduler<W>,
         token: Wakeup,
     ) -> Option<ProcId> {
-        if self.waiters.is_empty() {
-            None
-        } else {
-            let pid = self.waiters.remove(0);
-            s.wake(pid, token);
-            Some(pid)
-        }
+        let pid = self.waiters.pop_front()?;
+        s.wake(pid, token);
+        Some(pid)
     }
 
     /// Wake every waiting process. Returns how many were woken.
@@ -71,8 +83,8 @@ impl WaitSet {
     }
 
     /// The registered waiters, oldest first.
-    pub fn waiters(&self) -> &[ProcId] {
-        &self.waiters
+    pub fn waiters(&self) -> impl Iterator<Item = ProcId> + '_ {
+        self.waiters.iter().copied()
     }
 }
 
@@ -245,7 +257,11 @@ mod tests {
         let order = sim.world().order.clone();
         // Enter/exit pairs must not interleave.
         for pair in order.chunks(2) {
-            assert_eq!(pair[0] + 1, pair[1], "critical sections interleaved: {order:?}");
+            assert_eq!(
+                pair[0] + 1,
+                pair[1],
+                "critical sections interleaved: {order:?}"
+            );
         }
     }
 
@@ -306,7 +322,7 @@ mod tests {
         ws.register(ProcId(1));
         ws.register(ProcId(2));
         ws.deregister(ProcId(1));
-        assert_eq!(ws.waiters(), &[ProcId(2)]);
+        assert_eq!(ws.waiters().collect::<Vec<_>>(), vec![ProcId(2)]);
         assert_eq!(ws.len(), 1);
         assert!(!ws.is_empty());
     }

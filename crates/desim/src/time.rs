@@ -297,7 +297,10 @@ mod tests {
         let b = SimTime::from_ns(25);
         assert_eq!(b.since(a).as_ns(), 15);
         assert_eq!(a.saturating_since(b), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_ns(5).saturating_sub(SimDuration::from_ns(9)), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_ns(5).saturating_sub(SimDuration::from_ns(9)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

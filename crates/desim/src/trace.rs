@@ -79,11 +79,14 @@ impl<E> Trace<E> {
     }
 
     /// Events within `[from, to)`.
+    ///
+    /// The log is time-sorted (see [`Trace::record`]), so both bounds are
+    /// located by binary search; cost is O(log n + k) for k yielded events
+    /// rather than a scan of the whole log.
     pub fn window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = (SimTime, &E)> {
-        self.events
-            .iter()
-            .filter(move |(t, _)| *t >= from && *t < to)
-            .map(|(t, e)| (*t, e))
+        let lo = self.events.partition_point(|(t, _)| *t < from);
+        let hi = lo + self.events[lo..].partition_point(|(t, _)| *t < to);
+        self.events[lo..hi].iter().map(|(t, e)| (*t, e))
     }
 
     /// Drop all recorded events, keeping the enabled flag.
@@ -123,7 +126,8 @@ impl<E: Serialize> Trace<E> {
 /// implementing the small subset we need.
 fn serde_json_value<E: Serialize>(e: &E) -> String {
     let mut ser = MiniJson::default();
-    e.serialize(&mut ser).expect("trace event serialization failed");
+    e.serialize(&mut ser)
+        .expect("trace event serialization failed");
     ser.out
 }
 
@@ -472,10 +476,21 @@ impl serde::ser::SerializeStructVariant for MapSer<'_> {
 mod tests {
     use super::*;
 
-    #[derive(Serialize, Clone)]
+    #[derive(Clone)]
     struct Ev {
         node: u32,
         kind: &'static str,
+    }
+
+    // Hand-written (derive unavailable offline, see vendor/README.md).
+    impl Serialize for Ev {
+        fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            use serde::ser::SerializeStruct;
+            let mut st = serializer.serialize_struct("Ev", 2)?;
+            st.serialize_field("node", &self.node)?;
+            st.serialize_field("kind", &self.kind)?;
+            st.end()
+        }
     }
 
     #[test]
@@ -513,11 +528,31 @@ mod tests {
 
     #[test]
     fn json_output_structs_and_enums() {
-        #[derive(Serialize)]
         enum K {
             Unit,
             Tuple(u8, u8),
             Struct { x: i32 },
+        }
+
+        // Hand-written (derive unavailable offline, see vendor/README.md).
+        impl Serialize for K {
+            fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                use serde::ser::{SerializeStructVariant, SerializeTupleVariant};
+                match self {
+                    K::Unit => serializer.serialize_unit_variant("K", 0, "Unit"),
+                    K::Tuple(a, b) => {
+                        let mut tv = serializer.serialize_tuple_variant("K", 1, "Tuple", 2)?;
+                        tv.serialize_field(a)?;
+                        tv.serialize_field(b)?;
+                        tv.end()
+                    }
+                    K::Struct { x } => {
+                        let mut sv = serializer.serialize_struct_variant("K", 2, "Struct", 1)?;
+                        sv.serialize_field("x", x)?;
+                        sv.end()
+                    }
+                }
+            }
         }
         let mut t = Trace::new();
         t.record(SimTime::from_ns(3), K::Unit);

@@ -50,6 +50,13 @@ pub struct StandaloneNet {
     now: u64,
     seq: u64,
     queue: BinaryHeap<Entry>,
+    /// Same-instant lane: actions scheduled *at* `now` while processing an
+    /// event at `now` (zero-delay cascades — rx drains, tx retries). They
+    /// fire in FIFO order before any later heap entry, without paying the
+    /// O(log n) heap churn. Invariant (as in `desim::sim`): time advances
+    /// only on heap pops, so any heap entry with `t == now` predates — and
+    /// hence outranks by seq — every lane entry.
+    lane: VecDeque<(u64, Action)>,
     waiting_tx: HashMap<NodeAddr, VecDeque<Frame>>,
 }
 
@@ -62,6 +69,7 @@ impl StandaloneNet {
             now: 0,
             seq: 0,
             queue: BinaryHeap::new(),
+            lane: VecDeque::new(),
             waiting_tx: HashMap::new(),
         }
     }
@@ -74,7 +82,11 @@ impl StandaloneNet {
     fn push(&mut self, t: u64, action: Action) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry { t, seq, action });
+        if t == self.now {
+            self.lane.push_back((seq, action));
+        } else {
+            self.queue.push(Entry { t, seq, action });
+        }
     }
 
     /// Ask the endpoint software to inject `frame` at time `t` (busy
@@ -100,10 +112,24 @@ impl StandaloneNet {
     /// Run until quiescent without asserting delivery (for tests that
     /// deliberately wedge the fabric).
     pub fn run_inner(&mut self) {
-        while let Some(e) = self.queue.pop() {
-            debug_assert!(e.t >= self.now);
-            self.now = e.t;
-            let out = match e.action {
+        loop {
+            // Lane vs heap: a heap entry wins only when it is also at `now`
+            // with a smaller seq (see the `lane` field invariant).
+            let use_lane = match (self.lane.front(), self.queue.peek()) {
+                (Some(_), None) => true,
+                (Some(&(lane_seq, _)), Some(h)) => h.t > self.now || h.seq > lane_seq,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let action = if use_lane {
+                self.lane.pop_front().expect("lane front").1
+            } else {
+                let e = self.queue.pop().expect("peeked");
+                debug_assert!(e.t >= self.now);
+                self.now = e.t;
+                e.action
+            };
+            let out = match action {
                 Action::Net(ev) => self.fabric.handle(self.now, ev),
                 Action::Inject(frame) => {
                     let src = frame.src;

@@ -361,7 +361,9 @@ impl Fabric {
 
     /// Number of frames waiting in an endpoint's receive FIFO.
     pub fn rx_depth(&self, node: NodeAddr) -> usize {
-        self.links[self.eps[node.0 as usize].down.0 as usize].buf.len()
+        self.links[self.eps[node.0 as usize].down.0 as usize]
+            .buf
+            .len()
     }
 
     /// Peek at the head of an endpoint's receive FIFO.
@@ -647,7 +649,10 @@ mod tests {
                 Frame::unicast(NodeAddr(0), NodeAddr(1), 0, 0, Payload::Synthetic(2000)),
             )
             .unwrap_err();
-        assert!(matches!(err, SendError::Invalid(FrameError::TooLong { .. })));
+        assert!(matches!(
+            err,
+            SendError::Invalid(FrameError::TooLong { .. })
+        ));
     }
 
     #[test]
@@ -755,7 +760,13 @@ mod tests {
                 let dst = (src + 1) % n;
                 net.send_at(
                     0,
-                    Frame::unicast(NodeAddr(src), NodeAddr(dst), 0, seq, Payload::Synthetic(256)),
+                    Frame::unicast(
+                        NodeAddr(src),
+                        NodeAddr(dst),
+                        0,
+                        seq,
+                        Payload::Synthetic(256),
+                    ),
                 );
             }
         }

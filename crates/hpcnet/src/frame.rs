@@ -17,8 +17,16 @@ pub const MAX_PAYLOAD: u32 = 1024;
 pub const MAX_FRAME: u32 = HEADER_BYTES + MAX_PAYLOAD;
 
 /// Address of an endpoint (a processing node or a host workstation port).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeAddr(pub u16);
+
+// Hand-written (derive unavailable offline, see vendor/README.md); matches
+// what `#[derive(Serialize)]` would emit for a newtype struct.
+impl Serialize for NodeAddr {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_newtype_struct("NodeAddr", &self.0)
+    }
+}
 
 impl fmt::Debug for NodeAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -172,7 +180,10 @@ impl fmt::Display for FrameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FrameError::TooLong { payload, max } => {
-                write!(f, "payload {payload} bytes exceeds HPC frame limit of {max}")
+                write!(
+                    f,
+                    "payload {payload} bytes exceeds HPC frame limit of {max}"
+                )
             }
             FrameError::NoDestination => write!(f, "frame has no destination"),
         }

@@ -88,7 +88,10 @@ impl fmt::Display for TopologyError {
                 write!(f, "no route from {from:?} to {to:?}")
             }
             TopologyError::NotEnoughPorts { needed, available } => {
-                write!(f, "need {needed} ports per cluster, only {available} available")
+                write!(
+                    f,
+                    "need {needed} ports per cluster, only {available} available"
+                )
             }
         }
     }
@@ -291,9 +294,7 @@ impl Topology {
                                 }
                                 // Record the port on `p` that leads back to
                                 // `c` if that is a step toward `dst`.
-                                if dist[p] == dist[c] + 1
-                                    && next_port[p][dst] == u8::MAX
-                                {
+                                if dist[p] == dist[c] + 1 && next_port[p][dst] == u8::MAX {
                                     next_port[p][dst] = peer.port;
                                 }
                                 let _ = port;
@@ -489,13 +490,25 @@ mod tests {
         let c1 = b.add_cluster();
         let c2 = b.add_cluster();
         b.connect(
-            PortRef { cluster: c0, port: 0 },
-            PortRef { cluster: c1, port: 0 },
+            PortRef {
+                cluster: c0,
+                port: 0,
+            },
+            PortRef {
+                cluster: c1,
+                port: 0,
+            },
         )
         .unwrap();
         b.connect(
-            PortRef { cluster: c1, port: 1 },
-            PortRef { cluster: c2, port: 0 },
+            PortRef {
+                cluster: c1,
+                port: 1,
+            },
+            PortRef {
+                cluster: c2,
+                port: 0,
+            },
         )
         .unwrap();
         let a = b.attach_endpoint_auto(c0).unwrap();
@@ -515,10 +528,7 @@ mod tests {
         let c1 = b.add_cluster();
         b.attach_endpoint_auto(c0).unwrap();
         b.attach_endpoint_auto(c1).unwrap();
-        assert!(matches!(
-            b.build(),
-            Err(TopologyError::Unreachable { .. })
-        ));
+        assert!(matches!(b.build(), Err(TopologyError::Unreachable { .. })));
     }
 
     #[test]
@@ -528,25 +538,46 @@ mod tests {
         let c1 = b.add_cluster();
         assert!(matches!(
             b.connect(
-                PortRef { cluster: c0, port: 0 },
-                PortRef { cluster: c0, port: 1 }
+                PortRef {
+                    cluster: c0,
+                    port: 0
+                },
+                PortRef {
+                    cluster: c0,
+                    port: 1
+                }
             ),
             Err(TopologyError::SelfLoop(_))
         ));
         assert!(matches!(
             b.connect(
-                PortRef { cluster: c0, port: 12 },
-                PortRef { cluster: c1, port: 0 }
+                PortRef {
+                    cluster: c0,
+                    port: 12
+                },
+                PortRef {
+                    cluster: c1,
+                    port: 0
+                }
             ),
             Err(TopologyError::PortOutOfRange(_))
         ));
         b.connect(
-            PortRef { cluster: c0, port: 0 },
-            PortRef { cluster: c1, port: 0 },
+            PortRef {
+                cluster: c0,
+                port: 0,
+            },
+            PortRef {
+                cluster: c1,
+                port: 0,
+            },
         )
         .unwrap();
         assert!(matches!(
-            b.attach_endpoint(PortRef { cluster: c0, port: 0 }),
+            b.attach_endpoint(PortRef {
+                cluster: c0,
+                port: 0
+            }),
             Err(TopologyError::PortInUse(_))
         ));
         assert!(matches!(

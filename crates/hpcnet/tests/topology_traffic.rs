@@ -2,9 +2,7 @@
 //! connections with arbitrary topologies", §1) and fabric edge cases.
 
 use hpcnet::driver::StandaloneNet;
-use hpcnet::{
-    Fabric, Frame, NetConfig, NodeAddr, Payload, PortRef, TopologyBuilder,
-};
+use hpcnet::{Fabric, Frame, NetConfig, NodeAddr, Payload, PortRef, TopologyBuilder};
 
 /// A *tree* of clusters routed by BFS carries all-pairs traffic: acyclic
 /// routes cannot form a buffer-dependency cycle, so store-and-forward is
@@ -16,8 +14,14 @@ fn tree_topology_all_pairs() {
     let kids: Vec<_> = (0..3).map(|_| b.add_cluster()).collect();
     for (i, &k) in kids.iter().enumerate() {
         b.connect(
-            PortRef { cluster: root, port: i as u8 },
-            PortRef { cluster: k, port: 0 },
+            PortRef {
+                cluster: root,
+                port: i as u8,
+            },
+            PortRef {
+                cluster: k,
+                port: 0,
+            },
         )
         .unwrap();
     }
@@ -35,7 +39,13 @@ fn tree_topology_all_pairs() {
             if s != d {
                 net.send_at(
                     u64::from(s) * 1000,
-                    Frame::unicast(NodeAddr(s), NodeAddr(d), 0, u64::from(s * n + d), Payload::Synthetic(64)),
+                    Frame::unicast(
+                        NodeAddr(s),
+                        NodeAddr(d),
+                        0,
+                        u64::from(s * n + d),
+                        Payload::Synthetic(64),
+                    ),
                 );
                 expected += 1;
             }
@@ -58,8 +68,14 @@ fn ring_with_cyclic_routes_can_deadlock() {
     let cs: Vec<_> = (0..4).map(|_| b.add_cluster()).collect();
     for i in 0..4 {
         b.connect(
-            PortRef { cluster: cs[i], port: 0 },
-            PortRef { cluster: cs[(i + 1) % 4], port: 1 },
+            PortRef {
+                cluster: cs[i],
+                port: 0,
+            },
+            PortRef {
+                cluster: cs[(i + 1) % 4],
+                port: 1,
+            },
         )
         .unwrap();
     }
@@ -76,7 +92,13 @@ fn ring_with_cyclic_routes_can_deadlock() {
             if s != d {
                 net.send_at(
                     u64::from(s) * 1000,
-                    Frame::unicast(NodeAddr(s), NodeAddr(d), 0, u64::from(s * n + d), Payload::Synthetic(64)),
+                    Frame::unicast(
+                        NodeAddr(s),
+                        NodeAddr(d),
+                        0,
+                        u64::from(s * n + d),
+                        Payload::Synthetic(64),
+                    ),
                 );
             }
         }
@@ -110,7 +132,10 @@ fn saturated_link_shows_in_the_report() {
     let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
     const N: u64 = 100;
     for i in 0..N {
-        net.send_at(0, Frame::unicast(NodeAddr(0), NodeAddr(1), 0, i, Payload::Synthetic(1024)));
+        net.send_at(
+            0,
+            Frame::unicast(NodeAddr(0), NodeAddr(1), 0, i, Payload::Synthetic(1024)),
+        );
     }
     net.run();
     let total_ns = net.now();

@@ -506,10 +506,7 @@ impl SnetSim {
                 ItemKind::Grant => {
                     // This node's request was granted: send the data now.
                     self.nodes[n].phase = SenderPhase::Granted;
-                    self.push(
-                        self.now + self.cfg.reservation_sw_ns,
-                        Event::Offer(n),
-                    );
+                    self.push(self.now + self.cfg.reservation_sw_ns, Event::Offer(n));
                 }
             }
         }
@@ -518,7 +515,11 @@ impl SnetSim {
             node.draining = false;
         } else {
             let head_fresh = node.fifo.front().expect("checked").drained == 0;
-            let extra = if head_fresh { self.cfg.sw_per_msg_ns } else { 0 };
+            let extra = if head_fresh {
+                self.cfg.sw_per_msg_ns
+            } else {
+                0
+            };
             let d = extra + self.chunk_ns(n);
             self.push(self.now + d, Event::DrainChunk(n));
         }
@@ -539,10 +540,7 @@ impl SnetSim {
             seq: 0,
             kind: MsgKind::Grant,
         });
-        self.push(
-            self.now + self.cfg.reservation_sw_ns,
-            Event::Offer(n),
-        );
+        self.push(self.now + self.cfg.reservation_sw_ns, Event::Offer(n));
     }
 }
 
@@ -649,8 +647,7 @@ mod tests {
     #[test]
     fn backoff_is_deterministic_per_seed() {
         let run = |seed| {
-            let mut sim =
-                SnetSim::new(SnetConfig::paper_1985(), 9, Strategy::RandomBackoff, seed);
+            let mut sim = SnetSim::new(SnetConfig::paper_1985(), 9, Strategy::RandomBackoff, seed);
             for s in 1..=8 {
                 sim.enqueue(s, 0, 1024, 4, 0);
             }

@@ -54,6 +54,9 @@ fn lockout_depends_on_offered_load() {
     // 8 senders x 3 x 76B = 1824B: the whole burst fits the 2048B FIFO.
     assert!(run(64, 3), "a FIFO-sized burst should complete");
     // Sustained blasts wedge, short or long.
-    assert!(!run(64, 40), "sustained short-message blast should lock out");
+    assert!(
+        !run(64, 40),
+        "sustained short-message blast should lock out"
+    );
     assert!(!run(1024, 10), "long-message blast should lock out");
 }

@@ -72,7 +72,11 @@ pub struct Utilization {
 impl Utilization {
     /// Window length covered.
     pub fn total(&self) -> u64 {
-        self.user + self.system + self.idle_input + self.idle_output + self.idle_mixed
+        self.user
+            + self.system
+            + self.idle_input
+            + self.idle_output
+            + self.idle_mixed
             + self.idle_other
     }
 
@@ -208,8 +212,7 @@ impl Oscilloscope {
         };
         // Walk busy intervals; fill idle gaps with block-state segments.
         let mut t = from;
-        let mut bi = self.busy[node]
-            .partition_point(|b| b.end <= from);
+        let mut bi = self.busy[node].partition_point(|b| b.end <= from);
         while t < to {
             let next_busy = self.busy[node].get(bi).copied();
             match next_busy {
@@ -323,9 +326,7 @@ impl Oscilloscope {
         let mut max: f64 = 0.0;
         let mut sum = 0.0;
         for n in 0..self.n_nodes {
-            let f = self
-                .utilization(n, SimTime::ZERO, self.t_end())
-                .user_frac();
+            let f = self.utilization(n, SimTime::ZERO, self.t_end()).user_frac();
             min = min.min(f);
             max = max.max(f);
             sum += f;
@@ -344,10 +345,7 @@ fn normalize_intervals(raw: Vec<Busy>) -> Vec<Busy> {
         .filter(|b| b.cat == CpuCat::System)
         .collect();
     sys.sort_by_key(|b| b.start);
-    let mut user: Vec<Busy> = raw
-        .into_iter()
-        .filter(|b| b.cat == CpuCat::User)
-        .collect();
+    let mut user: Vec<Busy> = raw.into_iter().filter(|b| b.cat == CpuCat::User).collect();
     user.sort_by_key(|b| b.start);
     // Clip user-vs-user (later burst trimmed to start after the earlier).
     let mut cursor = 0u64;

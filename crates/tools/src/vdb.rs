@@ -96,11 +96,7 @@ pub fn cont(sim: &VorxSim, at: Attachment) -> bool {
 
 /// Run the simulation until the attached process stops at a breakpoint (or
 /// `deadline` passes). Returns the breakpoint label if it stopped.
-pub fn run_until_stopped(
-    sim: &mut VorxSim,
-    at: Attachment,
-    deadline: SimTime,
-) -> Option<String> {
+pub fn run_until_stopped(sim: &mut VorxSim, at: Attachment, deadline: SimTime) -> Option<String> {
     loop {
         if let Some(l) = stopped_at(sim, at) {
             return Some(l);

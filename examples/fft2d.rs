@@ -13,7 +13,10 @@ fn main() {
     println!("distributed 2D FFT: {n}x{n} image on {p} nodes\n");
     for (name, strategy) in [
         ("multicast rows to everyone", Distribution::Multicast),
-        ("point-to-point (only needed data)", Distribution::PointToPoint),
+        (
+            "point-to-point (only needed data)",
+            Distribution::PointToPoint,
+        ),
     ] {
         let r = run_fft2d(Fft2dParams { n, p, strategy }, 42);
         println!("{name}:");
@@ -23,7 +26,11 @@ fn main() {
         println!(
             "  verified vs serial  max |err| = {:.2e}{}",
             r.max_err,
-            if r.max_err < 1e-6 { "  ok" } else { "  MISMATCH" }
+            if r.max_err < 1e-6 {
+                "  ok"
+            } else {
+                "  MISMATCH"
+            }
         );
         println!();
     }

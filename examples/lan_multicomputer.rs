@@ -17,7 +17,11 @@ fn main() {
     let mut system = VorxBuilder::single_cluster(8).hosts(2).build();
 
     // The user allocates processors explicitly (§3.1, the VORX policy).
-    let workers = system.world().alloc.allocate(UserId(1), 4).expect("pool is free");
+    let workers = system
+        .world()
+        .alloc
+        .allocate(UserId(1), 4)
+        .expect("pool is free");
     println!("allocated processing nodes: {workers:?}");
 
     system.spawn("ws0:launcher", move |ctx| {
@@ -34,11 +38,7 @@ fn main() {
                         let job = ch.read(&ctx).unwrap();
                         // Compute, then log through the UNIX environment the
                         // stub provides.
-                        hpc_vorx::vorx::api::user_compute(
-                            &ctx,
-                            w,
-                            SimDuration::from_ms(1),
-                        );
+                        hpc_vorx::vorx::api::user_compute(&ctx, w, SimDuration::from_ms(1));
                         match syscall(&ctx, w, SyscallOp::WriteFile { bytes: job.len() }) {
                             SyscallRet::Ok => {}
                             r => panic!("log write failed: {r:?}"),

@@ -20,14 +20,22 @@ fn main() {
             ts.join(&ctx, NodeAddr(wk));
             let mut done = 0;
             loop {
-                let t = ts.in_(&ctx, NodeAddr(wk), vec![Pat::Eq(Val::Str("job".into())), Pat::Any]);
+                let t = ts.in_(
+                    &ctx,
+                    NodeAddr(wk),
+                    vec![Pat::Eq(Val::Str("job".into())), Pat::Any],
+                );
                 let Val::Int(x) = t[1] else { unreachable!() };
                 if x < 0 {
                     println!("worker n{wk}: retired after {done} jobs");
                     break;
                 }
                 hpc_vorx::vorx::api::user_compute(&ctx, NodeAddr(wk), SimDuration::from_ms(2));
-                ts.out(&ctx, NodeAddr(wk), vec![Val::Str("done".into()), Val::Int(x * x)]);
+                ts.out(
+                    &ctx,
+                    NodeAddr(wk),
+                    vec![Val::Str("done".into()), Val::Int(x * x)],
+                );
                 done += 1;
             }
         });
@@ -40,13 +48,21 @@ fn main() {
         }
         let mut sum = 0;
         for _ in 0..JOBS {
-            let t = ts_m.in_(&ctx, NodeAddr(6), vec![Pat::Eq(Val::Str("done".into())), Pat::Any]);
+            let t = ts_m.in_(
+                &ctx,
+                NodeAddr(6),
+                vec![Pat::Eq(Val::Str("done".into())), Pat::Any],
+            );
             let Val::Int(x) = t[1] else { unreachable!() };
             sum += x;
         }
         println!("master: sum of squares 0..{JOBS} = {sum}");
         for _ in 0..4 {
-            ts_m.out(&ctx, NodeAddr(6), vec![Val::Str("job".into()), Val::Int(-1)]);
+            ts_m.out(
+                &ctx,
+                NodeAddr(6),
+                vec![Val::Str("job".into()), Val::Int(-1)],
+            );
         }
     });
 

@@ -20,7 +20,8 @@ fn main() {
         for i in 0..8u32 {
             publish(&ctx, me, "next_item", i);
             breakpoint(&ctx, me, "before-send");
-            ch.write(&ctx, Payload::copy_from(&i.to_be_bytes())).unwrap();
+            ch.write(&ctx, Payload::copy_from(&i.to_be_bytes()))
+                .unwrap();
         }
     });
     system.spawn("n2:consumer", |ctx| {

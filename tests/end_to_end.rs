@@ -108,7 +108,10 @@ fn full_stack_determinism() {
 /// (same pairs match), only different timing.
 #[test]
 fn objmgr_modes_agree_on_rendezvous() {
-    for mode in [ObjMgrMode::Centralized(NodeAddr(0)), ObjMgrMode::Distributed] {
+    for mode in [
+        ObjMgrMode::Centralized(NodeAddr(0)),
+        ObjMgrMode::Distributed,
+    ] {
         let mut v = VorxBuilder::single_cluster(9).objmgr(mode).build();
         for i in 0..4u16 {
             let (a, b) = (1 + i * 2, 2 + i * 2);
@@ -159,7 +162,8 @@ fn multi_hop_fragmented_data_integrity() {
     // n0 and n7 are maximally separated in a 4-cluster hypercube.
     v.spawn("n0:w", move |ctx| {
         let ch = channel::open(&ctx, NodeAddr(0), "far");
-        ch.write(&ctx, Payload::Data(bytes::Bytes::from(data))).unwrap();
+        ch.write(&ctx, Payload::Data(bytes::Bytes::from(data)))
+            .unwrap();
     });
     v.spawn("n7:r", move |ctx| {
         let ch = channel::open(&ctx, NodeAddr(7), "far");
@@ -205,8 +209,8 @@ fn oscilloscope_accounts_every_nanosecond() {
 /// closes channels when done, and is observable through vdb.
 #[test]
 fn appmgr_listener_close_and_vdb_together() {
-    use hpc_vorx::vorx::appmgr::{start_application, wait_app, AppState};
     use hpc_vorx::vorx::alloc::UserId;
+    use hpc_vorx::vorx::appmgr::{start_application, wait_app, AppState};
     use hpc_vorx::vorx::channel::{listen, ChanError};
     use hpc_vorx::vorx::debug::{breakpoint, publish, register_process};
 
@@ -284,7 +288,8 @@ fn hypercube_channel_and_multicast_stress() {
         v.spawn(format!("n{a}:w"), move |ctx| {
             let ch = channel::open(&ctx, NodeAddr(a), &format!("stress-{i}"));
             for k in 0..6u8 {
-                ch.write(&ctx, Payload::copy_from(&[k ^ i as u8; 200])).unwrap();
+                ch.write(&ctx, Payload::copy_from(&[k ^ i as u8; 200]))
+                    .unwrap();
             }
         });
         v.spawn(format!("n{b}:r"), move |ctx| {
@@ -308,7 +313,13 @@ fn hypercube_channel_and_multicast_stress() {
     }
     v.spawn("n1:mc-tx", move |ctx| {
         for _ in 0..3 {
-            multicast::mwrite(&ctx, NodeAddr(1), 2, members.clone(), Payload::Synthetic(700));
+            multicast::mwrite(
+                &ctx,
+                NodeAddr(1),
+                2,
+                members.clone(),
+                Payload::Synthetic(700),
+            );
         }
     });
     v.run_all();

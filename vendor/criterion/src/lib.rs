@@ -1,0 +1,281 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace's benches use: `Criterion`,
+//! `benchmark_group`, `Bencher::{iter, iter_batched}`, `Throughput`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Compared to real criterion there is no statistical analysis, outlier
+//! detection, or HTML report: each benchmark is warmed up, timed for a fixed
+//! number of samples, and summarized as min/median/mean ns per iteration.
+//! Results are printed and also written as JSON under
+//! `target/criterion-stub/<group>/<bench>.json` so report tooling can read
+//! them back.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How a per-iteration input batch is sized (stub: ignored, every batch is
+/// one input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: cheap to set up relative to the routine.
+    SmallInput,
+    /// Large inputs: expensive to set up relative to the routine.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Units-of-work metadata used to report throughput alongside time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark; `f` drives the [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&self.name, id, self.throughput);
+        self
+    }
+
+    /// Finish the group (stub: nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+const MIN_SAMPLE_TIME: Duration = Duration::from_micros(200);
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup + calibration: how many calls make one sample long enough
+        // for the clock to resolve it?
+        let t0 = Instant::now();
+        hint::black_box(routine());
+        let once = t0.elapsed();
+        let per_sample = if once >= MIN_SAMPLE_TIME {
+            1
+        } else {
+            (MIN_SAMPLE_TIME.as_nanos() / once.as_nanos().max(1) + 1) as u64
+        };
+        self.samples_ns = (0..self.sample_size)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..per_sample {
+                    hint::black_box(routine());
+                }
+                t.elapsed().as_nanos() as f64 / per_sample as f64
+            })
+            .collect();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; only the routine is
+    /// inside the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        hint::black_box(routine(setup())); // warmup
+        self.samples_ns = (0..self.sample_size)
+            .map(|_| {
+                let input = setup();
+                let t = Instant::now();
+                hint::black_box(routine(input));
+                t.elapsed().as_nanos() as f64
+            })
+            .collect();
+    }
+
+    fn report(&mut self, group: &str, id: &str, throughput: Option<Throughput>) {
+        let mut s = std::mem::take(&mut self.samples_ns);
+        if s.is_empty() {
+            eprintln!("{group}/{id}: no samples recorded");
+            return;
+        }
+        s.sort_by(|a, b| a.total_cmp(b));
+        let min = s[0];
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let thr = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:.3} Melem/s", n as f64 / median * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  thrpt: {:.3} MiB/s",
+                    n as f64 / median * 1e9 / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{group}/{id}  time: [min {} | median {} | mean {}]{thr}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+        let json = format!(
+            concat!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"samples\":{},",
+                "\"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1}}}\n"
+            ),
+            group,
+            id,
+            s.len(),
+            min,
+            median,
+            mean
+        );
+        let dir = stub_report_root().join(group);
+        // Best effort: benches must not fail just because the report
+        // directory is unwritable.
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = std::fs::write(dir.join(format!("{id}.json")), json);
+        }
+    }
+}
+
+/// Where JSON reports go: `<workspace target dir>/criterion-stub`.
+///
+/// Bench binaries run with the *package* directory as cwd, so a plain
+/// relative `target/` would nest one target dir per package. Honor
+/// `CARGO_TARGET_DIR` if set, else walk up from cwd to the workspace root
+/// (the closest ancestor with a `Cargo.lock`).
+fn stub_report_root() -> std::path::PathBuf {
+    if let Some(t) = std::env::var_os("CARGO_TARGET_DIR") {
+        return std::path::Path::new(&t).join("criterion-stub");
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target/criterion-stub");
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return cwd.join("target/criterion-stub"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Bundle benchmark functions into a runner callable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_and_batched_produce_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub-selftest");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("iter", |b| b.iter(|| (0..10u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Provides the `Serialize`/`Serializer` trait pair with real-serde method
+//! signatures, the `ser` sub-traits, and `Serialize` impls for primitives
+//! and standard containers. The proc-macro derive is not available offline,
+//! so the workspace implements `Serialize` by hand for its few trace-event
+//! types (the data model is identical, so swapping real serde back in is a
+//! manifest change only).
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+
+mod impls {
+    use crate::ser::{Serialize, SerializeSeq, Serializer};
+
+    macro_rules! ser_forward {
+        ($($t:ty => $m:ident),* $(,)?) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    s.$m(*self)
+                }
+            }
+        )*};
+    }
+
+    ser_forward! {
+        bool => serialize_bool,
+        i8 => serialize_i8,
+        i16 => serialize_i16,
+        i32 => serialize_i32,
+        i64 => serialize_i64,
+        u8 => serialize_u8,
+        u16 => serialize_u16,
+        u32 => serialize_u32,
+        u64 => serialize_u64,
+        f32 => serialize_f32,
+        f64 => serialize_f64,
+        char => serialize_char,
+    }
+
+    impl Serialize for usize {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_u64(*self as u64)
+        }
+    }
+
+    impl Serialize for isize {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_i64(*self as i64)
+        }
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(self)
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(self)
+        }
+    }
+
+    impl Serialize for () {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_unit()
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &mut T {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            match self {
+                Some(v) => s.serialize_some(v),
+                None => s.serialize_none(),
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut seq = s.serialize_seq(Some(self.len()))?;
+            for item in self {
+                seq.serialize_element(item)?;
+            }
+            seq.end()
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(s)
+        }
+    }
+
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(s)
+        }
+    }
+
+    impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            use crate::ser::SerializeTuple;
+            let mut t = s.serialize_tuple(2)?;
+            t.serialize_element(&self.0)?;
+            t.serialize_element(&self.1)?;
+            t.end()
+        }
+    }
+}
