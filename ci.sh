@@ -16,4 +16,7 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> fault-campaign smoke (fixed seed, 5% loss, one crash/restart)"
+cargo run --release -p vorx-bench --bin fault_campaign -- --smoke
+
 echo "CI OK"

@@ -53,6 +53,7 @@ fn bench_multicast(c: &mut Criterion) {
                             kind: 0,
                             seq: i,
                             payload: Payload::Synthetic(512),
+                            corrupted: false,
                         },
                     );
                 }

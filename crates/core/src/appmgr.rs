@@ -45,8 +45,12 @@ pub struct AppRecord {
     pub started_ns: u64,
     /// Lifecycle state.
     pub state: AppState,
-    /// Worker processes that have reported completion.
+    /// Worker processes accounted for (clean exits plus failed nodes).
     pub finished_procs: usize,
+    /// Nodes whose process exited cleanly.
+    pub done_nodes: Vec<u16>,
+    /// Nodes the failure detector declared dead while this app ran there.
+    pub failed_nodes: Vec<u16>,
 }
 
 /// Per-installation application registry (all hosts' managers share the
@@ -110,6 +114,8 @@ where
                 started_ns: s.now().as_ns(),
                 state: AppState::Running,
                 finished_procs: 0,
+                done_nodes: Vec::new(),
+                failed_nodes: Vec::new(),
             });
             id
         }
@@ -122,7 +128,7 @@ where
                 format!("app{app_id}:{name}@n{}", node.0),
                 move |ctx: VCtx| {
                     body(ctx.clone(), node, rank);
-                    ctx.with(move |w, _| on_proc_exit(w, app_id));
+                    ctx.with(move |w, _| on_proc_exit(w, app_id, node));
                 },
             );
         }
@@ -132,15 +138,58 @@ where
 
 /// Manager bookkeeping when one process of `app_id` exits; releases the
 /// allocation when the last one is done.
-fn on_proc_exit(w: &mut World, app_id: u32) {
+fn on_proc_exit(w: &mut World, app_id: u32, node: NodeAddr) {
     let (done, user, nodes) = {
         let a = &mut w.appmgr.apps[app_id as usize];
+        if a.failed_nodes.contains(&node.0) {
+            // The failure detector already accounted for this node; a
+            // straggler exit (the process outlived the crash report) must
+            // not double-count.
+            return;
+        }
+        a.done_nodes.push(node.0);
         a.finished_procs += 1;
-        (a.finished_procs == a.nodes.len(), a.user, a.nodes.clone())
+        (
+            a.done_nodes.len() + a.failed_nodes.len() == a.nodes.len(),
+            a.user,
+            a.nodes.clone(),
+        )
     };
     if done {
         w.appmgr.apps[app_id as usize].state = AppState::Exited;
         w.alloc.free(user, &nodes);
+    }
+}
+
+/// Failure-detector hook: `node` crashed. Every running application with a
+/// process there counts that process as failed, so `wait_app` completes
+/// (with losses) instead of waiting forever on a dead node. Called from
+/// [`crate::fault::on_crash`].
+pub(crate) fn on_node_failed(w: &mut World, node: NodeAddr) {
+    // Iterate by index in launch order: deterministic, and `free` needs the
+    // registry borrow released.
+    for i in 0..w.appmgr.apps.len() {
+        let (done, user, nodes) = {
+            let a = &mut w.appmgr.apps[i];
+            if a.state != AppState::Running
+                || !a.nodes.contains(&node)
+                || a.done_nodes.contains(&node.0)
+                || a.failed_nodes.contains(&node.0)
+            {
+                continue;
+            }
+            a.failed_nodes.push(node.0);
+            a.finished_procs += 1;
+            (
+                a.done_nodes.len() + a.failed_nodes.len() == a.nodes.len(),
+                a.user,
+                a.nodes.clone(),
+            )
+        };
+        if done {
+            w.appmgr.apps[i].state = AppState::Exited;
+            w.alloc.free(user, &nodes);
+        }
     }
 }
 
@@ -195,7 +244,7 @@ mod tests {
                     // Each process can use its own stub.
                     assert_eq!(
                         syscall(&ctx, node, SyscallOp::WriteFile { bytes: 100 }),
-                        SyscallRet::Ok
+                        Ok(SyscallRet::Ok)
                     );
                 })
                 .expect("pool is free");

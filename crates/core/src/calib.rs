@@ -84,6 +84,32 @@ pub struct Calibration {
     /// Open file descriptors allowed per stub ("limited by the SunOS kernel
     /// to 32 open file descriptors").
     pub stub_fd_limit: usize,
+
+    // ----- fault recovery (timeouts and retry budgets) -----
+    //
+    // The 1988 hardware never lost a frame (store-and-forward with hardware
+    // flow control), so these constants have no Table to calibrate against.
+    // They are protocol constants, not CPU costs: `instant()` keeps them
+    // nonzero because a zero retransmission timeout would be a busy loop.
+    /// Base ack timeout for a channel data fragment; doubles per retry.
+    pub chan_ack_timeout_ns: u64,
+    /// Retransmissions of a data fragment before the peer is declared down.
+    pub chan_max_retries: u32,
+    /// Base timeout for reliable control frames (open replies, connect
+    /// notifications, closes); doubles per retry.
+    pub ctl_timeout_ns: u64,
+    /// Retransmissions of a control frame before giving up.
+    pub ctl_max_retries: u32,
+    /// Base timeout for an unacknowledged open/listen request to the object
+    /// manager; doubles per retry.
+    pub open_timeout_ns: u64,
+    /// Retransmissions of an open/listen request before the manager is
+    /// declared unreachable.
+    pub open_max_retries: u32,
+    /// Delay between a node crash and its peers learning of it (the soft
+    /// failure-detection sweep). `u64::MAX` disables detection, leaving
+    /// retry exhaustion as the only signal.
+    pub crash_detect_ns: u64,
 }
 
 impl Calibration {
@@ -120,6 +146,13 @@ impl Calibration {
             host_syscall_ns: 2_000_000,
             host_copy_ns_per_byte: 100,
             stub_fd_limit: 32,
+            chan_ack_timeout_ns: 20_000_000,
+            chan_max_retries: 6,
+            ctl_timeout_ns: 20_000_000,
+            ctl_max_retries: 6,
+            open_timeout_ns: 50_000_000,
+            open_max_retries: 8,
+            crash_detect_ns: 200_000_000,
         }
     }
 
@@ -149,6 +182,13 @@ impl Calibration {
             host_syscall_ns: 0,
             host_copy_ns_per_byte: 0,
             stub_fd_limit: 32,
+            chan_ack_timeout_ns: 20_000_000,
+            chan_max_retries: 6,
+            ctl_timeout_ns: 20_000_000,
+            ctl_max_retries: 6,
+            open_timeout_ns: 50_000_000,
+            open_max_retries: 8,
+            crash_detect_ns: 200_000_000,
         }
     }
 

@@ -31,30 +31,47 @@ use crate::api;
 use crate::cpu::{BlockReason, CpuCat};
 use crate::kernel;
 use crate::proto;
-use crate::world::{OpenResult, VCtx, VSched, World};
+use crate::world::{VCtx, VSched, World};
 
-/// Channel operation errors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ChanError {
-    /// The peer end has been closed; no more data will arrive/be accepted.
-    PeerClosed,
-    /// This end was closed locally.
-    LocalClosed,
-}
-
-impl std::fmt::Display for ChanError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ChanError::PeerClosed => write!(f, "peer end of channel closed"),
-            ChanError::LocalClosed => write!(f, "channel closed locally"),
-        }
-    }
-}
-
-impl std::error::Error for ChanError {}
+/// Channel operation errors (an alias of the unified [`crate::VorxError`];
+/// variant paths like `ChanError::PeerClosed` keep working through it).
+pub type ChanError = crate::VorxError;
 
 /// Result of a channel operation.
 pub type ChanResult<T> = Result<T, ChanError>;
+
+/// Consecutive `KIND_CHAN_BUSY` grants a writer honors before concluding
+/// the reader is never coming back and counting silence against the retry
+/// budget again.
+const MAX_BUSY_GRANTS: u32 = 64;
+
+/// The writer's outstanding (unacknowledged) fragment.
+#[derive(Debug, Clone)]
+pub struct TxPending {
+    /// The frame, kept for retransmission.
+    pub frame: Frame,
+    /// Its fragment number.
+    pub frag: u32,
+    /// Retransmissions so far.
+    pub attempts: u32,
+    /// Timer-chain epoch: bumped whenever the chain is reset so stale
+    /// timers die on mismatch.
+    pub epoch: u32,
+    /// `KIND_CHAN_BUSY` grants consumed (see [`MAX_BUSY_GRANTS`]).
+    pub busy_grants: u32,
+    /// The armed ack-timeout timer, disarmed when the fragment resolves.
+    pub timer: Option<desim::TimerHandle>,
+}
+
+/// Drop the outstanding fragment and disarm its timer (ack received, peer
+/// closed/down, or crash cleanup).
+pub(crate) fn clear_tx(end: &mut ChanEnd) {
+    if let Some(tp) = end.tx_pending.take() {
+        if let Some(t) = tp.timer {
+            t.cancel();
+        }
+    }
+}
 
 /// Reassembles fragments of one written message.
 #[derive(Debug, Default)]
@@ -122,6 +139,19 @@ pub struct ChanEnd {
     pub tx_wait: WaitSet,
     /// The ack for the outstanding fragment has arrived.
     pub ack_ready: bool,
+    /// The outstanding fragment, kept for retransmission until acked.
+    pub tx_pending: Option<TxPending>,
+    /// Timer-chain epoch counter (see [`TxPending::epoch`]).
+    pub tx_epoch: u32,
+    /// Next fragment number expected from the peer; anything below it is a
+    /// duplicate (its ack was lost) and is re-acked, not re-delivered.
+    pub rx_next_frag: u32,
+    /// Fragment currently being copied into a side buffer (its charge is in
+    /// flight); a duplicate arriving in that window is dropped.
+    pub accepting: Option<u32>,
+    /// The peer's node is known to be down (retry exhaustion or the
+    /// failure-detection sweep).
+    pub peer_down: bool,
     /// Fragments sent from this end (for `cdb`).
     pub msgs_tx: u64,
     /// Messages delivered to readers at this end (for `cdb`).
@@ -148,6 +178,11 @@ impl ChanEnd {
             rx_waiters: WaitSet::new(),
             tx_wait: WaitSet::new(),
             ack_ready: false,
+            tx_pending: None,
+            tx_epoch: 0,
+            rx_next_frag: 1,
+            accepting: None,
+            peer_down: false,
             msgs_tx: 0,
             msgs_rx: 0,
             reader_blocked: false,
@@ -195,47 +230,20 @@ pub struct ChannelHandle {
 
 /// Open a channel named `name` from `node`: sends an open request to the
 /// responsible object manager and blocks until another process opens the
-/// same name. Returns the connected handle.
+/// same name. Returns the connected handle. Panics if the open fails under
+/// fault injection; use [`try_open`] to handle that.
 pub fn open(ctx: &VCtx, node: NodeAddr, name: &str) -> ChannelHandle {
+    try_open(ctx, node, name).expect("channel open failed")
+}
+
+/// Fallible [`open`]: fails with [`ChanError::Unreachable`] when the object
+/// manager does not answer within the retry budget, or
+/// [`ChanError::NodeDown`] when the opener's own node crashes mid-open.
+pub fn try_open(ctx: &VCtx, node: NodeAddr, name: &str) -> ChanResult<ChannelHandle> {
     let c = ctx.with(|w, _| w.calib);
     api::compute_ns(ctx, node, CpuCat::System, c.chan_read_syscall_ns);
-    let name_owned = name.to_string();
-    let token = ctx.with(move |w, s| {
-        let token = w.token();
-        w.node_mut(node)
-            .open_waits
-            .insert(token, OpenResult::Pending);
-        let mgr = crate::objmgr::manager_for(w, &name_owned);
-        let f = Frame::unicast(
-            node,
-            mgr,
-            proto::KIND_OPEN_REQ,
-            token,
-            proto::pack_open_req(&name_owned),
-        );
-        kernel::send_frame(w, s, f);
-        token
-    });
-    let pid = ctx.pid();
-    let (id, peer) = ctx.wait_until(|w, _| {
-        let done = match w.node(node).open_waits.get(&token) {
-            Some(OpenResult::Done(c, p)) => Some((*c, *p)),
-            _ => None,
-        };
-        match done {
-            // Clean up inside the wait closure: one lock acquisition
-            // instead of a separate `with` round trip afterwards.
-            Some(d) => {
-                w.node_mut(node).open_waits.remove(&token);
-                Some(d)
-            }
-            None => {
-                w.node_mut(node).open_waiters.register(pid);
-                None
-            }
-        }
-    });
-    ChannelHandle { id, node, peer }
+    let (id, peer) = crate::objmgr::rendezvous(ctx, node, name, proto::ObjKind::Channel)?;
+    Ok(ChannelHandle { id, node, peer })
 }
 
 /// Split a payload into hardware-sized fragments, flagging the last.
@@ -279,16 +287,20 @@ impl ChannelHandle {
             api::compute_ns(ctx, h.node, CpuCat::System, c.chan_write_syscall_ns);
             let pre = ctx.with(move |w, s| {
                 let now = s.now();
-                let end = w
-                    .node_mut(h.node)
-                    .chans
-                    .get_mut(&h.id)
-                    .expect("write on unknown channel");
+                if !w.node(h.node).up {
+                    return Err(ChanError::NodeDown);
+                }
+                let Some(end) = w.node_mut(h.node).chans.get_mut(&h.id) else {
+                    return Err(ChanError::NodeDown);
+                };
                 if end.closed_local {
                     return Err(ChanError::LocalClosed);
                 }
                 if end.closed_remote {
                     return Err(ChanError::PeerClosed);
+                }
+                if end.peer_down {
+                    return Err(ChanError::PeerDown);
                 }
                 end.msgs_tx += 1;
                 let frag_no = end.msgs_tx as u32;
@@ -299,27 +311,43 @@ impl ChannelHandle {
                     proto::KIND_CHAN_DATA
                 };
                 let f = Frame::unicast(h.node, h.peer, kind, proto::chan_seq(h.id, frag_no), frag);
+                end.tx_epoch += 1;
+                let epoch = end.tx_epoch;
+                end.tx_pending = Some(TxPending {
+                    frame: f.clone(),
+                    frag: frag_no,
+                    attempts: 0,
+                    epoch,
+                    busy_grants: 0,
+                    timer: None,
+                });
                 w.block(now, h.node, BlockReason::Output);
                 kernel::send_frame(w, s, f);
+                arm_data_timer(w, s, h.node, h.id, frag_no, epoch, 0);
                 Ok(())
             });
             pre?;
             let acked = ctx.wait_until(move |w, s| {
-                let end = w
-                    .node_mut(h.node)
-                    .chans
-                    .get_mut(&h.id)
-                    .expect("channel vanished mid-write");
-                let outcome = if end.ack_ready {
-                    end.ack_ready = false;
-                    end.writer_blocked = false;
-                    Some(Ok(()))
-                } else if end.closed_remote {
-                    end.writer_blocked = false;
-                    Some(Err(ChanError::PeerClosed))
-                } else {
-                    end.tx_wait.register(pid);
-                    None
+                let outcome = match w.node_mut(h.node).chans.get_mut(&h.id) {
+                    None => Some(Err(ChanError::NodeDown)),
+                    Some(end) => {
+                        if end.ack_ready {
+                            end.ack_ready = false;
+                            end.writer_blocked = false;
+                            Some(Ok(()))
+                        } else if end.closed_remote {
+                            end.writer_blocked = false;
+                            clear_tx(end);
+                            Some(Err(ChanError::PeerClosed))
+                        } else if end.peer_down {
+                            end.writer_blocked = false;
+                            clear_tx(end);
+                            Some(Err(ChanError::PeerDown))
+                        } else {
+                            end.tx_wait.register(pid);
+                            None
+                        }
+                    }
                 };
                 if outcome.is_some() {
                     // Unblock inside the wait closure (as `read` does): one
@@ -347,11 +375,14 @@ impl ChannelHandle {
         let mut blocked = false;
         let outcome = ctx.wait_until(move |w, s| {
             let now = s.now();
-            let end = w
-                .node_mut(h.node)
-                .chans
-                .get_mut(&h.id)
-                .expect("read on unknown channel");
+            let Some(end) = w.node_mut(h.node).chans.get_mut(&h.id) else {
+                // The node crashed out from under us; the wake that
+                // delivered us here came from the crash cleanup.
+                if blocked {
+                    w.unblock(now, h.node, BlockReason::Input);
+                }
+                return Some((Err(ChanError::NodeDown), blocked));
+            };
             match end.rx.pop_front() {
                 Some(p) => {
                     if blocked {
@@ -360,11 +391,13 @@ impl ChannelHandle {
                     }
                     Some((Ok(p), blocked))
                 }
-                None if end.closed_local || end.closed_remote => {
+                None if end.closed_local || end.closed_remote || end.peer_down => {
                     let err = if end.closed_local {
                         ChanError::LocalClosed
-                    } else {
+                    } else if end.closed_remote {
                         ChanError::PeerClosed
+                    } else {
+                        ChanError::PeerDown
                     };
                     if blocked {
                         end.reader_blocked = false;
@@ -402,9 +435,16 @@ impl ChannelHandle {
     }
 
     /// Number of complete messages ready to read (non-blocking peek).
+    /// Returns 0 if the channel no longer exists (node crashed).
     pub fn readable(&self, ctx: &VCtx) -> usize {
         let h = *self;
-        ctx.with(move |w, _| w.node(h.node).chans[&h.id].rx.len())
+        ctx.with(move |w, _| {
+            w.node(h.node)
+                .chans
+                .get(&h.id)
+                .map(|e| e.rx.len())
+                .unwrap_or(0)
+        })
     }
 
     /// Close this end (§4: channels "are dynamically created and destroyed
@@ -415,15 +455,16 @@ impl ChannelHandle {
         let c = ctx.with(|w, _| w.calib);
         api::compute_ns(ctx, h.node, CpuCat::System, c.chan_read_syscall_ns);
         ctx.with(move |w, s| {
-            let end = w
-                .node_mut(h.node)
-                .chans
-                .get_mut(&h.id)
-                .expect("close on unknown channel");
+            let Some(end) = w.node_mut(h.node).chans.get_mut(&h.id) else {
+                return; // node crashed; nothing left to close
+            };
             if end.closed_local {
                 return; // idempotent
             }
             end.closed_local = true;
+            if end.peer_down {
+                return; // peer is gone; nobody to notify
+            }
             let f = Frame::unicast(
                 h.node,
                 h.peer,
@@ -431,20 +472,29 @@ impl ChannelHandle {
                 proto::chan_seq(h.id, 0),
                 Payload::Synthetic(0),
             );
-            kernel::send_frame(w, s, f);
+            // Close notifications must survive loss or the peer blocks
+            // forever: deliver reliably (receiver acks, sender retransmits).
+            crate::fault::reliable_send(w, s, f);
         });
     }
 }
 
 /// Kernel handler: the peer closed its end.
 pub fn on_close(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
+    crate::fault::ack_ctl(w, s, node, &f);
     let chan = proto::seq_chan(f.seq);
     let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
-        // Close may race the open reply; stash like data frames.
+        // Close may race the open reply; stash like data frames. (A
+        // retransmitted close after a crash wiped the end lands here too
+        // and is dropped with the orphan list if the end never reappears.)
         w.node_mut(node).orphans.push(f);
         return;
     };
+    if end.closed_remote {
+        return; // duplicate close (our ack was lost)
+    }
     end.closed_remote = true;
+    clear_tx(end);
     // Wake everyone so blocked reads/writes observe the close.
     end.rx_waiters.wake_all(s, Wakeup::START);
     end.tx_wait.wake_all(s, Wakeup::START);
@@ -472,11 +522,13 @@ pub fn read_any(
         let now = s.now();
         let mut all_closed = true;
         for (i, h) in hs.iter().enumerate() {
-            let end = w
-                .node_mut(h.node)
-                .chans
-                .get_mut(&h.id)
-                .expect("read_any on unknown channel");
+            let Some(end) = w.node_mut(h.node).chans.get_mut(&h.id) else {
+                // Our node crashed and wiped the channels.
+                if blocked {
+                    w.unblock(now, node, BlockReason::Input);
+                }
+                return Some((Err(ChanError::NodeDown), blocked));
+            };
             if let Some(p) = end.rx.pop_front() {
                 if blocked {
                     end.reader_blocked = false;
@@ -484,7 +536,7 @@ pub fn read_any(
                 }
                 return Some((Ok((i, p)), blocked));
             }
-            if !(end.closed_local || end.closed_remote) {
+            if !(end.closed_local || end.closed_remote || end.peer_down) {
                 all_closed = false;
             }
         }
@@ -531,31 +583,169 @@ pub fn read_any(
     Ok((idx, payload))
 }
 
+/// Arm (or re-arm) the writer's ack-timeout timer for the outstanding
+/// fragment. The timer is a no-op unless the exact `(frag, epoch, attempts)`
+/// it was armed for is still outstanding when it fires — acks, closes,
+/// crashes, and `KIND_CHAN_BUSY` resets all invalidate it by changing one of
+/// the three. Timeouts double per retry; after `chan_max_retries` silent
+/// retries the writer declares the peer down.
+fn arm_data_timer(
+    w: &mut World,
+    s: &mut VSched,
+    node: NodeAddr,
+    chan: u32,
+    frag: u32,
+    epoch: u32,
+    attempts: u32,
+) {
+    let delay = w.calib.chan_ack_timeout_ns << attempts.min(10);
+    let timer = s.schedule_cancellable_in(desim::SimDuration::from_ns(delay), move |w, s| {
+        if !w.node(node).up {
+            return;
+        }
+        let max = w.calib.chan_max_retries;
+        enum Next {
+            Stale,
+            GiveUp,
+            Resend(Frame),
+        }
+        let next = {
+            let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
+                return; // channel gone (crash wiped it)
+            };
+            match end.tx_pending.as_mut() {
+                Some(tp) if tp.frag == frag && tp.epoch == epoch && tp.attempts == attempts => {
+                    if tp.attempts >= max {
+                        Next::GiveUp
+                    } else {
+                        tp.attempts += 1;
+                        Next::Resend(tp.frame.clone())
+                    }
+                }
+                _ => Next::Stale, // acked, or a newer timer chain owns it
+            }
+        };
+        match next {
+            Next::Stale => {}
+            Next::GiveUp => {
+                let end = w
+                    .node_mut(node)
+                    .chans
+                    .get_mut(&chan)
+                    .expect("present just above");
+                end.tx_pending = None;
+                end.peer_down = true;
+                end.rx_waiters.wake_all(s, Wakeup::START);
+                end.tx_wait.wake_all(s, Wakeup::START);
+                w.faults.stats.peer_down_events += 1;
+            }
+            Next::Resend(f) => {
+                w.faults.stats.retransmits += 1;
+                kernel::send_frame(w, s, f);
+                arm_data_timer(w, s, node, chan, frag, epoch, attempts + 1);
+            }
+        }
+    });
+    // Hand the disarm handle to the outstanding fragment it guards.
+    if let Some(end) = w.node_mut(node).chans.get_mut(&chan) {
+        if let Some(tp) = end.tx_pending.as_mut() {
+            if tp.frag == frag && tp.epoch == epoch {
+                tp.timer = Some(timer);
+            }
+        }
+    }
+}
+
 /// Kernel handler: a channel data fragment arrived at `node`.
+///
+/// Under loss, the same fragment may arrive more than once (the writer
+/// retransmits when its ack is lost or late). The receiver is the dedup
+/// point: `rx_next_frag` says which fragment is next in the stream, so
+/// anything earlier is re-acked without re-delivery and anything currently
+/// being copied (`accepting`) or deferred is dropped as a duplicate.
 pub fn on_data(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last: bool) {
     let chan = proto::seq_chan(f.seq);
-    let Some(end) = w.node(node).chans.get(&chan) else {
-        // Open-reply race: the peer learned about the channel before we did.
-        w.node_mut(node).orphans.push(f);
-        return;
-    };
-    if end.sidebuf_used() >= w.calib.chan_side_buffers {
-        // Side buffers full: hold the fragment, withhold the ack. The
-        // writer stays blocked — this is the protocol's flow control.
-        w.node_mut(node)
-            .chans
-            .get_mut(&chan)
-            .expect("checked")
-            .deferred
-            .push_back(f);
-        return;
+    let frag = proto::seq_frag(f.seq);
+    let src = f.src;
+    let seq = f.seq;
+    enum Act {
+        Orphan,
+        ReAck,
+        DropAhead,
+        DropDup,
+        ReBusy,
+        Defer,
+        Accept,
     }
-    accept_fragment(w, s, node, f, last);
+    let act = match w.node(node).chans.get(&chan) {
+        // Open-reply race: the peer learned about the channel before we did.
+        None => Act::Orphan,
+        Some(end) => {
+            if frag < end.rx_next_frag {
+                // Already committed: the ack was lost or the retransmission
+                // crossed it in flight.
+                Act::ReAck
+            } else if frag > end.rx_next_frag {
+                // Stop-and-wait never runs ahead; a frame from the future
+                // can only be damage we failed to detect. Drop it.
+                Act::DropAhead
+            } else if end.accepting == Some(frag) {
+                // The first copy of this fragment is mid-copy; its ack is
+                // coming.
+                Act::DropDup
+            } else if !end.deferred.is_empty() {
+                // Already deferred (side buffers full): the BUSY we sent was
+                // lost, so the writer's timer fired. Tell it again.
+                Act::ReBusy
+            } else if end.sidebuf_used() >= w.calib.chan_side_buffers {
+                // Side buffers full: hold the fragment, withhold the ack,
+                // and send BUSY so the stall is not mistaken for loss. The
+                // writer stays blocked — this is the protocol's flow
+                // control.
+                Act::Defer
+            } else {
+                Act::Accept
+            }
+        }
+    };
+    match act {
+        Act::Orphan => w.node_mut(node).orphans.push(f),
+        Act::ReAck => {
+            w.faults.stats.dups_suppressed += 1;
+            let ack = Frame::unicast(node, src, proto::KIND_CHAN_ACK, seq, Payload::Synthetic(0));
+            kernel::send_frame(w, s, ack);
+        }
+        Act::DropAhead | Act::DropDup => {
+            w.faults.stats.dups_suppressed += 1;
+        }
+        Act::ReBusy => {
+            w.faults.stats.dups_suppressed += 1;
+            let busy = Frame::unicast(node, src, proto::KIND_CHAN_BUSY, seq, Payload::Synthetic(0));
+            kernel::send_frame(w, s, busy);
+        }
+        Act::Defer => {
+            w.node_mut(node)
+                .chans
+                .get_mut(&chan)
+                .expect("matched just above")
+                .deferred
+                .push_back(f);
+            w.faults.stats.busy_sent += 1;
+            let busy = Frame::unicast(node, src, proto::KIND_CHAN_BUSY, seq, Payload::Synthetic(0));
+            kernel::send_frame(w, s, busy);
+        }
+        Act::Accept => accept_fragment(w, s, node, f, last),
+    }
 }
 
 /// Copy a fragment into the side buffer (charged), then commit it and send
-/// the ack.
+/// the ack. Marks the fragment `accepting` for the duration of the copy so
+/// a duplicate arriving mid-copy is not committed twice.
 fn accept_fragment(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last: bool) {
+    let chan = proto::seq_chan(f.seq);
+    if let Some(end) = w.node_mut(node).chans.get_mut(&chan) {
+        end.accepting = Some(proto::seq_frag(f.seq));
+    }
     let c = w.calib;
     let cost = c.chan_sidebuf_ns_per_byte * u64::from(f.payload.len()) + c.chan_ack_gen_ns;
     let now = s.now();
@@ -570,11 +760,11 @@ fn commit_fragment(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last
     let src = f.src;
     let seq = f.seq;
     {
-        let end = w
-            .node_mut(node)
-            .chans
-            .get_mut(&chan)
-            .expect("channel vanished while fragment in flight");
+        let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
+            return; // the node crashed while the copy charge was in flight
+        };
+        end.accepting = None;
+        end.rx_next_frag = proto::seq_frag(seq) + 1;
         end.asm.push(f.payload);
         if last {
             let msg = end.asm.take();
@@ -591,13 +781,48 @@ fn commit_fragment(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last
 /// Kernel handler: a channel ack arrived at the writer's node.
 pub fn on_ack(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
     let chan = proto::seq_chan(f.seq);
-    let end = w
-        .node_mut(node)
-        .chans
-        .get_mut(&chan)
-        .expect("ack for unknown channel");
+    let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
+        return; // crash or close raced the ack
+    };
+    if end.tx_pending.as_ref().map(|t| t.frag) != Some(proto::seq_frag(f.seq)) {
+        return; // duplicate ack for an already-acknowledged fragment
+    }
+    clear_tx(end);
     end.ack_ready = true;
     end.tx_wait.wake_all(s, Wakeup::START);
+}
+
+/// Kernel handler: the receiver's side buffers are full (`KIND_CHAN_BUSY`).
+/// The outstanding fragment was *received*, not lost: stop counting silence
+/// against the retry budget and restart the timer chain from zero. Grants
+/// are capped ([`MAX_BUSY_GRANTS`]) so a receiver that never drains cannot
+/// hold the writer forever.
+pub fn on_busy(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
+    let chan = proto::seq_chan(f.seq);
+    let frag = proto::seq_frag(f.seq);
+    let epoch = {
+        let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
+            return;
+        };
+        match end.tx_pending.as_mut() {
+            Some(tp) if tp.frag == frag && tp.busy_grants < MAX_BUSY_GRANTS => {
+                tp.busy_grants += 1;
+                tp.attempts = 0;
+                // The silence-counting chain is being replaced; disarm it.
+                if let Some(t) = tp.timer.take() {
+                    t.cancel();
+                }
+            }
+            _ => return, // stale: already acked, or grants exhausted
+        }
+        end.tx_epoch += 1;
+        let e = end.tx_epoch;
+        if let Some(tp) = end.tx_pending.as_mut() {
+            tp.epoch = e;
+        }
+        e
+    };
+    arm_data_timer(w, s, node, chan, frag, epoch, 0);
 }
 
 /// After a reader frees a side buffer, accept one deferred fragment (and
@@ -840,6 +1065,12 @@ mod tests {
 pub struct ListenState {
     /// Registration acknowledged by the object manager.
     pub acked: bool,
+    /// Registration retransmissions so far (stale timers key off this).
+    pub attempts: u32,
+    /// The registration request's token, kept for retransmission.
+    pub token: u64,
+    /// The armed registration-retransmit timer, disarmed on `SERVE_ACK`.
+    pub timer: Option<desim::TimerHandle>,
     /// Accepted-but-unclaimed connections: `(channel id, client node)`.
     pub pending: std::collections::VecDeque<(u32, NodeAddr)>,
     /// Processes blocked in `accept` (or awaiting the registration ack).
@@ -879,6 +1110,11 @@ pub fn listen(ctx: &VCtx, node: NodeAddr, name: &str) -> Listener {
         );
         let mgr = crate::objmgr::manager_for(w, &name_owned);
         let token = w.token();
+        w.node_mut(node)
+            .listeners
+            .get_mut(&name_owned)
+            .expect("just inserted")
+            .token = token;
         let f = Frame::unicast(
             node,
             mgr,
@@ -887,15 +1123,14 @@ pub fn listen(ctx: &VCtx, node: NodeAddr, name: &str) -> Listener {
             proto::pack_open_req(&name_owned),
         );
         kernel::send_frame(w, s, f);
+        arm_listen_timer(w, s, node, name_owned, 0);
     });
     let pid = ctx.pid();
     let name_owned = name.to_string();
     ctx.wait_until(move |w, _| {
-        let ls = w
-            .node_mut(node)
-            .listeners
-            .get_mut(&name_owned)
-            .expect("listener vanished");
+        let Some(ls) = w.node_mut(node).listeners.get_mut(&name_owned) else {
+            return Some(()); // our node crashed; the registration died with it
+        };
         if ls.acked {
             Some(())
         } else {
@@ -909,6 +1144,52 @@ pub fn listen(ctx: &VCtx, node: NodeAddr, name: &str) -> Listener {
     }
 }
 
+/// Retransmit an unacknowledged listen registration with doubling timeouts.
+/// The `SERVE_ACK` is a plain frame: if it is lost, the next retransmission
+/// here makes the manager re-ack (registrations are idempotent per token).
+/// After `open_max_retries` the chain gives up silently — an unreachable
+/// manager leaves the listener parked (see DESIGN.md on non-recoverable
+/// paths).
+fn arm_listen_timer(w: &mut World, s: &mut VSched, node: NodeAddr, name: String, attempts: u32) {
+    let delay = w.calib.open_timeout_ns << attempts.min(10);
+    let name_key = name.clone();
+    let timer = s.schedule_cancellable_in(desim::SimDuration::from_ns(delay), move |w, s| {
+        if !w.node(node).up {
+            return;
+        }
+        let max = w.calib.open_max_retries;
+        let token = {
+            let Some(ls) = w.node_mut(node).listeners.get_mut(&name) else {
+                return; // crash wiped the listener
+            };
+            if ls.acked || ls.attempts != attempts {
+                return; // acked, or a newer timer owns the chain
+            }
+            if ls.attempts >= max {
+                return; // give up
+            }
+            ls.attempts += 1;
+            ls.token
+        };
+        let mgr = crate::objmgr::manager_for(w, &name);
+        w.faults.stats.retransmits += 1;
+        let f = Frame::unicast(
+            node,
+            mgr,
+            proto::KIND_SERVE_REQ,
+            token,
+            proto::pack_open_req(&name),
+        );
+        kernel::send_frame(w, s, f);
+        arm_listen_timer(w, s, node, name, attempts + 1);
+    });
+    if let Some(ls) = w.node_mut(node).listeners.get_mut(&name_key) {
+        if !ls.acked {
+            ls.timer = Some(timer);
+        }
+    }
+}
+
 impl Listener {
     /// Block until the next client opens this name; returns the fresh
     /// channel to that client.
@@ -917,11 +1198,10 @@ impl Listener {
         let name = self.name.clone();
         let pid = ctx.pid();
         let (id, peer) = ctx.wait_until(move |w, _| {
-            let ls = w
-                .node_mut(node)
-                .listeners
-                .get_mut(&name)
-                .expect("accept on unknown listener");
+            // If the node crashed the listener is gone and nobody will wake
+            // us — stay parked (documented non-recoverable path) rather
+            // than panic in the wake path.
+            let ls = w.node_mut(node).listeners.get_mut(&name)?;
             match ls.pending.pop_front() {
                 Some(conn) => Some(conn),
                 None => {
@@ -935,36 +1215,50 @@ impl Listener {
         ChannelHandle { id, node, peer }
     }
 
-    /// Connections waiting to be accepted.
+    /// Connections waiting to be accepted (0 once the node has crashed).
     pub fn backlog(&self, ctx: &VCtx) -> usize {
         let node = self.node;
         let name = self.name.clone();
-        ctx.with(move |w, _| w.node(node).listeners[&name].pending.len())
+        ctx.with(move |w, _| {
+            w.node(node)
+                .listeners
+                .get(&name)
+                .map(|l| l.pending.len())
+                .unwrap_or(0)
+        })
     }
 }
 
 /// Kernel handler: the object manager acknowledged a listen registration.
+/// Duplicates (a retransmitted registration re-acked) are idempotent.
 pub fn on_serve_ack(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
     let name = proto::parse_open_req(&f.payload);
-    let ls = w
-        .node_mut(node)
-        .listeners
-        .get_mut(&name)
-        .expect("serve ack for unknown listener");
+    let Some(ls) = w.node_mut(node).listeners.get_mut(&name) else {
+        return; // crash wiped the listener; stale ack
+    };
     ls.acked = true;
+    if let Some(t) = ls.timer.take() {
+        t.cancel();
+    }
     ls.waiters.wake_all(s, Wakeup::START);
 }
 
 /// Kernel handler: a client connected to a listening name — create the
-/// server-side end of the new channel and queue it for `accept`.
+/// server-side end of the new channel and queue it for `accept`. Delivered
+/// reliably by the manager, so ack first, then deduplicate.
 pub fn on_serve_conn(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
+    crate::fault::ack_ctl(w, s, node, &f);
     let (id, client, name) = proto::parse_open_rep(&f.payload);
+    if w.node(node).chans.contains_key(&id) {
+        return; // duplicate connect (our first ack was lost)
+    }
+    if !w.node(node).listeners.contains_key(&name) {
+        return; // listener died with a crash; the client will learn via timeout
+    }
     create_end(w, s, node, id, name.clone(), client);
-    let ls = w
-        .node_mut(node)
-        .listeners
-        .get_mut(&name)
-        .expect("connection for unknown listener");
+    let Some(ls) = w.node_mut(node).listeners.get_mut(&name) else {
+        return;
+    };
     ls.pending.push_back((id, client));
     ls.waiters.wake_all(s, Wakeup::START);
 }

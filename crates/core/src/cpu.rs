@@ -104,6 +104,14 @@ pub enum TraceEvent {
         /// True on entry, false on exit.
         enter: bool,
     },
+    /// A node crashed (`up == false`) or restarted (`up == true`) under the
+    /// fault plane.
+    Fault {
+        /// Node index.
+        node: u16,
+        /// New liveness state.
+        up: bool,
+    },
 }
 
 impl Serialize for TraceEvent {
@@ -140,6 +148,12 @@ impl Serialize for TraceEvent {
                 sv.serialize_field("node", node)?;
                 sv.serialize_field("name", name)?;
                 sv.serialize_field("enter", enter)?;
+                sv.end()
+            }
+            TraceEvent::Fault { node, up } => {
+                let mut sv = serializer.serialize_struct_variant("TraceEvent", 4, "Fault", 2)?;
+                sv.serialize_field("node", node)?;
+                sv.serialize_field("up", up)?;
                 sv.end()
             }
         }

@@ -1,0 +1,390 @@
+//! The VORX side of the fault plane: crash/restart handling, the reliable
+//! control-frame machinery, and recovery statistics.
+//!
+//! The 1988 hardware gave VORX a luxury most distributed kernels never had:
+//! the HPC's store-and-forward buffering with hardware flow control meant a
+//! frame, once accepted, was never lost. The recovery protocols here extend
+//! the reproduction beyond that guarantee: when a seeded
+//! [`desim::FaultSchedule`] is installed, frames can be dropped, corrupted,
+//! or delayed in transit and nodes can crash and restart — and the channel
+//! and object-manager protocols must recover (timeout, retransmit, dedup,
+//! failover) rather than hang or panic.
+//!
+//! Everything fires as ordinary simulation events from seeded streams, so a
+//! faulted run replays bit-identically from the same `(workload seed, fault
+//! seed)` pair.
+
+use desim::{SimDuration, Wakeup};
+use hpcnet::{Frame, LinkId, NodeAddr, Payload, Transit};
+
+use crate::cpu::TraceEvent;
+use crate::kernel;
+use crate::proto;
+use crate::world::{VCtx, VSched, World};
+
+/// Recovery-protocol counters, kept alongside the schedule in
+/// [`World::faults`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultStats {
+    /// Data/control/open frames retransmitted after an ack timeout.
+    pub retransmits: u64,
+    /// Duplicate channel fragments suppressed by the receiver (the ack was
+    /// lost, or a retransmission crossed the ack in flight).
+    pub dups_suppressed: u64,
+    /// Frames discarded on arrival because the interface's CRC check failed.
+    pub corrupted_rx: u64,
+    /// `KIND_CHAN_BUSY` notifications sent (flow-control stall, not loss).
+    pub busy_sent: u64,
+    /// Channel ends that declared their peer down (retry exhaustion or the
+    /// failure-detection sweep).
+    pub peer_down_events: u64,
+    /// Node crashes injected.
+    pub crashes: u64,
+    /// Node restarts injected.
+    pub restarts: u64,
+}
+
+/// The fault plane as the world sees it: the seeded schedule plus the
+/// recovery statistics. Implements [`hpcnet::FaultHook`] so the fabric
+/// consults the schedule (and its private RNG streams) on every hop.
+#[derive(Debug)]
+pub struct FaultState {
+    /// The installed schedule (empty and fault-free by default).
+    pub schedule: desim::FaultSchedule,
+    /// Recovery counters.
+    pub stats: FaultStats,
+}
+
+impl FaultState {
+    /// Wrap a schedule with zeroed statistics.
+    pub fn new(schedule: desim::FaultSchedule) -> Self {
+        FaultState {
+            schedule,
+            stats: FaultStats::default(),
+        }
+    }
+}
+
+impl hpcnet::FaultHook for FaultState {
+    fn on_transit(&mut self, link: LinkId, _frame: &Frame) -> Transit {
+        match self.schedule.disposition(link.0) {
+            desim::Disposition::Deliver => Transit::Deliver,
+            desim::Disposition::Drop => Transit::Drop,
+            desim::Disposition::Corrupt => Transit::Corrupt,
+            desim::Disposition::Delay(ns) => Transit::Delay(ns),
+        }
+    }
+}
+
+/// A reliably-delivered control frame awaiting its `KIND_CTL_ACK`.
+#[derive(Debug, Clone)]
+pub struct CtlPending {
+    /// The frame, kept for retransmission.
+    pub frame: Frame,
+    /// Retransmissions so far (stale timers key off this).
+    pub attempts: u32,
+    /// The armed retransmit timer, disarmed when the ack arrives.
+    pub timer: Option<desim::TimerHandle>,
+}
+
+/// Send a control frame (open reply, connect notification, close) with
+/// at-least-once delivery: the receiver echoes `frame.seq` in a
+/// `KIND_CTL_ACK`; until that arrives the sender retransmits with doubling
+/// timeouts, giving up after `ctl_max_retries`. `frame.seq` must be unique
+/// among the sender's outstanding control frames (tokens and
+/// `chan_seq(id, 0)` keys never collide).
+pub fn reliable_send(w: &mut World, s: &mut VSched, frame: Frame) {
+    let from = frame.src;
+    let key = frame.seq;
+    w.node_mut(from).ctl_unacked.insert(
+        key,
+        CtlPending {
+            frame: frame.clone(),
+            attempts: 0,
+            timer: None,
+        },
+    );
+    kernel::send_frame(w, s, frame);
+    arm_ctl_timer(w, s, from, key, 0);
+}
+
+fn arm_ctl_timer(w: &mut World, s: &mut VSched, from: NodeAddr, key: u64, attempts: u32) {
+    let delay = w.calib.ctl_timeout_ns << attempts.min(10);
+    let timer = s.schedule_cancellable_in(SimDuration::from_ns(delay), move |w: &mut World, s| {
+        if !w.node(from).up {
+            return;
+        }
+        let max = w.calib.ctl_max_retries;
+        let resend = {
+            let Some(p) = w.node_mut(from).ctl_unacked.get_mut(&key) else {
+                return; // acked
+            };
+            if p.attempts != attempts {
+                return; // a newer timer owns this entry
+            }
+            if p.attempts >= max {
+                None
+            } else {
+                p.attempts += 1;
+                Some(p.frame.clone())
+            }
+        };
+        match resend {
+            None => {
+                // Retry budget exhausted: the receiver is gone. Drop the
+                // entry; higher-level recovery (peer-down marking, manager
+                // re-resolution) owns the outcome.
+                w.node_mut(from).ctl_unacked.remove(&key);
+            }
+            Some(f) => {
+                w.faults.stats.retransmits += 1;
+                kernel::send_frame(w, s, f);
+                arm_ctl_timer(w, s, from, key, attempts + 1);
+            }
+        }
+    });
+    if let Some(p) = w.node_mut(from).ctl_unacked.get_mut(&key) {
+        if p.attempts == attempts {
+            p.timer = Some(timer);
+        }
+    }
+}
+
+/// Receiver side of [`reliable_send`]: acknowledge receipt of control frame
+/// `f` at `node`. Handlers call this before deduplicating, so a dup (the
+/// first ack was lost) is re-acked.
+pub fn ack_ctl(w: &mut World, s: &mut VSched, node: NodeAddr, f: &Frame) {
+    let ack = Frame::unicast(
+        node,
+        f.src,
+        proto::KIND_CTL_ACK,
+        f.seq,
+        Payload::Synthetic(0),
+    );
+    kernel::send_frame(w, s, ack);
+}
+
+/// Kernel handler: a control-frame ack arrived; stop retransmitting.
+pub fn on_ctl_ack(w: &mut World, _s: &mut VSched, node: NodeAddr, f: Frame) {
+    if let Some(p) = w.node_mut(node).ctl_unacked.remove(&f.seq) {
+        if let Some(t) = p.timer {
+            t.cancel();
+        }
+    }
+}
+
+/// Crash `node`: its interface goes dark (in-flight frames to and from it
+/// die), its kernel state is wiped cold, and every process parked in a
+/// recovery-aware wait (channel read/write, open, syscall) is woken so its
+/// wait closure observes the loss and returns [`crate::VorxError::NodeDown`]
+/// instead of leaking in a wait set.
+///
+/// Peers learn of the death from the failure-detection sweep
+/// (`crash_detect_ns` later) or from retry exhaustion, whichever is first.
+pub fn on_crash(w: &mut World, s: &mut VSched, node: NodeAddr) {
+    if !w.node(node).up {
+        return;
+    }
+    let now = s.now();
+    w.faults.stats.crashes += 1;
+    w.trace.record(
+        now,
+        TraceEvent::Fault {
+            node: node.0,
+            up: false,
+        },
+    );
+    let out = w.net.set_endpoint_down(kernel::now_ns(s), node, true);
+    kernel::process_output(w, s, out);
+
+    // Wipe the node's kernel state cold, keeping the wait sets we must wake.
+    // Iteration is over *sorted* keys everywhere: HashMap order is random
+    // per process, and wake order feeds the event order that the
+    // determinism guarantee rests on.
+    let n = w.node_mut(node);
+    n.up = false;
+    n.rx_in_service = false;
+    n.tx_q.clear();
+    n.orphans.clear();
+    // Disarm every retransmit timer the node had running — a dead node's
+    // timeouts must not keep ticking (they would be no-ops, but no-op
+    // events still drag the simulated clock forward).
+    for p in n.ctl_unacked.values() {
+        if let Some(t) = &p.timer {
+            t.cancel();
+        }
+    }
+    n.ctl_unacked.clear();
+    for o in n.open_waits.values() {
+        if let crate::world::OpenResult::Pending { timer: Some(t), .. } = o {
+            t.cancel();
+        }
+    }
+    n.open_waits.clear();
+    for ls in n.listeners.values() {
+        if let Some(t) = &ls.timer {
+            t.cancel();
+        }
+    }
+    n.listeners.clear();
+    n.syscall_waits.clear();
+    n.mgr = Default::default();
+    n.sched = Default::default();
+    // UDCO and multicast state dies with the node. Their waiters are *not*
+    // woken: those paths predate the recovery protocols and have no error
+    // vocabulary (see DESIGN.md — processes using them on a crashed node
+    // stay parked, as do listeners).
+    n.udcos.clear();
+    n.mcast.clear();
+    n.mcast_pending.clear();
+    let mut chans = std::mem::take(&mut n.chans);
+    let mut ids: Vec<u32> = chans.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let end = chans.get_mut(&id).expect("key from this map");
+        crate::channel::clear_tx(end);
+        end.rx_waiters.wake_all(s, Wakeup::START);
+        end.tx_wait.wake_all(s, Wakeup::START);
+    }
+    w.node_mut(node).open_waiters.wake_all(s, Wakeup::START);
+    w.node_mut(node).syscall_waiters.wake_all(s, Wakeup::START);
+    w.node_mut(node).tx_waiters.wake_all(s, Wakeup::START);
+
+    // The application manager's failure detector is part of the manager
+    // abstraction: mark the node's processes failed so `wait_app` completes.
+    crate::appmgr::on_node_failed(w, node);
+
+    // Failure-detection sweep: after `crash_detect_ns`, peers with channel
+    // ends to this node learn it is down, and manager registrations backed
+    // by it are evicted. Snapshot the affected ends now — ends created
+    // after the crash (a new generation) must not be marked.
+    let detect = w.calib.crash_detect_ns;
+    if detect == u64::MAX {
+        return;
+    }
+    let mut hits: Vec<(u16, u32)> = Vec::new();
+    for (i, other) in w.nodes.iter().enumerate() {
+        if i == usize::from(node.0) {
+            continue;
+        }
+        let mut peered: Vec<u32> = other
+            .chans
+            .iter()
+            .filter(|(_, e)| e.peer == node)
+            .map(|(id, _)| *id)
+            .collect();
+        peered.sort_unstable();
+        for id in peered {
+            hits.push((i as u16, id));
+        }
+    }
+    // Manager entries backed by the dead node are snapshotted the same way:
+    // eviction only removes what was stale *at crash time*. If the node
+    // restarts inside the detection window and re-registers (a new
+    // generation), those fresh entries must survive the sweep. Tokens are
+    // world-unique, so `(manager, name, token)` identifies a queued request
+    // exactly.
+    let mut stale_servers: Vec<(u16, String)> = Vec::new();
+    let mut stale_pending: Vec<(u16, String, u64)> = Vec::new();
+    for (i, other) in w.nodes.iter().enumerate() {
+        for (name, srv) in &other.mgr.servers {
+            if *srv == node {
+                stale_servers.push((i as u16, name.clone()));
+            }
+        }
+        for (name, q) in &other.mgr.pending {
+            for &(req, token) in q {
+                if req == node {
+                    stale_pending.push((i as u16, name.clone(), token));
+                }
+            }
+        }
+    }
+    s.schedule_in(SimDuration::from_ns(detect), move |w: &mut World, s| {
+        for &(ni, id) in &hits {
+            let Some(end) = w.node_mut(NodeAddr(ni)).chans.get_mut(&id) else {
+                continue;
+            };
+            if end.peer_down {
+                continue;
+            }
+            end.peer_down = true;
+            crate::channel::clear_tx(end);
+            end.rx_waiters.wake_all(s, Wakeup::START);
+            end.tx_wait.wake_all(s, Wakeup::START);
+            w.faults.stats.peer_down_events += 1;
+        }
+        // Evict the manager entries snapshotted at crash time — and only
+        // those, so registrations made after a restart are untouched.
+        for (ni, name) in &stale_servers {
+            let mgr = &mut w.nodes[usize::from(*ni)].mgr;
+            if mgr.servers.get(name) == Some(&node) {
+                mgr.servers.remove(name);
+            }
+        }
+        for (ni, name, token) in &stale_pending {
+            let mgr = &mut w.nodes[usize::from(*ni)].mgr;
+            if let Some(q) = mgr.pending.get_mut(name) {
+                q.retain(|(req, t)| !(*req == node && t == token));
+            }
+        }
+    });
+}
+
+/// Restart `node` with cold kernel state: the interface comes back up,
+/// processes parked in [`wait_until_up`] resume, and opens that were queued
+/// at a manager on this node (whose state died with it) are re-resolved by
+/// retransmitting their requests.
+pub fn on_restart(w: &mut World, s: &mut VSched, node: NodeAddr) {
+    if w.node(node).up {
+        return;
+    }
+    let now = s.now();
+    w.faults.stats.restarts += 1;
+    w.trace.record(
+        now,
+        TraceEvent::Fault {
+            node: node.0,
+            up: true,
+        },
+    );
+    w.node_mut(node).up = true;
+    let out = w.net.set_endpoint_down(kernel::now_ns(s), node, false);
+    kernel::process_output(w, s, out);
+    w.node_mut(node).up_waiters.wake_all(s, Wakeup::START);
+
+    // Manager failover: requesters whose open was queued at this manager
+    // before the crash are still parked (their retransmit chains stopped at
+    // the KIND_OPEN_QUEUED ack). The manager's queue died with it, so those
+    // requests restart from scratch.
+    for i in 0..w.nodes.len() {
+        let ni = NodeAddr(i as u16);
+        let mut tokens: Vec<u64> = w
+            .node(ni)
+            .open_waits
+            .iter()
+            .filter(
+                |(_, o)| matches!(o, crate::world::OpenResult::Pending { mgr, .. } if *mgr == node),
+            )
+            .map(|(t, _)| *t)
+            .collect();
+        tokens.sort_unstable();
+        for t in tokens {
+            crate::objmgr::resend_open(w, s, ni, t);
+        }
+    }
+}
+
+/// Park the calling process until `node` is up (restart notification).
+/// Returns immediately if it already is.
+pub fn wait_until_up(ctx: &VCtx, node: NodeAddr) {
+    let pid = ctx.pid();
+    ctx.wait_until(move |w, _| {
+        if w.node(node).up {
+            Some(())
+        } else {
+            w.node_mut(node).up_waiters.register(pid);
+            None
+        }
+    });
+}

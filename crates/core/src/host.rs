@@ -59,6 +59,10 @@ pub enum SyscallRet {
     Fd(u32),
     /// The stub hit the SunOS 32-descriptor limit (`EMFILE`).
     TooManyFiles,
+    /// The host had no stub able to serve the request (`EIO`) — e.g. the
+    /// requester's node restarted and its stub mapping was never created on
+    /// this host.
+    Eio,
 }
 
 fn pack_op(op: SyscallOp) -> Payload {
@@ -102,6 +106,7 @@ fn pack_ret(r: SyscallRet) -> Payload {
             b.put_u32(fd);
         }
         SyscallRet::TooManyFiles => b.put_u8(2),
+        SyscallRet::Eio => b.put_u8(3),
     }
     Payload::Data(b.freeze())
 }
@@ -112,6 +117,7 @@ fn parse_ret(p: &Payload) -> SyscallRet {
         0 => SyscallRet::Ok,
         1 => SyscallRet::Fd(u32::from_be_bytes([b[1], b[2], b[3], b[4]])),
         2 => SyscallRet::TooManyFiles,
+        3 => SyscallRet::Eio,
         x => panic!("unknown syscall ret {x}"),
     }
 }
@@ -201,24 +207,36 @@ pub fn host_of(w: &World, node: NodeAddr) -> Option<usize> {
 
 /// Issue a forwarded system call from a node process and block for the
 /// result (§3.3's execution environment).
-pub fn syscall(ctx: &VCtx, node: NodeAddr, op: SyscallOp) -> SyscallRet {
+///
+/// Fails with [`crate::VorxError::NoStub`] when no host serves `node`,
+/// [`crate::VorxError::HostDown`] when the serving host's interface is down
+/// at issue time, and [`crate::VorxError::NodeDown`] when the caller's own
+/// node crashes while the call is outstanding.
+pub fn syscall(ctx: &VCtx, node: NodeAddr, op: SyscallOp) -> crate::VorxResult<SyscallRet> {
     let token = ctx.with(move |w, s| {
-        let host_id = host_of(w, node)
-            .unwrap_or_else(|| panic!("node {node} has no stub; call create_stub first"));
+        let Some(host_id) = host_of(w, node) else {
+            return Err(crate::VorxError::NoStub);
+        };
         let host_node = w.hosts[host_id].node;
+        if !w.node(host_node).up {
+            return Err(crate::VorxError::HostDown);
+        }
         let token = w.token();
         w.node_mut(node).syscall_waits.insert(token, None);
         let f = Frame::unicast(node, host_node, proto::KIND_SYSCALL_REQ, token, pack_op(op));
         kernel::send_frame(w, s, f);
-        token
-    });
+        Ok(token)
+    })?;
     let pid = ctx.pid();
     let ret = ctx.wait_until(move |w, _| match w.node(node).syscall_waits.get(&token) {
-        Some(Some(r)) => Some(*r),
-        _ => {
+        Some(Some(r)) => Some(Ok(*r)),
+        Some(None) => {
             w.node_mut(node).syscall_waiters.register(pid);
             None
         }
+        // Our node crashed while the call was outstanding: the waits table
+        // was wiped and the crash cleanup woke us.
+        None => Some(Err(crate::VorxError::NodeDown)),
     });
     ctx.with(move |w, _| {
         w.node_mut(node).syscall_waits.remove(&token);
@@ -233,10 +251,20 @@ pub fn on_syscall_req(w: &mut World, s: &mut VSched, host_node: NodeAddr, f: Fra
         .iter()
         .position(|h| h.node == host_node)
         .unwrap_or_else(|| panic!("syscall request at non-host node {host_node}"));
-    let stub_id = *w.hosts[host_id]
-        .stub_by_node
-        .get(&f.src.0)
-        .unwrap_or_else(|| panic!("no stub for node {} on host {host_id}", f.src));
+    let Some(stub_id) = w.hosts[host_id].stub_by_node.get(&f.src.0).copied() else {
+        // No stub serves this node here (its mapping may have died with a
+        // restart): answer EIO rather than dropping the request or
+        // panicking — the UNIX environment's way of saying "I/O error".
+        let rep = Frame::unicast(
+            host_node,
+            f.src,
+            proto::KIND_SYSCALL_REP,
+            f.seq,
+            pack_ret(SyscallRet::Eio),
+        );
+        kernel::send_frame(w, s, rep);
+        return;
+    };
     let op = parse_op(&f.payload);
     w.hosts[host_id].stubs[stub_id]
         .queue
@@ -450,7 +478,7 @@ mod tests {
                 s.spawn("n1:app", |ctx: VCtx| {
                     let mut fds = Vec::new();
                     loop {
-                        match syscall(&ctx, NodeAddr(1), SyscallOp::OpenFile) {
+                        match syscall(&ctx, NodeAddr(1), SyscallOp::OpenFile).unwrap() {
                             SyscallRet::Fd(fd) => fds.push(fd),
                             SyscallRet::TooManyFiles => break,
                             r => panic!("unexpected {r:?}"),
@@ -461,11 +489,11 @@ mod tests {
                     // Closing frees a slot.
                     assert_eq!(
                         syscall(&ctx, NodeAddr(1), SyscallOp::CloseFile),
-                        SyscallRet::Ok
+                        Ok(SyscallRet::Ok)
                     );
                     assert!(matches!(
                         syscall(&ctx, NodeAddr(1), SyscallOp::OpenFile),
-                        SyscallRet::Fd(_)
+                        Ok(SyscallRet::Fd(_))
                     ));
                 });
             });
@@ -488,12 +516,13 @@ mod tests {
                         SyscallOp::Blocking {
                             dur_ns: 500_000_000,
                         },
-                    );
+                    )
+                    .unwrap();
                 });
                 s.spawn("n2:victim", |ctx: VCtx| {
                     ctx.sleep(SimDuration::from_ms(10)); // arrive second
                     let t0 = ctx.now();
-                    syscall(&ctx, NodeAddr(2), SyscallOp::OpenFile);
+                    syscall(&ctx, NodeAddr(2), SyscallOp::OpenFile).unwrap();
                     let waited = ctx.now() - t0;
                     assert!(
                         waited > SimDuration::from_ms(400),
@@ -519,12 +548,13 @@ mod tests {
                         SyscallOp::Blocking {
                             dur_ns: 500_000_000,
                         },
-                    );
+                    )
+                    .unwrap();
                 });
                 s.spawn("n2:free", |ctx: VCtx| {
                     ctx.sleep(SimDuration::from_ms(10));
                     let t0 = ctx.now();
-                    syscall(&ctx, NodeAddr(2), SyscallOp::OpenFile);
+                    syscall(&ctx, NodeAddr(2), SyscallOp::OpenFile).unwrap();
                     let waited = ctx.now() - t0;
                     assert!(
                         waited < SimDuration::from_ms(50),
@@ -548,7 +578,7 @@ mod tests {
                         for _ in 0..32 {
                             assert!(matches!(
                                 syscall(&ctx, NodeAddr(node), SyscallOp::OpenFile),
-                                SyscallRet::Fd(_)
+                                Ok(SyscallRet::Fd(_))
                             ));
                         }
                     });
@@ -635,24 +665,33 @@ fn ensure_service_stub(w: &mut World, host_id: usize, node: NodeAddr) -> usize {
 
 /// Issue a system call *directed at a specific host* (the decentralized
 /// scheme). The host's shared service stub handles it; no per-process stub
-/// is required on that host.
-pub fn syscall_on(ctx: &VCtx, node: NodeAddr, host_id: usize, op: SyscallOp) -> SyscallRet {
+/// is required on that host. Fails like [`syscall`].
+pub fn syscall_on(
+    ctx: &VCtx,
+    node: NodeAddr,
+    host_id: usize,
+    op: SyscallOp,
+) -> crate::VorxResult<SyscallRet> {
     let token = ctx.with(move |w, s| {
-        ensure_service_stub(w, host_id, node);
         let host_node = w.hosts[host_id].node;
+        if !w.node(host_node).up {
+            return Err(crate::VorxError::HostDown);
+        }
+        ensure_service_stub(w, host_id, node);
         let token = w.token();
         w.node_mut(node).syscall_waits.insert(token, None);
         let f = Frame::unicast(node, host_node, proto::KIND_SYSCALL_REQ, token, pack_op(op));
         kernel::send_frame(w, s, f);
-        token
-    });
+        Ok(token)
+    })?;
     let pid = ctx.pid();
     let ret = ctx.wait_until(move |w, _| match w.node(node).syscall_waits.get(&token) {
-        Some(Some(r)) => Some(*r),
-        _ => {
+        Some(Some(r)) => Some(Ok(*r)),
+        Some(None) => {
             w.node_mut(node).syscall_waiters.register(pid);
             None
         }
+        None => Some(Err(crate::VorxError::NodeDown)),
     });
     ctx.with(move |w, _| {
         w.node_mut(node).syscall_waits.remove(&token);
@@ -661,8 +700,14 @@ pub fn syscall_on(ctx: &VCtx, node: NodeAddr, host_id: usize, op: SyscallOp) -> 
 }
 
 /// Issue a system call load-balanced across every host workstation:
-/// deterministic spread by node address and a per-call counter.
-pub fn syscall_any(ctx: &VCtx, node: NodeAddr, call_no: u64, op: SyscallOp) -> SyscallRet {
+/// deterministic spread by node address and a per-call counter. Fails like
+/// [`syscall`].
+pub fn syscall_any(
+    ctx: &VCtx,
+    node: NodeAddr,
+    call_no: u64,
+    op: SyscallOp,
+) -> crate::VorxResult<SyscallRet> {
     let n_hosts = ctx.with(|w, _| w.hosts.len());
     assert!(n_hosts > 0, "no host workstations");
     let host_id = (u64::from(node.0) + call_no) as usize % n_hosts;
@@ -685,7 +730,7 @@ mod decentral_tests {
                 for call in 0..8u64 {
                     let op = SyscallOp::WriteFile { bytes: 2048 };
                     let r = syscall_any(&ctx, node, call, op);
-                    assert_eq!(r, SyscallRet::Ok);
+                    assert_eq!(r, Ok(SyscallRet::Ok));
                 }
             });
         }
@@ -730,7 +775,7 @@ mod decentral_tests {
                         for _ in 0..8u64 {
                             let r =
                                 syscall(&ctx, NodeAddr(nd), SyscallOp::WriteFile { bytes: 2048 });
-                            assert_eq!(r, SyscallRet::Ok);
+                            assert_eq!(r, Ok(SyscallRet::Ok));
                         }
                     });
                 });

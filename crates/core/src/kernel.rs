@@ -42,12 +42,21 @@ pub fn can_inject(w: &World, a: NodeAddr) -> bool {
     w.net.can_send(a) && w.node(a).tx_q.is_empty()
 }
 
+/// Advance the fabric by one event with the fault plane consulted: every
+/// hop's disposition (deliver / drop / corrupt / delay) is drawn from the
+/// installed schedule's seeded streams.
+fn net_handle(w: &mut World, now: u64, ev: hpcnet::NetEvent) -> Output {
+    // Split borrow: the fabric and the fault hook are disjoint fields.
+    let World { net, faults, .. } = w;
+    net.handle_with(now, ev, faults)
+}
+
 /// Apply a fabric [`Output`]: schedule its future events and act on its
 /// notifications.
 pub fn process_output(w: &mut World, s: &mut VSched, out: Output) {
     for (delay_ns, ev) in out.schedule {
         s.schedule_in(SimDuration::from_ns(delay_ns), move |w: &mut World, s| {
-            let o = w.net.handle(now_ns(s), ev);
+            let o = net_handle(w, now_ns(s), ev);
             process_output(w, s, o);
         });
     }
@@ -62,6 +71,9 @@ pub fn process_output(w: &mut World, s: &mut VSched, out: Output) {
 /// Transmit-complete interrupt: refill the output register from the kernel
 /// queue, or wake user-level senders waiting for space.
 fn on_tx_ready(w: &mut World, s: &mut VSched, a: NodeAddr) {
+    if !w.node(a).up {
+        return; // crashed between queueing and the interrupt
+    }
     if let Some(frame) = w.node_mut(a).tx_q.pop_front() {
         let out = w
             .net
@@ -75,6 +87,9 @@ fn on_tx_ready(w: &mut World, s: &mut VSched, a: NodeAddr) {
 
 /// Receive interrupt: start the kernel receive-service loop if idle.
 fn on_rx_arrived(w: &mut World, s: &mut VSched, a: NodeAddr) {
+    if !w.node(a).up {
+        return;
+    }
     if !w.node(a).rx_in_service {
         w.node_mut(a).rx_in_service = true;
         rx_service(w, s, a, true);
@@ -124,6 +139,13 @@ fn rx_service(w: &mut World, s: &mut VSched, a: NodeAddr, first: bool) {
 
 /// Demultiplex a received frame to its protocol handler.
 fn dispatch(w: &mut World, s: &mut VSched, a: NodeAddr, f: Frame) {
+    if f.corrupted {
+        // The interface's CRC check failed at FIFO read time: the frame is
+        // detectably damaged and discarded here, before any handler parses
+        // it. Senders recover by retransmission.
+        w.faults.stats.corrupted_rx += 1;
+        return;
+    }
     match f.kind {
         proto::KIND_CHAN_DATA => channel::on_data(w, s, a, f, false),
         proto::KIND_CHAN_DATA_LAST => channel::on_data(w, s, a, f, true),
@@ -141,6 +163,9 @@ fn dispatch(w: &mut World, s: &mut VSched, a: NodeAddr, f: Frame) {
             crate::multicast::on_data(w, s, a, f)
         }
         proto::KIND_MCAST_ACK => crate::multicast::on_ack(w, s, a, f),
+        proto::KIND_OPEN_QUEUED => objmgr::on_open_queued(w, s, a, f),
+        proto::KIND_CHAN_BUSY => channel::on_busy(w, s, a, f),
+        proto::KIND_CTL_ACK => crate::fault::on_ctl_ack(w, s, a, f),
         k if k >= proto::KIND_UDCO_BASE => udco::on_frame(w, s, a, f),
         k => panic!("node {a}: frame with unknown protocol kind {k}"),
     }

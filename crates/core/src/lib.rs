@@ -40,6 +40,10 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Recovery-aware kernel code must degrade, not die: every `unwrap` on a
+// public API path is a latent panic under fault injection. Tests may still
+// unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod alloc;
 pub mod api;
@@ -48,6 +52,8 @@ pub mod calib;
 pub mod channel;
 pub mod cpu;
 pub mod debug;
+pub mod error;
+pub mod fault;
 pub mod host;
 pub mod kernel;
 pub mod multicast;
@@ -60,6 +66,8 @@ pub mod world;
 
 pub use calib::Calibration;
 pub use cpu::{BlockReason, CpuCat, TraceEvent};
+pub use error::{VorxError, VorxResult};
+pub use fault::{FaultState, FaultStats};
 pub use world::{VCtx, VSched, VorxBuilder, VorxSim, World};
 
 /// Re-export of the interconnect crate for convenience.

@@ -133,6 +133,7 @@ pub fn mwrite(ctx: &VCtx, node: NodeAddr, gid: u16, dsts: Vec<NodeAddr>, payload
                 },
                 seq: (u64::from(gid) << 48) | seq,
                 payload: frag,
+                corrupted: false,
             };
             w.block(now, node, BlockReason::Output);
             kernel::send_frame(w, s, f);
@@ -222,11 +223,9 @@ pub fn on_data(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
         let last = f.kind == KIND_MCAST_DATA_LAST;
         let len = u64::from(f.payload.len());
         {
-            let e = w
-                .node_mut(node)
-                .mcast
-                .get_mut(&gid)
-                .expect("mcast end vanished");
+            let Some(e) = w.node_mut(node).mcast.get_mut(&gid) else {
+                return; // the node crashed while the copy charge was in flight
+            };
             e.bytes_rx += len;
             let asm = e.asm.entry(src.0).or_default();
             asm.push(f.payload);
@@ -245,11 +244,9 @@ pub fn on_data(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
 /// Kernel handler: a multicast ack arrived back at the writer.
 pub fn on_ack(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
     let seq = f.seq & 0x0000_FFFF_FFFF_FFFF;
-    let p = w
-        .node_mut(node)
-        .mcast_pending
-        .get_mut(&seq)
-        .expect("mcast ack without pending write");
+    let Some(p) = w.node_mut(node).mcast_pending.get_mut(&seq) else {
+        return; // a crash wiped the pending write; stale (or delayed) ack
+    };
     p.remaining -= 1;
     if p.remaining == 0 {
         p.waiters.wake_all(s, Wakeup::START);

@@ -15,16 +15,16 @@
 //! in either mode; only the load distribution differs — which is exactly
 //! what the E-OPEN experiment measures.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use desim::{SimDuration, Wakeup};
-use hpcnet::{Frame, NodeAddr};
+use hpcnet::{Frame, NodeAddr, Payload};
 
 use crate::channel;
 use crate::cpu::CpuCat;
 use crate::kernel;
 use crate::proto;
-use crate::world::{OpenResult, VSched, World};
+use crate::world::{OpenResult, VCtx, VSched, World};
 
 /// Where channel-open requests are served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +46,11 @@ pub struct MgrState {
     pub servers: HashMap<String, NodeAddr>,
     /// Requests this manager has served (load statistics for E-OPEN).
     pub served: u64,
+    /// Open requests already seen, by `(requester, token)`: a retransmitted
+    /// request (the requester's timeout fired before our `OPEN_QUEUED`
+    /// landed) must not queue twice. Dies with the node on a crash, which is
+    /// what lets retransmissions after a restart be served from scratch.
+    pub seen: HashSet<(u16, u64)>,
 }
 
 /// FNV-1a hash of a channel name; stable across runs and platforms.
@@ -68,6 +73,22 @@ pub fn manager_for(w: &World, name: &str) -> NodeAddr {
 
 /// Kernel handler: an open request reached its manager node.
 pub fn on_open_req(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
+    // Acknowledge receipt immediately with `OPEN_QUEUED` so the requester's
+    // retransmit chain stops; the eventual `OPEN_REP` is delivered reliably
+    // on its own. Plain send: if the `OPEN_QUEUED` is lost, the requester's
+    // next retransmission lands here again and is re-acked.
+    let queued = Frame::unicast(
+        mgr,
+        f.src,
+        proto::KIND_OPEN_QUEUED,
+        f.seq,
+        Payload::Synthetic(0),
+    );
+    let dup = !w.node_mut(mgr).mgr.seen.insert((f.src.0, f.seq));
+    kernel::send_frame(w, s, queued);
+    if dup {
+        return; // already queued (or served); don't double-enqueue
+    }
     // The manager is software: serving a request costs CPU time. Requests
     // queue on the manager's CPU — with the centralized manager and many
     // simultaneous opens, this queueing *is* the §3.2 bottleneck.
@@ -80,6 +101,9 @@ pub fn on_open_req(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
 }
 
 fn serve_open(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
+    if !w.node(mgr).up {
+        return; // the manager node crashed between the charge and the service
+    }
     let (kind, name) = proto::parse_open_req_kind(&f.payload);
     let key = format!("{}\0{name}", kind as u8);
     let requester = (f.src, f.seq);
@@ -97,15 +121,16 @@ fn serve_open(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
             requester.1,
             proto::pack_open_rep_kind(kind, id, server, &name),
         );
-        kernel::send_frame(w, s, rep);
+        crate::fault::reliable_send(w, s, rep);
+        let ctok = w.token();
         let conn = Frame::unicast(
             mgr,
             server,
             proto::KIND_SERVE_CONN,
-            0,
+            ctok,
             proto::pack_open_rep_kind(kind, id, requester.0, &name),
         );
-        kernel::send_frame(w, s, conn);
+        crate::fault::reliable_send(w, s, conn);
         return;
     }
     let q = st.pending.entry(key).or_default();
@@ -125,7 +150,7 @@ fn serve_open(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
             me.1,
             proto::pack_open_rep_kind(kind, id, other.0, &name),
         );
-        kernel::send_frame(w, s, rep);
+        crate::fault::reliable_send(w, s, rep);
     }
 }
 
@@ -136,10 +161,26 @@ pub fn on_serve_req(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
     let now = s.now();
     let end = w.charge(now, mgr, CpuCat::System, cost);
     s.schedule_in(end - now, move |w: &mut World, s| {
+        if !w.node(mgr).up {
+            return; // the manager node crashed before servicing
+        }
         let (kind, name) = proto::parse_open_req_kind(&f.payload);
         let key = format!("{}\0{name}", kind as u8);
         let server = f.src;
         let st = &mut w.node_mut(mgr).mgr;
+        if st.servers.get(&key) == Some(&server) {
+            // Retransmitted registration (our SERVE_ACK was lost): re-ack
+            // without re-registering or double-counting.
+            let ack = Frame::unicast(
+                mgr,
+                server,
+                proto::KIND_SERVE_ACK,
+                f.seq,
+                proto::pack_open_req_kind(kind, &name),
+            );
+            kernel::send_frame(w, s, ack);
+            return;
+        }
         st.served += 1;
         let prev = st.servers.insert(key.clone(), server);
         assert!(prev.is_none(), "name {name:?} already has a server");
@@ -148,7 +189,8 @@ pub fn on_serve_req(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
             .remove(&key)
             .map(|q| q.into_iter().collect())
             .unwrap_or_default();
-        // Acknowledge the registration.
+        // Acknowledge the registration. Plain send: a lost ack is healed by
+        // the server's registration retransmission (re-acked above).
         let ack = Frame::unicast(
             mgr,
             server,
@@ -168,23 +210,38 @@ pub fn on_serve_req(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
                 token,
                 proto::pack_open_rep_kind(kind, id, server, &name),
             );
-            kernel::send_frame(w, s, rep);
+            crate::fault::reliable_send(w, s, rep);
+            let ctok = w.token();
             let conn = Frame::unicast(
                 mgr,
                 server,
                 proto::KIND_SERVE_CONN,
-                0,
+                ctok,
                 proto::pack_open_rep_kind(kind, id, client, &name),
             );
-            kernel::send_frame(w, s, conn);
+            crate::fault::reliable_send(w, s, conn);
         }
     });
 }
 
-/// Kernel handler: an open reply reached the requesting node.
+/// Kernel handler: an open reply reached the requesting node. Delivered
+/// reliably by the manager, so ack first, then deduplicate against the
+/// pending-open table.
 pub fn on_open_rep(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
-    let (kind, id, peer, name) = proto::parse_open_rep_kind(&f.payload);
+    crate::fault::ack_ctl(w, s, node, &f);
     let token = f.seq;
+    match w.node_mut(node).open_waits.get_mut(&token) {
+        Some(OpenResult::Pending { timer, .. }) => {
+            // A reply can beat the OPEN_QUEUED ack; disarm the request's
+            // retransmit timer either way.
+            if let Some(t) = timer.take() {
+                t.cancel();
+            }
+        }
+        // Duplicate reply (our first ack was lost), or a crash wiped the open.
+        _ => return,
+    }
+    let (kind, id, peer, name) = proto::parse_open_rep_kind(&f.payload);
     match kind {
         proto::ObjKind::Channel => {
             // Create the channel end if this node does not have it yet
@@ -204,6 +261,183 @@ pub fn on_open_rep(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
         .open_waits
         .insert(token, OpenResult::Done(id, peer));
     w.node_mut(node).open_waiters.wake_all(s, Wakeup::START);
+}
+
+/// Kernel handler: the manager acknowledged queueing our open request —
+/// stop the request's retransmit chain. (Loss of this frame is healed by
+/// the next retransmission; the manager re-acks duplicates.)
+pub fn on_open_queued(w: &mut World, _s: &mut VSched, node: NodeAddr, f: Frame) {
+    if let Some(OpenResult::Pending { queued, timer, .. }) =
+        w.node_mut(node).open_waits.get_mut(&f.seq)
+    {
+        *queued = true;
+        if let Some(t) = timer.take() {
+            t.cancel();
+        }
+    }
+}
+
+/// Send one open request frame (initial transmission and retransmissions).
+fn send_open_req(
+    w: &mut World,
+    s: &mut VSched,
+    node: NodeAddr,
+    mgr: NodeAddr,
+    kind: proto::ObjKind,
+    name: &str,
+    token: u64,
+) {
+    let f = Frame::unicast(
+        node,
+        mgr,
+        proto::KIND_OPEN_REQ,
+        token,
+        proto::pack_open_req_kind(kind, name),
+    );
+    kernel::send_frame(w, s, f);
+}
+
+/// Arm (or re-arm) the retransmit timer for an open request that the
+/// manager has not yet acknowledged with `OPEN_QUEUED`. Timeouts double per
+/// retry; after `open_max_retries` the open fails with
+/// [`crate::VorxError::Unreachable`].
+pub(crate) fn arm_open_timer(
+    w: &mut World,
+    s: &mut VSched,
+    node: NodeAddr,
+    token: u64,
+    attempts: u32,
+) {
+    let delay = w.calib.open_timeout_ns << attempts.min(10);
+    let timer = s.schedule_cancellable_in(SimDuration::from_ns(delay), move |w: &mut World, s| {
+        if !w.node(node).up {
+            return;
+        }
+        let max = w.calib.open_max_retries;
+        enum Next {
+            Stale,
+            Fail,
+            Resend(NodeAddr, proto::ObjKind, String),
+        }
+        let next = match w.node_mut(node).open_waits.get_mut(&token) {
+            Some(OpenResult::Pending {
+                mgr,
+                name,
+                kind,
+                attempts: a,
+                queued,
+                ..
+            }) => {
+                if *queued || *a != attempts {
+                    Next::Stale // acknowledged, or a newer timer owns the chain
+                } else if *a >= max {
+                    Next::Fail
+                } else {
+                    *a += 1;
+                    Next::Resend(*mgr, *kind, name.clone())
+                }
+            }
+            _ => Next::Stale, // resolved, failed, or wiped by a crash
+        };
+        match next {
+            Next::Stale => {}
+            Next::Fail => {
+                w.node_mut(node)
+                    .open_waits
+                    .insert(token, OpenResult::Failed(crate::VorxError::Unreachable));
+                w.node_mut(node).open_waiters.wake_all(s, Wakeup::START);
+            }
+            Next::Resend(mgr, kind, name) => {
+                w.faults.stats.retransmits += 1;
+                send_open_req(w, s, node, mgr, kind, &name, token);
+                arm_open_timer(w, s, node, token, attempts + 1);
+            }
+        }
+    });
+    if let Some(OpenResult::Pending { timer: t, .. }) = w.node_mut(node).open_waits.get_mut(&token)
+    {
+        *t = Some(timer);
+    }
+}
+
+/// Restart a pending open from scratch (manager failover: the manager that
+/// queued it crashed, taking the queue with it). Called from
+/// [`crate::fault::on_restart`].
+pub(crate) fn resend_open(w: &mut World, s: &mut VSched, node: NodeAddr, token: u64) {
+    let info = match w.node_mut(node).open_waits.get_mut(&token) {
+        Some(OpenResult::Pending {
+            mgr,
+            name,
+            kind,
+            attempts,
+            queued,
+            timer,
+        }) => {
+            *attempts = 0;
+            *queued = false;
+            // Disarm whatever remained of the pre-crash chain.
+            if let Some(t) = timer.take() {
+                t.cancel();
+            }
+            Some((*mgr, *kind, name.clone()))
+        }
+        _ => None,
+    };
+    let Some((mgr, kind, name)) = info else {
+        return;
+    };
+    send_open_req(w, s, node, mgr, kind, &name, token);
+    arm_open_timer(w, s, node, token, 0);
+}
+
+/// Rendezvous on `name` through the object manager: register a pending
+/// open, transmit the request (with retransmission until the manager
+/// acknowledges queueing it), and park until the manager replies with the
+/// connected object. Returns `(object id, peer node)`.
+pub fn rendezvous(
+    ctx: &VCtx,
+    node: NodeAddr,
+    name: &str,
+    kind: proto::ObjKind,
+) -> crate::VorxResult<(u32, NodeAddr)> {
+    let name_owned = name.to_string();
+    let token = ctx.with(move |w, s| {
+        let mgr = manager_for(w, &name_owned);
+        let token = w.token();
+        w.node_mut(node).open_waits.insert(
+            token,
+            OpenResult::Pending {
+                mgr,
+                name: name_owned.clone(),
+                kind,
+                attempts: 0,
+                queued: false,
+                timer: None,
+            },
+        );
+        send_open_req(w, s, node, mgr, kind, &name_owned, token);
+        arm_open_timer(w, s, node, token, 0);
+        token
+    });
+    let pid = ctx.pid();
+    ctx.wait_until(move |w, _| match w.node(node).open_waits.get(&token) {
+        Some(OpenResult::Done(id, peer)) => {
+            let (id, peer) = (*id, *peer);
+            w.node_mut(node).open_waits.remove(&token);
+            Some(Ok((id, peer)))
+        }
+        Some(OpenResult::Failed(e)) => {
+            let e = *e;
+            w.node_mut(node).open_waits.remove(&token);
+            Some(Err(e))
+        }
+        Some(OpenResult::Pending { .. }) => {
+            w.node_mut(node).open_waiters.register(pid);
+            None
+        }
+        // Our own node crashed and the pending-open table died with it.
+        None => Some(Err(crate::VorxError::NodeDown)),
+    })
 }
 
 #[cfg(test)]

@@ -149,6 +149,17 @@ pub const KIND_SERVE_CONN: u16 = 14;
 /// `KIND_MCAST_DATA`).
 pub const KIND_MCAST_DATA_LAST: u16 = 15;
 
+/// Manager acknowledgement that an open request has been queued; the
+/// requester stops retransmitting the request and parks until the reply.
+pub const KIND_OPEN_QUEUED: u16 = 16;
+/// Receiver-side "side buffers full" notification: the fragment was
+/// deferred, not lost, so the sender must not count ack silence against its
+/// retry budget.
+pub const KIND_CHAN_BUSY: u16 = 17;
+/// Acknowledgement for a reliably-delivered control frame (open replies,
+/// connect notifications, closes). `seq` echoes the control frame's key.
+pub const KIND_CTL_ACK: u16 = 18;
+
 #[cfg(test)]
 mod tests {
     use super::*;

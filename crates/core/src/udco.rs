@@ -163,6 +163,7 @@ pub fn send_multi(
         kind: KIND_UDCO_BASE + tag,
         seq,
         payload,
+        corrupted: false,
     });
     ctx.wait_until(move |w, s| {
         if kernel::can_inject(w, node) {
@@ -355,11 +356,9 @@ pub fn recv_raw_spin(ctx: &VCtx, node: NodeAddr, tag: u16) -> UdcoMsg {
 
 fn commit(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, wake: bool) {
     let tag = f.kind - KIND_UDCO_BASE;
-    let u = w
-        .node_mut(node)
-        .udcos
-        .get_mut(&tag)
-        .expect("UDCO vanished while frame in flight");
+    let Some(u) = w.node_mut(node).udcos.get_mut(&tag) else {
+        return; // the node crashed while the frame's charge was in flight
+    };
     u.frames_rx += 1;
     u.rx.push_back(UdcoMsg {
         src: f.src,
@@ -569,39 +568,12 @@ pub struct UdcoBinding {
 pub fn open(ctx: &VCtx, node: NodeAddr, name: &str, mode: UdcoMode) -> UdcoBinding {
     let c = ctx.with(|w, _| w.calib);
     api::compute_ns(ctx, node, CpuCat::System, c.chan_read_syscall_ns);
-    let name_owned = name.to_string();
-    let token = ctx.with(move |w, s| {
-        let token = w.token();
-        w.node_mut(node)
-            .open_waits
-            .insert(token, crate::world::OpenResult::Pending);
-        let mgr = crate::objmgr::manager_for(w, &name_owned);
-        let f = Frame::unicast(
-            node,
-            mgr,
-            crate::proto::KIND_OPEN_REQ,
-            token,
-            crate::proto::pack_open_req_kind(crate::proto::ObjKind::Udco, &name_owned),
-        );
-        kernel::send_frame(w, s, f);
-        token
-    });
-    let pid = ctx.pid();
-    let (id, peer) = ctx.wait_until(move |w, _| {
-        let done = match w.node(node).open_waits.get(&token) {
-            Some(crate::world::OpenResult::Done(c, p)) => Some((*c, *p)),
-            _ => None,
-        };
-        if done.is_none() {
-            w.node_mut(node).open_waiters.register(pid);
-        }
-        done
-    });
+    let (id, peer) = crate::objmgr::rendezvous(ctx, node, name, crate::proto::ObjKind::Udco)
+        .expect("UDCO open failed under fault injection");
     // Tags share the system-wide object-id space; the hardware kind field
     // bounds them.
     let tag = u16::try_from(id).expect("object id exceeded the UDCO tag space");
     ctx.with(move |w, s| {
-        w.node_mut(node).open_waits.remove(&token);
         // A same-node rendezvous registers once.
         if !w.node(node).udcos.contains_key(&tag) {
             register_in(w, s, node, tag, mode);

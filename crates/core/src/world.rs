@@ -22,18 +22,44 @@ pub type VCtx = Ctx<World>;
 pub type VSched = Scheduler<World>;
 
 /// Result slot for an in-flight channel open.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub enum OpenResult {
-    /// Request sent, no reply yet.
-    Pending,
-    /// Manager matched us: `(channel id, peer node)`.
+    /// Request sent, no reply yet. Carries everything needed to retransmit
+    /// the request or re-resolve it after a manager restart.
+    Pending {
+        /// The object manager this request was routed to.
+        mgr: NodeAddr,
+        /// The rendezvous name.
+        name: String,
+        /// Channel or UDCO.
+        kind: crate::proto::ObjKind,
+        /// Retransmissions so far (stale timers key off this).
+        attempts: u32,
+        /// The manager acknowledged receipt (`KIND_OPEN_QUEUED`); stop
+        /// retransmitting and park until the reply.
+        queued: bool,
+        /// The armed retransmit timer, disarmed when the request resolves
+        /// so it cannot drag the simulated clock out to its fire time.
+        timer: Option<desim::TimerHandle>,
+    },
+    /// Manager matched us: `(object id, peer node)`.
     Done(u32, NodeAddr),
+    /// The open cannot complete (manager unreachable, node crashed).
+    Failed(crate::VorxError),
 }
 
 /// Per-node kernel state.
 pub struct Node {
     /// This node's fabric address.
     pub addr: NodeAddr,
+    /// False while the node is crashed; its kernel state is wiped at crash
+    /// time and frames die at its interface.
+    pub up: bool,
+    /// Processes parked in [`crate::fault::wait_until_up`] for this node.
+    pub up_waiters: WaitSet,
+    /// Reliably-delivered control frames awaiting their `KIND_CTL_ACK`,
+    /// keyed by the control frame's `seq`.
+    pub ctl_unacked: HashMap<u64, crate::fault::CtlPending>,
     /// The node's CPU.
     pub cpu: Cpu,
     /// Kernel frames waiting for the hardware output register.
@@ -73,6 +99,9 @@ impl Node {
     fn new(addr: NodeAddr) -> Self {
         Node {
             addr,
+            up: true,
+            up_waiters: WaitSet::new(),
+            ctl_unacked: HashMap::new(),
             cpu: Cpu::new(),
             tx_q: Default::default(),
             tx_waiters: WaitSet::new(),
@@ -113,6 +142,8 @@ pub struct World {
     pub dbg: crate::debug::DbgState,
     /// Measurement trace (oscilloscope, profiler).
     pub trace: Trace<TraceEvent>,
+    /// Fault-injection plane: the seeded schedule plus recovery statistics.
+    pub faults: crate::fault::FaultState,
     /// Deterministic randomness for workloads.
     pub rng: SmallRng,
     /// Next channel id.
@@ -186,6 +217,7 @@ pub struct VorxBuilder {
     trace_enabled: bool,
     seed: u64,
     n_hosts: usize,
+    faults: Option<desim::FaultSchedule>,
 }
 
 impl VorxBuilder {
@@ -214,6 +246,7 @@ impl VorxBuilder {
             trace_enabled: true,
             seed: 0x5EED,
             n_hosts: 0,
+            faults: None,
         }
     }
 
@@ -247,6 +280,15 @@ impl VorxBuilder {
         self
     }
 
+    /// Install a deterministic fault schedule: node crash/restart instants
+    /// fire as ordinary simulation events, and per-link message faults are
+    /// drawn from the schedule's own seeded stream, so a given `(workload
+    /// seed, fault seed)` pair replays bit-identically.
+    pub fn faults(mut self, schedule: desim::FaultSchedule) -> Self {
+        self.faults = Some(schedule);
+        self
+    }
+
     /// Designate the first `n` endpoints as host workstations (§3.3). Hosts
     /// get ids `0..n` and live on node addresses `0..n`; processing nodes
     /// occupy the remaining addresses.
@@ -263,6 +305,11 @@ impl VorxBuilder {
         let hosts = (0..self.n_hosts)
             .map(|i| Host::new(i, NodeAddr(i as u16), &self.calib))
             .collect();
+        let schedule = self
+            .faults
+            .unwrap_or_else(|| desim::FaultSchedule::new(self.seed));
+        let mut events: Vec<desim::FaultEvent> = schedule.events().to_vec();
+        events.sort_by_key(|e| e.at);
         let world = World {
             calib: self.calib,
             net: Fabric::new(self.topo, self.netcfg),
@@ -277,13 +324,36 @@ impl VorxBuilder {
             } else {
                 Trace::disabled()
             },
+            faults: crate::fault::FaultState::new(schedule),
             rng: SmallRng::seed_from_u64(self.seed),
             next_chan: 1,
             next_token: 0,
         };
-        VorxSim {
+        let vs = VorxSim {
             sim: Simulation::new(world),
+        };
+        if !events.is_empty() {
+            // The fault plane is an ordinary simulated process: crash and
+            // restart events interleave with the workload through the same
+            // (time, seq) event order, which is what makes replay exact.
+            vs.spawn("fault-plane", move |ctx| {
+                for e in events {
+                    let now = ctx.now();
+                    if e.at > now {
+                        ctx.sleep(SimDuration::from_ns(e.at.as_ns() - now.as_ns()));
+                    }
+                    ctx.with(|w, s| match e.action {
+                        desim::FaultAction::Down(id) => {
+                            crate::fault::on_crash(w, s, NodeAddr(id as u16));
+                        }
+                        desim::FaultAction::Up(id) => {
+                            crate::fault::on_restart(w, s, NodeAddr(id as u16));
+                        }
+                    });
+                }
+            });
         }
+        vs
     }
 }
 

@@ -1,0 +1,275 @@
+//! Deterministic fault injection: scheduled element crash/restart events and
+//! seeded per-link message dispositions (drop / corrupt / delay).
+//!
+//! The schedule is *data*, not behavior: upper layers read the crash/restart
+//! [`FaultEvent`]s and turn them into ordinary simulation events, and consult
+//! [`FaultSchedule::disposition`] once per message arrival. All randomness
+//! comes from one seeded [`SmallRng`], and dispositions are drawn in arrival
+//! order — which the executor already makes deterministic — so two runs with
+//! the same seed inject byte-identical fault streams and traces replay
+//! bit-identically.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimTime;
+
+/// A scheduled change to an element's availability. Element ids are opaque
+/// to desim; upper layers map them to nodes, links, or hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The element fails (crash, power loss, unplugged cable).
+    Down(u32),
+    /// The element comes back with cold state.
+    Up(u32),
+}
+
+/// One entry in the crash/restart timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultEvent {
+    /// When the action fires.
+    pub at: SimTime,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// Per-link message fault probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a message is silently dropped in transit.
+    pub drop: f64,
+    /// Probability a message arrives with a detectable corruption.
+    pub corrupt: f64,
+    /// Probability a message is delayed by [`LinkFaults::delay_ns`].
+    pub delay: f64,
+    /// Extra latency applied to delayed messages, ns.
+    pub delay_ns: u64,
+}
+
+impl LinkFaults {
+    /// A fault-free link.
+    pub const NONE: LinkFaults = LinkFaults {
+        drop: 0.0,
+        corrupt: 0.0,
+        delay: 0.0,
+        delay_ns: 0,
+    };
+
+    /// Drop-only faults at probability `p`.
+    pub fn loss(p: f64) -> Self {
+        LinkFaults {
+            drop: p,
+            ..LinkFaults::NONE
+        }
+    }
+
+    fn is_none(&self) -> bool {
+        self.drop == 0.0 && self.corrupt == 0.0 && self.delay == 0.0
+    }
+}
+
+/// What should happen to one message in transit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Deliver normally.
+    Deliver,
+    /// Silently discard.
+    Drop,
+    /// Deliver, but flagged as corrupted (models a CRC failure the receiver
+    /// can detect but not repair).
+    Corrupt,
+    /// Deliver after this many extra nanoseconds.
+    Delay(u64),
+}
+
+/// Counters of what the plane actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped.
+    pub dropped: u64,
+    /// Messages corrupted.
+    pub corrupted: u64,
+    /// Messages delayed.
+    pub delayed: u64,
+}
+
+/// A seeded, deterministic fault plan: a crash/restart timeline plus
+/// per-link message fault probabilities and an optional scripted drop table
+/// (for tests that need to kill exactly the nth message on a link).
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    rng: SmallRng,
+    events: Vec<FaultEvent>,
+    default_link: LinkFaults,
+    per_link: HashMap<u32, LinkFaults>,
+    /// `link -> sorted arrival ordinals (1-based) to drop`, consulted before
+    /// any probabilistic draw.
+    scripted_drops: HashMap<u32, Vec<u64>>,
+    /// Messages seen so far per link (drives the scripted table).
+    arrivals: HashMap<u32, u64>,
+    /// What was injected so far.
+    pub stats: FaultStats,
+}
+
+impl FaultSchedule {
+    /// An empty schedule drawing from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            rng: SmallRng::seed_from_u64(seed),
+            events: Vec::new(),
+            default_link: LinkFaults::NONE,
+            per_link: HashMap::new(),
+            scripted_drops: HashMap::new(),
+            arrivals: HashMap::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Schedule element `id` to fail at `at`.
+    pub fn down_at(mut self, id: u32, at: SimTime) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            action: FaultAction::Down(id),
+        });
+        self
+    }
+
+    /// Schedule element `id` to restart at `at`.
+    pub fn up_at(mut self, id: u32, at: SimTime) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            action: FaultAction::Up(id),
+        });
+        self
+    }
+
+    /// Apply `faults` to every link without a per-link override.
+    pub fn all_links(mut self, faults: LinkFaults) -> Self {
+        self.default_link = faults;
+        self
+    }
+
+    /// Override the fault profile of one link.
+    pub fn link(mut self, link: u32, faults: LinkFaults) -> Self {
+        self.per_link.insert(link, faults);
+        self
+    }
+
+    /// Deterministically drop the `nth` (1-based) message to arrive on
+    /// `link`, regardless of probabilities.
+    pub fn drop_nth(mut self, link: u32, nth: u64) -> Self {
+        self.scripted_drops.entry(link).or_default().push(nth);
+        self
+    }
+
+    /// The crash/restart timeline, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True iff no message faults can ever fire (dispositions are then
+    /// always [`Disposition::Deliver`] and consume no randomness).
+    pub fn message_faults_possible(&self) -> bool {
+        !self.scripted_drops.is_empty()
+            || !self.default_link.is_none()
+            || self.per_link.values().any(|f| !f.is_none())
+    }
+
+    /// Decide the fate of one message arriving on `link`. Must be called
+    /// exactly once per in-transit message, in arrival order.
+    pub fn disposition(&mut self, link: u32) -> Disposition {
+        let n = self.arrivals.entry(link).or_insert(0);
+        *n += 1;
+        let ordinal = *n;
+        if let Some(script) = self.scripted_drops.get(&link) {
+            if script.contains(&ordinal) {
+                self.stats.dropped += 1;
+                return Disposition::Drop;
+            }
+        }
+        let f = self.per_link.get(&link).unwrap_or(&self.default_link);
+        if f.is_none() {
+            return Disposition::Deliver;
+        }
+        let f = *f;
+        if f.drop > 0.0 && self.rng.random_bool(f.drop) {
+            self.stats.dropped += 1;
+            return Disposition::Drop;
+        }
+        if f.corrupt > 0.0 && self.rng.random_bool(f.corrupt) {
+            self.stats.corrupted += 1;
+            return Disposition::Corrupt;
+        }
+        if f.delay > 0.0 && self.rng.random_bool(f.delay) {
+            self.stats.delayed += 1;
+            return Disposition::Delay(f.delay_ns);
+        }
+        Disposition::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_dispositions() {
+        let mk = || FaultSchedule::new(42).all_links(LinkFaults::loss(0.3));
+        let (mut a, mut b) = (mk(), mk());
+        for link in 0..4u32 {
+            for _ in 0..200 {
+                assert_eq!(a.disposition(link), b.disposition(link));
+            }
+        }
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.dropped > 0, "30% loss must fire in 800 draws");
+    }
+
+    #[test]
+    fn scripted_drop_hits_exactly_the_nth() {
+        let mut f = FaultSchedule::new(1).drop_nth(5, 3);
+        assert_eq!(f.disposition(5), Disposition::Deliver);
+        assert_eq!(f.disposition(5), Disposition::Deliver);
+        assert_eq!(f.disposition(5), Disposition::Drop);
+        assert_eq!(f.disposition(5), Disposition::Deliver);
+        // Other links are untouched.
+        assert_eq!(f.disposition(6), Disposition::Deliver);
+        assert_eq!(f.stats.dropped, 1);
+    }
+
+    #[test]
+    fn fault_free_links_consume_no_randomness() {
+        let mut f = FaultSchedule::new(7)
+            .link(1, LinkFaults::loss(1.0))
+            .link(2, LinkFaults::NONE);
+        // Draws on a fault-free link never perturb the stream of a faulty
+        // one: interleaving order on link 2 is irrelevant.
+        let seq_a: Vec<_> = (0..8).map(|_| f.disposition(1)).collect();
+        let mut g = FaultSchedule::new(7)
+            .link(1, LinkFaults::loss(1.0))
+            .link(2, LinkFaults::NONE);
+        let seq_b: Vec<_> = (0..8)
+            .map(|_| {
+                g.disposition(2);
+                g.disposition(1)
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn timeline_round_trips() {
+        let f = FaultSchedule::new(0)
+            .down_at(3, SimTime::from_ns(100))
+            .up_at(3, SimTime::from_ns(200));
+        assert_eq!(f.events().len(), 2);
+        assert_eq!(f.events()[0].action, FaultAction::Down(3));
+        assert_eq!(f.events()[1].action, FaultAction::Up(3));
+        assert!(!f.message_faults_possible());
+        assert!(FaultSchedule::new(0)
+            .all_links(LinkFaults::loss(0.01))
+            .message_faults_possible());
+    }
+}

@@ -46,9 +46,11 @@
 mod sim;
 mod time;
 
+pub mod fault;
 pub mod sync;
 pub mod trace;
 
-pub use sim::{Ctx, IdleReport, ProcId, RunOutcome, Scheduler, Simulation, Wakeup};
+pub use fault::{Disposition, FaultAction, FaultEvent, FaultSchedule, FaultStats, LinkFaults};
+pub use sim::{Ctx, IdleReport, ProcId, RunOutcome, Scheduler, Simulation, TimerHandle, Wakeup};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;

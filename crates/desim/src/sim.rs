@@ -67,9 +67,39 @@ impl Wakeup {
 type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>) + Send>;
 type ProcFn<W> = Box<dyn FnOnce(Ctx<W>) + Send + 'static>;
 
+/// Handle to a cancellable scheduled event (see
+/// [`Scheduler::schedule_cancellable_in`]). Cancelling disarms the event: it
+/// will neither run nor advance simulated time when its slot comes up, so a
+/// protocol timeout that was disarmed (e.g. the awaited ack arrived) leaves
+/// no trace in the simulated timeline. Cheap to clone; cancelling any clone
+/// cancels the event.
+#[derive(Clone, Debug)]
+pub struct TimerHandle(Arc<AtomicBool>);
+
+impl TimerHandle {
+    /// Disarm the event. Idempotent; a no-op if the event already ran.
+    pub fn cancel(&self) {
+        self.0.store(true, AtomicOrdering::Relaxed);
+    }
+
+    /// True if [`TimerHandle::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(AtomicOrdering::Relaxed)
+    }
+}
+
 enum Pending<W> {
     Run(EventFn<W>),
     Wake(ProcId, Wakeup),
+    /// A cancellable event: skipped (without advancing time) if the flag is
+    /// set by the time it reaches the head of the queue.
+    Cancellable(Arc<AtomicBool>, EventFn<W>),
+}
+
+impl<W> Pending<W> {
+    fn cancelled(&self) -> bool {
+        matches!(self, Pending::Cancellable(flag, _) if flag.load(AtomicOrdering::Relaxed))
+    }
 }
 
 struct QEntry<W> {
@@ -283,6 +313,23 @@ impl<W: Send + 'static> Scheduler<W> {
         F: FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
     {
         self.pending.push((self.now + d, Pending::Run(Box::new(f))));
+    }
+
+    /// Like [`Scheduler::schedule_in`], but returns a [`TimerHandle`] that
+    /// can disarm the event before it fires. Meant for protocol timeouts:
+    /// the common case is that the awaited reply arrives and the timeout is
+    /// cancelled, and a cancelled event must not drag the simulated clock
+    /// out to its (never-meaningful) fire time.
+    pub fn schedule_cancellable_in<F>(&mut self, d: SimDuration, f: F) -> TimerHandle
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
+    {
+        let flag = Arc::new(AtomicBool::new(false));
+        self.pending.push((
+            self.now + d,
+            Pending::Cancellable(Arc::clone(&flag), Box::new(f)),
+        ));
+        TimerHandle(flag)
     }
 
     /// Wake `pid` with `token` after `d` has elapsed.
@@ -633,6 +680,12 @@ impl<W: Send + 'static> Simulation<W> {
                 // Inner loop so stale wakeups are skipped without bouncing
                 // the core lock.
                 loop {
+                    // Discard disarmed timers before their timestamps are
+                    // ever consulted: a cancelled event must neither advance
+                    // the clock nor keep the simulation from going idle.
+                    while core.queue.peek().is_some_and(|e| e.act.cancelled()) {
+                        core.queue.pop();
+                    }
                     // Does the same-instant lane or the heap fire next? Lane
                     // entries are all at `now`; a heap entry wins only if it
                     // is also at `now` with a smaller seq (pushed before time
@@ -669,6 +722,14 @@ impl<W: Send + 'static> Simulation<W> {
                     };
                     match act {
                         Pending::Run(f) => break Next::Run(f, core.now),
+                        Pending::Cancellable(flag, f) => {
+                            if flag.load(AtomicOrdering::Relaxed) {
+                                // Cancelled same-instant (lane) entry: time
+                                // is already `now`, just skip it.
+                                continue;
+                            }
+                            break Next::Run(f, core.now);
+                        }
                         Pending::Wake(pid, token) => {
                             let slot = core.slot_mut(pid);
                             if slot.state == ProcState::Finished {
@@ -1013,6 +1074,56 @@ mod tests {
             w.log.clone()
         }
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cancelled_timer_neither_fires_nor_advances_time() {
+        let mut sim = Simulation::new(TestWorld::default());
+        sim.setup(|_, s| {
+            let h = s.schedule_cancellable_in(SimDuration::from_us(50), |w: &mut TestWorld, s| {
+                w.log(s.now(), "timeout");
+            });
+            s.schedule_in(SimDuration::from_us(1), move |w: &mut TestWorld, s| {
+                w.log(s.now(), "ack");
+                h.cancel();
+            });
+        });
+        let report = sim.run_to_idle();
+        // Idle time is the ack, not the disarmed 50us timeout.
+        assert_eq!(report.now, SimTime::from_ns(1_000));
+        assert_eq!(sim.world().log, vec![(1_000, "ack".into())]);
+    }
+
+    #[test]
+    fn uncancelled_timer_fires_normally() {
+        let mut sim = Simulation::new(TestWorld::default());
+        sim.setup(|_, s| {
+            let h = s.schedule_cancellable_in(SimDuration::from_us(5), |w: &mut TestWorld, s| {
+                w.log(s.now(), "timeout");
+            });
+            assert!(!h.is_cancelled());
+        });
+        let report = sim.run_to_idle();
+        assert_eq!(report.now, SimTime::from_ns(5_000));
+        assert_eq!(sim.world().log, vec![(5_000, "timeout".into())]);
+    }
+
+    #[test]
+    fn same_instant_cancellation_is_honored() {
+        // Cancel at the very instant the timer is due: the earlier-seq event
+        // runs first and disarms it.
+        let mut sim = Simulation::new(TestWorld::default());
+        sim.setup(|_, s| {
+            s.schedule_in(SimDuration::from_us(2), |w: &mut TestWorld, s| {
+                let h = s.schedule_cancellable_in(SimDuration::ZERO, |w: &mut TestWorld, s| {
+                    w.log(s.now(), "zero-delay timeout");
+                });
+                w.log(s.now(), "arm+cancel");
+                h.cancel();
+            });
+        });
+        sim.run_to_idle();
+        assert_eq!(sim.world().log, vec![(2_000, "arm+cancel".into())]);
     }
 
     #[test]

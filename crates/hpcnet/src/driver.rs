@@ -10,7 +10,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
-use crate::fabric::{Fabric, NetEvent, Notify, Output};
+use crate::fabric::{Fabric, FaultHook, NetEvent, Notify, Output};
 use crate::frame::{Frame, NodeAddr};
 
 enum Action {
@@ -58,6 +58,7 @@ pub struct StandaloneNet {
     /// hence outranks by seq — every lane entry.
     lane: VecDeque<(u64, Action)>,
     waiting_tx: HashMap<NodeAddr, VecDeque<Frame>>,
+    faults: Option<Box<dyn FaultHook>>,
 }
 
 impl StandaloneNet {
@@ -71,7 +72,20 @@ impl StandaloneNet {
             queue: BinaryHeap::new(),
             lane: VecDeque::new(),
             waiting_tx: HashMap::new(),
+            faults: None,
         }
+    }
+
+    /// Install a fault hook consulted for every frame arrival.
+    pub fn with_faults(mut self, hook: Box<dyn FaultHook>) -> Self {
+        self.faults = Some(hook);
+        self
+    }
+
+    /// Feed a fabric [`Output`] produced outside the loop (e.g. from
+    /// [`Fabric::set_endpoint_down`]) into the driver.
+    pub fn apply(&mut self, out: Output) {
+        self.process(out);
     }
 
     /// Current time, ns.
@@ -130,7 +144,10 @@ impl StandaloneNet {
                 e.action
             };
             let out = match action {
-                Action::Net(ev) => self.fabric.handle(self.now, ev),
+                Action::Net(ev) => match &mut self.faults {
+                    Some(h) => self.fabric.handle_with(self.now, ev, h.as_mut()),
+                    None => self.fabric.handle(self.now, ev),
+                },
                 Action::Inject(frame) => {
                     let src = frame.src;
                     if self.fabric.can_send(src) {

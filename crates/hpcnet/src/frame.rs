@@ -128,6 +128,10 @@ pub struct Frame {
     pub seq: u64,
     /// The payload.
     pub payload: Payload,
+    /// Set by the fault plane when the frame was damaged in transit: the
+    /// receiving interface's CRC check fails, so software can detect (and
+    /// must discard) the frame, but cannot repair it.
+    pub corrupted: bool,
 }
 
 impl Frame {
@@ -139,6 +143,7 @@ impl Frame {
             kind,
             seq,
             payload,
+            corrupted: false,
         }
     }
 
@@ -228,6 +233,7 @@ mod tests {
             kind: 0,
             seq: 0,
             payload: Payload::Synthetic(1),
+            corrupted: false,
         };
         assert_eq!(f.validate(), Err(FrameError::NoDestination));
     }

@@ -189,10 +189,15 @@ pub struct SnetReport {
     /// Time of the last delivery (ns), or the deadline if none.
     pub last_delivery_ns: u64,
     /// True iff every enqueued data message was delivered before the
-    /// deadline. `false` indicates starvation/lockout.
+    /// deadline. `false` indicates starvation/lockout (or injected loss —
+    /// S/NET software has no retransmission protocol to recover it).
     pub completed: bool,
     /// Data messages left undelivered at the deadline.
     pub undelivered: u64,
+    /// Data messages lost to injected faults (vanished on the bus).
+    pub lost: u64,
+    /// Data messages that arrived corrupted and were discarded as junk.
+    pub corrupted: u64,
 }
 
 /// The S/NET simulator. Build, enqueue traffic, [`SnetSim::run`].
@@ -212,6 +217,11 @@ pub struct SnetSim {
     bus_busy_ns: u64,
     enqueued_data: u64,
     delivered_data: u64,
+    /// Injected fault probabilities for data messages in transit.
+    fault_drop: f64,
+    fault_corrupt: f64,
+    lost: u64,
+    corrupted: u64,
 }
 
 impl SnetSim {
@@ -233,7 +243,27 @@ impl SnetSim {
             bus_busy_ns: 0,
             enqueued_data: 0,
             delivered_data: 0,
+            fault_drop: 0.0,
+            fault_corrupt: 0.0,
+            lost: 0,
+            corrupted: 0,
         }
+    }
+
+    /// Inject transit faults: each *data* message independently vanishes
+    /// with probability `drop` or arrives as discardable junk with
+    /// probability `corrupt`. Draws come from the simulator's seeded RNG in
+    /// bus-transfer order, so runs stay deterministic per seed; with both
+    /// probabilities zero no randomness is consumed. Control messages
+    /// (reservation requests/grants) are left intact.
+    pub fn set_faults(&mut self, drop: f64, corrupt: f64) {
+        self.fault_drop = drop;
+        self.fault_corrupt = corrupt;
+    }
+
+    /// `true` with probability `p`, drawing nothing when `p == 0`.
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
     }
 
     /// Number of processors.
@@ -312,6 +342,8 @@ impl SnetSim {
             last_delivery_ns,
             completed: self.delivered_data == self.enqueued_data,
             undelivered: self.enqueued_data - self.delivered_data,
+            lost: self.lost,
+            corrupted: self.corrupted,
             delivered: self.delivered,
         }
     }
@@ -377,6 +409,40 @@ impl SnetSim {
     fn transfer_end(&mut self, src: usize, msg: OutMsg) {
         let size = msg.len + self.cfg.header_bytes;
         let dst = msg.dst;
+        if msg.kind == MsgKind::Data {
+            if self.chance(self.fault_drop) {
+                // The message vanishes in transit (bad address latch): the
+                // bus cycle completed, so the sender saw success and moves
+                // on. Without a software retransmission protocol the
+                // message is gone for good.
+                self.lost += 1;
+                self.on_send_success(src, msg);
+                self.bus_release();
+                return;
+            }
+            if self.chance(self.fault_corrupt) {
+                // Damaged in transit: whatever fits of it lands in the FIFO
+                // as junk the receiving kernel must read and discard.
+                self.corrupted += 1;
+                let free = self.cfg.fifo_bytes - self.nodes[dst].fifo_used;
+                let junk = size.min(free);
+                if junk > 0 {
+                    self.nodes[dst].fifo.push_back(FifoItem {
+                        kind: ItemKind::Partial,
+                        src,
+                        seq: msg.seq,
+                        total: junk,
+                        drained: 0,
+                    });
+                    self.nodes[dst].fifo_used += junk;
+                    self.garbage_bytes += u64::from(junk);
+                    self.kick_drain(dst);
+                }
+                self.on_send_success(src, msg);
+                self.bus_release();
+                return;
+            }
+        }
         let free = self.cfg.fifo_bytes - self.nodes[dst].fifo_used;
         if size <= free {
             // Accepted whole.
@@ -656,6 +722,34 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8)); // different seeds take different paths
+    }
+
+    #[test]
+    fn injected_loss_is_deterministic_and_accounted() {
+        let run = |seed| {
+            let mut sim = SnetSim::new(SnetConfig::paper_1985(), 2, Strategy::BusyRetry, seed);
+            sim.set_faults(0.2, 0.1);
+            sim.enqueue_paced(1, 0, 512, 50, 0, 400_000);
+            let r = sim.run(60 * SEC);
+            (r.delivered_total, r.lost, r.corrupted, r.last_delivery_ns)
+        };
+        let (delivered, lost, corrupted, _) = run(11);
+        assert_eq!(run(11), run(11), "same seed must replay identically");
+        assert!(lost > 0, "20% loss over 50 messages must fire");
+        assert!(corrupted > 0, "10% corruption over 50 messages must fire");
+        assert_eq!(delivered + lost + corrupted, 50);
+    }
+
+    #[test]
+    fn corrupted_messages_become_junk_the_kernel_discards() {
+        let mut sim = SnetSim::new(SnetConfig::paper_1985(), 2, Strategy::BusyRetry, 3);
+        sim.set_faults(0.0, 1.0); // every data message is damaged
+        sim.enqueue_paced(1, 0, 256, 5, 0, 400_000);
+        let r = sim.run(30 * SEC);
+        assert_eq!(r.delivered_total, 0);
+        assert_eq!(r.corrupted, 5);
+        assert!(r.garbage_bytes > 0);
+        assert!(!r.completed);
     }
 
     #[test]

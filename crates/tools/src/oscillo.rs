@@ -154,7 +154,7 @@ impl Oscilloscope {
                 TraceEvent::Unblock { node, reason } => {
                     blocks[*node as usize].push(delta(t.as_ns(), *reason, -1));
                 }
-                TraceEvent::Region { .. } => {}
+                TraceEvent::Region { .. } | TraceEvent::Fault { .. } => {}
             }
         }
         // User bursts are recorded spanning their preemptions (system work

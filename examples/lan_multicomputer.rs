@@ -40,7 +40,7 @@ fn main() {
                         // stub provides.
                         hpc_vorx::vorx::api::user_compute(&ctx, w, SimDuration::from_ms(1));
                         match syscall(&ctx, w, SyscallOp::WriteFile { bytes: job.len() }) {
-                            SyscallRet::Ok => {}
+                            Ok(SyscallRet::Ok) => {}
                             r => panic!("log write failed: {r:?}"),
                         }
                     }

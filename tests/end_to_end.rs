@@ -33,7 +33,7 @@ fn spanning_application_with_hosts_and_tools() {
                         hpc_vorx::vorx::api::user_compute(&ctx, w, SimDuration::from_us(700));
                         assert_eq!(
                             syscall(&ctx, w, SyscallOp::WriteFile { bytes: job.len() }),
-                            SyscallRet::Ok
+                            Ok(SyscallRet::Ok)
                         );
                     }
                     hpc_vorx::vorx_tools::prof::exit(&ctx, w, "service");
