@@ -14,9 +14,12 @@ echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 echo "==> cargo clippy -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::redundant_clone
 
 echo "==> fault-campaign smoke (fixed seed, 5% loss, one crash/restart)"
 cargo run --release -p vorx-bench --bin fault_campaign -- --smoke
+
+echo "==> datapath smoke (windowed >= 2x stop-and-wait, zero payload copies)"
+cargo run --release -p vorx-bench --bin datapath_report -- --smoke
 
 echo "CI OK"

@@ -40,7 +40,7 @@ pub fn run_download(n_nodes: usize, text_bytes: u32, mode: DownloadMode) -> SimD
                     boot_loader(&ctx, t, &format!("dl-{}", t.0), vec![], text_bytes);
                 });
             }
-            let tgt = targets.clone();
+            let tgt = targets;
             v.spawn("host:download", move |ctx| {
                 download_per_process(&ctx, 0, &tgt, text_bytes);
             });
@@ -52,7 +52,7 @@ pub fn run_download(n_nodes: usize, text_bytes: u32, mode: DownloadMode) -> SimD
                     boot_loader(&ctx, t, &format!("dl-{}", t.0), kids, text_bytes);
                 });
             }
-            let tgt = targets.clone();
+            let tgt = targets;
             v.spawn("host:download", move |ctx| {
                 download_tree(&ctx, 0, &tgt, text_bytes);
             });

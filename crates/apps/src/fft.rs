@@ -183,7 +183,7 @@ mod tests {
             .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
             .collect();
         let expect = naive_dft(&x);
-        let mut got = x.clone();
+        let mut got = x;
         fft1d(&mut got);
         assert!(max_err(&got, &expect) < 1e-9);
     }
@@ -214,7 +214,7 @@ mod tests {
             .map(|i| Complex::new((i as f64 * 1.3).sin(), (i as f64 * 0.21).cos()))
             .collect();
         let time_energy: f64 = x.iter().map(|v| v.abs().powi(2)).sum();
-        let mut f = x.clone();
+        let mut f = x;
         fft1d(&mut f);
         let freq_energy: f64 = f.iter().map(|v| v.abs().powi(2)).sum::<f64>() / 64.0;
         assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
@@ -243,9 +243,9 @@ mod tests {
             }
         }
         fft2d_serial(&mut img, n);
-        let mut fr = row.clone();
+        let mut fr = row;
         fft1d(&mut fr);
-        let mut fc = col.clone();
+        let mut fc = col;
         fft1d(&mut fc);
         for r in 0..n {
             for c in 0..n {

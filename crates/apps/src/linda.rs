@@ -377,7 +377,7 @@ mod tests {
             ts2.out(&ctx, NodeAddr(2), vec![s("job"), i(1)]);
             ts2.out(&ctx, NodeAddr(2), vec![s("job"), i(2)]);
         });
-        let ts3 = ts.clone();
+        let ts3 = ts;
         v.spawn("n3:consumer", move |ctx| {
             ts3.join(&ctx, NodeAddr(3));
             let a = ts3.in_(&ctx, NodeAddr(3), vec![Pat::Eq(s("job")), Pat::Any]);
@@ -406,7 +406,7 @@ mod tests {
     fn rd_does_not_consume() {
         let mut v = VorxBuilder::single_cluster(3).build();
         let ts = TupleSpace::spawn(&v, vec![NodeAddr(0)]);
-        let ts2 = ts.clone();
+        let ts2 = ts;
         v.spawn("n1:app", move |ctx| {
             ts2.join(&ctx, NodeAddr(1));
             ts2.out(&ctx, NodeAddr(1), vec![s("cfg"), i(99)]);
@@ -436,7 +436,7 @@ mod tests {
             assert_eq!(t[1], i(5));
             assert!(ctx.now() - t0 > SimDuration::from_ms(4));
         });
-        let ts3 = ts.clone();
+        let ts3 = ts;
         v.spawn("n2:late-producer", move |ctx| {
             ts3.join(&ctx, NodeAddr(2));
             ctx.sleep(SimDuration::from_ms(5));
@@ -467,7 +467,7 @@ mod tests {
             let t = ts_in.in_(&ctx, NodeAddr(3), vec![Pat::Eq(s("go"))]);
             assert_eq!(t, vec![s("go")]);
         });
-        let ts_out = ts.clone();
+        let ts_out = ts;
         v.spawn("n4:out", move |ctx| {
             ts_out.join(&ctx, NodeAddr(4));
             ctx.sleep(SimDuration::from_ms(10)); // let everyone block
@@ -507,7 +507,7 @@ mod tests {
                 }
             });
         }
-        let ts_m = ts.clone();
+        let ts_m = ts;
         v.spawn("n5:master", move |ctx| {
             ts_m.join(&ctx, NodeAddr(5));
             for x in 0..JOBS {

@@ -67,7 +67,7 @@ fn main() {
             }
         }
     });
-    let wk_list = workers.clone();
+    let wk_list = workers;
     v.spawn("n9:collect-ws", move |ctx| {
         let chans: Vec<_> = wk_list
             .iter()

@@ -110,7 +110,7 @@ where
                 host,
                 user,
                 name: name.clone(),
-                nodes: nodes.clone(),
+                nodes,
                 started_ns: s.now().as_ns(),
                 state: AppState::Running,
                 finished_procs: 0,

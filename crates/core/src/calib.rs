@@ -110,6 +110,25 @@ pub struct Calibration {
     /// failure-detection sweep). `u64::MAX` disables detection, leaving
     /// retry exhaustion as the only signal.
     pub crash_detect_ns: u64,
+
+    // ----- windowed channel data path (Tables 1/2 ordering) -----
+    //
+    // The paper's §5 channels are stop-and-wait; its Table 1 shows the
+    // sliding-window UDCO roughly doubling goodput over them. These
+    // constants make windowed transfer a first-class *channel* mode:
+    // `chan_window = 1` is bit-for-bit the stop-and-wait protocol, and any
+    // larger value enables the credit-based pipeline (see DESIGN.md §10).
+    /// Fragments a writer may keep in flight before blocking. 1 =
+    /// stop-and-wait (the paper's §5 protocol and the default).
+    pub chan_window: u32,
+    /// Receiver-side fragment buffering in windowed mode: the credit pool
+    /// advertised to the writer (side buffers counted in fragments, like the
+    /// UDCO "buffers" column of Table 1).
+    pub chan_rx_frag_buffers: u32,
+    /// Bound on the receiver's out-of-order reorder buffer, in fragments.
+    /// Clamped to 32 (the selective-ack bitmap width); fragments beyond
+    /// `cum_ack + bound` are dropped and retransmitted later.
+    pub chan_reorder_frags: u32,
 }
 
 impl Calibration {
@@ -153,7 +172,18 @@ impl Calibration {
             open_timeout_ns: 50_000_000,
             open_max_retries: 8,
             crash_detect_ns: 200_000_000,
+            chan_window: 1,
+            chan_rx_frag_buffers: 64,
+            chan_reorder_frags: 32,
         }
+    }
+
+    /// The 1988 model with a `w`-fragment channel window (`w = 1` is
+    /// [`Calibration::paper_1988`] exactly).
+    pub fn paper_1988_windowed(w: u32) -> Self {
+        let mut c = Calibration::paper_1988();
+        c.chan_window = w.max(1);
+        c
     }
 
     /// An idealized zero-cost-software calibration, useful in unit tests
@@ -189,6 +219,9 @@ impl Calibration {
             open_timeout_ns: 50_000_000,
             open_max_retries: 8,
             crash_detect_ns: 200_000_000,
+            chan_window: 1,
+            chan_rx_frag_buffers: 64,
+            chan_reorder_frags: 32,
         }
     }
 

@@ -20,14 +20,30 @@
 //!   reassembled transparently; a read returns one whole written message.
 //! * **Multiplexed read** ([`read_any`]): block until data arrives on any of
 //!   several channels.
+//!
+//! ## Windowed mode (`Calibration::chan_window > 1`)
+//!
+//! The paper's Table 1 shows sliding-window transfer roughly doubling
+//! goodput over stop-and-wait. With `chan_window = W > 1` the kernel data
+//! path pipelines: a `write` returns once its fragments are accepted into
+//! the kernel's W-deep transmit window (blocking only while the window is
+//! full or the receiver's credit is exhausted), acknowledgements are
+//! cumulative with a selective-ack bitmap ([`proto::KIND_CHAN_WACK`]), lost
+//! fragments are retransmitted by a single window-base timer with the same
+//! doubling backoff and retry budget as stop-and-wait, and the receiver
+//! reassembles in order through a bounded reorder buffer while granting
+//! credits. `W = 1` never touches any of this machinery — the stop-and-wait
+//! code path below runs unchanged, bit-for-bit. See DESIGN.md §10.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use bytes::BytesMut;
+use bytes::Bytes;
 use desim::{sync::WaitSet, Wakeup};
 use hpcnet::{Frame, NodeAddr, Payload, MAX_PAYLOAD};
 
+use crate::alloc::PayloadPool;
 use crate::api;
+use crate::calib::Calibration;
 use crate::cpu::{BlockReason, CpuCat};
 use crate::kernel;
 use crate::proto;
@@ -63,37 +79,68 @@ pub struct TxPending {
     pub timer: Option<desim::TimerHandle>,
 }
 
-/// Drop the outstanding fragment and disarm its timer (ack received, peer
-/// closed/down, or crash cleanup).
+/// Drop all outstanding transmit state and disarm its timers (ack received,
+/// peer closed/down, or crash cleanup). Covers both the stop-and-wait
+/// fragment and the windowed in-flight set.
 pub(crate) fn clear_tx(end: &mut ChanEnd) {
     if let Some(tp) = end.tx_pending.take() {
         if let Some(t) = tp.timer {
             t.cancel();
         }
     }
+    if let Some(t) = end.win.timer.take() {
+        t.cancel();
+    }
+    end.win.inflight.clear();
 }
 
-/// Reassembles fragments of one written message.
+/// Per-end protocol parameters, frozen from the [`Calibration`] when the end
+/// is created (so every frame of a channel's life obeys one mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelConfig {
+    /// Fragments the writer may keep unacked; 1 = stop-and-wait.
+    pub window: u32,
+    /// Receiver fragment-buffer capacity advertised as credit (windowed).
+    pub rx_frag_buffers: u32,
+    /// Reorder-buffer bound in fragments (windowed), ≤ 32 so the
+    /// selective-ack bitmap can describe every held fragment.
+    pub reorder_frags: u32,
+}
+
+impl ChannelConfig {
+    /// Derive the per-channel configuration from the world calibration.
+    pub fn from_calib(c: &Calibration) -> Self {
+        let window = c.chan_window.max(1);
+        ChannelConfig {
+            window,
+            rx_frag_buffers: c.chan_rx_frag_buffers.max(window),
+            reorder_frags: c.chan_reorder_frags.clamp(1, 32),
+        }
+    }
+}
+
+/// Reassembles fragments of one written message. Fragments are held as
+/// refcounted slices: a single-fragment message (the common case) is
+/// delivered zero-copy, and only a multi-fragment gather touches payload
+/// bytes — through a pooled buffer, with the copy metered.
 #[derive(Debug, Default)]
 pub struct PayloadAsm {
-    data: Option<BytesMut>,
+    parts: Vec<Bytes>,
     synth: u32,
     frags: usize,
 }
 
 impl PayloadAsm {
-    /// Append one fragment.
+    /// Append one fragment (no copy; the fragment's bytes are shared).
     pub fn push(&mut self, p: Payload) {
         self.frags += 1;
         match p {
             Payload::Data(b) => {
                 assert_eq!(self.synth, 0, "mixed data and synthetic fragments");
-                self.data
-                    .get_or_insert_with(BytesMut::new)
-                    .extend_from_slice(&b);
+                self.parts.push(b);
             }
             Payload::Synthetic(n) => {
-                assert!(self.data.is_none(), "mixed data and synthetic fragments");
+                assert!(self.parts.is_empty(), "mixed data and synthetic fragments");
                 self.synth += n;
             }
         }
@@ -104,17 +151,84 @@ impl PayloadAsm {
         self.frags
     }
 
-    /// Take the assembled message, resetting the assembler.
-    pub fn take(&mut self) -> Payload {
+    /// Take the assembled message, resetting the assembler. One fragment
+    /// passes straight through (zero-copy); several are gathered into a
+    /// buffer recycled through `pool`.
+    pub fn take(&mut self, pool: &PayloadPool) -> Payload {
         self.frags = 0;
-        if let Some(b) = self.data.take() {
-            Payload::Data(b.freeze())
-        } else {
+        if self.parts.is_empty() {
             let n = self.synth;
             self.synth = 0;
-            Payload::Synthetic(n)
+            return Payload::Synthetic(n);
         }
+        if self.parts.len() == 1 {
+            return Payload::Data(self.parts.pop().expect("checked"));
+        }
+        let total: usize = self.parts.iter().map(Bytes::len).sum();
+        let mut buf = pool.acquire(total);
+        for b in self.parts.drain(..) {
+            buf.extend_from_slice(&b);
+        }
+        hpcnet::copymeter::add(total as u64);
+        Payload::Data(buf.freeze())
     }
+}
+
+/// Windowed-mode transmit state: the in-flight window and its base timer.
+#[derive(Debug, Default)]
+pub struct WinTx {
+    /// Unacked fragments by fragment number, kept for retransmission.
+    /// `sacked` marks fragments the receiver already holds out of order
+    /// (selective ack) so a timeout skips them.
+    pub inflight: BTreeMap<u32, WinFrag>,
+    /// Highest fragment number the receiver has granted credit for
+    /// (cumulative ack + advertised credit, monotonic). A writer whose
+    /// window is otherwise empty may send one fragment past this as a
+    /// zero-window probe.
+    pub tx_limit: u32,
+    /// Timer-chain epoch: bumped on every ack progress so stale timers die.
+    pub epoch: u32,
+    /// Consecutive timeouts without cumulative progress.
+    pub attempts: u32,
+    /// Zero-credit grants honored without counting silence against the
+    /// retry budget (the windowed analog of `KIND_CHAN_BUSY`, capped by
+    /// [`MAX_BUSY_GRANTS`]).
+    pub busy_grants: u32,
+    /// The armed window-base retransmit timer.
+    pub timer: Option<desim::TimerHandle>,
+}
+
+/// One in-flight windowed fragment.
+#[derive(Debug, Clone)]
+pub struct WinFrag {
+    /// The frame, kept for retransmission.
+    pub frame: Frame,
+    /// Selectively acknowledged: held by the receiver, skip on timeout.
+    pub sacked: bool,
+}
+
+/// Windowed-mode receive state: the bounded reorder buffer and the credit
+/// accounting behind the grants advertised in every windowed ack.
+#[derive(Debug, Default)]
+pub struct WinRx {
+    /// Fragments copied into side buffers but not yet in-order-committable,
+    /// by fragment number, with their `last` flag. Bounded by
+    /// `ChannelConfig::reorder_frags`; dedup state never outlives the
+    /// cumulative ack, because committing a fragment removes it here and
+    /// advances `rx_next_frag` past it.
+    pub ready: BTreeMap<u32, (Payload, bool)>,
+    /// Fragments whose side-buffer copy charge is in flight; duplicates
+    /// arriving mid-copy are dropped.
+    pub copying: BTreeSet<u32>,
+    /// Fragment count of each queued `rx` message, popped in lockstep by
+    /// [`ChanEnd::pop_rx`] to release the credit those fragments held.
+    pub rx_frag_counts: VecDeque<u32>,
+    /// Fragments committed but not yet consumed by a reader (in `asm` or in
+    /// queued `rx` messages); they hold credit.
+    pub held: u32,
+    /// The last advertised credit was zero; the next reader-side release
+    /// must push a credit update or the writer stays stalled.
+    pub starved: bool,
 }
 
 /// One end of a channel, owned by a node's kernel.
@@ -164,10 +278,22 @@ pub struct ChanEnd {
     pub closed_local: bool,
     /// The peer's end has been closed (close notification received).
     pub closed_remote: bool,
+    /// Protocol parameters frozen at creation (window, credit pool).
+    pub cfg: ChannelConfig,
+    /// Windowed transmit state (untouched when `cfg.window == 1`).
+    pub win: WinTx,
+    /// Windowed receive state (untouched when `cfg.window == 1`).
+    pub winrx: WinRx,
 }
 
 impl ChanEnd {
-    fn new(id: u32, name: String, peer: NodeAddr) -> Self {
+    fn new(id: u32, name: String, peer: NodeAddr, cfg: ChannelConfig) -> Self {
+        // Until the first ack arrives, the writer trusts the configured
+        // receive capacity (both ends share one calibration).
+        let win = WinTx {
+            tx_limit: cfg.rx_frag_buffers,
+            ..WinTx::default()
+        };
         ChanEnd {
             id,
             name,
@@ -189,6 +315,9 @@ impl ChanEnd {
             writer_blocked: false,
             closed_local: false,
             closed_remote: false,
+            cfg,
+            win,
+            winrx: WinRx::default(),
         }
     }
 
@@ -196,6 +325,25 @@ impl ChanEnd {
     /// reassembly counts as one).
     fn sidebuf_used(&self) -> usize {
         self.rx.len() + usize::from(self.asm.frags() > 0)
+    }
+
+    /// Pop the next complete message, releasing the credit its fragments
+    /// held (windowed mode; a no-op beyond the pop for stop-and-wait).
+    pub(crate) fn pop_rx(&mut self) -> Option<Payload> {
+        let p = self.rx.pop_front();
+        if p.is_some() {
+            if let Some(n) = self.winrx.rx_frag_counts.pop_front() {
+                self.winrx.held = self.winrx.held.saturating_sub(n);
+            }
+        }
+        p
+    }
+
+    /// Receiver fragment-buffer slots currently free (the credit grant).
+    fn win_avail(&self) -> u32 {
+        let used =
+            self.winrx.held + self.winrx.ready.len() as u32 + self.winrx.copying.len() as u32;
+        self.cfg.rx_frag_buffers.saturating_sub(used)
     }
 }
 
@@ -209,10 +357,11 @@ pub fn create_end(
     name: String,
     peer: NodeAddr,
 ) {
+    let cfg = ChannelConfig::from_calib(&w.calib);
     let prev = w
         .node_mut(node)
         .chans
-        .insert(id, ChanEnd::new(id, name, peer));
+        .insert(id, ChanEnd::new(id, name, peer, cfg));
     assert!(prev.is_none(), "channel id {id} already exists on {node}");
     kernel::drain_orphans(w, s, node, id);
 }
@@ -281,6 +430,9 @@ impl ChannelHandle {
     pub fn write(&self, ctx: &VCtx, payload: Payload) -> ChanResult<()> {
         let h = *self;
         let c = ctx.with(|w, _| w.calib);
+        if c.chan_window > 1 {
+            return self.write_windowed(ctx, payload, c);
+        }
         let pid = ctx.pid();
         for (frag, last) in fragment(payload) {
             // Syscall entry + protocol work, then transmit and block.
@@ -365,6 +517,99 @@ impl ChannelHandle {
         Ok(())
     }
 
+    /// Windowed-mode write (`chan_window > 1`): each fragment is accepted
+    /// into the kernel's transmit window as soon as there is window space
+    /// and receiver credit, so `write` returns without waiting for
+    /// acknowledgements. The window-base timer retransmits and the
+    /// cumulative/selective acks ([`on_wack`]) drain the window behind us;
+    /// [`ChannelHandle::close`] flushes it.
+    fn write_windowed(&self, ctx: &VCtx, payload: Payload, c: Calibration) -> ChanResult<()> {
+        let h = *self;
+        let pid = ctx.pid();
+        for (frag, last) in fragment(payload) {
+            // Syscall entry + protocol work for this fragment.
+            api::compute_ns(ctx, h.node, CpuCat::System, c.chan_write_syscall_ns);
+            let mut frag_slot = Some(frag);
+            let mut blocked = false;
+            let (res, was_blocked) = ctx.wait_until(move |w, s| {
+                let now = s.now();
+                let Some(end) = w.node_mut(h.node).chans.get_mut(&h.id) else {
+                    if blocked {
+                        w.unblock(now, h.node, BlockReason::Output);
+                    }
+                    return Some((Err(ChanError::NodeDown), blocked));
+                };
+                let err = if end.closed_local {
+                    Some(ChanError::LocalClosed)
+                } else if end.closed_remote {
+                    Some(ChanError::PeerClosed)
+                } else if end.peer_down {
+                    Some(ChanError::PeerDown)
+                } else {
+                    None
+                };
+                if let Some(e) = err {
+                    if blocked {
+                        end.writer_blocked = false;
+                        w.unblock(now, h.node, BlockReason::Output);
+                    }
+                    return Some((Err(e), blocked));
+                }
+                let next = end.msgs_tx as u32 + 1;
+                // Window space plus receiver credit; a writer whose window
+                // is empty may send one fragment past the credit limit as a
+                // zero-window probe (the receiver re-acks it with fresh
+                // credit, or defers it and grants later).
+                let can_send = (end.win.inflight.len() as u32) < end.cfg.window
+                    && (next <= end.win.tx_limit || end.win.inflight.is_empty());
+                if !can_send {
+                    end.tx_wait.register(pid);
+                    if !blocked {
+                        blocked = true;
+                        end.writer_blocked = true;
+                        w.block(now, h.node, BlockReason::Output);
+                    }
+                    return None;
+                }
+                let p = frag_slot.take().expect("fragment transmitted twice");
+                end.msgs_tx += 1;
+                let frag_no = end.msgs_tx as u32;
+                let kind = if last {
+                    proto::KIND_CHAN_DATA_LAST
+                } else {
+                    proto::KIND_CHAN_DATA
+                };
+                let f = Frame::unicast(h.node, h.peer, kind, proto::chan_seq(h.id, frag_no), p);
+                end.win.inflight.insert(
+                    frag_no,
+                    WinFrag {
+                        frame: f.clone(),
+                        sacked: false,
+                    },
+                );
+                let arm = end.win.timer.is_none();
+                let epoch = end.win.epoch;
+                let attempts = end.win.attempts;
+                if blocked {
+                    end.writer_blocked = false;
+                    w.unblock(now, h.node, BlockReason::Output);
+                }
+                kernel::send_frame(w, s, f);
+                if arm {
+                    arm_win_timer(w, s, h.node, h.id, epoch, attempts);
+                }
+                Some((Ok(()), blocked))
+            });
+            if was_blocked {
+                // The writer was parked awaiting window space; switching
+                // back in costs a context switch.
+                api::compute_ns(ctx, h.node, CpuCat::System, c.ctx_switch_ns);
+            }
+            res?;
+        }
+        Ok(())
+    }
+
     /// Read one whole message, blocking until it arrives. Buffered messages
     /// remain readable after a close; once drained, reads fail.
     pub fn read(&self, ctx: &VCtx) -> ChanResult<Payload> {
@@ -383,7 +628,7 @@ impl ChannelHandle {
                 }
                 return Some((Err(ChanError::NodeDown), blocked));
             };
-            match end.rx.pop_front() {
+            match end.pop_rx() {
                 Some(p) => {
                     if blocked {
                         end.reader_blocked = false;
@@ -421,13 +666,16 @@ impl ChannelHandle {
             api::compute_ns(ctx, h.node, CpuCat::System, c.ctx_switch_ns);
         }
         let payload = outcome?;
-        // Copy from the side buffer into the user's buffer.
-        api::compute(
-            ctx,
-            h.node,
-            CpuCat::System,
-            crate::calib::Calibration::per_byte(c.copy_user_ns_per_byte, payload.len()),
-        );
+        // Stop-and-wait copies from the side buffer into the user's buffer;
+        // the windowed path hands the user the refcounted payload directly.
+        if c.chan_window <= 1 {
+            api::compute(
+                ctx,
+                h.node,
+                CpuCat::System,
+                crate::calib::Calibration::per_byte(c.copy_user_ns_per_byte, payload.len()),
+            );
+        }
         // Freeing the side buffer may release a deferred fragment (and its
         // withheld ack).
         ctx.with(move |w, s| release_deferred(w, s, h.node, h.id));
@@ -453,6 +701,23 @@ impl ChannelHandle {
     pub fn close(&self, ctx: &VCtx) {
         let h = *self;
         let c = ctx.with(|w, _| w.calib);
+        if c.chan_window > 1 {
+            // Pipelined writes return before their acks; flush the transmit
+            // window so a close never races data still in flight. Errors
+            // (peer down/closed) end the flush — nothing left to wait for.
+            let pid = ctx.pid();
+            ctx.wait_until(move |w, _| {
+                let Some(end) = w.node_mut(h.node).chans.get_mut(&h.id) else {
+                    return Some(());
+                };
+                if end.win.inflight.is_empty() || end.closed_remote || end.peer_down {
+                    Some(())
+                } else {
+                    end.tx_wait.register(pid);
+                    None
+                }
+            });
+        }
         api::compute_ns(ctx, h.node, CpuCat::System, c.chan_read_syscall_ns);
         ctx.with(move |w, s| {
             let Some(end) = w.node_mut(h.node).chans.get_mut(&h.id) else {
@@ -516,7 +781,9 @@ pub fn read_any(
     let c = ctx.with(|w, _| w.calib);
     api::compute_ns(ctx, node, CpuCat::System, c.chan_read_syscall_ns);
     let pid = ctx.pid();
-    let hs: Vec<ChannelHandle> = handles.to_vec();
+    // `wait_until` runs its closure inline on this thread, so the handle
+    // slice can be borrowed directly — no per-poll `to_vec`.
+    let hs = handles;
     let mut blocked = false;
     let (outcome, was_blocked) = ctx.wait_until(move |w, s| {
         let now = s.now();
@@ -529,7 +796,7 @@ pub fn read_any(
                 }
                 return Some((Err(ChanError::NodeDown), blocked));
             };
-            if let Some(p) = end.rx.pop_front() {
+            if let Some(p) = end.pop_rx() {
                 if blocked {
                     end.reader_blocked = false;
                     w.unblock(now, node, BlockReason::Input);
@@ -546,7 +813,7 @@ pub fn read_any(
             }
             return Some((Err(ChanError::PeerClosed), blocked));
         }
-        for h in &hs {
+        for h in hs {
             let end = w.node_mut(h.node).chans.get_mut(&h.id).expect("checked");
             end.rx_waiters.register(pid);
             if !blocked {
@@ -562,9 +829,8 @@ pub fn read_any(
     if was_blocked {
         api::compute_ns(ctx, node, CpuCat::System, c.ctx_switch_ns);
         // Clear the blocked marker on the channels that did not fire.
-        let hs: Vec<ChannelHandle> = handles.to_vec();
-        ctx.with(move |w, _| {
-            for h in &hs {
+        ctx.with(|w, _| {
+            for h in handles {
                 if let Some(end) = w.node_mut(h.node).chans.get_mut(&h.id) {
                     end.reader_blocked = false;
                 }
@@ -572,12 +838,15 @@ pub fn read_any(
         });
     }
     let (idx, payload) = outcome?;
-    api::compute(
-        ctx,
-        node,
-        CpuCat::System,
-        crate::calib::Calibration::per_byte(c.copy_user_ns_per_byte, payload.len()),
-    );
+    // As in `read`: the user-copy charge is a stop-and-wait cost only.
+    if c.chan_window <= 1 {
+        api::compute(
+            ctx,
+            node,
+            CpuCat::System,
+            crate::calib::Calibration::per_byte(c.copy_user_ns_per_byte, payload.len()),
+        );
+    }
     let h = handles[idx];
     ctx.with(move |w, s| release_deferred(w, s, h.node, h.id));
     Ok((idx, payload))
@@ -665,6 +934,13 @@ fn arm_data_timer(
 /// being copied (`accepting`) or deferred is dropped as a duplicate.
 pub fn on_data(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last: bool) {
     let chan = proto::seq_chan(f.seq);
+    let windowed = match w.node(node).chans.get(&chan) {
+        Some(end) => end.cfg.window > 1,
+        None => w.calib.chan_window > 1,
+    };
+    if windowed {
+        return on_data_windowed(w, s, node, f, last);
+    }
     let frag = proto::seq_frag(f.seq);
     let src = f.src;
     let seq = f.seq;
@@ -759,6 +1035,7 @@ fn commit_fragment(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last
     let chan = proto::seq_chan(f.seq);
     let src = f.src;
     let seq = f.seq;
+    let pool = w.payload_pool.clone();
     {
         let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
             return; // the node crashed while the copy charge was in flight
@@ -767,7 +1044,7 @@ fn commit_fragment(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last
         end.rx_next_frag = proto::seq_frag(seq) + 1;
         end.asm.push(f.payload);
         if last {
-            let msg = end.asm.take();
+            let msg = end.asm.take(&pool);
             end.rx.push_back(msg);
             end.msgs_rx += 1;
             end.rx_waiters.wake_all(s, Wakeup::START);
@@ -825,12 +1102,343 @@ pub fn on_busy(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
     arm_data_timer(w, s, node, chan, frag, epoch, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Windowed mode (`chan_window > 1`): credit-based pipelining. See the module
+// docs and DESIGN.md §10. None of this runs at W = 1.
+// ---------------------------------------------------------------------------
+
+/// Windowed-mode data handler: dedup against the cumulative ack, the reorder
+/// buffer, and in-flight copies; drop (and re-ack) fragments beyond the
+/// reorder bound or the credit pool; accept the rest out of order.
+fn on_data_windowed(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last: bool) {
+    let chan = proto::seq_chan(f.seq);
+    let frag = proto::seq_frag(f.seq);
+    enum Act {
+        Orphan,
+        ReAck,
+        DropDup,
+        DropOverflow,
+        Accept,
+    }
+    let act = match w.node(node).chans.get(&chan) {
+        // Open-reply race: the peer learned about the channel before we did.
+        None => Act::Orphan,
+        Some(end) => {
+            if frag < end.rx_next_frag {
+                // Already committed; the ack was lost. Re-advertise it.
+                Act::ReAck
+            } else if end.winrx.copying.contains(&frag) || end.winrx.ready.contains_key(&frag) {
+                // Duplicate of a fragment we already hold out of order.
+                Act::DropDup
+            } else if frag >= end.rx_next_frag + end.cfg.reorder_frags || end.win_avail() == 0 {
+                // Beyond the reorder bound or out of credit: drop it and
+                // send a duplicate ack so the writer relearns the window.
+                Act::DropOverflow
+            } else {
+                Act::Accept
+            }
+        }
+    };
+    match act {
+        Act::Orphan => w.node_mut(node).orphans.push(f),
+        Act::ReAck => {
+            w.faults.stats.dups_suppressed += 1;
+            send_wack(w, s, node, chan);
+        }
+        Act::DropDup => {
+            w.faults.stats.dups_suppressed += 1;
+        }
+        Act::DropOverflow => {
+            w.faults.stats.busy_sent += 1;
+            send_wack(w, s, node, chan);
+        }
+        Act::Accept => accept_win_fragment(w, s, node, f, last),
+    }
+}
+
+/// Accept a windowed fragment: pin its refcounted payload (no side-buffer
+/// copy — the kernel keeps a reference to the arrival buffer, so the only
+/// charge is ack generation), then commit it. While the charge is in flight
+/// the fragment sits in `copying`, which both dedups retransmissions and
+/// holds its credit slot.
+fn accept_win_fragment(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last: bool) {
+    let chan = proto::seq_chan(f.seq);
+    if let Some(end) = w.node_mut(node).chans.get_mut(&chan) {
+        end.winrx.copying.insert(proto::seq_frag(f.seq));
+    }
+    let c = w.calib;
+    let cost = c.chan_ack_gen_ns;
+    let now = s.now();
+    let end_t = w.charge(now, node, CpuCat::System, desim::SimDuration::from_ns(cost));
+    s.schedule_in(end_t - now, move |w: &mut World, s| {
+        commit_win_fragment(w, s, node, f, last);
+    });
+}
+
+/// Move a copied fragment into the reorder buffer, drain everything that is
+/// now in order into the reassembler (completed messages go to `rx`,
+/// zero-copy), and acknowledge with the updated cumulative/selective state.
+fn commit_win_fragment(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last: bool) {
+    let chan = proto::seq_chan(f.seq);
+    let frag = proto::seq_frag(f.seq);
+    let pool = w.payload_pool.clone();
+    {
+        let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
+            return; // the node crashed while the copy charge was in flight
+        };
+        if !end.winrx.copying.remove(&frag) {
+            return; // crash cleanup raced the commit
+        }
+        end.winrx.ready.insert(frag, (f.payload, last));
+        // In-order drain: commit every consecutive fragment starting at the
+        // stream position. Committed fragments hold credit (`held`) until a
+        // reader consumes their message.
+        while let Some((p, l)) = end.winrx.ready.remove(&end.rx_next_frag) {
+            end.rx_next_frag += 1;
+            end.winrx.held += 1;
+            end.asm.push(p);
+            if l {
+                let frags = end.asm.frags() as u32;
+                let msg = end.asm.take(&pool);
+                end.rx.push_back(msg);
+                end.winrx.rx_frag_counts.push_back(frags);
+                end.msgs_rx += 1;
+                end.rx_waiters.wake_all(s, Wakeup::START);
+            }
+        }
+    }
+    send_wack(w, s, node, chan);
+}
+
+/// Send a windowed ack: cumulative ack in the seq's fragment field, plus a
+/// selective-ack bitmap of out-of-order holdings and the current credit
+/// grant. Advertising zero credit sets `starved` so the next reader-side
+/// release pushes a fresh grant.
+fn send_wack(w: &mut World, s: &mut VSched, node: NodeAddr, chan: u32) {
+    let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
+        return;
+    };
+    let cum = end.rx_next_frag - 1;
+    let mut sack = 0u32;
+    for &frag in end.winrx.ready.keys().chain(end.winrx.copying.iter()) {
+        let off = frag.wrapping_sub(cum + 1);
+        if off < 32 {
+            sack |= 1 << off;
+        }
+    }
+    let avail = end.win_avail();
+    end.winrx.starved = avail == 0;
+    let peer = end.peer;
+    let f = Frame::unicast(
+        node,
+        peer,
+        proto::KIND_CHAN_WACK,
+        proto::chan_seq(chan, cum),
+        proto::pack_wack(sack, avail),
+    );
+    kernel::send_frame(w, s, f);
+}
+
+/// Wake a parked windowed writer only when it can actually transmit, and —
+/// hysteresis — only when the window has drained to half empty (or fully
+/// empty, or credit just reopened a stalled stream). Each wake costs the
+/// writer a context switch, so acking fragment-by-fragment must not wake
+/// fragment-by-fragment.
+fn maybe_wake_writer(end: &mut ChanEnd, s: &mut VSched, limit_opened: bool) {
+    let next = end.msgs_tx as u32 + 1;
+    let space = end.cfg.window.saturating_sub(end.win.inflight.len() as u32);
+    let can_send = space > 0 && (next <= end.win.tx_limit || end.win.inflight.is_empty());
+    if can_send
+        && (end.win.inflight.is_empty()
+            || space * 2 >= end.cfg.window
+            || (limit_opened && next <= end.win.tx_limit))
+    {
+        end.tx_wait.wake_all(s, Wakeup::START);
+    }
+}
+
+/// Kernel handler: a windowed ack (`KIND_CHAN_WACK`) arrived at the writer.
+pub fn on_wack(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
+    let chan = proto::seq_chan(f.seq);
+    let cum = proto::seq_frag(f.seq);
+    let (sack, credit) = proto::parse_wack(&f.payload);
+    let rearm_epoch = {
+        let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
+            return; // crash or close raced the ack
+        };
+        if end.cfg.window <= 1 {
+            return; // defensive: stop-and-wait ends never use this kind
+        }
+        // Cumulative ack: everything at or below `cum` is delivered.
+        let before = end.win.inflight.len();
+        while let Some((&k, _)) = end.win.inflight.iter().next() {
+            if k > cum {
+                break;
+            }
+            end.win.inflight.remove(&k);
+        }
+        let progress = end.win.inflight.len() < before;
+        // Selective acks: skip these on retransmit timeouts.
+        let mut sacked_new = false;
+        for i in 0..32u32 {
+            if sack & (1 << i) != 0 {
+                if let Some(fr) = end.win.inflight.get_mut(&(cum + 1 + i)) {
+                    if !fr.sacked {
+                        fr.sacked = true;
+                        sacked_new = true;
+                    }
+                }
+            }
+        }
+        // The transmit limit is monotonic (a reordered stale ack must not
+        // shrink it): `cum + credit` only ever ratchets up.
+        let new_limit = cum.saturating_add(credit);
+        let limit_opened = new_limit > end.win.tx_limit;
+        if limit_opened {
+            end.win.tx_limit = new_limit;
+        }
+        if progress || sacked_new {
+            // Forward progress: reset the retry budget and restart the
+            // window-base timer chain.
+            end.win.attempts = 0;
+            end.win.busy_grants = 0;
+            end.win.epoch += 1;
+            if let Some(t) = end.win.timer.take() {
+                t.cancel();
+            }
+            maybe_wake_writer(end, s, limit_opened);
+            if end.win.inflight.is_empty() {
+                None
+            } else {
+                Some(end.win.epoch)
+            }
+        } else if credit == 0 && !end.win.inflight.is_empty() {
+            // Zero credit, no progress: the receiver is full, not the
+            // network lossy — the windowed analog of `KIND_CHAN_BUSY`.
+            // Stop counting silence against the retry budget, but cap the
+            // grants so a reader that never drains cannot park us forever.
+            if end.win.busy_grants >= MAX_BUSY_GRANTS {
+                return;
+            }
+            end.win.busy_grants += 1;
+            end.win.attempts = 0;
+            end.win.epoch += 1;
+            if let Some(t) = end.win.timer.take() {
+                t.cancel();
+            }
+            Some(end.win.epoch)
+        } else {
+            // Duplicate ack carrying nothing new; it may still reopen the
+            // credit limit for a stalled writer.
+            if limit_opened {
+                maybe_wake_writer(end, s, true);
+            }
+            None
+        }
+    };
+    if let Some(epoch) = rearm_epoch {
+        arm_win_timer(w, s, node, chan, epoch, 0);
+    }
+}
+
+/// Arm (or re-arm) the windowed retransmit timer. One timer guards the whole
+/// window: on expiry every unsacked in-flight fragment is retransmitted in
+/// order (go-back-N with selective-ack skip), with the same doubling backoff
+/// and `chan_max_retries` give-up as stop-and-wait. Acks bump the epoch, so
+/// stale timers die on mismatch.
+fn arm_win_timer(
+    w: &mut World,
+    s: &mut VSched,
+    node: NodeAddr,
+    chan: u32,
+    epoch: u32,
+    attempts: u32,
+) {
+    let delay = w.calib.chan_ack_timeout_ns << attempts.min(10);
+    let timer = s.schedule_cancellable_in(desim::SimDuration::from_ns(delay), move |w, s| {
+        if !w.node(node).up {
+            return;
+        }
+        let max = w.calib.chan_max_retries;
+        enum Next {
+            Stale,
+            GiveUp,
+            Resend(Vec<Frame>),
+        }
+        let next = {
+            let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
+                return; // channel gone (crash wiped it)
+            };
+            if end.win.epoch != epoch || end.win.attempts != attempts || end.win.inflight.is_empty()
+            {
+                Next::Stale // acked, or a newer timer chain owns the window
+            } else if end.win.attempts >= max {
+                Next::GiveUp
+            } else {
+                end.win.attempts += 1;
+                Next::Resend(
+                    end.win
+                        .inflight
+                        .values()
+                        .filter(|fr| !fr.sacked)
+                        .map(|fr| fr.frame.clone())
+                        .collect(),
+                )
+            }
+        };
+        match next {
+            Next::Stale => {}
+            Next::GiveUp => {
+                let end = w
+                    .node_mut(node)
+                    .chans
+                    .get_mut(&chan)
+                    .expect("present just above");
+                clear_tx(end);
+                end.peer_down = true;
+                end.rx_waiters.wake_all(s, Wakeup::START);
+                end.tx_wait.wake_all(s, Wakeup::START);
+                w.faults.stats.peer_down_events += 1;
+            }
+            Next::Resend(frames) => {
+                w.faults.stats.retransmits += frames.len() as u64;
+                for f in frames {
+                    kernel::send_frame(w, s, f);
+                }
+                arm_win_timer(w, s, node, chan, epoch, attempts + 1);
+            }
+        }
+    });
+    // Hand the disarm handle to the window it guards.
+    if let Some(end) = w.node_mut(node).chans.get_mut(&chan) {
+        if end.win.epoch == epoch && !end.win.inflight.is_empty() {
+            end.win.timer = Some(timer);
+        }
+    }
+}
+
+/// Reader-side credit release (windowed): if the last advertised grant was
+/// zero, a freed message must push a fresh credit update or the writer stays
+/// stalled forever.
+fn release_win_credit(w: &mut World, s: &mut VSched, node: NodeAddr, chan: u32) {
+    let send = match w.node(node).chans.get(&chan) {
+        Some(end) => end.winrx.starved && end.win_avail() > 0,
+        None => false,
+    };
+    if send {
+        send_wack(w, s, node, chan);
+    }
+}
+
 /// After a reader frees a side buffer, accept one deferred fragment (and
 /// release its withheld ack).
 fn release_deferred(w: &mut World, s: &mut VSched, node: NodeAddr, chan: u32) {
     let Some(end) = w.node(node).chans.get(&chan) else {
         return;
     };
+    if end.cfg.window > 1 {
+        return release_win_credit(w, s, node, chan);
+    }
     if end.deferred.is_empty() || end.sidebuf_used() >= w.calib.chan_side_buffers {
         return;
     }
@@ -873,7 +1481,7 @@ mod tests {
         asm.push(Payload::copy_from(&[1, 2]));
         asm.push(Payload::copy_from(&[3]));
         assert_eq!(asm.frags(), 2);
-        let p = asm.take();
+        let p = asm.take(&PayloadPool::default());
         assert_eq!(p.bytes().unwrap().as_ref(), &[1, 2, 3]);
         assert_eq!(asm.frags(), 0);
     }
@@ -883,7 +1491,7 @@ mod tests {
         let mut asm = PayloadAsm::default();
         asm.push(Payload::Synthetic(1024));
         asm.push(Payload::Synthetic(476));
-        assert_eq!(asm.take().len(), 1500);
+        assert_eq!(asm.take(&PayloadPool::default()).len(), 1500);
     }
 
     #[test]

@@ -393,6 +393,9 @@ pub fn boot_loader(
     for _ in 0..n_chunks(text_bytes) {
         let chunk = parent.read(ctx).expect("download stream closed early");
         for k in &kids {
+            // `Payload` is a refcounted slice: every child write shares the
+            // received chunk's bytes, so a tree fan-out never re-copies the
+            // program text at the relay node.
             k.write(ctx, chunk.clone())
                 .expect("child loader closed early");
         }
@@ -599,7 +602,7 @@ mod tests {
                 boot_loader(&ctx, t, &format!("dl-{}", t.0), kids, text);
             });
         }
-        let tgt = targets.clone();
+        let tgt = targets;
         v.spawn("host:dl", move |ctx| {
             download_tree(&ctx, 0, &tgt, text);
         });

@@ -165,6 +165,7 @@ fn dispatch(w: &mut World, s: &mut VSched, a: NodeAddr, f: Frame) {
         proto::KIND_MCAST_ACK => crate::multicast::on_ack(w, s, a, f),
         proto::KIND_OPEN_QUEUED => objmgr::on_open_queued(w, s, a, f),
         proto::KIND_CHAN_BUSY => channel::on_busy(w, s, a, f),
+        proto::KIND_CHAN_WACK => channel::on_wack(w, s, a, f),
         proto::KIND_CTL_ACK => crate::fault::on_ctl_ack(w, s, a, f),
         k if k >= proto::KIND_UDCO_BASE => udco::on_frame(w, s, a, f),
         k => panic!("node {a}: frame with unknown protocol kind {k}"),

@@ -222,6 +222,7 @@ pub fn on_data(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
         let seq = f.seq;
         let last = f.kind == KIND_MCAST_DATA_LAST;
         let len = u64::from(f.payload.len());
+        let pool = w.payload_pool.clone();
         {
             let Some(e) = w.node_mut(node).mcast.get_mut(&gid) else {
                 return; // the node crashed while the copy charge was in flight
@@ -230,7 +231,7 @@ pub fn on_data(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
             let asm = e.asm.entry(src.0).or_default();
             asm.push(f.payload);
             if last {
-                let msg = asm.take();
+                let msg = asm.take(&pool);
                 e.msgs_rx += 1;
                 e.rx.push_back((src, msg));
                 e.rx_waiters.wake_all(s, Wakeup::START);

@@ -50,7 +50,34 @@ pub struct MgrState {
     /// request (the requester's timeout fired before our `OPEN_QUEUED`
     /// landed) must not queue twice. Dies with the node on a crash, which is
     /// what lets retransmissions after a restart be served from scratch.
+    ///
+    /// Bounded: entries are evicted FIFO once [`SEEN_CAP`] is reached (see
+    /// `seen_order`). Tokens are unique per request and retransmissions
+    /// arrive within a few timeouts of the original, so the window only
+    /// needs to cover requests still in flight — a manager that served
+    /// millions of opens must not hold memory for all of them.
     pub seen: HashSet<(u16, u64)>,
+    /// FIFO eviction order for `seen`.
+    pub seen_order: VecDeque<(u16, u64)>,
+}
+
+/// Bound on the per-manager duplicate-suppression window (`MgrState::seen`).
+/// Large enough that every request with a live retransmit chain stays
+/// remembered, small enough that dedup state cannot grow with workload age.
+pub const SEEN_CAP: usize = 4096;
+
+/// Record `key` in the manager's duplicate-suppression window, evicting the
+/// oldest entry beyond [`SEEN_CAP`]. Returns `true` when the key is new.
+pub fn note_seen(st: &mut MgrState, key: (u16, u64)) -> bool {
+    if !st.seen.insert(key) {
+        return false;
+    }
+    st.seen_order.push_back(key);
+    while st.seen_order.len() > SEEN_CAP {
+        let old = st.seen_order.pop_front().expect("nonempty");
+        st.seen.remove(&old);
+    }
+    true
 }
 
 /// FNV-1a hash of a channel name; stable across runs and platforms.
@@ -84,7 +111,7 @@ pub fn on_open_req(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
         f.seq,
         Payload::Synthetic(0),
     );
-    let dup = !w.node_mut(mgr).mgr.seen.insert((f.src.0, f.seq));
+    let dup = !note_seen(&mut w.node_mut(mgr).mgr, (f.src.0, f.seq));
     kernel::send_frame(w, s, queued);
     if dup {
         return; // already queued (or served); don't double-enqueue
@@ -452,6 +479,24 @@ mod tests {
     fn name_hash_is_stable() {
         assert_eq!(name_hash("pipe"), name_hash("pipe"));
         assert_ne!(name_hash("pipe"), name_hash("pipf"));
+    }
+
+    #[test]
+    fn seen_window_dedups_and_stays_bounded() {
+        let mut st = MgrState::default();
+        assert!(note_seen(&mut st, (1, 42)));
+        assert!(!note_seen(&mut st, (1, 42)), "retransmission must dedup");
+        // Push far past the cap: memory stays bounded...
+        for t in 0..(SEEN_CAP as u64 * 2) {
+            note_seen(&mut st, (2, t));
+        }
+        assert_eq!(st.seen.len(), SEEN_CAP);
+        assert_eq!(st.seen_order.len(), SEEN_CAP);
+        // ...recent entries still dedup, and the oldest were evicted (so a
+        // very late retransmission would be re-served, which is safe — the
+        // requester stopped retransmitting long ago).
+        assert!(!note_seen(&mut st, (2, SEEN_CAP as u64 * 2 - 1)));
+        assert!(note_seen(&mut st, (1, 42)), "evicted entries are forgotten");
     }
 
     #[test]

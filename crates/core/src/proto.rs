@@ -160,6 +160,34 @@ pub const KIND_CHAN_BUSY: u16 = 17;
 /// connect notifications, closes). `seq` echoes the control frame's key.
 pub const KIND_CTL_ACK: u16 = 18;
 
+/// Windowed-mode channel acknowledgement (`chan_window > 1` only): the
+/// `seq`'s fragment field carries the cumulative ack (highest fragment
+/// received in order), and the payload carries a selective-ack bitmap plus a
+/// credit grant. Stop-and-wait (`chan_window = 1`) never emits or consumes
+/// this kind, which is what keeps W=1 traces bit-identical to the pre-window
+/// protocol.
+pub const KIND_CHAN_WACK: u16 = 19;
+
+/// Encode a windowed ack payload: selective-ack bitmap (bit `i` set means
+/// fragment `cum_ack + 1 + i` is already held out of order) and the credit
+/// grant (receiver buffer slots available beyond `cum_ack`, in fragments).
+pub fn pack_wack(sack: u32, credit: u32) -> Payload {
+    let mut b = BytesMut::with_capacity(8);
+    b.put_u32(sack);
+    b.put_u32(credit);
+    Payload::Data(b.freeze())
+}
+
+/// Decode a windowed ack payload into `(sack bitmap, credit)`.
+pub fn parse_wack(p: &Payload) -> (u32, u32) {
+    let b = p.bytes().expect("windowed ack carries data");
+    assert!(b.len() >= 8, "short windowed ack");
+    (
+        u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +209,11 @@ mod tests {
     fn open_rep_round_trip() {
         let p = pack_open_rep(7, NodeAddr(300), "pipe");
         assert_eq!(parse_open_rep(&p), (7, NodeAddr(300), "pipe".to_string()));
+    }
+
+    #[test]
+    fn wack_round_trip() {
+        let p = pack_wack(0b1010, 17);
+        assert_eq!(parse_wack(&p), (0b1010, 17));
     }
 }

@@ -608,12 +608,19 @@ pub fn send_gather(
         + c.udco_poll_ns * parts.len() as u64 // descriptor per part
         + c.udco_copy_ns_per_byte * u64::from(total);
     api::compute(ctx, node, CpuCat::User, SimDuration::from_ns(cost));
-    // Assemble the gathered payload.
-    let payload = if parts.iter().all(|p| p.bytes().is_some()) {
-        let mut b = bytes::BytesMut::with_capacity(total as usize);
+    // Assemble the gathered payload. A single data part passes through
+    // zero-copy; a real gather goes through the pooled buffer (the physical
+    // copy is already charged above and metered by the buffer pool path).
+    let payload = if parts.len() == 1 && parts[0].bytes().is_some() {
+        parts[0].clone()
+    } else if parts.iter().all(|p| p.bytes().is_some()) {
+        let mut b = ctx
+            .with(|w, _| w.payload_pool.clone())
+            .acquire(total as usize);
         for p in parts {
             b.extend_from_slice(p.bytes().expect("checked"));
         }
+        hpcnet::copymeter::add(u64::from(total));
         Payload::Data(b.freeze())
     } else {
         Payload::Synthetic(total)

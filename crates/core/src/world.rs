@@ -150,6 +150,10 @@ pub struct World {
     pub next_chan: u32,
     /// Next open token / generic correlation id.
     pub next_token: u64,
+    /// Shared payload-buffer pool: multi-fragment reassembly and UDCO
+    /// gathers recycle their scatter/gather buffers through it instead of
+    /// allocating fresh ones per message.
+    pub payload_pool: crate::alloc::PayloadPool,
 }
 
 impl World {
@@ -328,6 +332,7 @@ impl VorxBuilder {
             rng: SmallRng::seed_from_u64(self.seed),
             next_chan: 1,
             next_token: 0,
+            payload_pool: crate::alloc::PayloadPool::default(),
         };
         let vs = VorxSim {
             sim: Simulation::new(world),

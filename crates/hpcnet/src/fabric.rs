@@ -669,8 +669,18 @@ impl Fabric {
             } else {
                 Dest::Multicast(targets.clone())
             };
-            let mut copy = head.clone();
-            copy.dst = sub_dst;
+            // Replicate the branch by hand instead of `head.clone()`: the
+            // payload is a refcounted slice (every fan-out branch shares the
+            // same bytes), and cloning `head.dst` only to overwrite it would
+            // copy the target list a second time.
+            let copy = Frame {
+                src: head.src,
+                dst: sub_dst,
+                kind: head.kind,
+                seq: head.seq,
+                payload: head.payload.clone(),
+                corrupted: head.corrupted,
+            };
             // Remove the transmitted targets from the head frame; pop the
             // buffer slot when every branch has been forwarded.
             let remaining: Vec<NodeAddr> = head

@@ -8,6 +8,37 @@ use bytes::Bytes;
 use serde::Serialize;
 use std::fmt;
 
+/// Accounting for real payload-byte copies made by the simulator's own data
+/// structures (as opposed to *simulated* copies, which are charged as CPU
+/// time but move no memory). `Payload` values are `Bytes`-backed: clones,
+/// slices, fabric store-and-forward hops, and multicast replication all
+/// share one refcounted allocation and never touch this meter. The only
+/// legitimate copy points are payload *creation* ([`Payload::copy_from`])
+/// and multi-fragment reassembly gather; tests pin the forwarding hot path
+/// to zero by watching this counter.
+pub mod copymeter {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static PAYLOAD_BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+
+    /// Record `n` payload bytes physically copied.
+    pub fn add(n: u64) {
+        PAYLOAD_BYTES_COPIED.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total payload bytes physically copied since process start (or the
+    /// last [`reset`]). Process-global: assert on *deltas* in tests that may
+    /// share the process with others.
+    pub fn payload_bytes_copied() -> u64 {
+        PAYLOAD_BYTES_COPIED.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter (single-test binaries only).
+    pub fn reset() {
+        PAYLOAD_BYTES_COPIED.store(0, Ordering::Relaxed);
+    }
+}
+
 /// The hardware envelope carried with every frame (routing, length, type).
 pub const HEADER_BYTES: u32 = 36;
 /// Maximum payload bytes per frame.
@@ -53,9 +84,28 @@ pub enum Payload {
 }
 
 impl Payload {
-    /// Construct a data payload from a byte slice.
+    /// Construct a data payload from a byte slice. This is a payload-byte
+    /// copy (the one unavoidable copy, at creation); everything downstream —
+    /// fragmentation, forwarding, fan-out, reassembly of single-fragment
+    /// messages — shares the allocation made here.
     pub fn copy_from(data: &[u8]) -> Self {
+        copymeter::add(data.len() as u64);
         Payload::Data(Bytes::copy_from_slice(data))
+    }
+
+    /// A zero-copy sub-payload sharing this payload's backing storage.
+    /// Synthetic payloads yield a synthetic slice of the same length.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the payload length.
+    pub fn slice(&self, start: usize, end: usize) -> Payload {
+        match self {
+            Payload::Data(b) => Payload::Data(b.slice(start..end)),
+            Payload::Synthetic(n) => {
+                assert!(end <= *n as usize && start <= end, "slice out of bounds");
+                Payload::Synthetic((end - start) as u32)
+            }
+        }
     }
 
     /// Payload length in bytes.

@@ -36,7 +36,9 @@ pub use config::{NetConfig, PORTS_PER_CLUSTER};
 pub use fabric::{
     Fabric, FaultHook, LinkId, NetEvent, NoFaults, Notify, Output, SendError, Stats, Transit,
 };
-pub use frame::{Dest, Frame, FrameError, NodeAddr, Payload, HEADER_BYTES, MAX_FRAME, MAX_PAYLOAD};
+pub use frame::{
+    copymeter, Dest, Frame, FrameError, NodeAddr, Payload, HEADER_BYTES, MAX_FRAME, MAX_PAYLOAD,
+};
 pub use topology::{
     Attachment, ClusterId, PortRef, RoutingMode, Topology, TopologyBuilder, TopologyError,
 };

@@ -40,7 +40,7 @@ fn main() {
             }
         });
     }
-    let ts_m = ts.clone();
+    let ts_m = ts;
     system.spawn("n6:master", move |ctx| {
         ts_m.join(&ctx, NodeAddr(6));
         for x in 0..JOBS {

@@ -156,7 +156,7 @@ proptest! {
         let x: Vec<Complex> = signal.iter().map(|v| Complex::new(*v, 0.0)).collect();
         let mut rotated = x.clone();
         rotated.rotate_left(shift);
-        let mut fx = x.clone();
+        let mut fx = x;
         fft1d(&mut fx);
         let mut fr = rotated;
         fft1d(&mut fr);

@@ -1,29 +1,68 @@
 //! Offline stand-in for the `bytes` crate (see `vendor/README.md`).
 //!
 //! Provides [`Bytes`] (an immutable, cheaply cloneable, sliceable byte
-//! buffer backed by `Arc<[u8]>`), [`BytesMut`] (a growable buffer that
-//! freezes into `Bytes`), and the subset of the [`BufMut`] trait the
-//! workspace uses. Integer `put_*` methods write big-endian, matching the
-//! real crate.
+//! buffer backed by a refcounted [`ByteStore`]), [`BytesMut`] (a growable
+//! buffer that freezes into `Bytes`), and the subset of the [`BufMut`] trait
+//! the workspace uses. Integer `put_*` methods write big-endian, matching
+//! the real crate.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
+/// Backing storage for a [`Bytes`] buffer. Beyond plain vectors, callers can
+/// provide stores with custom ownership — e.g. pooled buffers whose `Drop`
+/// returns the allocation to a free list (see `Bytes::from_shared`).
+pub trait ByteStore: Send + Sync {
+    /// The stored bytes.
+    fn as_slice(&self) -> &[u8];
+}
+
+impl ByteStore for Vec<u8> {
+    fn as_slice(&self) -> &[u8] {
+        self
+    }
+}
+
+impl ByteStore for Box<[u8]> {
+    fn as_slice(&self) -> &[u8] {
+        self
+    }
+}
+
 /// An immutable, reference-counted byte buffer; clones and slices share the
 /// same backing allocation.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<dyn ByteStore>,
     off: usize,
     len: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::from(Vec::new())
+    }
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
         Bytes::default()
+    }
+
+    /// Wrap an already-shared store without copying. The buffer covers the
+    /// store's full `as_slice`; clones and sub-slices bump the refcount. The
+    /// store's `Drop` runs when the last clone dies, which is what lets
+    /// pooled stores recycle their allocation.
+    pub fn from_shared(store: Arc<dyn ByteStore>) -> Self {
+        let len = store.as_slice().len();
+        Bytes {
+            data: store,
+            off: 0,
+            len,
+        }
     }
 
     /// Copy `data` into a new buffer.
@@ -74,7 +113,7 @@ impl Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.off..self.off + self.len]
+        &self.data.as_slice()[self.off..self.off + self.len]
     }
 }
 
@@ -88,7 +127,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             off: 0,
             len,
         }
@@ -300,6 +339,30 @@ mod tests {
         assert_eq!(&*m, &[0xAB, 1, 2, 3, 4, 5, 6]);
         let f = m.freeze();
         assert_eq!(f.len(), 7);
+    }
+
+    #[test]
+    fn from_shared_runs_store_drop_when_last_clone_dies() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Tracked(Vec<u8>);
+        impl ByteStore for Tracked {
+            fn as_slice(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let b = Bytes::from_shared(Arc::new(Tracked(vec![9, 8, 7])));
+        let s = b.slice(1..3);
+        assert_eq!(&*s, &[8, 7]);
+        drop(b);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0, "slice still alive");
+        drop(s);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -116,6 +116,31 @@ pub mod strategy {
     }
 }
 
+pub mod sample {
+    //! Strategies that pick from an explicit set of values.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed list (see [`select`]).
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    /// A strategy drawing one of `choices`, uniformly.
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select from an empty list");
+        Select { choices }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.choices[(rng.next_u64() % self.choices.len() as u64) as usize].clone()
+        }
+    }
+}
+
 pub mod collection {
     //! Collection strategies.
 
@@ -234,6 +259,10 @@ pub mod prelude {
     pub use crate::strategy::{any, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// The crate itself under the name `prop` (for `prop::sample::select`
+    /// etc.), as real proptest's prelude provides.
+    pub use crate as prop;
 }
 
 /// Declare property tests. Each `fn name(arg in strategy, ...) { body }`
