@@ -22,4 +22,7 @@ cargo run --release -p vorx-bench --bin fault_campaign -- --smoke
 echo "==> datapath smoke (windowed >= 2x stop-and-wait, zero payload copies)"
 cargo run --release -p vorx-bench --bin datapath_report -- --smoke
 
+echo "==> partition smoke (full partition + heal under watchdog, typed errors, no hang)"
+cargo run --release -p vorx-bench --bin partition_campaign -- --smoke
+
 echo "CI OK"

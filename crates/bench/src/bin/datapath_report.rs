@@ -53,6 +53,8 @@ struct Cell {
     pool_misses: u64,
     pool_recycled: u64,
     leaked: usize,
+    /// Per-link injection counters, links with any activity only.
+    link_faults: Vec<(u32, desim::LinkStats)>,
 }
 
 /// Stream `MSGS` messages of `msg_bytes` from node 0 to node 1 with the
@@ -105,6 +107,12 @@ fn run_cell(window: u32, msg_bytes: usize, loss: f64, seed: u64) -> Cell {
     let completed = order == (0..MSGS).collect::<Vec<_>>() && leaked == 0 && elapsed_ns > 0;
     let w = v.world();
     let (pool_hits, pool_misses, pool_recycled) = w.payload_pool.stats();
+    let link_faults: Vec<(u32, desim::LinkStats)> = w
+        .link_fault_stats()
+        .iter()
+        .filter(|(_, s)| **s != desim::LinkStats::default())
+        .map(|(l, s)| (*l, *s))
+        .collect();
     let secs = elapsed_ns as f64 / 1e9;
     Cell {
         window,
@@ -126,6 +134,7 @@ fn run_cell(window: u32, msg_bytes: usize, loss: f64, seed: u64) -> Cell {
         pool_misses,
         pool_recycled,
         leaked,
+        link_faults,
     }
 }
 
@@ -262,6 +271,25 @@ fn main() {
                 &rows,
             )
         );
+    }
+
+    // Per-link loss accounting for the heaviest lossy cells: what the fault
+    // plane actually injected on each link, from `World::link_fault_stats`.
+    println!("per-link fault accounting (5% loss, 256 B cells):");
+    for c in cells
+        .iter()
+        .filter(|c| c.loss == 0.05 && c.msg_bytes == 256)
+    {
+        println!(
+            "  window {:>2}: {} retransmits, {} dups suppressed",
+            c.window, c.retransmits, c.dups_suppressed
+        );
+        for (l, s) in &c.link_faults {
+            println!(
+                "    link {l}: dropped={} corrupted={} delayed={}",
+                s.dropped, s.corrupted, s.delayed
+            );
+        }
     }
 
     let incomplete = cells.iter().filter(|c| !c.completed).count();

@@ -86,6 +86,8 @@ struct CellResult {
     restarts: u64,
     recovery_ns: Option<u64>,
     leaked_waiters: usize,
+    /// Per-link injection counters, links with any activity only.
+    link_faults: Vec<(u32, desim::LinkStats)>,
 }
 
 /// Run one cell: fixed seed, `loss` on every link, optionally one
@@ -197,7 +199,16 @@ fn run_cell(loss: f64, crash: bool, seed: u64) -> CellResult {
     }
     let elapsed_ns = report.now.as_ns();
     let leaked_waiters = report.parked.len();
-    let stats = v.world().faults.stats.clone();
+    let (stats, link_faults) = {
+        let w = v.world();
+        let link_faults: Vec<(u32, desim::LinkStats)> = w
+            .link_fault_stats()
+            .iter()
+            .filter(|(_, s)| **s != desim::LinkStats::default())
+            .map(|(l, s)| (*l, *s))
+            .collect();
+        (w.faults.stats.clone(), link_faults)
+    };
 
     let g = progress.lock();
     let in_order = g
@@ -229,6 +240,17 @@ fn run_cell(loss: f64, crash: bool, seed: u64) -> CellResult {
         restarts: stats.restarts,
         recovery_ns: g.recovery_ns,
         leaked_waiters,
+        link_faults,
+    }
+}
+
+/// Render one cell's per-link injection counters as indented summary lines.
+fn print_link_faults(cell: &CellResult) {
+    for (l, s) in &cell.link_faults {
+        println!(
+            "  link {l}: dropped={} corrupted={} delayed={} down_drops={} downs={}",
+            s.dropped, s.corrupted, s.delayed, s.down_drops, s.downs
+        );
     }
 }
 
@@ -316,6 +338,7 @@ fn main() {
             c.dups_suppressed,
             c.recovery_ns.unwrap_or(0) as f64 / 1e6,
         );
+        print_link_faults(&c);
         return;
     }
 
@@ -360,6 +383,7 @@ fn main() {
                 .map(|n| format!("{:.1}ms", n as f64 / 1e6))
                 .unwrap_or_else(|| "-".into()),
         );
+        print_link_faults(c);
     }
 
     let incomplete = cells.iter().filter(|c| !c.completed).count();

@@ -110,6 +110,13 @@ pub struct Calibration {
     /// failure-detection sweep). `u64::MAX` disables detection, leaving
     /// retry exhaustion as the only signal.
     pub crash_detect_ns: u64,
+    /// Delay between a link failure and the membership sweep declaring
+    /// mutually unreachable (but alive) node pairs *partitioned*. Pairs are
+    /// snapshotted at link-down time and rechecked when the sweep fires, so
+    /// a heal inside the window suppresses the declaration. `u64::MAX`
+    /// disables the sweep, leaving heartbeat-probe exhaustion as the only
+    /// partition signal.
+    pub partition_detect_ns: u64,
 
     // ----- windowed channel data path (Tables 1/2 ordering) -----
     //
@@ -172,6 +179,7 @@ impl Calibration {
             open_timeout_ns: 50_000_000,
             open_max_retries: 8,
             crash_detect_ns: 200_000_000,
+            partition_detect_ns: 250_000_000,
             chan_window: 1,
             chan_rx_frag_buffers: 64,
             chan_reorder_frags: 32,
@@ -219,6 +227,7 @@ impl Calibration {
             open_timeout_ns: 50_000_000,
             open_max_retries: 8,
             crash_detect_ns: 200_000_000,
+            partition_detect_ns: 250_000_000,
             chan_window: 1,
             chan_rx_frag_buffers: 64,
             chan_reorder_frags: 32,

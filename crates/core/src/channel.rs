@@ -94,6 +94,128 @@ pub(crate) fn clear_tx(end: &mut ChanEnd) {
     end.win.inflight.clear();
 }
 
+/// Pause a stalled end's retransmit machinery without wiping it: disarm the
+/// timers but keep the outstanding fragment and the in-flight window, so
+/// the heal resume can retransmit them over the restored route. The
+/// partition-tolerant counterpart of [`clear_tx`].
+pub(crate) fn pause_tx(end: &mut ChanEnd) {
+    if let Some(tp) = end.tx_pending.as_mut() {
+        if let Some(t) = tp.timer.take() {
+            t.cancel();
+        }
+    }
+    if let Some(t) = end.win.timer.take() {
+        t.cancel();
+    }
+}
+
+/// Restart the retransmit machinery of every end on `node` peered with
+/// `peer` (heartbeat-probe ack or partition heal): clear the partition
+/// mark, bump the timer epoch, zero the retry budget, and retransmit the
+/// outstanding state immediately over whatever route the fabric has now.
+pub(crate) fn resume_peer(w: &mut World, s: &mut VSched, node: NodeAddr, peer: NodeAddr) {
+    let mut ids: Vec<u32> = w
+        .node(node)
+        .chans
+        .iter()
+        .filter(|(_, e)| e.peer == peer)
+        .map(|(id, _)| *id)
+        .collect();
+    ids.sort_unstable();
+    for id in ids {
+        resume_tx(w, s, node, id);
+    }
+}
+
+fn resume_tx(w: &mut World, s: &mut VSched, node: NodeAddr, chan: u32) {
+    enum Re {
+        Idle,
+        Data(Frame, u32, u32),
+        Win(Vec<Frame>, u32),
+    }
+    let re = {
+        let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
+            return;
+        };
+        end.partitioned = false;
+        if end.peer_down {
+            return; // the peer crashed while partitioned; nothing to resume
+        }
+        if let Some(t) = end.win.timer.take() {
+            t.cancel();
+        }
+        if let Some(tp) = end.tx_pending.as_mut() {
+            if let Some(t) = tp.timer.take() {
+                t.cancel();
+            }
+            end.tx_epoch += 1;
+            let e = end.tx_epoch;
+            let tp = end.tx_pending.as_mut().expect("checked just above");
+            tp.epoch = e;
+            tp.attempts = 0;
+            Re::Data(tp.frame.clone(), tp.frag, e)
+        } else if !end.win.inflight.is_empty() {
+            end.win.epoch += 1;
+            end.win.attempts = 0;
+            Re::Win(
+                end.win
+                    .inflight
+                    .values()
+                    .filter(|fr| !fr.sacked)
+                    .map(|fr| fr.frame.clone())
+                    .collect(),
+                end.win.epoch,
+            )
+        } else {
+            Re::Idle
+        }
+    };
+    match re {
+        Re::Idle => {}
+        Re::Data(f, frag, epoch) => {
+            w.faults.stats.retransmits += 1;
+            kernel::send_frame(w, s, f);
+            arm_data_timer(w, s, node, chan, frag, epoch, 0);
+        }
+        Re::Win(frames, epoch) => {
+            w.faults.stats.retransmits += frames.len() as u64;
+            for f in frames {
+                kernel::send_frame(w, s, f);
+            }
+            arm_win_timer(w, s, node, chan, epoch, 0);
+        }
+    }
+    // Wake blocked readers and writers either way: the end is usable again.
+    if let Some(end) = w.node_mut(node).chans.get_mut(&chan) {
+        end.rx_waiters.wake_all(s, Wakeup::START);
+        end.tx_wait.wake_all(s, Wakeup::START);
+    }
+}
+
+/// Declare the peer of every end on `node` peered with `peer` down (a
+/// heartbeat probe outlived the peer's crash): PR 2 semantics — wipe the
+/// transmit state and wake blocked callers with `PeerDown`.
+pub(crate) fn mark_peer_down(w: &mut World, s: &mut VSched, node: NodeAddr, peer: NodeAddr) {
+    let mut ids: Vec<u32> = w
+        .node(node)
+        .chans
+        .iter()
+        .filter(|(_, e)| e.peer == peer && !e.peer_down)
+        .map(|(id, _)| *id)
+        .collect();
+    ids.sort_unstable();
+    for id in ids {
+        let Some(end) = w.node_mut(node).chans.get_mut(&id) else {
+            continue;
+        };
+        end.peer_down = true;
+        clear_tx(end);
+        end.rx_waiters.wake_all(s, Wakeup::START);
+        end.tx_wait.wake_all(s, Wakeup::START);
+        w.faults.stats.peer_down_events += 1;
+    }
+}
+
 /// Per-end protocol parameters, frozen from the [`Calibration`] when the end
 /// is created (so every frame of a channel's life obeys one mode).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -266,6 +388,12 @@ pub struct ChanEnd {
     /// The peer's node is known to be down (retry exhaustion or the
     /// failure-detection sweep).
     pub peer_down: bool,
+    /// The peer is alive but unreachable (network partition). Unlike
+    /// `peer_down`, nothing is wiped: timers are paused, the transmit
+    /// window is preserved, and the heal sweep clears this flag and resumes
+    /// the transfer. Blocked callers observe
+    /// [`crate::VorxError::Partitioned`].
+    pub partitioned: bool,
     /// Fragments sent from this end (for `cdb`).
     pub msgs_tx: u64,
     /// Messages delivered to readers at this end (for `cdb`).
@@ -309,6 +437,7 @@ impl ChanEnd {
             rx_next_frag: 1,
             accepting: None,
             peer_down: false,
+            partitioned: false,
             msgs_tx: 0,
             msgs_rx: 0,
             reader_blocked: false,
@@ -454,6 +583,9 @@ impl ChannelHandle {
                 if end.peer_down {
                     return Err(ChanError::PeerDown);
                 }
+                if end.partitioned {
+                    return Err(ChanError::Partitioned);
+                }
                 end.msgs_tx += 1;
                 let frag_no = end.msgs_tx as u32;
                 end.writer_blocked = true;
@@ -495,6 +627,17 @@ impl ChannelHandle {
                             end.writer_blocked = false;
                             clear_tx(end);
                             Some(Err(ChanError::PeerDown))
+                        } else if end.partitioned {
+                            // The write failed; its fragment must not linger
+                            // to be retransmitted by the heal resume, and its
+                            // fragment number is handed back so an app-level
+                            // retry reuses it — the receiver still expects
+                            // it (or, if the data crossed before the cut,
+                            // acks the retry as a duplicate).
+                            end.writer_blocked = false;
+                            clear_tx(end);
+                            end.msgs_tx -= 1;
+                            Some(Err(ChanError::Partitioned))
                         } else {
                             end.tx_wait.register(pid);
                             None
@@ -545,6 +688,11 @@ impl ChannelHandle {
                     Some(ChanError::PeerClosed)
                 } else if end.peer_down {
                     Some(ChanError::PeerDown)
+                } else if end.partitioned {
+                    // Fragments already accepted into the window stay there
+                    // (the heal resume retransmits them); this fragment was
+                    // never accepted, so the write fails cleanly.
+                    Some(ChanError::Partitioned)
                 } else {
                     None
                 };
@@ -636,13 +784,19 @@ impl ChannelHandle {
                     }
                     Some((Ok(p), blocked))
                 }
-                None if end.closed_local || end.closed_remote || end.peer_down => {
+                None if end.closed_local
+                    || end.closed_remote
+                    || end.peer_down
+                    || end.partitioned =>
+                {
                     let err = if end.closed_local {
                         ChanError::LocalClosed
                     } else if end.closed_remote {
                         ChanError::PeerClosed
-                    } else {
+                    } else if end.peer_down {
                         ChanError::PeerDown
+                    } else {
+                        ChanError::Partitioned
                     };
                     if blocked {
                         end.reader_blocked = false;
@@ -875,7 +1029,7 @@ fn arm_data_timer(
         let max = w.calib.chan_max_retries;
         enum Next {
             Stale,
-            GiveUp,
+            GiveUp(NodeAddr),
             Resend(Frame),
         }
         let next = {
@@ -885,7 +1039,7 @@ fn arm_data_timer(
             match end.tx_pending.as_mut() {
                 Some(tp) if tp.frag == frag && tp.epoch == epoch && tp.attempts == attempts => {
                     if tp.attempts >= max {
-                        Next::GiveUp
+                        Next::GiveUp(end.peer)
                     } else {
                         tp.attempts += 1;
                         Next::Resend(tp.frame.clone())
@@ -896,17 +1050,26 @@ fn arm_data_timer(
         };
         match next {
             Next::Stale => {}
-            Next::GiveUp => {
-                let end = w
-                    .node_mut(node)
-                    .chans
-                    .get_mut(&chan)
-                    .expect("present just above");
-                end.tx_pending = None;
-                end.peer_down = true;
-                end.rx_waiters.wake_all(s, Wakeup::START);
-                end.tx_wait.wake_all(s, Wakeup::START);
-                w.faults.stats.peer_down_events += 1;
+            Next::GiveUp(peer) => {
+                if w.net.topology().generation() > 0 && w.node(peer).up {
+                    // The partition plane is active and the peer's node is
+                    // alive: the silence may be a routing outage rather than
+                    // a crash. Park the fragment (the exhausted timer is
+                    // already dead) and let a heartbeat probe decide between
+                    // resume and peer-down.
+                    crate::membership::suspect(w, s, node, peer);
+                } else {
+                    let end = w
+                        .node_mut(node)
+                        .chans
+                        .get_mut(&chan)
+                        .expect("present just above");
+                    end.tx_pending = None;
+                    end.peer_down = true;
+                    end.rx_waiters.wake_all(s, Wakeup::START);
+                    end.tx_wait.wake_all(s, Wakeup::START);
+                    w.faults.stats.peer_down_events += 1;
+                }
             }
             Next::Resend(f) => {
                 w.faults.stats.retransmits += 1;
@@ -1362,7 +1525,7 @@ fn arm_win_timer(
         let max = w.calib.chan_max_retries;
         enum Next {
             Stale,
-            GiveUp,
+            GiveUp(NodeAddr),
             Resend(Vec<Frame>),
         }
         let next = {
@@ -1373,7 +1536,7 @@ fn arm_win_timer(
             {
                 Next::Stale // acked, or a newer timer chain owns the window
             } else if end.win.attempts >= max {
-                Next::GiveUp
+                Next::GiveUp(end.peer)
             } else {
                 end.win.attempts += 1;
                 Next::Resend(
@@ -1388,17 +1551,24 @@ fn arm_win_timer(
         };
         match next {
             Next::Stale => {}
-            Next::GiveUp => {
-                let end = w
-                    .node_mut(node)
-                    .chans
-                    .get_mut(&chan)
-                    .expect("present just above");
-                clear_tx(end);
-                end.peer_down = true;
-                end.rx_waiters.wake_all(s, Wakeup::START);
-                end.tx_wait.wake_all(s, Wakeup::START);
-                w.faults.stats.peer_down_events += 1;
+            Next::GiveUp(peer) => {
+                if w.net.topology().generation() > 0 && w.node(peer).up {
+                    // Alive peer + active partition plane: keep the in-flight
+                    // window parked for a heal retransmit and hand the
+                    // verdict to a heartbeat probe (see arm_data_timer).
+                    crate::membership::suspect(w, s, node, peer);
+                } else {
+                    let end = w
+                        .node_mut(node)
+                        .chans
+                        .get_mut(&chan)
+                        .expect("present just above");
+                    clear_tx(end);
+                    end.peer_down = true;
+                    end.rx_waiters.wake_all(s, Wakeup::START);
+                    end.tx_wait.wake_all(s, Wakeup::START);
+                    w.faults.stats.peer_down_events += 1;
+                }
             }
             Next::Resend(frames) => {
                 w.faults.stats.retransmits += frames.len() as u64;

@@ -112,6 +112,14 @@ pub enum TraceEvent {
         /// New liveness state.
         up: bool,
     },
+    /// A directed fabric link went down (`up == false`) or came back
+    /// (`up == true`) under the fault plane.
+    LinkFault {
+        /// Directed link id.
+        link: u32,
+        /// New link state.
+        up: bool,
+    },
 }
 
 impl Serialize for TraceEvent {
@@ -153,6 +161,13 @@ impl Serialize for TraceEvent {
             TraceEvent::Fault { node, up } => {
                 let mut sv = serializer.serialize_struct_variant("TraceEvent", 4, "Fault", 2)?;
                 sv.serialize_field("node", node)?;
+                sv.serialize_field("up", up)?;
+                sv.end()
+            }
+            TraceEvent::LinkFault { link, up } => {
+                let mut sv =
+                    serializer.serialize_struct_variant("TraceEvent", 5, "LinkFault", 2)?;
+                sv.serialize_field("link", link)?;
                 sv.serialize_field("up", up)?;
                 sv.end()
             }

@@ -30,6 +30,10 @@ pub enum VorxError {
     HostDown,
     /// The object manager did not answer within the retry budget.
     Unreachable,
+    /// The peer's node is alive but unreachable: a network partition
+    /// separates the two ends. Unlike [`VorxError::PeerDown`], no state was
+    /// wiped — when the partition heals, the channel reconnects and resumes.
+    Partitioned,
 }
 
 impl fmt::Display for VorxError {
@@ -43,6 +47,7 @@ impl fmt::Display for VorxError {
             VorxError::NoStub => write!(f, "no host stub for this node"),
             VorxError::HostDown => write!(f, "host is down"),
             VorxError::Unreachable => write!(f, "object manager unreachable"),
+            VorxError::Partitioned => write!(f, "peer unreachable (network partition)"),
         }
     }
 }
@@ -62,6 +67,10 @@ mod tests {
         assert_eq!(
             VorxError::Unreachable.to_string(),
             "object manager unreachable"
+        );
+        assert_eq!(
+            VorxError::Partitioned.to_string(),
+            "peer unreachable (network partition)"
         );
     }
 }

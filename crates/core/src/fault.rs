@@ -42,6 +42,16 @@ pub struct FaultStats {
     pub crashes: u64,
     /// Node restarts injected.
     pub restarts: u64,
+    /// Heartbeat beacons sent by the membership layer (partition suspicion).
+    pub probes_sent: u64,
+    /// Ordered node pairs declared partitioned (detection sweep or beacon
+    /// exhaustion).
+    pub partitions: u64,
+    /// Partition marks cleared by the heal sweep.
+    pub heals: u64,
+    /// Pending opens failed over from an unreachable hash-home manager to
+    /// its successor replica.
+    pub mgr_failovers: u64,
 }
 
 /// The fault plane as the world sees it: the seeded schedule plus the
@@ -73,6 +83,10 @@ impl hpcnet::FaultHook for FaultState {
             desim::Disposition::Corrupt => Transit::Corrupt,
             desim::Disposition::Delay(ns) => Transit::Delay(ns),
         }
+    }
+
+    fn on_down_drop(&mut self, link: LinkId) {
+        self.schedule.note_down_drop(link.0);
     }
 }
 
@@ -133,8 +147,17 @@ fn arm_ctl_timer(w: &mut World, s: &mut VSched, from: NodeAddr, key: u64, attemp
             None => {
                 // Retry budget exhausted: the receiver is gone. Drop the
                 // entry; higher-level recovery (peer-down marking, manager
-                // re-resolution) owns the outcome.
-                w.node_mut(from).ctl_unacked.remove(&key);
+                // re-resolution) owns the outcome. A heartbeat beacon *is*
+                // that recovery — its exhaustion is the membership layer's
+                // unreachability verdict.
+                let dropped = w.node_mut(from).ctl_unacked.remove(&key);
+                if let Some(p) = dropped {
+                    if p.frame.kind == proto::KIND_HEARTBEAT {
+                        if let hpcnet::Dest::Unicast(peer) = p.frame.dst {
+                            crate::membership::on_probe_failed(w, s, from, peer);
+                        }
+                    }
+                }
             }
             Some(f) => {
                 w.faults.stats.retransmits += 1;
@@ -164,11 +187,17 @@ pub fn ack_ctl(w: &mut World, s: &mut VSched, node: NodeAddr, f: &Frame) {
     kernel::send_frame(w, s, ack);
 }
 
-/// Kernel handler: a control-frame ack arrived; stop retransmitting.
-pub fn on_ctl_ack(w: &mut World, _s: &mut VSched, node: NodeAddr, f: Frame) {
+/// Kernel handler: a control-frame ack arrived; stop retransmitting. An
+/// acked heartbeat beacon is the membership layer's reachability evidence.
+pub fn on_ctl_ack(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
     if let Some(p) = w.node_mut(node).ctl_unacked.remove(&f.seq) {
         if let Some(t) = p.timer {
             t.cancel();
+        }
+        if p.frame.kind == proto::KIND_HEARTBEAT {
+            if let hpcnet::Dest::Unicast(peer) = p.frame.dst {
+                crate::membership::on_probe_ack(w, s, node, peer);
+            }
         }
     }
 }
@@ -229,6 +258,7 @@ pub fn on_crash(w: &mut World, s: &mut VSched, node: NodeAddr) {
     n.listeners.clear();
     n.syscall_waits.clear();
     n.mgr = Default::default();
+    n.mbr = Default::default();
     n.sched = Default::default();
     // UDCO and multicast state dies with the node. Their waiters are *not*
     // woken: those paths predate the recovery protocols and have no error
@@ -373,6 +403,47 @@ pub fn on_restart(w: &mut World, s: &mut VSched, node: NodeAddr) {
             crate::objmgr::resend_open(w, s, ni, t);
         }
     }
+}
+
+/// Take directed link `l` down: frames in flight on it die at the cut
+/// (counted as down-drops, never delivered), the routing tables recompute
+/// around the dead edge, and the partition-detection sweep is scheduled for
+/// any node pairs the failure disconnected. A physical cable cut is two
+/// directed links — inject both ids to model it.
+pub fn on_link_down(w: &mut World, s: &mut VSched, l: LinkId) {
+    if w.net.is_link_down(l) {
+        return;
+    }
+    w.faults.schedule.note_link_down(l.0);
+    w.trace.record(
+        s.now(),
+        TraceEvent::LinkFault {
+            link: l.0,
+            up: false,
+        },
+    );
+    let out = w.net.set_link_down(kernel::now_ns(s), l, true);
+    kernel::process_output(w, s, out);
+    crate::membership::schedule_partition_sweep(w, s);
+}
+
+/// Bring directed link `l` back up: the routing tables recompute (healing
+/// to the baseline when no dead edges remain), and the membership heal
+/// sweep reconnects every node pair the restored edge made reachable again.
+pub fn on_link_up(w: &mut World, s: &mut VSched, l: LinkId) {
+    if !w.net.is_link_down(l) {
+        return;
+    }
+    w.trace.record(
+        s.now(),
+        TraceEvent::LinkFault {
+            link: l.0,
+            up: true,
+        },
+    );
+    let out = w.net.set_link_down(kernel::now_ns(s), l, false);
+    kernel::process_output(w, s, out);
+    crate::membership::on_heal(w, s);
 }
 
 /// Park the calling process until `node` is up (restart notification).

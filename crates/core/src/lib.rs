@@ -56,6 +56,7 @@ pub mod error;
 pub mod fault;
 pub mod host;
 pub mod kernel;
+pub mod membership;
 pub mod multicast;
 pub mod objmgr;
 pub mod proto;

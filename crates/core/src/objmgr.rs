@@ -98,6 +98,193 @@ pub fn manager_for(w: &World, name: &str) -> NodeAddr {
     }
 }
 
+/// The successor replica for `name`'s manager state: the node after the
+/// hash-home in address order. Server registrations are pushed here so an
+/// open can fail over when the home becomes unreachable. `None` in
+/// centralized mode (a single manager has no replica) and on one-node
+/// systems.
+pub fn successor_for(w: &World, name: &str) -> Option<NodeAddr> {
+    match w.objmgr_mode {
+        ObjMgrMode::Centralized(_) => None,
+        ObjMgrMode::Distributed => {
+            let n = w.nodes.len() as u64;
+            if n < 2 {
+                return None;
+            }
+            Some(NodeAddr(((name_hash(name) % n + 1) % n) as u16))
+        }
+    }
+}
+
+/// Push a fresh server registration to the name's successor replica
+/// (reliable control frame). No-op when the successor is the home itself.
+fn push_replica(
+    w: &mut World,
+    s: &mut VSched,
+    mgr: NodeAddr,
+    kind: proto::ObjKind,
+    server: NodeAddr,
+    name: &str,
+) {
+    let Some(succ) = successor_for(w, name) else {
+        return;
+    };
+    if succ == mgr {
+        return;
+    }
+    let tok = w.token();
+    let f = Frame::unicast(
+        mgr,
+        succ,
+        proto::KIND_REPL_REG,
+        tok,
+        proto::pack_repl_reg(kind, server, name),
+    );
+    crate::fault::reliable_send(w, s, f);
+}
+
+/// Kernel handler: a replicated server registration arrived at the name's
+/// successor. Idempotent — the home serializes registrations and both the
+/// original push and anti-entropy re-pushes carry the same server, so the
+/// first write wins and repeats are no-ops.
+pub fn on_repl_reg(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
+    crate::fault::ack_ctl(w, s, node, &f);
+    let (kind, server, name) = proto::parse_repl_reg(&f.payload);
+    let key = format!("{}\0{name}", kind as u8);
+    w.node_mut(node).mgr.servers.entry(key).or_insert(server);
+}
+
+/// Retarget an exhausted pending open at the home manager's successor
+/// replica. Returns `false` when no failover applies: centralized mode,
+/// one-node system, or the open already failed over once (its recorded
+/// manager is no longer the hash-home) — a second silence means the name's
+/// replica set is unreachable and the open must fail.
+fn try_failover(
+    w: &mut World,
+    s: &mut VSched,
+    node: NodeAddr,
+    token: u64,
+    old_mgr: NodeAddr,
+    kind: proto::ObjKind,
+    name: &str,
+) -> bool {
+    let Some(succ) = successor_for(w, name) else {
+        return false;
+    };
+    if old_mgr != manager_for(w, name) || succ == old_mgr {
+        return false;
+    }
+    match w.node_mut(node).open_waits.get_mut(&token) {
+        Some(OpenResult::Pending {
+            mgr,
+            attempts,
+            queued,
+            timer,
+            ..
+        }) => {
+            *mgr = succ;
+            *attempts = 0;
+            *queued = false;
+            if let Some(t) = timer.take() {
+                t.cancel();
+            }
+        }
+        _ => return false,
+    }
+    w.faults.stats.mgr_failovers += 1;
+    send_open_req(w, s, node, succ, kind, name, token);
+    arm_open_timer(w, s, node, token, 0);
+    true
+}
+
+/// Fail over every pending open on `node` whose manager is the newly
+/// partitioned (or dead) `peer`, without waiting for each open's retransmit
+/// chain to exhaust on its own. Tokens are processed in sorted order for
+/// determinism; opens with no replica to fail over to resolve as
+/// [`crate::VorxError::Unreachable`].
+pub(crate) fn failover_opens(w: &mut World, s: &mut VSched, node: NodeAddr, peer: NodeAddr) {
+    let mut toks: Vec<(u64, proto::ObjKind, String)> = w
+        .node(node)
+        .open_waits
+        .iter()
+        .filter_map(|(t, o)| match o {
+            OpenResult::Pending {
+                mgr, kind, name, ..
+            } if *mgr == peer => Some((*t, *kind, name.clone())),
+            _ => None,
+        })
+        .collect();
+    toks.sort_by_key(|e| e.0);
+    for (token, kind, name) in toks {
+        if !try_failover(w, s, node, token, peer, kind, &name) {
+            w.node_mut(node)
+                .open_waits
+                .insert(token, OpenResult::Failed(crate::VorxError::Unreachable));
+            w.node_mut(node).open_waiters.wake_all(s, Wakeup::START);
+        }
+    }
+}
+
+/// Anti-entropy after a partition heal: every live node re-pushes the
+/// registrations it homes (to the successor) and the ones it replicates
+/// (back to the home), so registrations made on either side while the
+/// fabric was split converge. Receivers apply them idempotently.
+pub(crate) fn anti_entropy(w: &mut World, s: &mut VSched) {
+    if !matches!(w.objmgr_mode, ObjMgrMode::Distributed) {
+        return;
+    }
+    for me in 0..w.nodes.len() as u16 {
+        let me = NodeAddr(me);
+        if !w.node(me).up {
+            continue;
+        }
+        let mut entries: Vec<(String, NodeAddr)> = w
+            .node(me)
+            .mgr
+            .servers
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        entries.sort();
+        for (key, server) in entries {
+            let Some((disc, name)) = key.split_once('\0') else {
+                continue;
+            };
+            let kind = if disc == "1" {
+                proto::ObjKind::Udco
+            } else {
+                proto::ObjKind::Channel
+            };
+            let home = manager_for(w, name);
+            let Some(succ) = successor_for(w, name) else {
+                continue;
+            };
+            if succ == home {
+                continue;
+            }
+            let target = if me == home {
+                succ
+            } else if me == succ {
+                home
+            } else {
+                continue;
+            };
+            if !w.node(target).up {
+                continue;
+            }
+            let tok = w.token();
+            let f = Frame::unicast(
+                me,
+                target,
+                proto::KIND_REPL_REG,
+                tok,
+                proto::pack_repl_reg(kind, server, name),
+            );
+            crate::fault::reliable_send(w, s, f);
+        }
+    }
+}
+
 /// Kernel handler: an open request reached its manager node.
 pub fn on_open_req(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
     // Acknowledge receipt immediately with `OPEN_QUEUED` so the requester's
@@ -216,6 +403,9 @@ pub fn on_serve_req(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
             .remove(&key)
             .map(|q| q.into_iter().collect())
             .unwrap_or_default();
+        // Replicate the fresh registration to the name's successor so opens
+        // can fail over if this manager becomes unreachable.
+        push_replica(w, s, mgr, kind, server, &name);
         // Acknowledge the registration. Plain send: a lost ack is healed by
         // the server's registration retransmission (re-acked above).
         let ack = Frame::unicast(
@@ -343,7 +533,7 @@ pub(crate) fn arm_open_timer(
         let max = w.calib.open_max_retries;
         enum Next {
             Stale,
-            Fail,
+            Fail(NodeAddr, proto::ObjKind, String),
             Resend(NodeAddr, proto::ObjKind, String),
         }
         let next = match w.node_mut(node).open_waits.get_mut(&token) {
@@ -358,7 +548,7 @@ pub(crate) fn arm_open_timer(
                 if *queued || *a != attempts {
                     Next::Stale // acknowledged, or a newer timer owns the chain
                 } else if *a >= max {
-                    Next::Fail
+                    Next::Fail(*mgr, *kind, name.clone())
                 } else {
                     *a += 1;
                     Next::Resend(*mgr, *kind, name.clone())
@@ -368,11 +558,15 @@ pub(crate) fn arm_open_timer(
         };
         match next {
             Next::Stale => {}
-            Next::Fail => {
-                w.node_mut(node)
-                    .open_waits
-                    .insert(token, OpenResult::Failed(crate::VorxError::Unreachable));
-                w.node_mut(node).open_waiters.wake_all(s, Wakeup::START);
+            Next::Fail(mgr, kind, name) => {
+                // Before giving up, try the name's successor replica — the
+                // silent manager may merely be partitioned away from us.
+                if !try_failover(w, s, node, token, mgr, kind, &name) {
+                    w.node_mut(node)
+                        .open_waits
+                        .insert(token, OpenResult::Failed(crate::VorxError::Unreachable));
+                    w.node_mut(node).open_waiters.wake_all(s, Wakeup::START);
+                }
             }
             Next::Resend(mgr, kind, name) => {
                 w.faults.stats.retransmits += 1;

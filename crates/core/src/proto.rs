@@ -188,6 +188,37 @@ pub fn parse_wack(p: &Payload) -> (u32, u32) {
     )
 }
 
+/// Membership heartbeat beacon: sent over the reliable control plane when a
+/// sender exhausts its retry budget against a peer that is still believed
+/// alive. The `KIND_CTL_ACK` it provokes is the liveness evidence; beacon
+/// retry exhaustion with the peer up means *partitioned*, not down.
+pub const KIND_HEARTBEAT: u16 = 20;
+/// Replicated server registration: the hash-home object manager mirrors each
+/// registered name to its successor replica (and anti-entropy pushes mirror
+/// in both directions after a partition heals).
+pub const KIND_REPL_REG: u16 = 21;
+
+/// Encode a replica registration (`KIND_REPL_REG`): object kind + the
+/// registered server's address + the name.
+pub fn pack_repl_reg(kind: ObjKind, server: NodeAddr, name: &str) -> Payload {
+    let mut b = BytesMut::with_capacity(3 + name.len());
+    b.put_u8(kind.to_byte());
+    b.put_u16(server.0);
+    b.put_slice(name.as_bytes());
+    Payload::Data(b.freeze())
+}
+
+/// Decode a replica registration into `(kind, server, name)`.
+pub fn parse_repl_reg(p: &Payload) -> (ObjKind, NodeAddr, String) {
+    let b = p.bytes().expect("replica registration carries data");
+    assert!(b.len() >= 3, "short replica registration");
+    (
+        ObjKind::from_byte(b[0]),
+        NodeAddr(u16::from_be_bytes([b[1], b[2]])),
+        String::from_utf8(b[3..].to_vec()).expect("object names are UTF-8"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +246,14 @@ mod tests {
     fn wack_round_trip() {
         let p = pack_wack(0b1010, 17);
         assert_eq!(parse_wack(&p), (0b1010, 17));
+    }
+
+    #[test]
+    fn repl_reg_round_trip() {
+        let p = pack_repl_reg(ObjKind::Channel, NodeAddr(513), "svc/name");
+        assert_eq!(
+            parse_repl_reg(&p),
+            (ObjKind::Channel, NodeAddr(513), "svc/name".to_string())
+        );
     }
 }

@@ -84,6 +84,9 @@ pub struct Node {
     pub listeners: HashMap<String, crate::channel::ListenState>,
     /// Object-manager role state (every node can serve opens).
     pub mgr: MgrState,
+    /// Membership state: which peers this node believes are partitioned
+    /// away, and which it is currently probing with heartbeats.
+    pub mbr: crate::membership::MbrState,
     /// Subprocess scheduler state (§5).
     pub sched: crate::sched::SchedState,
     /// Multicast group receiver ends (§4.2).
@@ -114,6 +117,7 @@ impl Node {
             udcos: HashMap::new(),
             listeners: HashMap::new(),
             mgr: MgrState::default(),
+            mbr: crate::membership::MbrState::default(),
             sched: crate::sched::SchedState::default(),
             mcast: HashMap::new(),
             mcast_pending: HashMap::new(),
@@ -209,6 +213,13 @@ impl World {
     pub fn unblock(&mut self, now: SimTime, a: NodeAddr, reason: BlockReason) {
         self.trace
             .record(now, TraceEvent::Unblock { node: a.0, reason });
+    }
+
+    /// Per-link fault counters from the installed desim schedule (drops,
+    /// corruptions, delays, down-drops, downs), keyed by link id. Empty on
+    /// links that never saw a fault.
+    pub fn link_fault_stats(&self) -> &std::collections::BTreeMap<u32, desim::LinkStats> {
+        self.faults.schedule.link_stats()
     }
 }
 
@@ -353,6 +364,15 @@ impl VorxBuilder {
                         }
                         desim::FaultAction::Up(id) => {
                             crate::fault::on_restart(w, s, NodeAddr(id as u16));
+                        }
+                        desim::FaultAction::LinkDown(id) => {
+                            crate::fault::on_link_down(w, s, hpcnet::LinkId(id));
+                        }
+                        desim::FaultAction::LinkUp(id) => {
+                            crate::fault::on_link_up(w, s, hpcnet::LinkId(id));
+                        }
+                        desim::FaultAction::LinkDegrade(id) => {
+                            let _ = w.faults.schedule.apply_degrade(id);
                         }
                     });
                 }

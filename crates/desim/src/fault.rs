@@ -9,7 +9,7 @@
 //! the same seed inject byte-identical fault streams and traces replay
 //! bit-identically.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -24,6 +24,15 @@ pub enum FaultAction {
     Down(u32),
     /// The element comes back with cold state.
     Up(u32),
+    /// A network link goes down: frames in flight on it are lost and
+    /// traffic must route around it until the matching [`FaultAction::LinkUp`].
+    LinkDown(u32),
+    /// A previously-downed link carries traffic again.
+    LinkUp(u32),
+    /// The link stays up but its message-fault profile changes (a degraded
+    /// cable: loss/corruption/delay). The new profile is the next one queued
+    /// for this link by [`FaultSchedule::degrade_at`].
+    LinkDegrade(u32),
 }
 
 /// One entry in the crash/restart timeline.
@@ -95,6 +104,22 @@ pub struct FaultStats {
     pub delayed: u64,
 }
 
+/// Per-link injection counters, keyed by link id in
+/// [`FaultSchedule::link_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages dropped on this link by a probabilistic or scripted fault.
+    pub dropped: u64,
+    /// Messages corrupted on this link.
+    pub corrupted: u64,
+    /// Messages delayed on this link.
+    pub delayed: u64,
+    /// Messages lost because they were in flight when the link went down.
+    pub down_drops: u64,
+    /// Times the timeline took this link down.
+    pub downs: u64,
+}
+
 /// A seeded, deterministic fault plan: a crash/restart timeline plus
 /// per-link message fault probabilities and an optional scripted drop table
 /// (for tests that need to kill exactly the nth message on a link).
@@ -109,6 +134,11 @@ pub struct FaultSchedule {
     scripted_drops: HashMap<u32, Vec<u64>>,
     /// Messages seen so far per link (drives the scripted table).
     arrivals: HashMap<u32, u64>,
+    /// `link -> queued degrade profiles`, consumed in timeline order by
+    /// [`FaultSchedule::apply_degrade`].
+    degrades: HashMap<u32, VecDeque<LinkFaults>>,
+    /// Per-link injection counters (ordered so summaries are deterministic).
+    link_stats: BTreeMap<u32, LinkStats>,
     /// What was injected so far.
     pub stats: FaultStats,
 }
@@ -123,6 +153,8 @@ impl FaultSchedule {
             per_link: HashMap::new(),
             scripted_drops: HashMap::new(),
             arrivals: HashMap::new(),
+            degrades: HashMap::new(),
+            link_stats: BTreeMap::new(),
             stats: FaultStats::default(),
         }
     }
@@ -142,6 +174,55 @@ impl FaultSchedule {
             at,
             action: FaultAction::Up(id),
         });
+        self
+    }
+
+    /// Schedule link `link` to go down at `at`: frames in flight on it are
+    /// lost and traffic reroutes around it.
+    pub fn link_down_at(mut self, link: u32, at: SimTime) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            action: FaultAction::LinkDown(link),
+        });
+        self
+    }
+
+    /// Schedule link `link` to come back up at `at`.
+    pub fn link_up_at(mut self, link: u32, at: SimTime) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            action: FaultAction::LinkUp(link),
+        });
+        self
+    }
+
+    /// Schedule link `link` to degrade to `faults` at `at` (the link stays
+    /// up; its message-fault profile changes). Several degrades of the same
+    /// link apply in timeline order.
+    pub fn degrade_at(mut self, link: u32, at: SimTime, faults: LinkFaults) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            action: FaultAction::LinkDegrade(link),
+        });
+        self.degrades.entry(link).or_default().push_back(faults);
+        self
+    }
+
+    /// Flap link `link`: starting at `first_down`, alternate down/up every
+    /// `half_period_ns` nanoseconds for `cycles` full down+up cycles.
+    pub fn flap_link(
+        mut self,
+        link: u32,
+        first_down: SimTime,
+        half_period_ns: u64,
+        cycles: u32,
+    ) -> Self {
+        let base = first_down.as_ns();
+        for i in 0..u64::from(cycles) {
+            self = self
+                .link_down_at(link, SimTime::from_ns(base + 2 * i * half_period_ns))
+                .link_up_at(link, SimTime::from_ns(base + (2 * i + 1) * half_period_ns));
+        }
         self
     }
 
@@ -175,6 +256,38 @@ impl FaultSchedule {
         !self.scripted_drops.is_empty()
             || !self.default_link.is_none()
             || self.per_link.values().any(|f| !f.is_none())
+            || self.degrades.values().flatten().any(|f| !f.is_none())
+    }
+
+    /// Per-link injection counters, keyed by link id. Links that never saw
+    /// an injection have no entry.
+    pub fn link_stats(&self) -> &BTreeMap<u32, LinkStats> {
+        &self.link_stats
+    }
+
+    /// Install the next queued degrade profile for `link` (scheduled by
+    /// [`FaultSchedule::degrade_at`]). Called by the layer that executes the
+    /// timeline when a [`FaultAction::LinkDegrade`] fires. Returns the
+    /// profile now in force.
+    pub fn apply_degrade(&mut self, link: u32) -> LinkFaults {
+        let f = self
+            .degrades
+            .get_mut(&link)
+            .and_then(VecDeque::pop_front)
+            .unwrap_or(LinkFaults::NONE);
+        self.per_link.insert(link, f);
+        f
+    }
+
+    /// Record a frame lost because it was in flight when `link` went down.
+    /// Down-drops are scripted (no randomness) and counted per link only.
+    pub fn note_down_drop(&mut self, link: u32) {
+        self.link_stats.entry(link).or_default().down_drops += 1;
+    }
+
+    /// Record the timeline taking `link` down.
+    pub fn note_link_down(&mut self, link: u32) {
+        self.link_stats.entry(link).or_default().downs += 1;
     }
 
     /// Decide the fate of one message arriving on `link`. Must be called
@@ -186,6 +299,7 @@ impl FaultSchedule {
         if let Some(script) = self.scripted_drops.get(&link) {
             if script.contains(&ordinal) {
                 self.stats.dropped += 1;
+                self.link_stats.entry(link).or_default().dropped += 1;
                 return Disposition::Drop;
             }
         }
@@ -196,14 +310,17 @@ impl FaultSchedule {
         let f = *f;
         if f.drop > 0.0 && self.rng.random_bool(f.drop) {
             self.stats.dropped += 1;
+            self.link_stats.entry(link).or_default().dropped += 1;
             return Disposition::Drop;
         }
         if f.corrupt > 0.0 && self.rng.random_bool(f.corrupt) {
             self.stats.corrupted += 1;
+            self.link_stats.entry(link).or_default().corrupted += 1;
             return Disposition::Corrupt;
         }
         if f.delay > 0.0 && self.rng.random_bool(f.delay) {
             self.stats.delayed += 1;
+            self.link_stats.entry(link).or_default().delayed += 1;
             return Disposition::Delay(f.delay_ns);
         }
         Disposition::Deliver
@@ -257,6 +374,60 @@ mod tests {
             })
             .collect();
         assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn flap_expands_to_alternating_link_events() {
+        let f = FaultSchedule::new(0).flap_link(7, SimTime::from_ns(1_000), 500, 2);
+        let got: Vec<_> = f
+            .events()
+            .iter()
+            .map(|e| (e.at.as_ns(), e.action))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (1_000, FaultAction::LinkDown(7)),
+                (1_500, FaultAction::LinkUp(7)),
+                (2_000, FaultAction::LinkDown(7)),
+                (2_500, FaultAction::LinkUp(7)),
+            ]
+        );
+    }
+
+    #[test]
+    fn degrade_applies_profiles_in_timeline_order() {
+        let mut f = FaultSchedule::new(3)
+            .degrade_at(2, SimTime::from_ns(10), LinkFaults::loss(1.0))
+            .degrade_at(2, SimTime::from_ns(20), LinkFaults::NONE);
+        assert!(f.message_faults_possible(), "queued degrade counts");
+        assert_eq!(f.apply_degrade(2), LinkFaults::loss(1.0));
+        assert_eq!(f.disposition(2), Disposition::Drop);
+        assert_eq!(f.apply_degrade(2), LinkFaults::NONE);
+        assert_eq!(f.disposition(2), Disposition::Deliver);
+        // Queue exhausted: a further apply restores the fault-free profile.
+        assert_eq!(f.apply_degrade(2), LinkFaults::NONE);
+    }
+
+    #[test]
+    fn per_link_stats_track_each_counter() {
+        let mut f = FaultSchedule::new(9)
+            .link(4, LinkFaults::loss(1.0))
+            .drop_nth(5, 1);
+        f.disposition(4);
+        f.disposition(5);
+        f.note_down_drop(4);
+        f.note_link_down(4);
+        let s4 = f.link_stats()[&4];
+        assert_eq!((s4.dropped, s4.down_drops, s4.downs), (1, 1, 1));
+        assert_eq!(f.link_stats()[&5].dropped, 1);
+        assert!(
+            !f.link_stats().contains_key(&6),
+            "untouched links have no entry"
+        );
+        // Aggregate stats exclude down-drops (those are scripted losses, not
+        // probabilistic dispositions).
+        assert_eq!(f.stats.dropped, 2);
     }
 
     #[test]

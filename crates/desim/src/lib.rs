@@ -50,7 +50,9 @@ pub mod fault;
 pub mod sync;
 pub mod trace;
 
-pub use fault::{Disposition, FaultAction, FaultEvent, FaultSchedule, FaultStats, LinkFaults};
+pub use fault::{
+    Disposition, FaultAction, FaultEvent, FaultSchedule, FaultStats, LinkFaults, LinkStats,
+};
 pub use sim::{Ctx, IdleReport, ProcId, RunOutcome, Scheduler, Simulation, TimerHandle, Wakeup};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;

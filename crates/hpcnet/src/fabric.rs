@@ -116,6 +116,10 @@ pub enum Transit {
 pub trait FaultHook {
     /// Decide the fate of `frame` completing transit on `link`.
     fn on_transit(&mut self, link: LinkId, frame: &Frame) -> Transit;
+
+    /// A frame that was in flight on `link` when the link went down has been
+    /// dropped (scripted loss — no disposition was drawn for it).
+    fn on_down_drop(&mut self, _link: LinkId) {}
 }
 
 /// The no-op hook: every frame is delivered (the paper's fault-free HPC).
@@ -191,6 +195,10 @@ pub struct Stats {
     pub frames_dropped: u64,
     /// Frames delivered with a detectable corruption.
     pub frames_corrupted: u64,
+    /// Frames forwarded through a different port than the fault-free
+    /// routing tables would have chosen (adaptive reroute around a dead
+    /// link). Always zero while the baseline tables are in force.
+    pub frames_rerouted: u64,
     /// Per-endpoint delivered-frame counts.
     pub per_endpoint_rx: Vec<u64>,
     /// Per-endpoint injected-frame counts.
@@ -213,6 +221,12 @@ pub struct Fabric {
     /// Per-endpoint fault state: a down endpoint's interface is electrically
     /// dead — it cannot inject, and frames arriving at it are lost.
     down: Vec<bool>,
+    /// Per-link fault state: a down link carries nothing — frames in flight
+    /// on it when it went down are lost, and no new transmission starts on
+    /// it until it comes back up.
+    link_down: Vec<bool>,
+    /// How many links are currently down (fast fault-free guard).
+    links_down: usize,
     /// Frames currently inside the fabric (in a register, buffer or flight).
     in_flight: usize,
     /// Statistics.
@@ -319,6 +333,8 @@ impl Fabric {
             port_out,
             rr: vec![0; n_links],
             down: vec![false; n_eps],
+            link_down: vec![false; n_links],
+            links_down: 0,
             in_flight: 0,
             stats: Stats {
                 per_endpoint_rx: vec![0; n_eps],
@@ -395,6 +411,58 @@ impl Fabric {
         out
     }
 
+    /// True iff directed link `l` is currently down.
+    pub fn is_link_down(&self, l: LinkId) -> bool {
+        self.link_down[l.0 as usize]
+    }
+
+    /// Take one directed link down (cable cut) or bring it back up.
+    ///
+    /// Going down: frames in flight on the link are lost when their arrival
+    /// fires (see [`FaultHook::on_down_drop`]); frames already buffered at
+    /// the receiving side made it across and still forward. For an
+    /// inter-cluster link the routing tables are recomputed over the
+    /// surviving edges, so buffered and future traffic reroutes; traffic
+    /// with no surviving route is dropped instead of wedging the
+    /// store-and-forward buffers. Coming back up recomputes again (a fully
+    /// healed fabric restores the fault-free tables verbatim). A physical
+    /// cable cut is two directed links — take both ids down to model it.
+    pub fn set_link_down(&mut self, now_ns: u64, l: LinkId, down: bool) -> Output {
+        self.now_ns = now_ns;
+        let mut out = Output::default();
+        let i = l.0 as usize;
+        if self.link_down[i] == down {
+            return out;
+        }
+        self.link_down[i] = down;
+        self.links_down = if down {
+            self.links_down + 1
+        } else {
+            self.links_down - 1
+        };
+        if let (Element::Port(p), Element::Port(_)) = (self.links[i].from, self.links[i].to) {
+            self.topo.set_edge_state(p, !down);
+            self.topo.recompute();
+        }
+        // Either direction of change can unblock forwarding: a reroute opens
+        // new paths, a heal reopens the link itself.
+        self.progress(&mut out);
+        out
+    }
+
+    /// The directed inter-cluster link out of cluster `from` toward cluster
+    /// `to`, if those clusters are wired directly. Lets tests and benches
+    /// name a hypercube edge without reverse-engineering link-id order.
+    pub fn cluster_link(&self, from: ClusterId, to: ClusterId) -> Option<LinkId> {
+        self.links
+            .iter()
+            .position(|l| {
+                matches!((l.from, l.to), (Element::Port(a), Element::Port(b))
+                if a.cluster == from && b.cluster == to)
+            })
+            .map(|i| LinkId(i as u32))
+    }
+
     /// Software writes a frame to the endpoint's output register.
     ///
     /// On success the frame is inside the hardware and will be delivered;
@@ -444,23 +512,40 @@ impl Fabric {
                     self.progress(&mut out);
                 }
             }
-            NetEvent::Arrive(l, frame) => match hook.on_transit(l, &frame) {
-                Transit::Deliver => self.finish_arrival(l, frame, &mut out),
-                Transit::Drop => self.drop_in_transit(l, &mut out),
-                Transit::Corrupt => {
-                    let mut f = frame;
-                    f.corrupted = true;
-                    self.stats.frames_corrupted += 1;
-                    self.finish_arrival(l, f, &mut out);
+            NetEvent::Arrive(l, frame) => {
+                // A link that went down mid-flight loses the frame: it must
+                // never be delivered after the down edge, and no disposition
+                // is drawn for it (scripted, not probabilistic).
+                if self.link_down[l.0 as usize] {
+                    hook.on_down_drop(l);
+                    self.drop_in_transit(l, &mut out);
+                } else {
+                    match hook.on_transit(l, &frame) {
+                        Transit::Deliver => self.finish_arrival(l, frame, &mut out),
+                        Transit::Drop => self.drop_in_transit(l, &mut out),
+                        Transit::Corrupt => {
+                            let mut f = frame;
+                            f.corrupted = true;
+                            self.stats.frames_corrupted += 1;
+                            self.finish_arrival(l, f, &mut out);
+                        }
+                        Transit::Delay(extra_ns) => {
+                            // The buffer reservation stays held: a delayed frame
+                            // still occupies its store-and-forward slot.
+                            out.schedule
+                                .push((extra_ns, NetEvent::ArriveDelayed(l, frame)));
+                        }
+                    }
                 }
-                Transit::Delay(extra_ns) => {
-                    // The buffer reservation stays held: a delayed frame
-                    // still occupies its store-and-forward slot.
-                    out.schedule
-                        .push((extra_ns, NetEvent::ArriveDelayed(l, frame)));
+            }
+            NetEvent::ArriveDelayed(l, frame) => {
+                if self.link_down[l.0 as usize] {
+                    hook.on_down_drop(l);
+                    self.drop_in_transit(l, &mut out);
+                } else {
+                    self.finish_arrival(l, frame, &mut out);
                 }
-            },
-            NetEvent::ArriveDelayed(l, frame) => self.finish_arrival(l, frame, &mut out),
+            }
         }
         out
     }
@@ -593,11 +678,20 @@ impl Fabric {
         loop {
             let mut changed = false;
 
+            // Under a partition, head frames with no surviving route would
+            // block their input queue forever; drop them (and strip dead
+            // targets from multicast heads) instead of wedging. Never runs
+            // on a fault-free fabric.
+            if self.links_down > 0 && self.purge_unroutable_heads() {
+                changed = true;
+            }
+
             // Endpoint injections.
             for i in 0..self.eps.len() {
                 let up = self.eps[i].up;
                 if !self.eps[i].tx_busy
                     && self.eps[i].out_reg.is_some()
+                    && !self.link_down[up.0 as usize]
                     && !self.links[up.0 as usize].busy
                     && self.links[up.0 as usize].can_accept()
                 {
@@ -615,7 +709,8 @@ impl Fabric {
                     let Some(out_link) = self.port_out[c][port] else {
                         continue;
                     };
-                    if self.links[out_link.0 as usize].busy
+                    if self.link_down[out_link.0 as usize]
+                        || self.links[out_link.0 as usize].busy
                         || !self.links[out_link.0 as usize].can_accept()
                     {
                         continue;
@@ -630,6 +725,47 @@ impl Fabric {
                 return;
             }
         }
+    }
+
+    /// Drop buffered head frames with no surviving route and strip
+    /// unreachable targets from multicast heads. Returns true if anything
+    /// changed. Only called while at least one link is down.
+    fn purge_unroutable_heads(&mut self) -> bool {
+        let mut changed = false;
+        for c in 0..self.cluster_inputs.len() {
+            let cluster = ClusterId(c as u16);
+            for k in 0..self.cluster_inputs[c].len() {
+                let input = self.cluster_inputs[c][k];
+                let Some(head) = self.links[input.0 as usize].buf.front() else {
+                    continue;
+                };
+                let targets = head.dst.targets();
+                let live: Vec<NodeAddr> = targets
+                    .iter()
+                    .copied()
+                    .filter(|t| self.topo.route(cluster, *t) != u8::MAX)
+                    .collect();
+                if live.len() == targets.len() {
+                    continue;
+                }
+                let lost = (targets.len() - live.len()) as u64;
+                let head = self.links[input.0 as usize]
+                    .buf
+                    .front_mut()
+                    .expect("checked");
+                if live.is_empty() {
+                    self.links[input.0 as usize].buf.pop_front();
+                    self.in_flight -= 1;
+                } else if live.len() == 1 {
+                    head.dst = Dest::Unicast(live[0]);
+                } else {
+                    head.dst = Dest::Multicast(live);
+                }
+                self.stats.frames_dropped += lost;
+                changed = true;
+            }
+        }
+        changed
     }
 
     /// Try to start one transmission on `out_link` (output `port` of
@@ -660,6 +796,16 @@ impl Fabric {
             };
             // Found a frame (or a multicast branch of one) for this port.
             self.rr[out_link.0 as usize] = (start + k + 1) % n;
+            // Count frames leaving through a port the fault-free tables
+            // would not have chosen (adaptive reroute). The generation
+            // guard keeps this off the fault-free hot path.
+            if self.topo.generation() > 0
+                && targets
+                    .iter()
+                    .any(|t| self.topo.base_route(cluster, *t) != port)
+            {
+                self.stats.frames_rerouted += 1;
+            }
             let head = self.links[input.0 as usize]
                 .buf
                 .front_mut()
@@ -1107,6 +1253,111 @@ mod fault_tests {
         net.run();
         assert_eq!(net.delivered.len(), 1);
         assert_eq!(net.delivered[0].2.seq, 99);
+    }
+
+    /// Hook that counts down-drops (frames lost to a mid-flight link cut).
+    #[derive(Default)]
+    struct DownCounter {
+        down_drops: u64,
+    }
+
+    impl FaultHook for DownCounter {
+        fn on_transit(&mut self, _link: LinkId, _frame: &Frame) -> Transit {
+            Transit::Deliver
+        }
+        fn on_down_drop(&mut self, _link: LinkId) {
+            self.down_drops += 1;
+        }
+    }
+
+    #[test]
+    fn link_down_drops_mid_flight_frame() {
+        // A frame already serialized onto a link when the link goes down
+        // must never be delivered after the down edge.
+        let mut f = Fabric::new(
+            Topology::single_cluster(2).unwrap(),
+            NetConfig::paper_1988(),
+        );
+        let up = f.endpoint_up_link(NodeAddr(0));
+        let out = f
+            .try_send(
+                0,
+                Frame::unicast(NodeAddr(0), NodeAddr(1), 0, 5, Payload::Synthetic(64)),
+            )
+            .unwrap();
+        let cut = f.set_link_down(1, up, true);
+        assert!(cut.schedule.is_empty());
+        let mut hook = DownCounter::default();
+        for (delay, ev) in out.schedule {
+            let more = f.handle_with(1 + delay, ev, &mut hook);
+            assert!(
+                !more
+                    .notifies
+                    .iter()
+                    .any(|n| matches!(n, Notify::RxArrived(_))),
+                "nothing may be delivered after the down edge"
+            );
+        }
+        assert_eq!(hook.down_drops, 1);
+        assert_eq!(f.stats.frames_dropped, 1);
+        assert_eq!(f.rx_depth(NodeAddr(1)), 0);
+        assert_eq!(f.in_flight(), 0);
+    }
+
+    #[test]
+    fn dead_cluster_link_reroutes_traffic() {
+        // 4-cluster hypercube: c0-c1-c3 and c0-c2-c3. Node 0 (c0) to node 3
+        // (c3) routes via c1 by the two-phase rule; with c0->c1 cut, the
+        // frame must arrive via c2 and be counted as rerouted.
+        let topo = Topology::incomplete_hypercube(4, 1).unwrap();
+        let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
+        let l = net.fabric.cluster_link(ClusterId(0), ClusterId(1)).unwrap();
+        let out = net.fabric.set_link_down(0, l, true);
+        net.apply(out);
+        net.send_at(
+            0,
+            Frame::unicast(NodeAddr(0), NodeAddr(3), 0, 0, Payload::Synthetic(16)),
+        );
+        net.run();
+        assert_eq!(net.delivered.len(), 1);
+        assert_eq!(net.delivered[0].1, NodeAddr(3));
+        assert!(net.fabric.stats.frames_rerouted > 0);
+        assert_eq!(net.fabric.stats.frames_dropped, 0);
+    }
+
+    #[test]
+    fn unroutable_traffic_drops_instead_of_wedging() {
+        // Two clusters, one cable. Cut both directions: traffic between
+        // them is dropped (flow-control slots freed), never stuck.
+        let topo = Topology::incomplete_hypercube(2, 1).unwrap();
+        let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
+        let a = net.fabric.cluster_link(ClusterId(0), ClusterId(1)).unwrap();
+        let b = net.fabric.cluster_link(ClusterId(1), ClusterId(0)).unwrap();
+        for l in [a, b] {
+            let out = net.fabric.set_link_down(0, l, true);
+            net.apply(out);
+        }
+        net.send_at(
+            0,
+            Frame::unicast(NodeAddr(0), NodeAddr(1), 0, 0, Payload::Synthetic(16)),
+        );
+        // run() asserts in_flight == 0: the unroutable frame freed its slot.
+        net.run();
+        assert!(net.delivered.is_empty());
+        assert!(net.fabric.stats.frames_dropped >= 1);
+        // Heal both directions: traffic flows again on baseline routes.
+        for l in [a, b] {
+            let out = net.fabric.set_link_down(net.now(), l, false);
+            net.apply(out);
+        }
+        let t = net.now();
+        net.send_at(
+            t,
+            Frame::unicast(NodeAddr(0), NodeAddr(1), 0, 1, Payload::Synthetic(16)),
+        );
+        net.run();
+        assert_eq!(net.delivered.len(), 1);
+        assert_eq!(net.delivered[0].2.seq, 1);
     }
 
     #[test]

@@ -189,13 +189,29 @@ pub enum RoutingMode {
 }
 
 /// A finalized interconnect topology with routing tables.
+///
+/// Routing is *live*: [`Topology::set_edge_state`] marks inter-cluster edges
+/// dead or alive and [`Topology::recompute`] rebuilds the first-hop tables
+/// over the surviving edges (BFS, shortest path), bumping a generation
+/// counter so the fabric can tell rerouted traffic from baseline traffic.
+/// A fault-free topology never recomputes and keeps the tables built by the
+/// original routing mode bit-for-bit.
 #[derive(Debug, Clone)]
 pub struct Topology {
     clusters: Vec<[Attachment; PORTS_PER_CLUSTER]>,
     endpoints: Vec<PortRef>,
     /// `next_port[c][d]` = output port on cluster `c` toward cluster `d`
-    /// (`u8::MAX` for c == d).
+    /// (`u8::MAX` for c == d, or for d unreachable over surviving edges).
     next_port: Vec<Vec<u8>>,
+    /// The fault-free tables from construction; restored verbatim when every
+    /// edge heals, and the baseline for "was this frame rerouted?" checks.
+    base_next_port: Vec<Vec<u8>>,
+    /// `dead_out[c][p]` = the directed inter-cluster edge out of port `p` of
+    /// cluster `c` is down.
+    dead_out: Vec<[bool; PORTS_PER_CLUSTER]>,
+    /// How many times the routing tables were recomputed. 0 = fault-free
+    /// baseline.
+    generation: u64,
     mode: RoutingMode,
 }
 
@@ -321,10 +337,14 @@ impl Topology {
                 }
             }
         }
+        let dead_out = vec![[false; PORTS_PER_CLUSTER]; n];
         Ok(Topology {
             clusters,
             endpoints,
+            base_next_port: next_port.clone(),
             next_port,
+            dead_out,
+            generation: 0,
             mode,
         })
     }
@@ -374,14 +394,36 @@ impl Topology {
         }
     }
 
+    /// The fault-free baseline output port on `cluster` toward `dst` (what
+    /// [`Topology::route`] answered before any recompute). The fabric
+    /// compares against this to count rerouted frames.
+    pub fn base_route(&self, cluster: ClusterId, dst: NodeAddr) -> u8 {
+        let dp = self.endpoints[dst.0 as usize];
+        if dp.cluster == cluster {
+            dp.port
+        } else {
+            self.base_next_port[cluster.0 as usize][dp.cluster.0 as usize]
+        }
+    }
+
     /// The sequence of clusters a unicast frame traverses from the cluster
-    /// of `src` to the cluster of `dst` (inclusive). Diagnostic helper.
+    /// of `src` to the cluster of `dst` (inclusive). Diagnostic helper;
+    /// panics if `dst` is unreachable over the surviving edges.
     pub fn cluster_path(&self, src: NodeAddr, dst: NodeAddr) -> Vec<ClusterId> {
+        self.try_cluster_path(src, dst)
+            .expect("no surviving route between endpoints")
+    }
+
+    /// Like [`Topology::cluster_path`], but `None` when no route survives.
+    pub fn try_cluster_path(&self, src: NodeAddr, dst: NodeAddr) -> Option<Vec<ClusterId>> {
         let mut here = self.cluster_of(src);
         let goal = self.cluster_of(dst);
         let mut path = vec![here];
         while here != goal {
             let port = self.route(here, dst);
+            if port == u8::MAX {
+                return None;
+            }
             match self.attachment(PortRef {
                 cluster: here,
                 port,
@@ -394,12 +436,78 @@ impl Topology {
             }
             assert!(path.len() <= self.clusters.len() + 1, "routing loop");
         }
-        path
+        Some(path)
     }
 
     /// Number of cluster-to-cluster hops between two endpoints.
     pub fn hops(&self, src: NodeAddr, dst: NodeAddr) -> usize {
         self.cluster_path(src, dst).len() - 1
+    }
+
+    /// Mark the directed inter-cluster edge out of `p` alive (`up = true`)
+    /// or dead. Takes effect at the next [`Topology::recompute`].
+    pub fn set_edge_state(&mut self, p: PortRef, up: bool) {
+        self.dead_out[p.cluster.0 as usize][usize::from(p.port)] = !up;
+    }
+
+    /// True iff any inter-cluster edge is currently marked dead.
+    pub fn has_dead_edges(&self) -> bool {
+        self.dead_out.iter().any(|ports| ports.iter().any(|d| *d))
+    }
+
+    /// How many times the routing tables were recomputed; 0 means the
+    /// fault-free baseline tables are in force.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True iff cluster `to` is reachable from cluster `from` over the
+    /// surviving edges.
+    pub fn reachable(&self, from: ClusterId, to: ClusterId) -> bool {
+        from == to || self.next_port[from.0 as usize][to.0 as usize] != u8::MAX
+    }
+
+    /// Rebuild the first-hop tables over the surviving edges (shortest path
+    /// by BFS, ties broken by lowest port — deterministic) and bump the
+    /// generation counter. Unlike construction, unreachable cluster pairs
+    /// are tolerated: their entries become `u8::MAX` and the fabric fails
+    /// the affected traffic instead of delivering it. When every edge has
+    /// healed, the construction-time tables are restored verbatim so a fully
+    /// healed fabric routes exactly like a fault-free one.
+    pub fn recompute(&mut self) {
+        self.generation += 1;
+        if !self.has_dead_edges() {
+            self.next_port = self.base_next_port.clone();
+            return;
+        }
+        let n = self.clusters.len();
+        for row in self.next_port.iter_mut() {
+            row.fill(u8::MAX);
+        }
+        for dst in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[dst] = 0;
+            let mut q = VecDeque::from([dst]);
+            while let Some(c) = q.pop_front() {
+                for att in self.clusters[c].iter() {
+                    if let Attachment::Cluster(peer) = att {
+                        let p = peer.cluster.0 as usize;
+                        // A frame taking this step leaves `p` through port
+                        // `peer.port`; skip if that directed edge is dead.
+                        if self.dead_out[p][usize::from(peer.port)] {
+                            continue;
+                        }
+                        if dist[p] == usize::MAX {
+                            dist[p] = dist[c] + 1;
+                            q.push_back(p);
+                        }
+                        if dist[p] == dist[c] + 1 && self.next_port[p][dst] == u8::MAX {
+                            self.next_port[p][dst] = peer.port;
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -587,6 +695,93 @@ mod tests {
             }),
             Err(TopologyError::UnknownCluster(_))
         ));
+    }
+
+    #[test]
+    fn golden_routes_survive_missing_dimensions() {
+        // 6 clusters = 3 dimensions with partners 6 and 7 absent: links are
+        // dim0 {0-1, 2-3, 4-5}, dim1 {0-2, 1-3}, dim2 {0-4, 1-5}.
+        let t = Topology::incomplete_hypercube(6, 1).unwrap();
+        // Endpoint i sits on cluster i. Two-phase rule, 5(101) -> 2(010):
+        // clear bit 2 (5->1), clear bit 0 (1->0), set bit 1 (0->2).
+        assert_eq!(
+            t.cluster_path(NodeAddr(5), NodeAddr(2)),
+            vec![ClusterId(5), ClusterId(1), ClusterId(0), ClusterId(2)]
+        );
+        assert_eq!(t.hops(NodeAddr(5), NodeAddr(2)), 3);
+        // 4(100) -> 3(011): clear bit 2, set bit 0, set bit 1.
+        assert_eq!(
+            t.cluster_path(NodeAddr(4), NodeAddr(3)),
+            vec![ClusterId(4), ClusterId(0), ClusterId(1), ClusterId(3)]
+        );
+    }
+
+    #[test]
+    fn recompute_reroutes_around_dead_edges() {
+        // 4 clusters, full square: 0-1-3 and 0-2-3.
+        let mut t = Topology::incomplete_hypercube(4, 1).unwrap();
+        assert_eq!(
+            t.cluster_path(NodeAddr(0), NodeAddr(3)),
+            vec![ClusterId(0), ClusterId(1), ClusterId(3)]
+        );
+        assert_eq!(t.generation(), 0);
+        // Kill the directed edge out of c0 toward c1 (dim 0 uses port 0).
+        t.set_edge_state(
+            PortRef {
+                cluster: ClusterId(0),
+                port: 0,
+            },
+            false,
+        );
+        assert!(t.has_dead_edges());
+        t.recompute();
+        assert_eq!(t.generation(), 1);
+        assert_eq!(
+            t.cluster_path(NodeAddr(0), NodeAddr(3)),
+            vec![ClusterId(0), ClusterId(2), ClusterId(3)],
+            "route must detour through the surviving diagonal"
+        );
+        // The reverse direction is untouched (directed edge state).
+        assert_eq!(
+            t.cluster_path(NodeAddr(3), NodeAddr(0)),
+            vec![ClusterId(3), ClusterId(1), ClusterId(0)]
+        );
+        assert!(t.reachable(ClusterId(0), ClusterId(1)), "via c2-c3-c1");
+    }
+
+    #[test]
+    fn recompute_tolerates_unreachable_and_heals_to_baseline() {
+        // 2 clusters, a single cable.
+        let mut t = Topology::incomplete_hypercube(2, 1).unwrap();
+        let base_01 = t.route(ClusterId(0), NodeAddr(1));
+        t.set_edge_state(
+            PortRef {
+                cluster: ClusterId(0),
+                port: 0,
+            },
+            false,
+        );
+        t.recompute();
+        assert!(!t.reachable(ClusterId(0), ClusterId(1)));
+        assert!(
+            t.reachable(ClusterId(1), ClusterId(0)),
+            "reverse direction alive"
+        );
+        assert_eq!(t.route(ClusterId(0), NodeAddr(1)), u8::MAX);
+        assert_eq!(t.try_cluster_path(NodeAddr(0), NodeAddr(1)), None);
+        // Heal: the construction-time tables come back verbatim.
+        t.set_edge_state(
+            PortRef {
+                cluster: ClusterId(0),
+                port: 0,
+            },
+            true,
+        );
+        t.recompute();
+        assert_eq!(t.generation(), 2);
+        assert_eq!(t.route(ClusterId(0), NodeAddr(1)), base_01);
+        assert_eq!(t.base_route(ClusterId(0), NodeAddr(1)), base_01);
+        assert!(t.reachable(ClusterId(0), ClusterId(1)));
     }
 
     #[test]

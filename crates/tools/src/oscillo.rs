@@ -154,7 +154,9 @@ impl Oscilloscope {
                 TraceEvent::Unblock { node, reason } => {
                     blocks[*node as usize].push(delta(t.as_ns(), *reason, -1));
                 }
-                TraceEvent::Region { .. } | TraceEvent::Fault { .. } => {}
+                TraceEvent::Region { .. }
+                | TraceEvent::Fault { .. }
+                | TraceEvent::LinkFault { .. } => {}
             }
         }
         // User bursts are recorded spanning their preemptions (system work

@@ -1,0 +1,148 @@
+//! Live-topology routing properties: the BFS `recompute` over surviving
+//! inter-cluster edges must agree with an independent ground-truth
+//! reachability computation, and every route it serves must be loop-free,
+//! alive edge by edge, and shortest.
+//!
+//! These run on *incomplete* hypercubes (the paper's §2 configuration) with
+//! arbitrary subsets of directed edges marked dead — including splits,
+//! one-way cuts, and fully severed fabrics.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use hpc_vorx::hpcnet::{Attachment, ClusterId, NodeAddr, PortRef, Topology, PORTS_PER_CLUSTER};
+
+use proptest::prelude::*;
+
+/// All directed inter-cluster edges of `t`, as `(from_port, to_cluster)`.
+fn edges(t: &Topology) -> Vec<(PortRef, ClusterId)> {
+    let mut out = Vec::new();
+    for c in 0..t.n_clusters() as u16 {
+        for port in 0..PORTS_PER_CLUSTER as u8 {
+            let p = PortRef {
+                cluster: ClusterId(c),
+                port,
+            };
+            if let Attachment::Cluster(peer) = t.attachment(p) {
+                out.push((p, peer.cluster));
+            }
+        }
+    }
+    out
+}
+
+/// Ground-truth directed reachability by BFS over the surviving edge set,
+/// computed independently of the topology's own tables.
+fn bfs_reachable(
+    n_clusters: usize,
+    alive: &BTreeSet<(u16, u16)>,
+    from: ClusterId,
+) -> BTreeSet<u16> {
+    let mut seen = BTreeSet::from([from.0]);
+    let mut q = VecDeque::from([from.0]);
+    while let Some(c) = q.pop_front() {
+        for next in 0..n_clusters as u16 {
+            if alive.contains(&(c, next)) && seen.insert(next) {
+                q.push_back(next);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kill an arbitrary subset of directed inter-cluster edges, recompute,
+    /// and check every ordered endpoint pair: the tables must serve a route
+    /// exactly when ground-truth BFS says one exists, and the served path
+    /// must start/end correctly, never repeat a cluster (loop-free), and
+    /// use only surviving edges.
+    #[test]
+    fn surviving_pairs_always_get_live_loop_free_routes(
+        n_clusters in 2usize..9,
+        dead_mask in proptest::collection::vec(any::<bool>(), 0..64),
+    ) {
+        let mut t = Topology::incomplete_hypercube(n_clusters, 1).unwrap();
+        let all = edges(&t);
+        let mut alive: BTreeSet<(u16, u16)> = BTreeSet::new();
+        for (i, (p, to)) in all.iter().enumerate() {
+            let dead = *dead_mask.get(i).unwrap_or(&false);
+            if dead {
+                t.set_edge_state(*p, false);
+            } else {
+                alive.insert((p.cluster.0, to.0));
+            }
+        }
+        t.recompute();
+
+        for src in 0..n_clusters as u16 {
+            let truth = bfs_reachable(n_clusters, &alive, ClusterId(src));
+            for dst in 0..n_clusters as u16 {
+                let (a, b) = (NodeAddr(src), NodeAddr(dst));
+                prop_assert_eq!(
+                    t.reachable(ClusterId(src), ClusterId(dst)),
+                    truth.contains(&dst),
+                    "reachable({}, {}) disagrees with ground truth", src, dst
+                );
+                match t.try_cluster_path(a, b) {
+                    None => prop_assert!(
+                        !truth.contains(&dst),
+                        "no route served for a reachable pair {} -> {}", src, dst
+                    ),
+                    Some(path) => {
+                        prop_assert!(truth.contains(&dst));
+                        prop_assert_eq!(path[0].0, src);
+                        prop_assert_eq!(path[path.len() - 1].0, dst);
+                        let distinct: BTreeSet<u16> =
+                            path.iter().map(|c| c.0).collect();
+                        prop_assert_eq!(
+                            distinct.len(), path.len(),
+                            "route {:?} revisits a cluster", path
+                        );
+                        for hop in path.windows(2) {
+                            prop_assert!(
+                                alive.contains(&(hop[0].0, hop[1].0)),
+                                "route {:?} crosses the dead edge {}->{}",
+                                path, hop[0].0, hop[1].0
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Healing every dead edge restores the fault-free baseline routes
+    /// verbatim: the recomputed path equals the pristine topology's path
+    /// for every pair.
+    #[test]
+    fn full_heal_restores_baseline_routes(
+        n_clusters in 2usize..9,
+        dead_mask in proptest::collection::vec(any::<bool>(), 0..64),
+    ) {
+        let pristine = Topology::incomplete_hypercube(n_clusters, 1).unwrap();
+        let mut t = Topology::incomplete_hypercube(n_clusters, 1).unwrap();
+        let all = edges(&t);
+        for (i, (p, _)) in all.iter().enumerate() {
+            if *dead_mask.get(i).unwrap_or(&false) {
+                t.set_edge_state(*p, false);
+            }
+        }
+        t.recompute();
+        for (p, _) in &all {
+            t.set_edge_state(*p, true);
+        }
+        t.recompute();
+        for src in 0..n_clusters as u16 {
+            for dst in 0..n_clusters as u16 {
+                let (a, b) = (NodeAddr(src), NodeAddr(dst));
+                prop_assert_eq!(
+                    t.cluster_path(a, b),
+                    pristine.cluster_path(a, b),
+                    "healed tables must match the baseline verbatim"
+                );
+                prop_assert_eq!(t.hops(a, b), pristine.hops(a, b));
+            }
+        }
+    }
+}
