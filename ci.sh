@@ -7,8 +7,11 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test"
-cargo test --workspace -q
+echo "==> cargo test (VORX_SIM_WORKERS=1: sharded paths at one worker)"
+VORX_SIM_WORKERS=1 cargo test --workspace -q
+
+echo "==> cargo test (VORX_SIM_WORKERS=4: sharded paths at four workers)"
+VORX_SIM_WORKERS=4 cargo test --workspace -q
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -24,5 +27,8 @@ cargo run --release -p vorx-bench --bin datapath_report -- --smoke
 
 echo "==> partition smoke (full partition + heal under watchdog, typed errors, no hang)"
 cargo run --release -p vorx-bench --bin partition_campaign -- --smoke
+
+echo "==> pdes smoke (sharded engine: 1- vs 4-worker traces bit-identical, under watchdog)"
+cargo run --release -p vorx-bench --bin pdes_campaign -- --smoke
 
 echo "CI OK"

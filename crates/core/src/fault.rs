@@ -235,6 +235,7 @@ pub fn on_crash(w: &mut World, s: &mut VSched, node: NodeAddr) {
     n.rx_in_service = false;
     n.tx_q.clear();
     n.orphans.clear();
+    n.resolve.clear();
     // Disarm every retransmit timer the node had running — a dead node's
     // timeouts must not keep ticking (they would be no-ops, but no-op
     // events still drag the simulated clock forward).

@@ -7,8 +7,8 @@
 //! parks in kernel side buffers (channels) or user-level queues (UDCOs), so
 //! the hardware buffers never stay full.
 
-use desim::{SimDuration, Wakeup};
-use hpcnet::{Frame, NodeAddr, Notify, Output};
+use desim::{OutMsg, SimDuration, SimTime, Wakeup};
+use hpcnet::{Dest, Frame, NodeAddr, Notify, Output};
 
 use crate::cpu::CpuCat;
 use crate::world::{VSched, World};
@@ -25,21 +25,102 @@ pub fn now_ns(s: &VSched) -> u64 {
 /// register from the transmit-complete interrupt.
 pub fn send_frame(w: &mut World, s: &mut VSched, frame: Frame) {
     let src = frame.src;
-    if w.net.can_send(src) && w.node(src).tx_q.is_empty() {
-        let out = w
-            .net
-            .try_send(now_ns(s), frame)
-            .expect("can_send was checked");
-        process_output(w, s, out);
+    if can_inject(w, src) {
+        inject(w, s, frame);
     } else {
         w.node_mut(src).tx_q.push_back(frame);
     }
 }
 
 /// True iff a user-level sender could inject a frame right now (hardware
-/// register free and no kernel frames queued ahead).
+/// register free — fabric or shard bridge — and no kernel frames queued
+/// ahead).
 pub fn can_inject(w: &World, a: NodeAddr) -> bool {
-    w.net.can_send(a) && w.node(a).tx_q.is_empty()
+    w.net.can_send(a) && !w.shard.tx_busy(a) && w.node(a).tx_q.is_empty()
+}
+
+/// Put a frame on the wire: into the local fabric, or — in a sharded build,
+/// for destinations owned by another shard — across the window bridge. The
+/// caller must have checked the register free ([`can_inject`] or a
+/// transmit-complete interrupt).
+fn inject(w: &mut World, s: &mut VSched, frame: Frame) {
+    let frame = if w.shard.enabled {
+        match bridge(w, s, frame) {
+            Some(local) => local,
+            None => return, // consumed entirely by the bridge
+        }
+    } else {
+        frame
+    };
+    let out = w
+        .net
+        .try_send(now_ns(s), frame)
+        .expect("register was checked free");
+    process_output(w, s, out);
+}
+
+/// Route the cross-shard portion of `frame` over the bridge. Returns the
+/// frame (with remote multicast targets removed) if any local delivery
+/// remains, or `None` when the bridge consumed it.
+///
+/// A bridged frame bypasses the fabric's store-and-forward machinery; its
+/// latency is the baseline path cost `links × (serialization + hop)`, which
+/// is at least the engine lookahead by construction, so delivery always
+/// lands strictly after the window that produced it. Contention on the
+/// intermediate links is not modeled for cross-shard traffic — that is the
+/// decomposition's one approximation, and the price of exact per-link flow
+/// control would be zero lookahead (see DESIGN.md §12).
+fn bridge(w: &mut World, s: &mut VSched, frame: Frame) -> Option<Frame> {
+    let src = frame.src;
+    let (local, remote): (Vec<NodeAddr>, Vec<NodeAddr>) = match &frame.dst {
+        Dest::Unicast(d) => {
+            if w.shard.is_remote(*d) {
+                (Vec::new(), vec![*d])
+            } else {
+                return Some(frame);
+            }
+        }
+        Dest::Multicast(ts) => ts.iter().partition(|t| !w.shard.is_remote(**t)),
+    };
+    if remote.is_empty() {
+        return Some(frame);
+    }
+    let wire = frame.wire_bytes();
+    let cfg = *w.net.config();
+    let ser = cfg.serialize_ns(wire);
+    let now = now_ns(s);
+    let src_cluster = w.shard.owner(src);
+    for t in remote {
+        let links = w.shard.links_between[src_cluster][w.shard.owner(t)];
+        let at = SimTime::from_ns(now + links * (ser + cfg.hop_latency_ns));
+        // Injection statistics, mirroring what `Fabric::try_send` records.
+        w.net.stats.frames_sent += 1;
+        w.net.stats.per_endpoint_tx[src.0 as usize] += 1;
+        let mut copy = frame.clone();
+        copy.dst = Dest::Unicast(t);
+        w.shard.outbox.push(OutMsg {
+            deliver_at: at,
+            dst_shard: w.shard.owner(t),
+            msg: copy,
+        });
+    }
+    if local.is_empty() {
+        // The bridge models the output register itself: busy while the
+        // frame serializes, then the usual transmit-complete interrupt.
+        w.shard.tx_busy[src.0 as usize] = true;
+        s.schedule_in(SimDuration::from_ns(ser), move |w: &mut World, s| {
+            w.shard.tx_busy[src.0 as usize] = false;
+            on_tx_ready(w, s, src);
+        });
+        None
+    } else {
+        // Mixed multicast: the local copies serialize through the fabric
+        // (which owns the register for the duration); the remote copies ride
+        // the bridge at no extra register cost.
+        let mut f = frame;
+        f.dst = Dest::Multicast(local);
+        Some(f)
+    }
 }
 
 /// Advance the fabric by one event with the fault plane consulted: every
@@ -75,11 +156,10 @@ fn on_tx_ready(w: &mut World, s: &mut VSched, a: NodeAddr) {
         return; // crashed between queueing and the interrupt
     }
     if let Some(frame) = w.node_mut(a).tx_q.pop_front() {
-        let out = w
-            .net
-            .try_send(now_ns(s), frame)
-            .expect("register must be free after TxReady");
-        process_output(w, s, out);
+        // The register is free after a transmit-complete (fabric or bridge),
+        // so the queued frame injects directly — through the bridge again if
+        // its destination is remote.
+        inject(w, s, frame);
     } else {
         w.node_mut(a).tx_waiters.wake_all(s, Wakeup::START);
     }

@@ -98,6 +98,80 @@ pub fn manager_for(w: &World, name: &str) -> NodeAddr {
     }
 }
 
+/// Node-local cache of name → serving-manager resolutions.
+///
+/// Normally the hash picks the manager and the cache is a transparent
+/// confirmation of it; the win comes after a manager failover, when the node
+/// that already learned the successor skips the dead-primary timeout on its
+/// next open of the same name. Entries are stamped with the failover/heal
+/// epoch at insert time and never served across an epoch change — a stale
+/// manager address is evicted on lookup instead.
+#[derive(Debug, Default)]
+pub struct ResolveCache {
+    entries: HashMap<String, (u64, NodeAddr)>,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Entries dropped because the failover/heal epoch moved past them.
+    pub stale_evictions: u64,
+}
+
+impl ResolveCache {
+    /// Look `name` up; a hit must match the current `epoch` exactly, and a
+    /// mismatched entry is evicted (never returned).
+    pub fn lookup(&mut self, epoch: u64, name: &str) -> Option<NodeAddr> {
+        match self.entries.get(name) {
+            Some(&(e, addr)) if e == epoch => {
+                self.hits += 1;
+                Some(addr)
+            }
+            Some(_) => {
+                self.entries.remove(name);
+                self.stale_evictions += 1;
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Record that `name` was served by `mgr` under `epoch`.
+    pub fn put(&mut self, epoch: u64, name: String, mgr: NodeAddr) {
+        self.entries.insert(name, (epoch, mgr));
+    }
+
+    /// Drop every entry (node crash wipes kernel state cold). The hit/stale
+    /// counters survive: they are measurements, not state.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The failover/heal epoch guarding cached resolutions: any manager failover
+/// or partition heal may move a name's serving manager, so either event
+/// invalidates every cached entry in the installation.
+pub fn resolve_epoch(w: &World) -> u64 {
+    w.faults.stats.mgr_failovers + w.faults.stats.heals
+}
+
+/// Resolve the manager to target for an open of `name` from `node`: the
+/// node's epoch-checked cache first, the hash otherwise.
+pub fn resolve_mgr(w: &mut World, node: NodeAddr, name: &str) -> NodeAddr {
+    let epoch = resolve_epoch(w);
+    if let Some(mgr) = w.node_mut(node).resolve.lookup(epoch, name) {
+        return mgr;
+    }
+    manager_for(w, name)
+}
+
 /// The successor replica for `name`'s manager state: the node after the
 /// hash-home in address order. Server registrations are pushed here so an
 /// open can fail over when the home becomes unreachable. `None` in
@@ -326,8 +400,7 @@ fn serve_open(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
     // A registered server takes priority: every client open yields a fresh
     // channel to the server without consuming the registration.
     if let Some(&server) = st.servers.get(&key) {
-        let id = w.next_chan;
-        w.next_chan += 1;
+        let id = w.alloc_chan();
         let rep = Frame::unicast(
             mgr,
             requester.0,
@@ -354,8 +427,7 @@ fn serve_open(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
     }
     let a = q.pop_front().expect("len >= 2");
     let b = q.pop_front().expect("len >= 2");
-    let id = w.next_chan;
-    w.next_chan += 1;
+    let id = w.alloc_chan();
     for (me, other) in [(a, b), (b, a)] {
         let rep = Frame::unicast(
             mgr,
@@ -418,8 +490,7 @@ pub fn on_serve_req(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
         kernel::send_frame(w, s, ack);
         // Connect clients that were already waiting.
         for (client, token) in waiting {
-            let id = w.next_chan;
-            w.next_chan += 1;
+            let id = w.alloc_chan();
             let rep = Frame::unicast(
                 mgr,
                 client,
@@ -459,6 +530,11 @@ pub fn on_open_rep(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
         _ => return,
     }
     let (kind, id, peer, name) = proto::parse_open_rep_kind(&f.payload);
+    // Remember which manager actually served this name (the successor,
+    // after a failover), stamped with the current epoch.
+    let epoch = resolve_epoch(w);
+    let mgr = f.src;
+    w.node_mut(node).resolve.put(epoch, name.clone(), mgr);
     match kind {
         proto::ObjKind::Channel => {
             // Create the channel end if this node does not have it yet
@@ -623,7 +699,7 @@ pub fn rendezvous(
 ) -> crate::VorxResult<(u32, NodeAddr)> {
     let name_owned = name.to_string();
     let token = ctx.with(move |w, s| {
-        let mgr = manager_for(w, &name_owned);
+        let mgr = resolve_mgr(w, node, &name_owned);
         let token = w.token();
         w.node_mut(node).open_waits.insert(
             token,
@@ -691,6 +767,53 @@ mod tests {
         // requester stopped retransmitting long ago).
         assert!(!note_seen(&mut st, (2, SEEN_CAP as u64 * 2 - 1)));
         assert!(note_seen(&mut st, (1, 42)), "evicted entries are forgotten");
+    }
+
+    #[test]
+    fn resolve_cache_never_serves_across_epochs() {
+        let mut c = ResolveCache::default();
+        c.put(0, "a".into(), NodeAddr(3));
+        assert_eq!(c.lookup(0, "a"), Some(NodeAddr(3)));
+        assert_eq!(c.hits, 1);
+        // Epoch moved: the entry must be evicted, never returned.
+        assert_eq!(c.lookup(1, "a"), None);
+        assert_eq!(c.stale_evictions, 1);
+        assert!(c.is_empty(), "stale entry evicted on lookup");
+        // Re-learned under the new epoch, a crash wipe clears entries but
+        // keeps the measurement counters.
+        c.put(1, "a".into(), NodeAddr(4));
+        assert_eq!(c.lookup(1, "a"), Some(NodeAddr(4)));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.stale_evictions, 1);
+    }
+
+    #[test]
+    fn repeat_opens_hit_the_resolve_cache() {
+        let mut v = VorxBuilder::single_cluster(4).build();
+        v.spawn("n1:w", |ctx| {
+            for _ in 0..2 {
+                let ch = open(&ctx, NodeAddr(1), "hot");
+                ch.write(&ctx, Payload::Synthetic(4)).unwrap();
+                ch.close(&ctx);
+            }
+        });
+        v.spawn("n2:r", |ctx| {
+            for _ in 0..2 {
+                let ch = open(&ctx, NodeAddr(2), "hot");
+                let _ = ch.read(&ctx).unwrap();
+                ch.close(&ctx);
+            }
+        });
+        v.run_all();
+        let w = v.world();
+        assert!(
+            w.node(NodeAddr(1)).resolve.hits >= 1,
+            "the second open of a cached name must hit"
+        );
+        assert!(w.node(NodeAddr(2)).resolve.hits >= 1);
+        assert_eq!(w.node(NodeAddr(1)).resolve.stale_evictions, 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use desim::{sync::WaitSet, Ctx, Scheduler, SimDuration, SimTime, Simulation, Trace};
-use hpcnet::{Fabric, NetConfig, NodeAddr, Topology};
+use hpcnet::{ClusterId, Fabric, Frame, NetConfig, NodeAddr, Topology};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -84,6 +84,8 @@ pub struct Node {
     pub listeners: HashMap<String, crate::channel::ListenState>,
     /// Object-manager role state (every node can serve opens).
     pub mgr: MgrState,
+    /// Epoch-guarded cache of name → serving-manager resolutions.
+    pub resolve: crate::objmgr::ResolveCache,
     /// Membership state: which peers this node believes are partitioned
     /// away, and which it is currently probing with heartbeats.
     pub mbr: crate::membership::MbrState,
@@ -117,12 +119,82 @@ impl Node {
             udcos: HashMap::new(),
             listeners: HashMap::new(),
             mgr: MgrState::default(),
+            resolve: crate::objmgr::ResolveCache::default(),
             mbr: crate::membership::MbrState::default(),
             sched: crate::sched::SchedState::default(),
             mcast: HashMap::new(),
             mcast_pending: HashMap::new(),
             orphans: Vec::new(),
         }
+    }
+}
+
+/// Cross-shard bridge state for the sharded engine (DESIGN.md §12).
+///
+/// In a sharded build every shard owns one cluster's nodes and runs them in
+/// a full copy of the `World`; frames whose destination lives on another
+/// shard never enter the local fabric — the kernel parks them in `outbox`
+/// with a delivery time computed from the fabric's per-link physics, and the
+/// engine exchanges outboxes at each lookahead-window barrier. Sequential
+/// builds carry the all-defaults value, where every check short-circuits.
+pub struct ShardCtx {
+    /// True when this world is one shard of a [`VorxShardedSim`].
+    pub enabled: bool,
+    /// This shard's index (== its cluster id under the cluster partition).
+    pub shard_id: usize,
+    /// Total number of shards.
+    pub n_shards: usize,
+    /// Owning shard per node address.
+    pub shard_of_node: Vec<usize>,
+    /// `links_between[a][b]`: directed links a frame crosses from a node in
+    /// cluster `a` to a node in cluster `b` (endpoint up-link + baseline
+    /// inter-cluster hops + endpoint down-link). Computed from the fault-free
+    /// routing tables at build time and deliberately held static under link
+    /// churn, so cross-shard latency — and with it the lookahead bound —
+    /// never depends on when a shard observed a reroute.
+    pub links_between: Vec<Vec<u64>>,
+    /// Output registers currently serializing a bridged frame, per node.
+    /// Only this shard's own nodes are ever set.
+    pub tx_busy: Vec<bool>,
+    /// Cross-shard frames produced since the last window barrier.
+    pub outbox: Vec<desim::OutMsg<Frame>>,
+    /// Stride for channel-id allocation (`n_shards`), so managers on
+    /// different shards can assign ids without coordinating.
+    pub chan_stride: u32,
+    /// Stride for token allocation, for the same reason.
+    pub token_stride: u64,
+}
+
+impl Default for ShardCtx {
+    fn default() -> Self {
+        ShardCtx {
+            enabled: false,
+            shard_id: 0,
+            n_shards: 1,
+            shard_of_node: Vec::new(),
+            links_between: Vec::new(),
+            tx_busy: Vec::new(),
+            outbox: Vec::new(),
+            chan_stride: 1,
+            token_stride: 1,
+        }
+    }
+}
+
+impl ShardCtx {
+    /// Owning shard of node `a`.
+    pub fn owner(&self, a: NodeAddr) -> usize {
+        self.shard_of_node[a.0 as usize]
+    }
+
+    /// True iff `a` lives on a different shard than this world.
+    pub fn is_remote(&self, a: NodeAddr) -> bool {
+        self.enabled && self.shard_of_node[a.0 as usize] != self.shard_id
+    }
+
+    /// True iff `a`'s output register is busy with a bridged serialization.
+    pub fn tx_busy(&self, a: NodeAddr) -> bool {
+        self.enabled && self.tx_busy[a.0 as usize]
     }
 }
 
@@ -158,6 +230,8 @@ pub struct World {
     /// gathers recycle their scatter/gather buffers through it instead of
     /// allocating fresh ones per message.
     pub payload_pool: crate::alloc::PayloadPool,
+    /// Sharded-engine bridge state; inert defaults in sequential builds.
+    pub shard: ShardCtx,
 }
 
 impl World {
@@ -171,10 +245,19 @@ impl World {
         &self.nodes[a.0 as usize]
     }
 
-    /// Allocate a fresh correlation token.
+    /// Allocate a fresh correlation token. Sharded builds stride by the
+    /// shard count from a per-shard offset, so tokens are globally unique
+    /// without coordination; sequential builds stride by 1.
     pub fn token(&mut self) -> u64 {
-        self.next_token += 1;
+        self.next_token += self.shard.token_stride;
         self.next_token
+    }
+
+    /// Allocate a fresh channel id (same striping rule as [`World::token`]).
+    pub fn alloc_chan(&mut self) -> u32 {
+        let id = self.next_chan;
+        self.next_chan += self.shard.chan_stride;
+        id
     }
 
     /// Charge `d` of *system* (interrupt-priority) CPU time on node `a`
@@ -220,6 +303,21 @@ impl World {
     /// links that never saw a fault.
     pub fn link_fault_stats(&self) -> &std::collections::BTreeMap<u32, desim::LinkStats> {
         self.faults.schedule.link_stats()
+    }
+}
+
+impl desim::ShardWorld for World {
+    type Msg = Frame;
+
+    fn take_outbox(&mut self) -> Vec<desim::OutMsg<Frame>> {
+        std::mem::take(&mut self.shard.outbox)
+    }
+
+    fn deliver(&mut self, s: &mut Scheduler<World>, f: Frame) {
+        // A bridged frame arrives exactly as hardware would deliver it: into
+        // the destination endpoint's receive FIFO, raising the rx interrupt.
+        let out = self.net.inject_arrival(s.now().as_ns(), f);
+        crate::kernel::process_output(self, s, out);
     }
 }
 
@@ -344,42 +442,187 @@ impl VorxBuilder {
             next_chan: 1,
             next_token: 0,
             payload_pool: crate::alloc::PayloadPool::default(),
+            shard: ShardCtx::default(),
         };
         let vs = VorxSim {
             sim: Simulation::new(world),
         };
-        if !events.is_empty() {
-            // The fault plane is an ordinary simulated process: crash and
-            // restart events interleave with the workload through the same
-            // (time, seq) event order, which is what makes replay exact.
-            vs.spawn("fault-plane", move |ctx| {
-                for e in events {
-                    let now = ctx.now();
-                    if e.at > now {
-                        ctx.sleep(SimDuration::from_ns(e.at.as_ns() - now.as_ns()));
+        spawn_fault_plane(&vs.sim, events);
+        vs
+    }
+
+    /// Construct a sharded simulation: one shard per cluster, drained in
+    /// parallel by up to `workers` threads under the conservative lookahead
+    /// window derived from the fabric's link physics (DESIGN.md §12).
+    ///
+    /// The shard partition — and with it every simulated outcome — is fixed
+    /// by the topology; `workers` only chooses how many OS threads drain the
+    /// shards, so any worker count produces the identical merged trace. With
+    /// a single-cluster topology the one shard executes byte-for-byte like
+    /// [`VorxBuilder::build`].
+    pub fn build_sharded(self, workers: usize) -> VorxShardedSim {
+        let topo = self.topo;
+        let n = topo.n_endpoints();
+        assert!(self.n_hosts <= n, "more hosts than endpoints");
+        let n_shards = topo.n_clusters();
+        let shard_of_node: Vec<usize> = topo
+            .endpoints()
+            .map(|a| topo.cluster_of(a).0 as usize)
+            .collect();
+
+        // Baseline (fault-free) link counts between cluster pairs, via one
+        // representative endpoint per cluster. Frames cross the source
+        // endpoint's up-link, the inter-cluster hops, and the destination
+        // endpoint's down-link.
+        let mut rep: Vec<Option<NodeAddr>> = vec![None; n_shards];
+        for a in topo.endpoints() {
+            let slot = &mut rep[topo.cluster_of(a).0 as usize];
+            if slot.is_none() {
+                *slot = Some(a);
+            }
+        }
+        let mut links_between = vec![vec![0u64; n_shards]; n_shards];
+        for (a, ra) in rep.iter().enumerate() {
+            for (b, rb) in rep.iter().enumerate() {
+                if a != b {
+                    if let (Some(ra), Some(rb)) = (ra, rb) {
+                        links_between[a][b] = topo.hops(*ra, *rb) as u64 + 2;
                     }
-                    ctx.with(|w, s| match e.action {
-                        desim::FaultAction::Down(id) => {
-                            crate::fault::on_crash(w, s, NodeAddr(id as u16));
-                        }
-                        desim::FaultAction::Up(id) => {
-                            crate::fault::on_restart(w, s, NodeAddr(id as u16));
-                        }
-                        desim::FaultAction::LinkDown(id) => {
-                            crate::fault::on_link_down(w, s, hpcnet::LinkId(id));
-                        }
-                        desim::FaultAction::LinkUp(id) => {
-                            crate::fault::on_link_up(w, s, hpcnet::LinkId(id));
-                        }
-                        desim::FaultAction::LinkDegrade(id) => {
-                            let _ = w.faults.schedule.apply_degrade(id);
-                        }
-                    });
+                }
+            }
+        }
+
+        // Map every fabric link to the shard that owns it: endpoint links to
+        // the endpoint's shard, inter-cluster links to the `from` cluster.
+        let probe_fabric = Fabric::new(topo.clone(), self.netcfg);
+        let lookahead_ns = probe_fabric.lookahead_ns().unwrap_or(1 << 40);
+        let mut link_shard = vec![0usize; probe_fabric.n_links()];
+        for a in topo.endpoints() {
+            let sh = shard_of_node[a.0 as usize];
+            link_shard[probe_fabric.endpoint_up_link(a).0 as usize] = sh;
+            link_shard[probe_fabric.endpoint_down_link(a).0 as usize] = sh;
+        }
+        for ca in 0..n_shards {
+            for cb in 0..n_shards {
+                if let Some(l) =
+                    probe_fabric.cluster_link(ClusterId(ca as u16), ClusterId(cb as u16))
+                {
+                    link_shard[l.0 as usize] = ca;
+                }
+            }
+        }
+        drop(probe_fabric);
+
+        let schedule = self
+            .faults
+            .unwrap_or_else(|| desim::FaultSchedule::new(self.seed));
+        let mut events: Vec<desim::FaultEvent> = schedule.events().to_vec();
+        events.sort_by_key(|e| e.at);
+        let owner = |e: &desim::FaultEvent| match e.action {
+            desim::FaultAction::Down(id) | desim::FaultAction::Up(id) => shard_of_node[id as usize],
+            desim::FaultAction::LinkDown(id)
+            | desim::FaultAction::LinkUp(id)
+            | desim::FaultAction::LinkDegrade(id) => link_shard[id as usize],
+        };
+
+        let mut shards = Vec::with_capacity(n_shards);
+        for k in 0..n_shards {
+            let world = World {
+                calib: self.calib,
+                net: Fabric::new(topo.clone(), self.netcfg),
+                nodes: (0..n).map(|i| Node::new(NodeAddr(i as u16))).collect(),
+                objmgr_mode: self.objmgr_mode,
+                alloc: Allocator::new(self.n_hosts, n),
+                hosts: (0..self.n_hosts)
+                    .map(|i| Host::new(i, NodeAddr(i as u16), &self.calib))
+                    .collect(),
+                appmgr: crate::appmgr::AppRegistry::default(),
+                dbg: crate::debug::DbgState::default(),
+                trace: if self.trace_enabled {
+                    Trace::new()
+                } else {
+                    Trace::disabled()
+                },
+                faults: crate::fault::FaultState::new(schedule.clone()),
+                // Shard 0 seeds exactly like the sequential build, so a
+                // single-shard sharded run replays it byte-for-byte.
+                rng: SmallRng::seed_from_u64(
+                    self.seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                next_chan: 1 + k as u32,
+                next_token: k as u64,
+                payload_pool: crate::alloc::PayloadPool::default(),
+                shard: ShardCtx {
+                    enabled: true,
+                    shard_id: k,
+                    n_shards,
+                    shard_of_node: shard_of_node.clone(),
+                    links_between: links_between.clone(),
+                    tx_busy: vec![false; n],
+                    outbox: Vec::new(),
+                    chan_stride: n_shards as u32,
+                    token_stride: n_shards as u64,
+                },
+            };
+            let sim = Simulation::new(world);
+            let mine: Vec<desim::FaultEvent> =
+                events.iter().copied().filter(|e| owner(e) == k).collect();
+            spawn_fault_plane(&sim, mine);
+            shards.push(sim);
+        }
+        VorxShardedSim {
+            engine: desim::ShardedSim::new(
+                shards,
+                SimDuration::from_ns(lookahead_ns),
+                workers.max(1),
+            ),
+            shard_of_node,
+        }
+    }
+}
+
+/// Spawn the fault plane: an ordinary simulated process applying the
+/// schedule's crash/restart/link events. They interleave with the workload
+/// through the same `(time, seq)` event order, which is what makes replay
+/// exact. No-op when `events` is empty.
+fn spawn_fault_plane(sim: &Simulation<World>, events: Vec<desim::FaultEvent>) {
+    if events.is_empty() {
+        return;
+    }
+    sim.spawn("fault-plane", move |ctx: VCtx| {
+        for e in events {
+            let now = ctx.now();
+            if e.at > now {
+                ctx.sleep(SimDuration::from_ns(e.at.as_ns() - now.as_ns()));
+            }
+            ctx.with(|w, s| match e.action {
+                desim::FaultAction::Down(id) => {
+                    crate::fault::on_crash(w, s, NodeAddr(id as u16));
+                }
+                desim::FaultAction::Up(id) => {
+                    crate::fault::on_restart(w, s, NodeAddr(id as u16));
+                }
+                desim::FaultAction::LinkDown(id) => {
+                    crate::fault::on_link_down(w, s, hpcnet::LinkId(id));
+                }
+                desim::FaultAction::LinkUp(id) => {
+                    crate::fault::on_link_up(w, s, hpcnet::LinkId(id));
+                }
+                desim::FaultAction::LinkDegrade(id) => {
+                    let _ = w.faults.schedule.apply_degrade(id);
                 }
             });
         }
-        vs
-    }
+    });
+}
+
+/// Worker-thread count for sharded runs, from `VORX_SIM_WORKERS` (default 1).
+pub fn workers_from_env() -> usize {
+    std::env::var("VORX_SIM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1)
 }
 
 /// A runnable HPC/VORX installation: a thin wrapper over
@@ -429,5 +672,90 @@ impl VorxSim {
     /// Number of endpoints.
     pub fn n_nodes(&self) -> usize {
         self.world().nodes.len()
+    }
+}
+
+/// A sharded HPC/VORX installation: one [`World`] per cluster, run by the
+/// conservative parallel engine ([`desim::ShardedSim`]).
+///
+/// Processes must be spawned on the shard owning the node they run on —
+/// [`VorxShardedSim::spawn_at`] routes by node address. Simulated outcomes
+/// are a function of the topology and seed only, never of the worker count.
+pub struct VorxShardedSim {
+    engine: desim::ShardedSim<World>,
+    shard_of_node: Vec<usize>,
+}
+
+impl VorxShardedSim {
+    /// Number of shards (clusters).
+    pub fn n_shards(&self) -> usize {
+        self.engine.n_shards()
+    }
+
+    /// Worker threads the run loop will use.
+    pub fn workers(&self) -> usize {
+        self.engine.workers()
+    }
+
+    /// The shard owning node `a`.
+    pub fn shard_of(&self, a: NodeAddr) -> usize {
+        self.shard_of_node[a.0 as usize]
+    }
+
+    /// Spawn a simulated process on the shard owning `node`. The process
+    /// must only touch that node's local state and communicate with other
+    /// nodes through frames (channels, syscalls, multicast) — the same
+    /// discipline real VORX software follows.
+    pub fn spawn_at<F>(&self, node: NodeAddr, name: impl Into<String>, f: F) -> desim::ProcId
+    where
+        F: FnOnce(VCtx) + Send + 'static,
+    {
+        self.engine.shard(self.shard_of(node)).spawn(name, f)
+    }
+
+    /// Run to global quiescence, returning one idle report per shard.
+    pub fn run(&mut self) -> Vec<desim::IdleReport> {
+        self.engine.run_to_idle()
+    }
+
+    /// Run to quiescence and assert every process on every shard finished;
+    /// returns the latest shard clock.
+    pub fn run_all(&mut self) -> SimTime {
+        let reports = self.run();
+        for (k, r) in reports.iter().enumerate() {
+            assert!(
+                r.all_finished(),
+                "shard {k}: processes deadlocked: {:?}",
+                r.parked
+            );
+        }
+        reports.iter().map(|r| r.now).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Engine counters (windows, bridged messages, barrier stalls, per-shard
+    /// event counts).
+    pub fn stats(&self) -> &desim::PdesStats {
+        self.engine.stats()
+    }
+
+    /// Inspect or mutate one shard's world between runs.
+    pub fn world(&self, shard: usize) -> parking_lot::MutexGuard<'_, World> {
+        self.engine.shard(shard).world()
+    }
+
+    /// Drain every shard's trace and merge them into one global trace,
+    /// ordered by time with shard index breaking ties — identical for every
+    /// worker count, and directly consumable by the measurement tools
+    /// (oscilloscope, profiler) exactly like a sequential trace.
+    pub fn merged_trace(&mut self) -> Trace<TraceEvent> {
+        let traces: Vec<Trace<TraceEvent>> = (0..self.n_shards())
+            .map(|k| std::mem::replace(&mut self.world(k).trace, Trace::disabled()))
+            .collect();
+        Trace::merge(traces)
+    }
+
+    /// Sum of a per-shard statistic over all shards.
+    pub fn sum_over_shards<F: Fn(&World) -> u64>(&self, f: F) -> u64 {
+        (0..self.n_shards()).map(|k| f(&self.world(k))).sum()
     }
 }

@@ -12,6 +12,9 @@
 //! * [`sync`] — wait sets, semaphores, and mailboxes for simulated
 //!   processes.
 //! * [`Trace`] — timestamped event recording for the measurement tools.
+//! * [`ShardedSim`] — conservative parallel execution: several
+//!   `Simulation` shards drained concurrently in barrier-synchronous
+//!   lookahead windows, with deterministic cross-shard message merging.
 //!
 //! ## Determinism
 //!
@@ -47,12 +50,14 @@ mod sim;
 mod time;
 
 pub mod fault;
+pub mod shard;
 pub mod sync;
 pub mod trace;
 
 pub use fault::{
     Disposition, FaultAction, FaultEvent, FaultSchedule, FaultStats, LinkFaults, LinkStats,
 };
+pub use shard::{OutMsg, PdesStats, ShardWorld, ShardedSim};
 pub use sim::{Ctx, IdleReport, ProcId, RunOutcome, Scheduler, Simulation, TimerHandle, Wakeup};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;

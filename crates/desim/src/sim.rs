@@ -216,6 +216,9 @@ struct ProcSlot {
 struct Core<W> {
     now: SimTime,
     seq: u64,
+    /// Activities executed so far (events run + process resumes), for
+    /// load accounting in the sharded engine and campaign reports.
+    dispatched: u64,
     /// Future events, ordered by `(time, seq)`.
     queue: BinaryHeap<QEntry<W>>,
     /// Events scheduled *at the current instant*, FIFO. Every entry's time is
@@ -599,6 +602,7 @@ impl<W: Send + 'static> Simulation<W> {
                 core: Mutex::new(Core {
                     now: SimTime::ZERO,
                     seq: 0,
+                    dispatched: 0,
                     queue: BinaryHeap::new(),
                     lane: VecDeque::new(),
                     procs: Vec::new(),
@@ -721,13 +725,17 @@ impl<W: Send + 'static> Simulation<W> {
                         e.act
                     };
                     match act {
-                        Pending::Run(f) => break Next::Run(f, core.now),
+                        Pending::Run(f) => {
+                            core.dispatched += 1;
+                            break Next::Run(f, core.now);
+                        }
                         Pending::Cancellable(flag, f) => {
                             if flag.load(AtomicOrdering::Relaxed) {
                                 // Cancelled same-instant (lane) entry: time
                                 // is already `now`, just skip it.
                                 continue;
                             }
+                            core.dispatched += 1;
                             break Next::Run(f, core.now);
                         }
                         Pending::Wake(pid, token) => {
@@ -741,12 +749,14 @@ impl<W: Send + 'static> Simulation<W> {
                                 "woke a running process"
                             );
                             slot.state = ProcState::Running;
-                            break Next::Wake(
+                            let next = Next::Wake(
                                 Arc::clone(&slot.baton),
                                 slot.thread.clone(),
                                 pid,
                                 token,
                             );
+                            core.dispatched += 1;
+                            break next;
                         }
                     }
                 }
@@ -820,6 +830,41 @@ impl<W: Send + 'static> Simulation<W> {
     /// Names of processes that are still parked.
     pub fn parked_processes(&self) -> Vec<(ProcId, String)> {
         idle_report(&self.inner.core.lock()).parked
+    }
+
+    /// Time of the earliest pending activity, or `None` when idle. Disarmed
+    /// (cancelled) timers at the head of the queue are discarded first, so
+    /// the answer matches what `run_until` would execute next; same-instant
+    /// lane entries report the current time. Used by the sharded engine to
+    /// pick the next lookahead window.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let mut core = self.inner.core.lock();
+        while core.queue.peek().is_some_and(|e| e.act.cancelled()) {
+            core.queue.pop();
+        }
+        if !core.lane.is_empty() {
+            return Some(core.now);
+        }
+        core.queue.peek().map(|e| e.t)
+    }
+
+    /// Total activities executed so far (event callbacks run plus process
+    /// resumes). Monotone across `run_until` calls; the sharded engine
+    /// reports it per shard as a load-balance signal.
+    pub fn events_dispatched(&self) -> u64 {
+        self.inner.core.lock().dispatched
+    }
+
+    /// Schedule an event callback at *absolute* simulated time `t`, which
+    /// must not be in the past. The sharded engine uses this to inject
+    /// cross-shard deliveries between lookahead windows; injection order at
+    /// equal `t` is preserved by the queue's sequence numbers.
+    pub fn schedule_at<F>(&self, t: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
+    {
+        let mut core = self.inner.core.lock();
+        core.push(t, Pending::Run(Box::new(f)));
     }
 }
 

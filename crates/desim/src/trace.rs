@@ -98,6 +98,40 @@ impl<E> Trace<E> {
     pub fn into_events(self) -> Vec<(SimTime, E)> {
         self.events
     }
+
+    /// Merge several time-ordered traces into one global timeline. Ordering
+    /// is by `(time, trace index, record index)`: ties at equal time resolve
+    /// in favor of the earlier-indexed trace, and record order within one
+    /// trace is preserved (the merge is stable). The sharded engine uses
+    /// this to reassemble the global trace from per-shard traces; the result
+    /// upholds the [`Trace::record`] ordering invariant, so
+    /// [`Trace::window`] and the oscilloscope consume it unchanged.
+    pub fn merge(traces: Vec<Trace<E>>) -> Trace<E> {
+        let total = traces.iter().map(Trace::len).sum();
+        let mut parts: Vec<_> = traces
+            .into_iter()
+            .map(|t| t.events.into_iter().peekable())
+            .collect();
+        let mut events = Vec::with_capacity(total);
+        loop {
+            // Linear scan for the earliest head: the shard count is small
+            // (one per cluster), so a heap would cost more than it saves.
+            let mut best: Option<(SimTime, usize)> = None;
+            for (i, p) in parts.iter_mut().enumerate() {
+                if let Some(&(t, _)) = p.peek() {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            events.push(parts[i].next().expect("peeked head"));
+        }
+        Trace {
+            events,
+            enabled: true,
+        }
+    }
 }
 
 impl<E: Serialize> Trace<E> {
@@ -570,6 +604,24 @@ mod tests {
         let mut t = Trace::new();
         t.record(SimTime::ZERO, "he said \"hi\"\n".to_string());
         assert_eq!(t.to_json(), r#"[{"t_ns":0,"event":"he said \"hi\"\n"}]"#);
+    }
+
+    #[test]
+    fn merge_interleaves_by_time_with_stable_ties() {
+        let mut a = Trace::new();
+        a.record(SimTime::from_ns(1), "a1");
+        a.record(SimTime::from_ns(5), "a5");
+        a.record(SimTime::from_ns(5), "a5b");
+        let mut b = Trace::new();
+        b.record(SimTime::from_ns(1), "b1");
+        b.record(SimTime::from_ns(3), "b3");
+        let merged = Trace::merge(vec![a, b]);
+        let got: Vec<_> = merged.iter().map(|(t, e)| (t.as_ns(), *e)).collect();
+        // Equal times: trace 0 before trace 1; within a trace, record order.
+        assert_eq!(
+            got,
+            vec![(1, "a1"), (1, "b1"), (3, "b3"), (5, "a5"), (5, "a5b")]
+        );
     }
 
     #[test]

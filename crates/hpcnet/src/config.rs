@@ -41,6 +41,14 @@ impl NetConfig {
     pub fn serialize_ns(&self, bytes: u32) -> u64 {
         self.ns_per_byte * u64::from(bytes)
     }
+
+    /// Latency of one store-and-forward hop for a frame of `wire_bytes`:
+    /// full serialization onto the link plus the fixed switch/propagation
+    /// latency. Every link a frame crosses pays at least this much, which is
+    /// what gives the sharded engine its lookahead.
+    pub fn link_latency_ns(&self, wire_bytes: u32) -> u64 {
+        self.serialize_ns(wire_bytes) + self.hop_latency_ns
+    }
 }
 
 impl Default for NetConfig {

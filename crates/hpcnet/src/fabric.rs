@@ -658,6 +658,47 @@ impl Fabric {
         self.eps[node.0 as usize].down
     }
 
+    /// Materialize a frame in the destination endpoint's receive FIFO, as
+    /// if it had just completed its final hop. This is the receiving half of
+    /// the sharded engine's cross-shard bridge: the sending shard computed
+    /// the full path latency up front, so the frame bypasses this fabric's
+    /// links and appears directly at the endpoint at its arrival time.
+    ///
+    /// Deliberate simplification: the endpoint FIFO's slot cap is not
+    /// enforced (VORX drains receive FIFOs unconditionally — "the VORX
+    /// kernel reads in messages immediately when they arrive" — so an
+    /// over-cap burst models a momentarily deeper FIFO rather than loss).
+    /// A frame arriving at a down endpoint dies at the dead interface,
+    /// exactly like [`NetEvent::Arrive`] handling.
+    pub fn inject_arrival(&mut self, now_ns: u64, frame: Frame) -> Output {
+        self.now_ns = now_ns;
+        let mut out = Output::default();
+        let dst = match &frame.dst {
+            Dest::Unicast(a) => *a,
+            Dest::Multicast(_) => panic!("bridged frames are unicast per target"),
+        };
+        if self.down[dst.0 as usize] {
+            self.stats.frames_dropped += 1;
+            return out;
+        }
+        let down = self.eps[dst.0 as usize].down;
+        self.links[down.0 as usize].buf.push_back(frame);
+        self.in_flight += 1;
+        out.notifies.push(Notify::RxArrived(dst));
+        out
+    }
+
+    /// Lower bound (ns) on the fabric latency of any frame crossing a
+    /// cluster boundary, over the routing tables currently in force: the
+    /// minimum cross-cluster link count times the per-link latency of a
+    /// header-only frame. `None` for single-cluster topologies. This is the
+    /// sharded engine's lookahead window.
+    pub fn lookahead_ns(&self) -> Option<u64> {
+        self.topo
+            .min_cross_cluster_links()
+            .map(|links| links as u64 * self.cfg.link_latency_ns(crate::frame::HEADER_BYTES))
+    }
+
     /// The destination port on `cluster` for each target of `dst`, grouped:
     /// returns the ports in ascending order with their target subsets.
     fn group_by_port(&self, cluster: ClusterId, dst: &Dest) -> Vec<(u8, Vec<NodeAddr>)> {
@@ -929,6 +970,54 @@ mod tests {
         // 4 * (serialize + hop latency) for (100+36) bytes.
         let per_hop = 136 * 50 + 500;
         assert_eq!(net.delivered[0].0, 4 * per_hop);
+    }
+
+    #[test]
+    fn lookahead_matches_min_cross_cluster_path() {
+        // Hypercube: adjacent clusters one hop apart, plus the two endpoint
+        // links; a header-only frame pays 36 * 50 + 500 ns per link.
+        let f = Fabric::new(
+            Topology::incomplete_hypercube(10, 7).unwrap(),
+            NetConfig::paper_1988(),
+        );
+        assert_eq!(f.lookahead_ns(), Some(3 * (36 * 50 + 500)));
+        // Single cluster: nothing ever crosses a shard boundary.
+        let f1 = Fabric::new(
+            Topology::single_cluster(4).unwrap(),
+            NetConfig::paper_1988(),
+        );
+        assert_eq!(f1.lookahead_ns(), None);
+    }
+
+    #[test]
+    fn inject_arrival_lands_in_rx_fifo() {
+        let mut fab = Fabric::new(
+            Topology::single_cluster(2).unwrap(),
+            NetConfig::paper_1988(),
+        );
+        let f = Frame::unicast(NodeAddr(0), NodeAddr(1), 7, 1, Payload::Synthetic(8));
+        let out = fab.inject_arrival(100, f);
+        assert!(matches!(out.notifies[..], [Notify::RxArrived(NodeAddr(1))]));
+        assert_eq!(fab.rx_depth(NodeAddr(1)), 1);
+        assert_eq!(fab.in_flight(), 1);
+        let (frame, _) = fab.rx_pop(200, NodeAddr(1));
+        assert_eq!(frame.unwrap().kind, 7);
+        assert_eq!(fab.in_flight(), 0);
+        assert_eq!(fab.stats.frames_delivered, 1);
+    }
+
+    #[test]
+    fn inject_arrival_at_down_endpoint_is_dropped() {
+        let mut fab = Fabric::new(
+            Topology::single_cluster(2).unwrap(),
+            NetConfig::paper_1988(),
+        );
+        let _ = fab.set_endpoint_down(0, NodeAddr(1), true);
+        let f = Frame::unicast(NodeAddr(0), NodeAddr(1), 7, 1, Payload::Synthetic(8));
+        let out = fab.inject_arrival(100, f);
+        assert!(out.notifies.is_empty());
+        assert_eq!(fab.rx_depth(NodeAddr(1)), 0);
+        assert_eq!(fab.stats.frames_dropped, 1);
     }
 
     #[test]

@@ -213,6 +213,12 @@ pub struct Topology {
     /// baseline.
     generation: u64,
     mode: RoutingMode,
+    /// Reusable per-destination BFS distance array for
+    /// [`Topology::recompute`]; hoisted so link-churn recomputes do not
+    /// allocate on the hot path.
+    scratch_dist: Vec<usize>,
+    /// Reusable BFS work queue for [`Topology::recompute`].
+    scratch_queue: VecDeque<usize>,
 }
 
 impl Topology {
@@ -346,6 +352,8 @@ impl Topology {
             dead_out,
             generation: 0,
             mode,
+            scratch_dist: vec![usize::MAX; n],
+            scratch_queue: VecDeque::with_capacity(n),
         })
     }
 
@@ -444,6 +452,63 @@ impl Topology {
         self.cluster_path(src, dst).len() - 1
     }
 
+    /// Minimum number of directed links on any endpoint-to-endpoint path
+    /// that crosses a cluster boundary, over the tables currently in force:
+    /// the source endpoint's up-link, the inter-cluster hops, and the
+    /// destination endpoint's down-link — so always ≥ 3. `None` when no two
+    /// endpoint-hosting clusters are connected (single-cluster topologies:
+    /// nothing ever crosses). This is the lookahead extraction for the
+    /// sharded engine: multiplied by the minimal per-link frame latency
+    /// ([`crate::NetConfig::link_latency_ns`] of a header-only frame) it
+    /// lower-bounds the fabric latency of every cross-cluster delivery.
+    pub fn min_cross_cluster_links(&self) -> Option<usize> {
+        let mut hosts: Vec<usize> = self
+            .endpoints
+            .iter()
+            .map(|p| p.cluster.0 as usize)
+            .collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        let mut best: Option<usize> = None;
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b {
+                    continue;
+                }
+                if let Some(h) = self.cluster_hops(a, b) {
+                    let links = h + 2;
+                    best = Some(best.map_or(links, |m| m.min(links)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Hop count of the routed path from cluster `from` to cluster `to`
+    /// over the tables currently in force; `None` when unreachable.
+    fn cluster_hops(&self, from: usize, to: usize) -> Option<usize> {
+        let mut here = from;
+        let mut hops = 0;
+        while here != to {
+            let port = self.next_port[here][to];
+            if port == u8::MAX {
+                return None;
+            }
+            match self.attachment(PortRef {
+                cluster: ClusterId(here as u16),
+                port,
+            }) {
+                Attachment::Cluster(peer) => here = peer.cluster.0 as usize,
+                other => panic!("route led to non-cluster attachment {other:?}"),
+            }
+            hops += 1;
+            if hops > self.clusters.len() {
+                return None; // defensive loop guard
+            }
+        }
+        Some(hops)
+    }
+
     /// Mark the directed inter-cluster edge out of `p` alive (`up = true`)
     /// or dead. Takes effect at the next [`Topology::recompute`].
     pub fn set_edge_state(&mut self, p: PortRef, up: bool) {
@@ -477,7 +542,11 @@ impl Topology {
     pub fn recompute(&mut self) {
         self.generation += 1;
         if !self.has_dead_edges() {
-            self.next_port = self.base_next_port.clone();
+            // Element-wise restore: same result as cloning the baseline
+            // tables, without allocating fresh rows on every heal.
+            for (row, base) in self.next_port.iter_mut().zip(&self.base_next_port) {
+                row.copy_from_slice(base);
+            }
             return;
         }
         let n = self.clusters.len();
@@ -485,10 +554,13 @@ impl Topology {
             row.fill(u8::MAX);
         }
         for dst in 0..n {
-            let mut dist = vec![usize::MAX; n];
-            dist[dst] = 0;
-            let mut q = VecDeque::from([dst]);
-            while let Some(c) = q.pop_front() {
+            // BFS over the hoisted scratch buffers (see `scratch_dist`):
+            // recompute runs on every link-churn event and must not allocate.
+            self.scratch_dist.fill(usize::MAX);
+            self.scratch_dist[dst] = 0;
+            self.scratch_queue.clear();
+            self.scratch_queue.push_back(dst);
+            while let Some(c) = self.scratch_queue.pop_front() {
                 for att in self.clusters[c].iter() {
                     if let Attachment::Cluster(peer) = att {
                         let p = peer.cluster.0 as usize;
@@ -497,11 +569,13 @@ impl Topology {
                         if self.dead_out[p][usize::from(peer.port)] {
                             continue;
                         }
-                        if dist[p] == usize::MAX {
-                            dist[p] = dist[c] + 1;
-                            q.push_back(p);
+                        if self.scratch_dist[p] == usize::MAX {
+                            self.scratch_dist[p] = self.scratch_dist[c] + 1;
+                            self.scratch_queue.push_back(p);
                         }
-                        if dist[p] == dist[c] + 1 && self.next_port[p][dst] == u8::MAX {
+                        if self.scratch_dist[p] == self.scratch_dist[c] + 1
+                            && self.next_port[p][dst] == u8::MAX
+                        {
                             self.next_port[p][dst] = peer.port;
                         }
                     }
@@ -546,6 +620,25 @@ mod tests {
         assert_eq!(t.n_endpoints(), 12);
         assert_eq!(t.hops(NodeAddr(0), NodeAddr(11)), 0);
         assert!(Topology::single_cluster(13).is_err());
+    }
+
+    #[test]
+    fn min_cross_cluster_links_reflects_topology() {
+        // Single cluster: no path ever crosses a boundary.
+        assert_eq!(
+            Topology::single_cluster(4)
+                .unwrap()
+                .min_cross_cluster_links(),
+            None
+        );
+        // Hypercube: adjacent clusters exist, so the minimum path is
+        // up-link + one inter-cluster hop + down-link.
+        assert_eq!(
+            Topology::incomplete_hypercube(10, 7)
+                .unwrap()
+                .min_cross_cluster_links(),
+            Some(3)
+        );
     }
 
     #[test]

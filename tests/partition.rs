@@ -271,6 +271,88 @@ fn open_fails_over_to_replica_when_home_is_partitioned() {
     );
 }
 
+/// The node-local resolve cache must never serve a manager address across a
+/// failover/heal epoch change. A client learns the successor replica during
+/// a partition (cache stamped with the failover epoch); after the fabric
+/// heals, the next open of the same name must evict that entry and resolve
+/// back to the hash-home — not silently reuse the successor.
+#[test]
+fn resolve_cache_is_invalidated_across_failover_and_heal() {
+    use hpc_vorx::vorx::objmgr::resolve_epoch;
+
+    let t = topo();
+    let n = t.n_endpoints() as u64;
+    // A name homed on the last endpoint of cluster 0, so the successor
+    // (home + 1, by address) lives in a different cluster.
+    let home = (0..n as u16)
+        .map(NodeAddr)
+        .filter(|&a| t.cluster_of(a) == ClusterId(0))
+        .max_by_key(|a| a.0)
+        .unwrap();
+    let name = (0..)
+        .map(|i| format!("svc{i}"))
+        .find(|s| name_hash(s) % n == u64::from(home.0))
+        .unwrap();
+
+    // Cut cluster 0 off at 20 ms; heal the fabric at 1 s.
+    let mut schedule = FaultSchedule::new(15);
+    for cab in [cable(0, 1), cable(0, 2)] {
+        for l in cab {
+            schedule = schedule
+                .link_down_at(l, SimTime::from_ns(20_000_000))
+                .link_up_at(l, SimTime::from_ns(1_000_000_000));
+        }
+    }
+    let mut v = VorxBuilder::hypercube(4, 2).faults(schedule).build();
+    let (server, client) = (node_in(2), node_in(3));
+    let sname = name.clone();
+    v.spawn("server", move |ctx| {
+        // Registers before the cut: the home pushes the replica.
+        let ls = channel::listen(&ctx, server, &sname);
+        for _ in 0..2 {
+            let ch = ls.accept(&ctx);
+            let m = ch.read(&ctx).unwrap();
+            ch.write(&ctx, m).unwrap(); // echo
+        }
+    });
+    let cname = name.clone();
+    v.spawn("client", move |ctx| {
+        // Open #1, mid-partition: fails over to the successor replica and
+        // caches it under the failover epoch.
+        ctx.sleep(SimDuration::from_ns(50_000_000));
+        let ch = channel::try_open(&ctx, client, &cname).unwrap();
+        ch.write(&ctx, Payload::copy_from(b"one")).unwrap();
+        let _ = ch.read(&ctx).unwrap();
+        ch.close(&ctx);
+        // Open #2, well after the heal: the cached successor is one or more
+        // epochs old and must be evicted, not served.
+        ctx.sleep(SimDuration::from_ns(5_000_000_000));
+        let ch = channel::try_open(&ctx, client, &cname).unwrap();
+        ch.write(&ctx, Payload::copy_from(b"two")).unwrap();
+        let _ = ch.read(&ctx).unwrap();
+        ch.close(&ctx);
+    });
+    let report = v.run();
+    assert_eq!(report.parked, vec![], "no process may stay parked");
+
+    let mut w = v.world();
+    assert!(w.faults.stats.mgr_failovers >= 1, "open #1 must fail over");
+    assert!(w.faults.stats.heals >= 1, "the fabric must heal");
+    let stale = w.node(client).resolve.stale_evictions;
+    assert!(
+        stale >= 1,
+        "open #2 must evict the stale successor entry, not serve it"
+    );
+    // What the client believes now was learned under the current epoch and
+    // points back at the hash-home that served open #2.
+    let epoch = resolve_epoch(&w);
+    assert_eq!(
+        w.node_mut(client).resolve.lookup(epoch, &name),
+        Some(home),
+        "post-heal resolution must come from the hash-home again"
+    );
+}
+
 /// Build the scripted churn schedule used by the determinism tests: two
 /// overlapping cable flaps plus background loss.
 fn churny_schedule(seed: u64) -> FaultSchedule {

@@ -1,0 +1,243 @@
+//! Sharded-engine determinism: simulated outcomes are a function of the
+//! topology, workload, and seed — never of the worker-thread count — and a
+//! single-shard sharded run replays the sequential engine byte-for-byte.
+
+use desim::{FaultSchedule, SimTime};
+use hpc_vorx::vorx::hpcnet::{ClusterId, Fabric, NetConfig, NodeAddr, Payload, Topology};
+use hpc_vorx::vorx::{channel, workers_from_env, VCtx, VorxBuilder, VorxShardedSim};
+use hpc_vorx::vorx_tools::oscillo::Oscilloscope;
+
+/// Group node addresses by cluster, in address order.
+fn by_cluster(topo: &Topology) -> Vec<Vec<NodeAddr>> {
+    let mut out = vec![Vec::new(); topo.n_clusters()];
+    for a in topo.endpoints() {
+        out[topo.cluster_of(a).0 as usize].push(a);
+    }
+    out
+}
+
+/// Cross-cluster channel pairs: endpoint `e` of cluster `c` writes to
+/// endpoint `e` of cluster `c + 1`, for `e < per_cluster`. Leaves the last
+/// endpoints of every cluster free of processes (fault-injection targets).
+fn cross_pairs(topo: &Topology, per_cluster: usize) -> Vec<(NodeAddr, NodeAddr)> {
+    let clusters = by_cluster(topo);
+    let nc = clusters.len();
+    let mut pairs = Vec::new();
+    for (c, nodes) in clusters.iter().enumerate() {
+        for (e, &wn) in nodes.iter().take(per_cluster).enumerate() {
+            pairs.push((wn, clusters[(c + 1) % nc][e]));
+        }
+    }
+    pairs
+}
+
+/// Spawn the pair workload through an arbitrary spawner, so the identical
+/// spawn order runs on the sequential and the sharded engine.
+fn spawn_pairs(
+    pairs: &[(NodeAddr, NodeAddr)],
+    msgs: usize,
+    mut spawn: impl FnMut(NodeAddr, String, Box<dyn FnOnce(VCtx) + Send>),
+) {
+    for (i, &(wn, rn)) in pairs.iter().enumerate() {
+        let name = format!("p{i}");
+        let rname = name.clone();
+        spawn(
+            wn,
+            format!("n{}:w{i}", wn.0),
+            Box::new(move |ctx| {
+                let ch = channel::open(&ctx, wn, &name);
+                for m in 0..msgs {
+                    let bytes = 64 + (m as u32 % 3) * 100;
+                    ch.write(&ctx, Payload::Synthetic(bytes)).unwrap();
+                }
+            }),
+        );
+        spawn(
+            rn,
+            format!("n{}:r{i}", rn.0),
+            Box::new(move |ctx| {
+                let ch = channel::open(&ctx, rn, &rname);
+                for _ in 0..msgs {
+                    ch.read(&ctx).unwrap();
+                }
+            }),
+        );
+    }
+}
+
+/// The paper's 70-node machine: 10 clusters × 7 endpoints.
+fn topo70() -> Topology {
+    Topology::incomplete_hypercube(10, 7).unwrap()
+}
+
+/// Crash/restart two process-free spare nodes and flap two hypercube edges:
+/// every fault class the sharded fault-plane filter must route correctly.
+fn churn_schedule(topo: &Topology, seed: u64) -> FaultSchedule {
+    let clusters = by_cluster(topo);
+    let probe = Fabric::new(topo.clone(), NetConfig::paper_1988());
+    let l01 = probe
+        .cluster_link(ClusterId(0), ClusterId(1))
+        .expect("adjacent clusters");
+    let l10 = probe
+        .cluster_link(ClusterId(1), ClusterId(0))
+        .expect("adjacent clusters");
+    let spare_a = *clusters[2].last().unwrap();
+    let spare_b = *clusters[7].last().unwrap();
+    FaultSchedule::new(seed)
+        .down_at(spare_a.0 as u32, SimTime::from_ns(5_000 * 1_000))
+        .up_at(spare_a.0 as u32, SimTime::from_ns(8_000 * 1_000))
+        .down_at(spare_b.0 as u32, SimTime::from_ns(6_000 * 1_000))
+        .link_down_at(l01.0, SimTime::from_ns(4_000 * 1_000))
+        .link_up_at(l01.0, SimTime::from_ns(7_000 * 1_000))
+        .link_down_at(l10.0, SimTime::from_ns(4_500 * 1_000))
+}
+
+/// Run the 70-node workload sharded with the given worker count; return the
+/// merged trace JSON plus headline counters.
+fn run70(workers: usize, seed: u64) -> (String, u64, u64, SimTime) {
+    let topo = topo70();
+    let pairs = cross_pairs(&topo, 5);
+    let faults = churn_schedule(&topo, seed);
+    let mut v: VorxShardedSim = VorxBuilder::with_topology(topo)
+        .seed(seed)
+        .faults(faults)
+        .build_sharded(workers);
+    spawn_pairs(&pairs, 3, |node, name, f| {
+        v.spawn_at(node, name, f);
+    });
+    let end = v.run_all();
+    let delivered = v.sum_over_shards(|w| w.net.stats.frames_delivered);
+    let bridged = v.stats().msgs_bridged;
+    (v.merged_trace().to_json(), delivered, bridged, end)
+}
+
+#[test]
+fn worker_count_is_invisible_at_70_nodes() {
+    let (t1, d1, b1, e1) = run70(1, 0x5EED);
+    let (t2, d2, b2, e2) = run70(2, 0x5EED);
+    let (t4, d4, b4, e4) = run70(4, 0x5EED);
+    assert!(b1 > 0, "cross-cluster workload must bridge frames");
+    assert!(d1 > 0);
+    assert_eq!((d1, b1, e1), (d2, b2, e2));
+    assert_eq!((d1, b1, e1), (d4, b4, e4));
+    assert_eq!(t1, t2, "workers=2 diverged from workers=1");
+    assert_eq!(t1, t4, "workers=4 diverged from workers=1");
+}
+
+#[test]
+fn single_shard_matches_sequential_engine_byte_for_byte() {
+    // One cluster ⇒ one shard ⇒ the sharded build must replay the
+    // sequential engine exactly: same events, same times, same stats.
+    let pairs: Vec<(NodeAddr, NodeAddr)> = (0..4).map(|i| (NodeAddr(i), NodeAddr(i + 4))).collect();
+    let faults = FaultSchedule::new(7)
+        .down_at(3, SimTime::from_ns(9_000 * 1_000))
+        .up_at(3, SimTime::from_ns(11_000 * 1_000));
+
+    let mut seq = VorxBuilder::single_cluster(8)
+        .faults(faults.clone())
+        .build();
+    spawn_pairs(&pairs, 3, |_, name, f| {
+        seq.spawn(name, f);
+    });
+    let seq_end = seq.run_all();
+    let seq_json = seq.world().trace.to_json();
+    let seq_delivered = seq.world().net.stats.frames_delivered;
+
+    let mut sh = VorxBuilder::single_cluster(8)
+        .faults(faults)
+        .build_sharded(1);
+    assert_eq!(sh.n_shards(), 1);
+    spawn_pairs(&pairs, 3, |node, name, f| {
+        sh.spawn_at(node, name, f);
+    });
+    let sh_end = sh.run_all();
+    let sh_delivered = sh.world(0).net.stats.frames_delivered;
+    let sh_json = sh.merged_trace().to_json();
+
+    assert_eq!(seq_end, sh_end);
+    assert_eq!(seq_delivered, sh_delivered);
+    assert_eq!(seq_json, sh_json, "single-shard run must be byte-identical");
+}
+
+/// The env-selected worker count (`VORX_SIM_WORKERS` — what `ci.sh` sweeps
+/// at 1 and 4) must be as invisible as any explicit one.
+#[test]
+fn env_selected_worker_count_is_invisible() {
+    let (t1, d1, b1, e1) = run70(1, 0xC1);
+    let (tn, dn, bn, en) = run70(workers_from_env(), 0xC1);
+    assert_eq!((d1, b1, e1), (dn, bn, en));
+    assert_eq!(t1, tn, "VORX_SIM_WORKERS changed the simulated execution");
+}
+
+#[test]
+fn merged_trace_feeds_the_tools_unchanged() {
+    let topo = topo70();
+    let pairs = cross_pairs(&topo, 2);
+    let mut v = VorxBuilder::with_topology(topo).build_sharded(4);
+    spawn_pairs(&pairs, 2, |node, name, f| {
+        v.spawn_at(node, name, f);
+    });
+    let end = v.run_all();
+    let trace = v.merged_trace();
+    // Time-windowing works on the merged trace (monotone timestamps).
+    let mut last = SimTime::ZERO;
+    let mut n = 0usize;
+    for (t, _) in trace.window(SimTime::ZERO, end) {
+        assert!(t >= last, "merged trace must be time-ordered");
+        last = t;
+        n += 1;
+    }
+    assert!(n > 0);
+    // And the oscilloscope consumes it exactly like a sequential trace.
+    let o = Oscilloscope::from_trace(&trace, 70);
+    assert_eq!(o.n_nodes(), 70);
+    assert!(o.t_end() <= end);
+    let rendered = o.render_all(60);
+    assert!(!rendered.is_empty());
+}
+
+#[test]
+fn per_shard_counters_cover_every_shard() {
+    let topo = topo70();
+    let pairs = cross_pairs(&topo, 3);
+    let mut v = VorxBuilder::with_topology(topo).build_sharded(2);
+    spawn_pairs(&pairs, 2, |node, name, f| {
+        v.spawn_at(node, name, f);
+    });
+    v.run_all();
+    let stats = v.stats();
+    assert_eq!(stats.events_per_shard.len(), 10);
+    assert!(stats.events_per_shard.iter().all(|&e| e > 0));
+    assert!(stats.windows > 0);
+}
+
+/// A lighter seed sweep in proptest style: any seed must behave identically
+/// under 1 and 3 workers on a 16-node, 4-cluster machine.
+#[test]
+fn seeds_are_worker_invariant() {
+    for seed in [1u64, 0xBEEF, 0x1234_5678] {
+        let run = |workers: usize| {
+            let topo = Topology::incomplete_hypercube(4, 4).unwrap();
+            let pairs = cross_pairs(&topo, 3);
+            let faults = churn_schedule_small(&topo, seed);
+            let mut v = VorxBuilder::with_topology(topo)
+                .seed(seed)
+                .faults(faults)
+                .build_sharded(workers);
+            spawn_pairs(&pairs, 2, |node, name, f| {
+                v.spawn_at(node, name, f);
+            });
+            v.run_all();
+            v.merged_trace().to_json()
+        };
+        assert_eq!(run(1), run(3), "seed {seed:#x} diverged across workers");
+    }
+}
+
+fn churn_schedule_small(topo: &Topology, seed: u64) -> FaultSchedule {
+    let clusters = by_cluster(topo);
+    let spare = *clusters[1].last().unwrap();
+    FaultSchedule::new(seed)
+        .down_at(spare.0 as u32, SimTime::from_ns(4_000 * 1_000))
+        .up_at(spare.0 as u32, SimTime::from_ns(6_000 * 1_000))
+}

@@ -1,0 +1,103 @@
+//! Allocation accounting on the routing-recompute hot path: link churn
+//! triggers [`Topology::recompute`] on every fault-plane edge event, so the
+//! BFS must run entirely on scratch buffers hoisted into the `Topology` —
+//! zero heap allocations per recompute, on both the reroute and the
+//! heal-to-baseline paths.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use hpc_vorx::hpcnet::{ClusterId, NodeAddr, PortRef, Topology};
+
+/// Global allocator wrapper counting every byte handed out.
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The allocator counter is process-global; the tests in this binary
+/// serialize on this lock so their deltas don't mix.
+static METER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Directed edge out of cluster 0 on port 0 (dimension-0 cable): killing it
+/// forces real rerouting work on the paper's 10-cluster machine.
+const EDGE: PortRef = PortRef {
+    cluster: ClusterId(0),
+    port: 0,
+};
+
+/// One full churn cycle: kill the edge, recompute (reroute path), heal it,
+/// recompute (restore-baseline path).
+fn churn_cycle(t: &mut Topology) {
+    t.set_edge_state(EDGE, false);
+    t.recompute();
+    t.set_edge_state(EDGE, true);
+    t.recompute();
+}
+
+/// Steady-state recomputes must not allocate at all: the BFS distance array
+/// and work queue are hoisted scratch buffers sized at construction.
+#[test]
+fn recompute_allocates_nothing_in_steady_state() {
+    let _guard = METER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut t = Topology::incomplete_hypercube(10, 7).unwrap();
+    // Warm-up cycle: first recompute may lazily size scratch state.
+    churn_cycle(&mut t);
+    let gen_before = t.generation();
+
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    for _ in 0..32 {
+        churn_cycle(&mut t);
+    }
+    let churn = ALLOCATED.load(Ordering::Relaxed) - before;
+
+    assert_eq!(t.generation(), gen_before + 64, "64 recomputes ran");
+    assert_eq!(
+        churn, 0,
+        "recompute allocated {churn} bytes over 64 steady-state runs; \
+         the BFS must reuse the hoisted scratch buffers"
+    );
+}
+
+/// The zero-allocation property must not come at the price of correctness:
+/// after the measured churn the tables still answer like the fault-free
+/// baseline, and mid-churn the detour route is in force.
+#[test]
+fn scratch_reuse_preserves_routing_answers() {
+    let _guard = METER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut t = Topology::incomplete_hypercube(10, 7).unwrap();
+    let last = NodeAddr((t.n_endpoints() - 1) as u16);
+    let baseline = t.cluster_path(NodeAddr(0), last);
+    for _ in 0..8 {
+        churn_cycle(&mut t);
+    }
+    assert_eq!(
+        t.cluster_path(NodeAddr(0), last),
+        baseline,
+        "healed tables must match the construction-time baseline"
+    );
+    // Mid-churn: the dead dim-0 edge forces a detour but keeps delivery.
+    t.set_edge_state(EDGE, false);
+    t.recompute();
+    let detour = t.cluster_path(NodeAddr(0), NodeAddr(last.0));
+    assert!(t.reachable(ClusterId(0), t.cluster_of(last)));
+    assert!(
+        detour.len() >= baseline.len(),
+        "detour cannot be shorter than the baseline route"
+    );
+    t.set_edge_state(EDGE, true);
+    t.recompute();
+}
