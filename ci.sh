@@ -13,6 +13,9 @@ VORX_SIM_WORKERS=1 cargo test --workspace -q
 echo "==> cargo test (VORX_SIM_WORKERS=4: sharded paths at four workers)"
 VORX_SIM_WORKERS=4 cargo test --workspace -q
 
+echo "==> cargo test (VORX_SIM_WORKERS=8: sharded paths at eight workers)"
+VORX_SIM_WORKERS=8 cargo test --workspace -q
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -28,7 +31,7 @@ cargo run --release -p vorx-bench --bin datapath_report -- --smoke
 echo "==> partition smoke (full partition + heal under watchdog, typed errors, no hang)"
 cargo run --release -p vorx-bench --bin partition_campaign -- --smoke
 
-echo "==> pdes smoke (sharded engine: 1- vs 4-worker traces bit-identical, under watchdog)"
+echo "==> pdes smoke (sharded engine: 1/4/8-worker traces bit-identical, deadlock watchdog)"
 cargo run --release -p vorx-bench --bin pdes_campaign -- --smoke
 
 echo "CI OK"

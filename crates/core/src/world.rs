@@ -135,8 +135,9 @@ impl Node {
 /// a full copy of the `World`; frames whose destination lives on another
 /// shard never enter the local fabric — the kernel parks them in `outbox`
 /// with a delivery time computed from the fabric's per-link physics, and the
-/// engine exchanges outboxes at each lookahead-window barrier. Sequential
-/// builds carry the all-defaults value, where every check short-circuits.
+/// engine drains the outbox after every shard step and routes each frame
+/// through the destination shard's mailbox. Sequential builds carry the
+/// all-defaults value, where every check short-circuits.
 pub struct ShardCtx {
     /// True when this world is one shard of a [`VorxShardedSim`].
     pub enabled: bool,
@@ -156,7 +157,7 @@ pub struct ShardCtx {
     /// Output registers currently serializing a bridged frame, per node.
     /// Only this shard's own nodes are ever set.
     pub tx_busy: Vec<bool>,
-    /// Cross-shard frames produced since the last window barrier.
+    /// Cross-shard frames produced since the engine last drained us.
     pub outbox: Vec<desim::OutMsg<Frame>>,
     /// Stride for channel-id allocation (`n_shards`), so managers on
     /// different shards can assign ids without coordinating.
@@ -309,8 +310,11 @@ impl World {
 impl desim::ShardWorld for World {
     type Msg = Frame;
 
-    fn take_outbox(&mut self) -> Vec<desim::OutMsg<Frame>> {
-        std::mem::take(&mut self.shard.outbox)
+    fn drain_outbox(&mut self, into: &mut Vec<desim::OutMsg<Frame>>) {
+        // `append` moves the elements and keeps both buffers' capacity: the
+        // engine's scratch vector and this outbox reach their high-water
+        // marks once and are then allocation-free for the rest of the run.
+        into.append(&mut self.shard.outbox);
     }
 
     fn deliver(&mut self, s: &mut Scheduler<World>, f: Frame) {
@@ -452,8 +456,9 @@ impl VorxBuilder {
     }
 
     /// Construct a sharded simulation: one shard per cluster, drained in
-    /// parallel by up to `workers` threads under the conservative lookahead
-    /// window derived from the fabric's link physics (DESIGN.md §12).
+    /// parallel by up to `workers` threads under asynchronous conservative
+    /// synchronization, with per-link lookahead derived from the fabric's
+    /// link physics (DESIGN.md §12).
     ///
     /// The shard partition — and with it every simulated outcome — is fixed
     /// by the topology; `workers` only chooses how many OS threads drain the
@@ -470,32 +475,36 @@ impl VorxBuilder {
             .map(|a| topo.cluster_of(a).0 as usize)
             .collect();
 
-        // Baseline (fault-free) link counts between cluster pairs, via one
-        // representative endpoint per cluster. Frames cross the source
-        // endpoint's up-link, the inter-cluster hops, and the destination
-        // endpoint's down-link.
-        let mut rep: Vec<Option<NodeAddr>> = vec![None; n_shards];
-        for a in topo.endpoints() {
-            let slot = &mut rep[topo.cluster_of(a).0 as usize];
-            if slot.is_none() {
-                *slot = Some(a);
-            }
-        }
-        let mut links_between = vec![vec![0u64; n_shards]; n_shards];
-        for (a, ra) in rep.iter().enumerate() {
-            for (b, rb) in rep.iter().enumerate() {
-                if a != b {
-                    if let (Some(ra), Some(rb)) = (ra, rb) {
-                        links_between[a][b] = topo.hops(*ra, *rb) as u64 + 2;
-                    }
-                }
-            }
-        }
+        // Baseline (fault-free) link counts between cluster pairs. Faults
+        // can only lengthen routes (rerouting) or kill them, never shorten
+        // below the baseline, so these stay valid lower bounds all run.
+        let links_between = topo.cluster_link_counts();
+
+        // Per-pair lookahead for the engine: every bridged frame crosses
+        // `links_between[a][b]` links of at least a header-frame's latency
+        // each (kernel::bridge charges exactly `links × (serialize + hop)`).
+        // Pairs that never exchange frames — the diagonal (the bridge only
+        // carries remote targets) and unreachable or endpoint-free clusters
+        // — carry `u64::MAX`, removing them from the EIT computation.
+        let probe_fabric = Fabric::new(topo.clone(), self.netcfg);
+        let unit_ns = probe_fabric.header_link_latency_ns();
+        let latency: Vec<Vec<u64>> = links_between
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&links| {
+                        if links == 0 {
+                            u64::MAX
+                        } else {
+                            links * unit_ns
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
 
         // Map every fabric link to the shard that owns it: endpoint links to
         // the endpoint's shard, inter-cluster links to the `from` cluster.
-        let probe_fabric = Fabric::new(topo.clone(), self.netcfg);
-        let lookahead_ns = probe_fabric.lookahead_ns().unwrap_or(1 << 40);
         let mut link_shard = vec![0usize; probe_fabric.n_links()];
         for a in topo.endpoints() {
             let sh = shard_of_node[a.0 as usize];
@@ -571,11 +580,7 @@ impl VorxBuilder {
             shards.push(sim);
         }
         VorxShardedSim {
-            engine: desim::ShardedSim::new(
-                shards,
-                SimDuration::from_ns(lookahead_ns),
-                workers.max(1),
-            ),
+            engine: desim::ShardedSim::new(shards, latency, workers.max(1)),
             shard_of_node,
         }
     }
@@ -732,10 +737,22 @@ impl VorxShardedSim {
         reports.iter().map(|r| r.now).max().unwrap_or(SimTime::ZERO)
     }
 
-    /// Engine counters (windows, bridged messages, barrier stalls, per-shard
-    /// event counts).
+    /// Engine counters (run rounds, bridged messages, frontier bumps,
+    /// per-worker stall accounting, per-shard event counts).
     pub fn stats(&self) -> &desim::PdesStats {
         self.engine.stats()
+    }
+
+    /// Pin each worker thread to a distinct allowed host CPU when the host
+    /// grants enough of them (see [`desim::ShardedSim::pin_workers`]).
+    pub fn pin_workers(&mut self, enable: bool) {
+        self.engine.pin_workers(enable);
+    }
+
+    /// Introspection handle over the engine's frontiers and mailboxes, for
+    /// deadlock watchdogs; stays valid while the engine runs elsewhere.
+    pub fn monitor(&self) -> desim::PdesMonitor {
+        self.engine.monitor()
     }
 
     /// Inspect or mutate one shard's world between runs.

@@ -1,0 +1,115 @@
+//! Host CPU affinity: detection and worker pinning.
+//!
+//! Wall-clock parallel speedup needs parallel *hardware*, and the hardware a
+//! process may actually use is its affinity mask, not the machine's core
+//! count (containers and `taskset` routinely restrict it). This module
+//! exposes the effective parallelism and lets the sharded engine pin its
+//! workers to distinct allowed CPUs, one per worker, so shards stop
+//! migrating between cores mid-run.
+//!
+//! Implemented against raw `sched_{get,set}affinity` on Linux — the symbols
+//! come from the libc that `std` already links, so no new dependency is
+//! required (see the offline-dependency policy in `vendor/README.md`). On
+//! other platforms detection falls back to
+//! [`std::thread::available_parallelism`] and pinning is a no-op.
+
+/// Words in the fixed-size CPU mask (1024 CPUs, the kernel default).
+#[cfg(target_os = "linux")]
+const MASK_WORDS: usize = 1024 / 64;
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn sched_getaffinity(pid: i32, cpusetsize: usize, mask: *mut u64) -> i32;
+    fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+}
+
+/// CPUs the current process is allowed to run on, in ascending order.
+/// Empty only if detection failed entirely.
+#[cfg(target_os = "linux")]
+pub fn allowed_cpus() -> Vec<usize> {
+    let mut mask = [0u64; MASK_WORDS];
+    let rc = unsafe { sched_getaffinity(0, std::mem::size_of_val(&mask), mask.as_mut_ptr()) };
+    if rc != 0 {
+        return fallback_cpus();
+    }
+    let mut cpus = Vec::new();
+    for (w, &bits) in mask.iter().enumerate() {
+        for b in 0..64 {
+            if bits & (1u64 << b) != 0 {
+                cpus.push(w * 64 + b);
+            }
+        }
+    }
+    if cpus.is_empty() {
+        fallback_cpus()
+    } else {
+        cpus
+    }
+}
+
+/// Non-Linux fallback: pretend CPUs `0..available_parallelism` are allowed.
+#[cfg(not(target_os = "linux"))]
+pub fn allowed_cpus() -> Vec<usize> {
+    fallback_cpus()
+}
+
+fn fallback_cpus() -> Vec<usize> {
+    let n = std::thread::available_parallelism().map_or(1, usize::from);
+    (0..n).collect()
+}
+
+/// The parallelism actually available to this process: the size of its CPU
+/// affinity mask where that can be read, else
+/// [`std::thread::available_parallelism`].
+pub fn effective_parallelism() -> usize {
+    allowed_cpus().len().max(1)
+}
+
+/// Pin the calling thread to `cpu`. Returns `true` on success; failure is
+/// harmless (the thread keeps its inherited mask).
+#[cfg(target_os = "linux")]
+pub fn pin_current_thread(cpu: usize) -> bool {
+    if cpu >= MASK_WORDS * 64 {
+        return false;
+    }
+    let mut mask = [0u64; MASK_WORDS];
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    // pid 0 = the calling thread.
+    unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+}
+
+/// Pinning is a no-op off Linux.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_reports_at_least_one_cpu() {
+        let cpus = allowed_cpus();
+        assert!(!cpus.is_empty());
+        assert_eq!(effective_parallelism(), cpus.len());
+        // Ascending and unique.
+        assert!(cpus.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pin_to_an_allowed_cpu_succeeds_and_is_reversible() {
+        let cpus = allowed_cpus();
+        let first = cpus[0];
+        assert!(pin_current_thread(first));
+        assert_eq!(allowed_cpus(), vec![first]);
+        // Restore the original mask so later tests on this thread see it.
+        let mut mask = [0u64; MASK_WORDS];
+        for c in &cpus {
+            mask[c / 64] |= 1u64 << (c % 64);
+        }
+        let rc = unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) };
+        assert_eq!(rc, 0);
+    }
+}

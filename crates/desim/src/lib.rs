@@ -12,9 +12,10 @@
 //! * [`sync`] — wait sets, semaphores, and mailboxes for simulated
 //!   processes.
 //! * [`Trace`] — timestamped event recording for the measurement tools.
-//! * [`ShardedSim`] — conservative parallel execution: several
-//!   `Simulation` shards drained concurrently in barrier-synchronous
-//!   lookahead windows, with deterministic cross-shard message merging.
+//! * [`ShardedSim`] — asynchronous conservative parallel execution: several
+//!   `Simulation` shards advance independently to their earliest input
+//!   time (peer frontier + per-link lookahead), exchanging messages over
+//!   lock-free per-link SPSC mailboxes with deterministic injection order.
 //!
 //! ## Determinism
 //!
@@ -49,15 +50,17 @@
 mod sim;
 mod time;
 
+pub mod affinity;
 pub mod fault;
 pub mod shard;
+pub mod spsc;
 pub mod sync;
 pub mod trace;
 
 pub use fault::{
     Disposition, FaultAction, FaultEvent, FaultSchedule, FaultStats, LinkFaults, LinkStats,
 };
-pub use shard::{OutMsg, PdesStats, ShardWorld, ShardedSim};
+pub use shard::{OutMsg, PdesMonitor, PdesStats, ShardWorld, ShardedSim, WorkerStall};
 pub use sim::{Ctx, IdleReport, ProcId, RunOutcome, Scheduler, Simulation, TimerHandle, Wakeup};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;

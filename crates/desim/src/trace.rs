@@ -106,27 +106,64 @@ impl<E> Trace<E> {
     /// this to reassemble the global trace from per-shard traces; the result
     /// upholds the [`Trace::record`] ordering invariant, so
     /// [`Trace::window`] and the oscilloscope consume it unchanged.
+    ///
+    /// The merge moves events, never clones them, and splices whole *runs*:
+    /// whenever the leading trace's next events all precede every other
+    /// trace's head, they are located by binary search and bulk-moved in one
+    /// `extend` instead of element-by-element head comparisons. Shard traces
+    /// are long stretches of local activity punctuated by cross-shard
+    /// contact, so runs are long and the merge is effectively a few
+    /// `memcpy`s. A single non-empty input is returned as-is (zero copies,
+    /// zero allocations).
     pub fn merge(traces: Vec<Trace<E>>) -> Trace<E> {
-        let total = traces.iter().map(Trace::len).sum();
-        let mut parts: Vec<_> = traces
-            .into_iter()
-            .map(|t| t.events.into_iter().peekable())
-            .collect();
+        let mut nonempty = traces;
+        nonempty.retain(|t| !t.is_empty());
+        if nonempty.len() <= 1 {
+            let mut t = nonempty.pop().unwrap_or_default();
+            t.enabled = true;
+            return t;
+        }
+        let total = nonempty.iter().map(Trace::len).sum();
+        let mut parts: Vec<std::vec::IntoIter<(SimTime, E)>> =
+            nonempty.into_iter().map(|t| t.events.into_iter()).collect();
+        // Invariant: every entry in `parts` is non-empty, in original trace
+        // order (exhausted entries are removed, preserving tie stability).
+        let head = |p: &std::vec::IntoIter<(SimTime, E)>| p.as_slice()[0].0;
         let mut events = Vec::with_capacity(total);
-        loop {
-            // Linear scan for the earliest head: the shard count is small
-            // (one per cluster), so a heap would cost more than it saves.
-            let mut best: Option<(SimTime, usize)> = None;
-            for (i, p) in parts.iter_mut().enumerate() {
-                if let Some(&(t, _)) = p.peek() {
-                    if best.is_none_or(|(bt, _)| t < bt) {
-                        best = Some((t, i));
-                    }
+        while parts.len() > 1 {
+            // The part with the earliest head goes next; ties at equal time
+            // resolve to the earliest index (stability).
+            let mut i = 0;
+            let mut it = head(&parts[0]);
+            for (j, p) in parts.iter().enumerate().skip(1) {
+                let t = head(p);
+                if t < it {
+                    i = j;
+                    it = t;
                 }
             }
-            let Some((_, i)) = best else { break };
-            events.push(parts[i].next().expect("peeked head"));
+            // How far may part `i` run? Up to the earliest head among the
+            // others: inclusively if `i` wins the tie (i < j), else
+            // exclusively.
+            let (lim_t, lim_j) = parts
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(j, p)| (head(p), j))
+                .min()
+                .expect("at least two parts");
+            let run = if i < lim_j {
+                parts[i].as_slice().partition_point(|(t, _)| *t <= lim_t)
+            } else {
+                parts[i].as_slice().partition_point(|(t, _)| *t < lim_t)
+            };
+            debug_assert!(run >= 1, "earliest head must be part of its run");
+            events.extend(parts[i].by_ref().take(run));
+            if parts[i].as_slice().is_empty() {
+                parts.remove(i);
+            }
         }
+        events.extend(parts.pop().expect("one part remains"));
         Trace {
             events,
             enabled: true,

@@ -696,7 +696,15 @@ impl Fabric {
     pub fn lookahead_ns(&self) -> Option<u64> {
         self.topo
             .min_cross_cluster_links()
-            .map(|links| links as u64 * self.cfg.link_latency_ns(crate::frame::HEADER_BYTES))
+            .map(|links| links as u64 * self.header_link_latency_ns())
+    }
+
+    /// Per-link latency (ns) of a header-only frame — the unit that converts
+    /// [`Topology::cluster_link_counts`] into the sharded engine's per-pair
+    /// lookahead matrix (no frame is smaller, so `links × this` lower-bounds
+    /// the fabric latency of any frame on a path of `links` links).
+    pub fn header_link_latency_ns(&self) -> u64 {
+        self.cfg.link_latency_ns(crate::frame::HEADER_BYTES)
     }
 
     /// The destination port on `cluster` for each target of `dst`, grouped:

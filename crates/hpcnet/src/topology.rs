@@ -484,6 +484,35 @@ impl Topology {
         best
     }
 
+    /// Directed link counts between cluster pairs over the tables currently
+    /// in force: `counts[a][b]` is the number of links a unicast frame from
+    /// an endpoint in cluster `a` crosses to reach an endpoint in cluster
+    /// `b` — the source endpoint's up-link, the inter-cluster hops, and the
+    /// destination endpoint's down-link (`hops + 2`). Entries are 0 on the
+    /// diagonal (intra-cluster frames never cross the boundary), when
+    /// either cluster hosts no endpoints, or when the pair is unreachable.
+    /// This is the per-pair lookahead structure for the sharded engine:
+    /// each entry times the per-link latency of a header-only frame
+    /// lower-bounds the fabric latency on that directed cluster pair.
+    pub fn cluster_link_counts(&self) -> Vec<Vec<u64>> {
+        let nc = self.clusters.len();
+        let mut hosted = vec![false; nc];
+        for p in &self.endpoints {
+            hosted[p.cluster.0 as usize] = true;
+        }
+        let mut counts = vec![vec![0u64; nc]; nc];
+        for a in 0..nc {
+            for b in 0..nc {
+                if a != b && hosted[a] && hosted[b] {
+                    if let Some(h) = self.cluster_hops(a, b) {
+                        counts[a][b] = h as u64 + 2;
+                    }
+                }
+            }
+        }
+        counts
+    }
+
     /// Hop count of the routed path from cluster `from` to cluster `to`
     /// over the tables currently in force; `None` when unreachable.
     fn cluster_hops(&self, from: usize, to: usize) -> Option<usize> {

@@ -116,12 +116,15 @@ fn worker_count_is_invisible_at_70_nodes() {
     let (t1, d1, b1, e1) = run70(1, 0x5EED);
     let (t2, d2, b2, e2) = run70(2, 0x5EED);
     let (t4, d4, b4, e4) = run70(4, 0x5EED);
+    let (t8, d8, b8, e8) = run70(8, 0x5EED);
     assert!(b1 > 0, "cross-cluster workload must bridge frames");
     assert!(d1 > 0);
     assert_eq!((d1, b1, e1), (d2, b2, e2));
     assert_eq!((d1, b1, e1), (d4, b4, e4));
+    assert_eq!((d1, b1, e1), (d8, b8, e8));
     assert_eq!(t1, t2, "workers=2 diverged from workers=1");
     assert_eq!(t1, t4, "workers=4 diverged from workers=1");
+    assert_eq!(t1, t8, "workers=8 diverged from workers=1");
 }
 
 #[test]
@@ -208,7 +211,50 @@ fn per_shard_counters_cover_every_shard() {
     let stats = v.stats();
     assert_eq!(stats.events_per_shard.len(), 10);
     assert!(stats.events_per_shard.iter().all(|&e| e > 0));
-    assert!(stats.windows > 0);
+    assert!(stats.rounds > 0);
+}
+
+/// Zero cross-shard traffic: pure-compute processes (sleep chains, no
+/// channels) with wildly different durations per cluster. Shards must still
+/// advance past each other — the early finishers ratchet their frontiers
+/// (the null-message role) instead of stalling the long-running shard — and
+/// nothing deadlocks: the run completing at the longest chain's end *is*
+/// the deadlock assertion.
+#[test]
+fn zero_cross_traffic_completes_without_bridging() {
+    let topo = topo70();
+    let clusters = by_cluster(&topo);
+    for workers in [1usize, 4] {
+        let mut v: VorxShardedSim = VorxBuilder::with_topology(topo.clone())
+            .seed(0xD06)
+            .build_sharded(workers);
+        for (c, nodes) in clusters.iter().enumerate() {
+            // Cluster c sleeps (c + 1) times 50 µs: shard 0 goes quiet 10×
+            // earlier than shard 9.
+            let naps = c + 1;
+            v.spawn_at(nodes[0], format!("sleeper{c}"), move |ctx: VCtx| {
+                for _ in 0..naps {
+                    ctx.sleep(desim::SimDuration::from_us(50));
+                }
+            });
+        }
+        let end = v.run_all();
+        assert_eq!(
+            end,
+            SimTime::from_ns(10 * 50_000),
+            "run must end at the longest sleep chain ({workers} workers)"
+        );
+        let stats = v.stats();
+        assert_eq!(
+            stats.msgs_bridged, 0,
+            "nothing may cross a shard ({workers} workers)"
+        );
+        assert!(
+            stats.frontier_bumps > 0,
+            "idle shards must advance past the busy one via frontier bumps \
+             ({workers} workers)"
+        );
+    }
 }
 
 /// A lighter seed sweep in proptest style: any seed must behave identically
@@ -240,4 +286,105 @@ fn churn_schedule_small(topo: &Topology, seed: u64) -> FaultSchedule {
     FaultSchedule::new(seed)
         .down_at(spare.0 as u32, SimTime::from_ns(4_000 * 1_000))
         .up_at(spare.0 as u32, SimTime::from_ns(6_000 * 1_000))
+}
+
+// ---------------------------------------------------------------------------
+// Per-link lookahead properties, at the desim level: a toy shard world whose
+// messages ride the exact per-pair latency from a *random* matrix. Every
+// delivery must land at its analytically expected time (so the engine never
+// delivered across a frontier, early or late) and the log must be identical
+// for every worker count.
+// ---------------------------------------------------------------------------
+
+use desim::{OutMsg, Scheduler, ShardWorld, ShardedSim, SimDuration, Simulation};
+use proptest::prelude::*;
+
+/// Forwards each message round-robin to the next shard, charging exactly
+/// `lat[self][next]` — the tightest delivery the lookahead permits.
+struct LatWorld {
+    id: usize,
+    lat: Vec<Vec<u64>>,
+    log: Vec<(u64, u32)>,
+    outbox: Vec<OutMsg<u32>>,
+}
+
+impl ShardWorld for LatWorld {
+    type Msg = u32;
+    fn drain_outbox(&mut self, into: &mut Vec<OutMsg<u32>>) {
+        into.append(&mut self.outbox);
+    }
+    fn deliver(&mut self, s: &mut Scheduler<Self>, msg: u32) {
+        self.log.push((s.now().as_ns(), msg));
+        if msg > 0 {
+            let dst = (self.id + 1) % self.lat.len();
+            self.outbox.push(OutMsg {
+                deliver_at: s.now() + SimDuration::from_ns(self.lat[self.id][dst]),
+                dst_shard: dst,
+                msg: msg - 1,
+            });
+        }
+    }
+}
+
+fn run_lat(lat: &[Vec<u64>], hops: u32, workers: usize) -> Vec<Vec<(u64, u32)>> {
+    let n = lat.len();
+    let shards: Vec<Simulation<LatWorld>> = (0..n)
+        .map(|id| {
+            Simulation::new(LatWorld {
+                id,
+                lat: lat.to_vec(),
+                log: Vec::new(),
+                outbox: Vec::new(),
+            })
+        })
+        .collect();
+    // Seed: shard 0 hands the first hop to shard 1 at t = 0.
+    let l01 = lat[0][1 % n];
+    shards[0].schedule_in(SimDuration::ZERO, move |w: &mut LatWorld, s| {
+        w.outbox.push(OutMsg {
+            deliver_at: s.now() + SimDuration::from_ns(l01),
+            dst_shard: 1 % w.lat.len(),
+            msg: hops,
+        });
+    });
+    let mut sim = ShardedSim::new(shards, lat.to_vec(), workers);
+    sim.run_to_idle();
+    sim.into_shards()
+        .into_iter()
+        .map(|s| s.world().log.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random full latency matrices (2–4 shards, 1–60 ns per directed pair):
+    /// messages riding the exact lookahead must arrive at the analytically
+    /// expected instants, identically for 1, 2, and 4 workers.
+    #[test]
+    fn random_link_latencies_never_cross_a_frontier(
+        n in 2usize..5,
+        cells in proptest::collection::vec(1u64..61, 16..17),
+        hops in 5u32..40,
+    ) {
+        let lat: Vec<Vec<u64>> =
+            (0..n).map(|a| (0..n).map(|b| cells[a * 4 + b]).collect()).collect();
+        let logs1 = run_lat(&lat, hops, 1);
+        // Expected: hop k (message value hops - k) lands on shard (k+1) % n
+        // at the sum of the per-pair latencies along the round-robin chain.
+        let mut t = 0u64;
+        let mut src = 0usize;
+        let mut expect: Vec<Vec<(u64, u32)>> = vec![Vec::new(); n];
+        for k in 0..=hops {
+            let dst = (src + 1) % n;
+            t += lat[src][dst];
+            expect[dst].push((t, hops - k));
+            src = dst;
+        }
+        prop_assert_eq!(&logs1, &expect, "delivery drifted from the link latencies");
+        let logs2 = run_lat(&lat, hops, 2);
+        prop_assert_eq!(&logs1, &logs2, "workers=2 diverged");
+        let logs4 = run_lat(&lat, hops, 4);
+        prop_assert_eq!(&logs1, &logs4, "workers=4 diverged");
+    }
 }
