@@ -252,6 +252,9 @@ struct Slot<W: ShardWorld> {
     scratch: Vec<OutMsg<W::Msg>>,
     /// Last published frontier value.
     last_frontier: u64,
+    /// Exclusive upper bound of the last issued run segment: every executed
+    /// event is strictly below it, so nothing may ever be scheduled below it.
+    run_bound: u64,
     /// Last computed quiescence, mirrored into `Shared` on change.
     quiet: bool,
     published_quiet: bool,
@@ -341,6 +344,7 @@ impl<W: ShardWorld> ShardedSim<W> {
                 pending: BinaryHeap::new(),
                 scratch: Vec::new(),
                 last_frontier: 0,
+                run_bound: 0,
                 quiet: false,
                 published_quiet: false,
                 rounds: 0,
@@ -425,6 +429,7 @@ impl<W: ShardWorld> ShardedSim<W> {
         }
         for s in &mut self.slots {
             s.last_frontier = 0;
+            s.run_bound = 0;
             s.quiet = false;
             s.published_quiet = false;
         }
@@ -629,6 +634,7 @@ fn step<W: ShardWorld>(slot: &mut Slot<W>, shared: &Shared, lat: &[u64], n: usiz
             .min(start.saturating_add(self_l));
         debug_assert!(bound > start);
         let _ = slot.sim.run_until(SimTime::from_ns(bound - 1));
+        slot.run_bound = bound;
         slot.rounds += 1;
         ran = true;
     }
@@ -652,14 +658,18 @@ fn step<W: ShardWorld>(slot: &mut Slot<W>, shared: &Shared, lat: &[u64], n: usiz
         slot.last_frontier = f;
         shared.frontier[me].0.store(f, Ordering::Release);
     }
-    // 5. Step boundary: account the drains, then mirror quiescence. The
-    //    termination detector depends on this order (see module docs).
-    if drained > 0 {
-        shared.absorbed[me].fetch_add(drained, Ordering::SeqCst);
-    }
+    // 5. Step boundary: mirror quiescence, then account the drains. The
+    //    termination detector depends on this order (see module docs): once
+    //    a scan sees the drained count in `absorbed`, it must also see this
+    //    shard non-quiescent if the drain left unexecuted work — the reverse
+    //    order opens a window where sent == absorbed with a stale quiescent
+    //    flag, and a double scan in that window drops the pending message.
     if slot.quiet != slot.published_quiet {
         slot.published_quiet = slot.quiet;
         shared.quiescent[me].store(slot.quiet, Ordering::SeqCst);
+    }
+    if drained > 0 {
+        shared.absorbed[me].fetch_add(drained, Ordering::SeqCst);
     }
     ran || drained > 0
 }
@@ -688,6 +698,20 @@ fn route_outbox<W: ShardWorld>(slot: &mut Slot<W>, shared: &Shared, lat: &[u64],
             "cross-shard message {me}->{dst} at {at} ns violates the per-link \
              lookahead ({l} ns past frontier {} ns)",
             slot.last_frontier
+        );
+        // The frontier check alone is too weak for self-sends: mid-segment
+        // the frontier lags the clock, so a world violating the self-link
+        // contract (deliver_at >= produce time + self lookahead) could pass
+        // it and schedule into the already-executed segment — `schedule_at`
+        // has no past-time check. Every segment is bounded by
+        // `start + self_l`, so an honored contract always lands at or past
+        // the segment's exclusive bound; anything below it is a violation.
+        assert!(
+            dst != me || at >= slot.run_bound,
+            "self message on shard {me} at {at} ns lands inside the executed \
+             segment (bound {} ns): the world violated its self-link \
+             lookahead of {l} ns",
+            slot.run_bound
         );
         let env = Envelope {
             at,

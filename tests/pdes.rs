@@ -355,6 +355,45 @@ fn run_lat(lat: &[Vec<u64>], hops: u32, workers: usize) -> Vec<Vec<(u64, u32)>> 
         .collect()
 }
 
+/// Re-sends itself a message carrying only 1 ns of latency, far below the
+/// declared self-link lookahead.
+struct CheatWorld {
+    outbox: Vec<OutMsg<u32>>,
+}
+
+impl ShardWorld for CheatWorld {
+    type Msg = u32;
+    fn drain_outbox(&mut self, into: &mut Vec<OutMsg<u32>>) {
+        into.append(&mut self.outbox);
+    }
+    fn deliver(&mut self, s: &mut Scheduler<Self>, msg: u32) {
+        self.outbox.push(OutMsg {
+            deliver_at: s.now() + SimDuration::from_ns(1),
+            dst_shard: 0,
+            msg,
+        });
+    }
+}
+
+/// A self-send below the declared self-link lookahead must fail loudly.
+/// Mid-segment the published frontier lags the clock, so the frontier-based
+/// lookahead assert alone would pass and the message would be scheduled
+/// inside the segment the shard already executed.
+#[test]
+#[should_panic(expected = "lands inside the executed segment")]
+fn self_send_below_lookahead_panics() {
+    let sim0 = Simulation::new(CheatWorld { outbox: Vec::new() });
+    sim0.schedule_in(SimDuration::ZERO, |w: &mut CheatWorld, s| {
+        w.outbox.push(OutMsg {
+            deliver_at: s.now() + SimDuration::from_ns(10),
+            dst_shard: 0,
+            msg: 1,
+        });
+    });
+    let mut sim = ShardedSim::new(vec![sim0], vec![vec![10]], 1);
+    sim.run_to_idle();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
