@@ -34,4 +34,7 @@ cargo run --release -p vorx-bench --bin partition_campaign -- --smoke
 echo "==> pdes smoke (sharded engine: 1/4/8-worker traces bit-identical, deadlock watchdog)"
 cargo run --release -p vorx-bench --bin pdes_campaign -- --smoke
 
+echo "==> soak smoke (chaos soak under watchdog: all fault classes + overload, invariant oracles)"
+cargo run --release -p vorx-bench --bin soak_campaign -- --smoke
+
 echo "CI OK"

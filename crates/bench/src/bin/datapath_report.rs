@@ -55,6 +55,10 @@ struct Cell {
     leaked: usize,
     /// Per-link injection counters, links with any activity only.
     link_faults: Vec<(u32, desim::LinkStats)>,
+    /// Max port-link occupancy high-water mark (slots).
+    depth_hwm: usize,
+    /// Max per-switch sheddable-byte high-water mark.
+    bytes_hwm: u64,
 }
 
 /// Stream `MSGS` messages of `msg_bytes` from node 0 to node 1 with the
@@ -135,6 +139,8 @@ fn run_cell(window: u32, msg_bytes: usize, loss: f64, seed: u64) -> Cell {
         pool_recycled,
         leaked,
         link_faults,
+        depth_hwm: w.net.max_port_link_depth_hwm(),
+        bytes_hwm: w.net.max_cluster_data_bytes_hwm(),
     }
 }
 
@@ -281,8 +287,9 @@ fn main() {
         .filter(|c| c.loss == 0.05 && c.msg_bytes == 256)
     {
         println!(
-            "  window {:>2}: {} retransmits, {} dups suppressed",
-            c.window, c.retransmits, c.dups_suppressed
+            "  window {:>2}: {} retransmits, {} dups suppressed, \
+             depth hwm {} slots / {} B",
+            c.window, c.retransmits, c.dups_suppressed, c.depth_hwm, c.bytes_hwm
         );
         for (l, s) in &c.link_faults {
             println!(

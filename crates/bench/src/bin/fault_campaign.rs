@@ -88,6 +88,10 @@ struct CellResult {
     leaked_waiters: usize,
     /// Per-link injection counters, links with any activity only.
     link_faults: Vec<(u32, desim::LinkStats)>,
+    /// Max port-link occupancy high-water mark (slots).
+    depth_hwm: usize,
+    /// Max per-switch sheddable-byte high-water mark.
+    bytes_hwm: u64,
 }
 
 /// Run one cell: fixed seed, `loss` on every link, optionally one
@@ -199,7 +203,7 @@ fn run_cell(loss: f64, crash: bool, seed: u64) -> CellResult {
     }
     let elapsed_ns = report.now.as_ns();
     let leaked_waiters = report.parked.len();
-    let (stats, link_faults) = {
+    let (stats, link_faults, depth_hwm, bytes_hwm) = {
         let w = v.world();
         let link_faults: Vec<(u32, desim::LinkStats)> = w
             .link_fault_stats()
@@ -207,7 +211,12 @@ fn run_cell(loss: f64, crash: bool, seed: u64) -> CellResult {
             .filter(|(_, s)| **s != desim::LinkStats::default())
             .map(|(l, s)| (*l, *s))
             .collect();
-        (w.faults.stats.clone(), link_faults)
+        (
+            w.faults.stats.clone(),
+            link_faults,
+            w.net.max_port_link_depth_hwm(),
+            w.net.max_cluster_data_bytes_hwm(),
+        )
     };
 
     let g = progress.lock();
@@ -241,6 +250,8 @@ fn run_cell(loss: f64, crash: bool, seed: u64) -> CellResult {
         recovery_ns: g.recovery_ns,
         leaked_waiters,
         link_faults,
+        depth_hwm,
+        bytes_hwm,
     }
 }
 
@@ -332,11 +343,14 @@ fn main() {
         assert_eq!((c.crashes, c.restarts), (1, 1), "smoke: fault plane idle");
         println!(
             "fault-campaign smoke OK: {}/{MSGS} delivered, {} retransmits, \
-             {} dups suppressed, recovery {:.1} ms, 0 leaked waiters",
+             {} dups suppressed, recovery {:.1} ms, 0 leaked waiters, \
+             depth hwm {} slots / {} B",
             c.delivered,
             c.retransmits,
             c.dups_suppressed,
             c.recovery_ns.unwrap_or(0) as f64 / 1e6,
+            c.depth_hwm,
+            c.bytes_hwm,
         );
         print_link_faults(&c);
         return;
@@ -372,7 +386,7 @@ fn main() {
     for c in &cells {
         println!(
             "loss {:>4.2} crash {}: completed={} retransmits={} dups={} peer_down={} \
-             recovery={}",
+             recovery={} depth_hwm={} bytes_hwm={}",
             c.loss,
             u32::from(c.crashed),
             c.completed,
@@ -382,6 +396,8 @@ fn main() {
             c.recovery_ns
                 .map(|n| format!("{:.1}ms", n as f64 / 1e6))
                 .unwrap_or_else(|| "-".into()),
+            c.depth_hwm,
+            c.bytes_hwm,
         );
         print_link_faults(c);
     }

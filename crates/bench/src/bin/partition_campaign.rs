@@ -131,6 +131,10 @@ struct CellResult {
     leaked_waiters: usize,
     /// `(link id, times down, frames dropped mid-flight at a cut)`.
     link_downs: Vec<(u32, u64, u64)>,
+    /// Max port-link occupancy high-water mark (slots).
+    depth_hwm: usize,
+    /// Max per-switch sheddable-byte high-water mark.
+    bytes_hwm: u64,
 }
 
 /// Run one cell: fixed seed, `loss` on every link, one scripted churn.
@@ -240,7 +244,7 @@ fn run_cell(churn: Churn, loss: f64, seed: u64) -> CellResult {
     let report = v.run();
     let elapsed_ns = report.now.as_ns();
     let leaked_waiters = report.parked.len();
-    let (stats, frames_rerouted, frames_dropped, link_downs) = {
+    let (stats, frames_rerouted, frames_dropped, link_downs, depth_hwm, bytes_hwm) = {
         let w = v.world();
         let link_downs: Vec<(u32, u64, u64)> = w
             .link_fault_stats()
@@ -253,6 +257,8 @@ fn run_cell(churn: Churn, loss: f64, seed: u64) -> CellResult {
             w.net.stats.frames_rerouted,
             w.net.stats.frames_dropped,
             link_downs,
+            w.net.max_port_link_depth_hwm(),
+            w.net.max_cluster_data_bytes_hwm(),
         )
     };
 
@@ -281,6 +287,8 @@ fn run_cell(churn: Churn, loss: f64, seed: u64) -> CellResult {
         recovery_ns: g.recovery_ns,
         leaked_waiters,
         link_downs,
+        depth_hwm,
+        bytes_hwm,
     }
 }
 
@@ -403,12 +411,15 @@ fn main() {
         assert_eq!(c.leaked_waiters, 0, "smoke: leaked blocked waiters");
         println!(
             "partition-campaign smoke OK: {}/{MSGS} delivered, {} failed writes (typed), \
-             {} partitions / {} heals, recovery {:.1} ms, 0 leaked waiters",
+             {} partitions / {} heals, recovery {:.1} ms, 0 leaked waiters, \
+             depth hwm {} slots / {} B",
             c.delivered,
             c.failed_writes,
             c.partitions,
             c.heals,
             c.recovery_ns.unwrap_or(0) as f64 / 1e6,
+            c.depth_hwm,
+            c.bytes_hwm,
         );
         for (l, downs, dd) in &c.link_downs {
             println!("  link {l}: downs={downs} mid-flight drops={dd}");
@@ -459,7 +470,7 @@ fn main() {
     for c in &cells {
         println!(
             "{:<8} loss {:>4.2}: completed={} failed_writes={} rerouted={} dropped={} \
-             partitions={} heals={} probes={} recovery={}",
+             partitions={} heals={} probes={} recovery={} depth_hwm={} bytes_hwm={}",
             c.mode,
             c.loss,
             c.completed,
@@ -472,6 +483,8 @@ fn main() {
             c.recovery_ns
                 .map(|n| format!("{:.1}ms", n as f64 / 1e6))
                 .unwrap_or_else(|| "-".into()),
+            c.depth_hwm,
+            c.bytes_hwm,
         );
         for (l, downs, dd) in &c.link_downs {
             println!("  link {l}: downs={downs} mid-flight drops={dd}");

@@ -435,11 +435,16 @@ fn smoke() {
         let end = v.run_all();
         *slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
         let delivered = v.sum_over_shards(|w| w.net.stats.frames_delivered);
+        let depth_hwm = (0..v.n_shards())
+            .map(|k| v.world(k).net.max_port_link_depth_hwm())
+            .max()
+            .unwrap_or(0);
         let stats = v.stats().clone();
-        (v.merged_trace().to_json(), end, delivered, stats)
+        (v.merged_trace().to_json(), end, delivered, stats, depth_hwm)
     };
-    let ((t1, e1, d1, s1), (t4, e4, d4, s4), (t8, e8, d8, _s8)) =
+    let ((t1, e1, d1, s1, h1), (t4, e4, d4, s4, h4), (t8, e8, d8, _s8, _h8)) =
         with_watchdog(120, &slot, || (run(1), run(4), run(8)));
+    assert_eq!(h1, h4, "smoke: queue-depth high-water marks diverged");
     assert_eq!(e1, e4, "smoke: end times diverged at 1 vs 4 workers");
     assert_eq!(e1, e8, "smoke: end times diverged at 1 vs 8 workers");
     assert_eq!(d1, d4, "smoke: deliveries diverged at 1 vs 4 workers");
@@ -466,9 +471,10 @@ fn smoke() {
         / 1e6;
     println!(
         "pdes-campaign smoke OK: {clusters}x{epc} nodes, {} frames delivered, \
-         {} rounds, {} bridged, {} frontier bumps, trace bit-identical at \
-         1 vs 4 vs 8 workers (4w idle: {spin_ms:.2} ms spin, {yield_ms:.2} ms yielded)",
-        d1, s1.rounds, s1.msgs_bridged, s1.frontier_bumps,
+         {} rounds, {} bridged, {} frontier bumps, depth hwm {} slots, trace \
+         bit-identical at 1 vs 4 vs 8 workers (4w idle: {spin_ms:.2} ms spin, \
+         {yield_ms:.2} ms yielded)",
+        d1, s1.rounds, s1.msgs_bridged, s1.frontier_bumps, h1,
     );
     println!("  events per shard: {:?}", s1.events_per_shard);
 }

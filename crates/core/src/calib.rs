@@ -136,6 +136,22 @@ pub struct Calibration {
     /// Clamped to 32 (the selective-ack bitmap width); fragments beyond
     /// `cum_ack + bound` are dropped and retransmitted later.
     pub chan_reorder_frags: u32,
+
+    // ----- resource budgets (graceful degradation, DESIGN.md §13) -----
+    //
+    // Every kernel table is bounded so an overloaded or abused node refuses
+    // work (`VorxError::ResourceExhausted`) instead of growing without
+    // limit. The defaults are far above anything a correct workload reaches,
+    // so they change no existing behavior.
+    /// Channels a single node may hold open concurrently; `rendezvous`
+    /// refuses further opens.
+    pub max_chans_per_node: usize,
+    /// Unaccepted connections a listener may queue; further `SERVE_CONN`s
+    /// are discarded (the client's own open retry/timeout path recovers).
+    pub listener_backlog_cap: usize,
+    /// Pending open requests the object manager may queue per name; further
+    /// requesters get a reliable `KIND_OPEN_NACK`.
+    pub mgr_pending_cap: usize,
 }
 
 impl Calibration {
@@ -183,6 +199,9 @@ impl Calibration {
             chan_window: 1,
             chan_rx_frag_buffers: 64,
             chan_reorder_frags: 32,
+            max_chans_per_node: 4096,
+            listener_backlog_cap: 1024,
+            mgr_pending_cap: 4096,
         }
     }
 
@@ -231,6 +250,9 @@ impl Calibration {
             chan_window: 1,
             chan_rx_frag_buffers: 64,
             chan_reorder_frags: 32,
+            max_chans_per_node: 4096,
+            listener_backlog_cap: 1024,
+            mgr_pending_cap: 4096,
         }
     }
 

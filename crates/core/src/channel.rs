@@ -273,6 +273,13 @@ impl PayloadAsm {
         self.frags
     }
 
+    /// Payload bytes currently held by buffered fragments (shared refcounted
+    /// slices count their full length — the accountant measures what this
+    /// end keeps alive, not unique ownership).
+    pub fn bytes_held(&self) -> u64 {
+        self.parts.iter().map(|b| b.len() as u64).sum::<u64>() + u64::from(self.synth)
+    }
+
     /// Take the assembled message, resetting the assembler. One fragment
     /// passes straight through (zero-copy); several are gathered into a
     /// buffer recycled through `pool`.
@@ -454,6 +461,32 @@ impl ChanEnd {
     /// reassembly counts as one).
     fn sidebuf_used(&self) -> usize {
         self.rx.len() + usize::from(self.asm.frags() > 0)
+    }
+
+    /// Approximate resident bytes this channel end keeps alive: the fixed
+    /// struct plus every buffered payload (receive queue, reassembly,
+    /// deferred frames, retransmit window, reorder buffer). Used by the
+    /// per-node memory accountant (`crate::accounting`).
+    pub fn mem_bytes(&self) -> u64 {
+        let frames = |it: &mut dyn Iterator<Item = &Frame>| -> u64 {
+            it.map(|f| u64::from(f.wire_bytes())).sum()
+        };
+        std::mem::size_of::<ChanEnd>() as u64
+            + self.name.len() as u64
+            + self.rx.iter().map(|p| u64::from(p.len())).sum::<u64>()
+            + self.asm.bytes_held()
+            + frames(&mut self.deferred.iter())
+            + frames(&mut self.win.inflight.values().map(|fr| &fr.frame))
+            + self
+                .winrx
+                .ready
+                .values()
+                .map(|(p, _)| u64::from(p.len()))
+                .sum::<u64>()
+            + self
+                .tx_pending
+                .as_ref()
+                .map_or(0, |tp| u64::from(tp.frame.wire_bytes()))
     }
 
     /// Pop the next complete message, releasing the credit its fragments
@@ -1051,12 +1084,18 @@ fn arm_data_timer(
         match next {
             Next::Stale => {}
             Next::GiveUp(peer) => {
-                if w.net.topology().generation() > 0 && w.node(peer).up {
-                    // The partition plane is active and the peer's node is
-                    // alive: the silence may be a routing outage rather than
-                    // a crash. Park the fragment (the exhausted timer is
-                    // already dead) and let a heartbeat probe decide between
-                    // resume and peer-down.
+                let rideout = w.net.overload_active();
+                if (w.net.topology().generation() > 0 || rideout) && w.node(peer).up {
+                    // The partition plane is active (or the fabric is under
+                    // an overload budget that may be shedding our data) and
+                    // the peer's node is alive: the silence may be a routing
+                    // outage or overload rather than a crash. Park the
+                    // fragment (the exhausted timer is already dead) and let
+                    // a heartbeat probe — never shed — decide between resume
+                    // and peer-down.
+                    if rideout {
+                        w.faults.stats.overload_rideouts += 1;
+                    }
                     crate::membership::suspect(w, s, node, peer);
                 } else {
                     let end = w
@@ -1552,10 +1591,15 @@ fn arm_win_timer(
         match next {
             Next::Stale => {}
             Next::GiveUp(peer) => {
-                if w.net.topology().generation() > 0 && w.node(peer).up {
-                    // Alive peer + active partition plane: keep the in-flight
-                    // window parked for a heal retransmit and hand the
-                    // verdict to a heartbeat probe (see arm_data_timer).
+                let rideout = w.net.overload_active();
+                if (w.net.topology().generation() > 0 || rideout) && w.node(peer).up {
+                    // Alive peer + active partition plane or overload
+                    // budget: keep the in-flight window parked for a resume
+                    // retransmit and hand the verdict to a heartbeat probe
+                    // (see arm_data_timer).
+                    if rideout {
+                        w.faults.stats.overload_rideouts += 1;
+                    }
                     crate::membership::suspect(w, s, node, peer);
                 } else {
                     let end = w
@@ -2032,6 +2076,17 @@ pub fn on_serve_conn(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
     }
     if !w.node(node).listeners.contains_key(&name) {
         return; // listener died with a crash; the client will learn via timeout
+    }
+    if w.node(node).listeners[&name].pending.len() >= w.calib.listener_backlog_cap {
+        // Bounded listener backlog: discard the connection instead of
+        // growing the unaccepted queue without limit. The manager's CTL_ACK
+        // was already sent, so no retransmit storm; the client's end stays
+        // half-open and its first write times out into the normal recovery
+        // path. (The client-side channel is NOT capped here: erroring the
+        // *server* out of an accept it never saw is safe, wedging the client
+        // mid-open is not.)
+        w.faults.stats.table_rejects += 1;
+        return;
     }
     create_end(w, s, node, id, name.clone(), client);
     let Some(ls) = w.node_mut(node).listeners.get_mut(&name) else {

@@ -34,6 +34,11 @@ pub enum VorxError {
     /// separates the two ends. Unlike [`VorxError::PeerDown`], no state was
     /// wiped — when the partition heals, the channel reconnects and resumes.
     Partitioned,
+    /// A bounded kernel table (channel table, listener backlog, object
+    /// manager registration queue) is full. The operation was refused so the
+    /// node degrades instead of growing without limit; retrying after
+    /// existing entries drain may succeed.
+    ResourceExhausted,
 }
 
 impl fmt::Display for VorxError {
@@ -48,6 +53,7 @@ impl fmt::Display for VorxError {
             VorxError::HostDown => write!(f, "host is down"),
             VorxError::Unreachable => write!(f, "object manager unreachable"),
             VorxError::Partitioned => write!(f, "peer unreachable (network partition)"),
+            VorxError::ResourceExhausted => write!(f, "kernel resource budget exhausted"),
         }
     }
 }
@@ -71,6 +77,10 @@ mod tests {
         assert_eq!(
             VorxError::Partitioned.to_string(),
             "peer unreachable (network partition)"
+        );
+        assert_eq!(
+            VorxError::ResourceExhausted.to_string(),
+            "kernel resource budget exhausted"
         );
     }
 }

@@ -52,6 +52,13 @@ pub struct FaultStats {
     /// Pending opens failed over from an unreachable hash-home manager to
     /// its successor replica.
     pub mgr_failovers: u64,
+    /// Retry exhaustions converted into membership probes because the fabric
+    /// was under an overload budget: the writer rides out shedding via the
+    /// pause/resume path instead of declaring its (alive) peer down.
+    pub overload_rideouts: u64,
+    /// Open requests refused (`KIND_OPEN_NACK`) or listener connections
+    /// discarded because a bounded kernel table was full.
+    pub table_rejects: u64,
 }
 
 /// The fault plane as the world sees it: the seeded schedule plus the
@@ -87,6 +94,10 @@ impl hpcnet::FaultHook for FaultState {
 
     fn on_down_drop(&mut self, link: LinkId) {
         self.schedule.note_down_drop(link.0);
+    }
+
+    fn on_overload_drop(&mut self, link: LinkId) {
+        self.schedule.note_overload_shed(link.0);
     }
 }
 

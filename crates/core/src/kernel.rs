@@ -249,6 +249,7 @@ fn dispatch(w: &mut World, s: &mut VSched, a: NodeAddr, f: Frame) {
         proto::KIND_CTL_ACK => crate::fault::on_ctl_ack(w, s, a, f),
         proto::KIND_HEARTBEAT => crate::membership::on_heartbeat(w, s, a, f),
         proto::KIND_REPL_REG => objmgr::on_repl_reg(w, s, a, f),
+        proto::KIND_OPEN_NACK => objmgr::on_open_nack(w, s, a, f),
         k if k >= proto::KIND_UDCO_BASE => udco::on_frame(w, s, a, f),
         k => panic!("node {a}: frame with unknown protocol kind {k}"),
     }

@@ -395,6 +395,7 @@ fn serve_open(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
     let (kind, name) = proto::parse_open_req_kind(&f.payload);
     let key = format!("{}\0{name}", kind as u8);
     let requester = (f.src, f.seq);
+    let cap = w.calib.mgr_pending_cap;
     let st = &mut w.node_mut(mgr).mgr;
     st.served += 1;
     // A registered server takes priority: every client open yields a fresh
@@ -418,6 +419,21 @@ fn serve_open(w: &mut World, s: &mut VSched, mgr: NodeAddr, f: Frame) {
             proto::pack_open_rep_kind(kind, id, requester.0, &name),
         );
         crate::fault::reliable_send(w, s, conn);
+        return;
+    }
+    if st.pending.get(&key).is_some_and(|q| q.len() >= cap) {
+        // Bounded registration table: refuse with a typed NACK (reliable, so
+        // the opener fails fast with `ResourceExhausted` instead of
+        // retrying into an overloaded manager until its budget runs out).
+        w.faults.stats.table_rejects += 1;
+        let nack = Frame::unicast(
+            mgr,
+            requester.0,
+            proto::KIND_OPEN_NACK,
+            requester.1,
+            proto::pack_open_req_kind(kind, &name),
+        );
+        crate::fault::reliable_send(w, s, nack);
         return;
     }
     let q = st.pending.entry(key).or_default();
@@ -553,6 +569,29 @@ pub fn on_open_rep(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
     w.node_mut(node)
         .open_waits
         .insert(token, OpenResult::Done(id, peer));
+    w.node_mut(node).open_waiters.wake_all(s, Wakeup::START);
+}
+
+/// Kernel handler: the manager refused our open request (`KIND_OPEN_NACK`,
+/// pending-open table full). Delivered reliably, so ack first, then fail the
+/// waiting open with [`crate::VorxError::ResourceExhausted`] — retrying
+/// later, after the manager's queue drains, may succeed.
+pub fn on_open_nack(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
+    crate::fault::ack_ctl(w, s, node, &f);
+    let token = f.seq;
+    match w.node_mut(node).open_waits.get_mut(&token) {
+        Some(OpenResult::Pending { timer, .. }) => {
+            if let Some(t) = timer.take() {
+                t.cancel();
+            }
+        }
+        // Duplicate NACK (our first ack was lost), or a crash wiped the open.
+        _ => return,
+    }
+    w.node_mut(node).open_waits.insert(
+        token,
+        OpenResult::Failed(crate::VorxError::ResourceExhausted),
+    );
     w.node_mut(node).open_waiters.wake_all(s, Wakeup::START);
 }
 
@@ -699,6 +738,14 @@ pub fn rendezvous(
 ) -> crate::VorxResult<(u32, NodeAddr)> {
     let name_owned = name.to_string();
     let token = ctx.with(move |w, s| {
+        // Bounded channel table: refuse new opens once this node holds its
+        // budgeted number of channels — degrade locally instead of growing
+        // the kernel without limit. (Checked before anything is registered,
+        // so a refused open leaves no state behind.)
+        if w.node(node).chans.len() >= w.calib.max_chans_per_node {
+            w.faults.stats.table_rejects += 1;
+            return Err(crate::VorxError::ResourceExhausted);
+        }
         let mgr = resolve_mgr(w, node, &name_owned);
         let token = w.token();
         w.node_mut(node).open_waits.insert(
@@ -714,8 +761,8 @@ pub fn rendezvous(
         );
         send_open_req(w, s, node, mgr, kind, &name_owned, token);
         arm_open_timer(w, s, node, token, 0);
-        token
-    });
+        Ok(token)
+    })?;
     let pid = ctx.pid();
     ctx.wait_until(move |w, _| match w.node(node).open_waits.get(&token) {
         Some(OpenResult::Done(id, peer)) => {

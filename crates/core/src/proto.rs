@@ -197,6 +197,19 @@ pub const KIND_HEARTBEAT: u16 = 20;
 /// registered name to its successor replica (and anti-entropy pushes mirror
 /// in both directions after a partition heals).
 pub const KIND_REPL_REG: u16 = 21;
+/// Typed refusal of an open request: the object manager's pending-open table
+/// is full (`VorxError::ResourceExhausted`). Sent reliably so the opener
+/// fails fast instead of retrying into an overloaded manager.
+pub const KIND_OPEN_NACK: u16 = 22;
+
+/// True iff `kind` is lowest-priority, fully-retransmittable channel data —
+/// the only traffic class the fabric may shed under an overload byte budget.
+/// Everything else (acks, opens, control, heartbeats, UDCO) is never shed:
+/// shedding is safe exactly where the stop-and-wait/window retry protocols
+/// already recover from loss.
+pub fn is_sheddable_kind(kind: u16) -> bool {
+    kind == KIND_CHAN_DATA || kind == KIND_CHAN_DATA_LAST
+}
 
 /// Encode a replica registration (`KIND_REPL_REG`): object kind + the
 /// registered server's address + the name.

@@ -429,7 +429,7 @@ impl VorxBuilder {
         events.sort_by_key(|e| e.at);
         let world = World {
             calib: self.calib,
-            net: Fabric::new(self.topo, self.netcfg),
+            net: data_plane_fabric(self.topo, self.netcfg),
             nodes,
             objmgr_mode: self.objmgr_mode,
             alloc: Allocator::new(self.n_hosts, n),
@@ -532,13 +532,15 @@ impl VorxBuilder {
             desim::FaultAction::LinkDown(id)
             | desim::FaultAction::LinkUp(id)
             | desim::FaultAction::LinkDegrade(id) => link_shard[id as usize],
+            // Shard index == cluster index in the by-cluster partition.
+            desim::FaultAction::BudgetSqueeze(c) => c as usize,
         };
 
         let mut shards = Vec::with_capacity(n_shards);
         for k in 0..n_shards {
             let world = World {
                 calib: self.calib,
-                net: Fabric::new(topo.clone(), self.netcfg),
+                net: data_plane_fabric(topo.clone(), self.netcfg),
                 nodes: (0..n).map(|i| Node::new(NodeAddr(i as u16))).collect(),
                 objmgr_mode: self.objmgr_mode,
                 alloc: Allocator::new(self.n_hosts, n),
@@ -586,6 +588,16 @@ impl VorxBuilder {
     }
 }
 
+/// Build the world's fabric with the kernel's shed classifier installed:
+/// only lowest-priority channel data fragments are eligible for overload
+/// shedding. With the default unbounded budget the classifier is never
+/// consulted on the drop path, so fault-free runs are byte-identical.
+fn data_plane_fabric(topo: Topology, cfg: NetConfig) -> Fabric {
+    let mut f = Fabric::new(topo, cfg);
+    f.set_sheddable(|f| crate::proto::is_sheddable_kind(f.kind));
+    f
+}
+
 /// Spawn the fault plane: an ordinary simulated process applying the
 /// schedule's crash/restart/link events. They interleave with the workload
 /// through the same `(time, seq)` event order, which is what makes replay
@@ -615,6 +627,10 @@ fn spawn_fault_plane(sim: &Simulation<World>, events: Vec<desim::FaultEvent>) {
                 }
                 desim::FaultAction::LinkDegrade(id) => {
                     let _ = w.faults.schedule.apply_degrade(id);
+                }
+                desim::FaultAction::BudgetSqueeze(c) => {
+                    let b = w.faults.schedule.apply_squeeze(c);
+                    w.net.set_cluster_byte_budget(ClusterId(c as u16), b);
                 }
             });
         }

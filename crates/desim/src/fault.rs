@@ -33,6 +33,10 @@ pub enum FaultAction {
     /// cable: loss/corruption/delay). The new profile is the next one queued
     /// for this link by [`FaultSchedule::degrade_at`].
     LinkDegrade(u32),
+    /// A cluster switch's store-and-forward byte budget changes (an overload
+    /// squeeze or its release). The new budget is the next one queued for
+    /// this cluster by [`FaultSchedule::squeeze_at`].
+    BudgetSqueeze(u32),
 }
 
 /// One entry in the crash/restart timeline.
@@ -118,6 +122,9 @@ pub struct LinkStats {
     pub down_drops: u64,
     /// Times the timeline took this link down.
     pub downs: u64,
+    /// Messages shed at this link's switch because a byte budget was
+    /// exhausted (deterministic overload drops, not probabilistic faults).
+    pub shed: u64,
 }
 
 /// A seeded, deterministic fault plan: a crash/restart timeline plus
@@ -137,6 +144,13 @@ pub struct FaultSchedule {
     /// `link -> queued degrade profiles`, consumed in timeline order by
     /// [`FaultSchedule::apply_degrade`].
     degrades: HashMap<u32, VecDeque<LinkFaults>>,
+    /// `cluster -> queued byte budgets`, consumed in timeline order by
+    /// [`FaultSchedule::apply_squeeze`].
+    squeezes: HashMap<u32, VecDeque<u64>>,
+    /// Traffic-amplification windows `(start_ns, end_ns, factor)`: a pure
+    /// function of sim time consulted by load generators, so overload bursts
+    /// replay bit-identically without touching the RNG.
+    bursts: Vec<(u64, u64, u32)>,
     /// Per-link injection counters (ordered so summaries are deterministic).
     link_stats: BTreeMap<u32, LinkStats>,
     /// What was injected so far.
@@ -154,6 +168,8 @@ impl FaultSchedule {
             scripted_drops: HashMap::new(),
             arrivals: HashMap::new(),
             degrades: HashMap::new(),
+            squeezes: HashMap::new(),
+            bursts: Vec::new(),
             link_stats: BTreeMap::new(),
             stats: FaultStats::default(),
         }
@@ -205,6 +221,26 @@ impl FaultSchedule {
             action: FaultAction::LinkDegrade(link),
         });
         self.degrades.entry(link).or_default().push_back(faults);
+        self
+    }
+
+    /// Schedule cluster `cluster`'s switch byte budget to become `bytes` at
+    /// `at` (an overload squeeze; `u64::MAX` releases it). Several squeezes
+    /// of the same cluster apply in timeline order.
+    pub fn squeeze_at(mut self, cluster: u32, at: SimTime, bytes: u64) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            action: FaultAction::BudgetSqueeze(cluster),
+        });
+        self.squeezes.entry(cluster).or_default().push_back(bytes);
+        self
+    }
+
+    /// Declare a traffic-amplification window: between `start` and `end`
+    /// (exclusive), load generators consulting [`FaultSchedule::amplification`]
+    /// should multiply their offered load by `factor`.
+    pub fn burst(mut self, start: SimTime, end: SimTime, factor: u32) -> Self {
+        self.bursts.push((start.as_ns(), end.as_ns(), factor));
         self
     }
 
@@ -279,10 +315,40 @@ impl FaultSchedule {
         f
     }
 
+    /// Install the next queued byte budget for `cluster` (scheduled by
+    /// [`FaultSchedule::squeeze_at`]). Called by the layer that executes the
+    /// timeline when a [`FaultAction::BudgetSqueeze`] fires. Returns the
+    /// budget now in force (`u64::MAX` once the queue is exhausted).
+    pub fn apply_squeeze(&mut self, cluster: u32) -> u64 {
+        self.squeezes
+            .get_mut(&cluster)
+            .and_then(VecDeque::pop_front)
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Traffic-amplification factor in force at `now_ns`: the largest factor
+    /// among burst windows covering that instant, 1 outside every window. A
+    /// pure function of time — consulting it consumes no randomness, so
+    /// burst-driven load replays bit-identically.
+    pub fn amplification(&self, now_ns: u64) -> u32 {
+        self.bursts
+            .iter()
+            .filter(|&&(s, e, _)| s <= now_ns && now_ns < e)
+            .map(|&(_, _, f)| f)
+            .max()
+            .unwrap_or(1)
+    }
+
     /// Record a frame lost because it was in flight when `link` went down.
     /// Down-drops are scripted (no randomness) and counted per link only.
     pub fn note_down_drop(&mut self, link: u32) {
         self.link_stats.entry(link).or_default().down_drops += 1;
+    }
+
+    /// Record a frame shed at `link`'s switch by an exhausted byte budget.
+    /// Sheds are deterministic (no randomness) and counted per link only.
+    pub fn note_overload_shed(&mut self, link: u32) {
+        self.link_stats.entry(link).or_default().shed += 1;
     }
 
     /// Record the timeline taking `link` down.
@@ -428,6 +494,42 @@ mod tests {
         // Aggregate stats exclude down-drops (those are scripted losses, not
         // probabilistic dispositions).
         assert_eq!(f.stats.dropped, 2);
+    }
+
+    #[test]
+    fn squeeze_applies_budgets_in_timeline_order() {
+        let mut f = FaultSchedule::new(0)
+            .squeeze_at(2, SimTime::from_ns(10), 4_096)
+            .squeeze_at(2, SimTime::from_ns(20), u64::MAX);
+        assert_eq!(f.events().len(), 2);
+        assert_eq!(f.events()[0].action, FaultAction::BudgetSqueeze(2));
+        assert_eq!(f.apply_squeeze(2), 4_096);
+        assert_eq!(f.apply_squeeze(2), u64::MAX);
+        // Queue exhausted: a further apply releases the budget.
+        assert_eq!(f.apply_squeeze(2), u64::MAX);
+        // Squeezes are scripted, not probabilistic.
+        assert!(!f.message_faults_possible());
+    }
+
+    #[test]
+    fn burst_amplification_is_a_pure_function_of_time() {
+        let f = FaultSchedule::new(0)
+            .burst(SimTime::from_ns(100), SimTime::from_ns(200), 4)
+            .burst(SimTime::from_ns(150), SimTime::from_ns(300), 8);
+        assert_eq!(f.amplification(0), 1);
+        assert_eq!(f.amplification(100), 4);
+        assert_eq!(f.amplification(150), 8, "overlap takes the max");
+        assert_eq!(f.amplification(200), 8, "end is exclusive");
+        assert_eq!(f.amplification(300), 1);
+    }
+
+    #[test]
+    fn overload_sheds_count_per_link() {
+        let mut f = FaultSchedule::new(0);
+        f.note_overload_shed(3);
+        f.note_overload_shed(3);
+        assert_eq!(f.link_stats()[&3].shed, 2);
+        assert_eq!(f.stats.dropped, 0, "sheds are not probabilistic drops");
     }
 
     #[test]

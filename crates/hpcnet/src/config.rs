@@ -24,6 +24,13 @@ pub struct NetConfig {
     pub cluster_port_slots: usize,
     /// Whole-message buffer slots in an endpoint's receive FIFO.
     pub endpoint_rx_slots: usize,
+    /// Store-and-forward byte budget per cluster switch for *sheddable*
+    /// (lowest-priority, data-class) frames. A sheddable frame whose wire
+    /// bytes would push the cluster's buffered sheddable bytes past this
+    /// budget is dropped at arrival instead of buffered (deterministic load
+    /// shedding; counted in `Stats::frames_shed`). `u64::MAX` — the default,
+    /// and the 1988 hardware — disables the budget entirely.
+    pub switch_byte_budget: u64,
 }
 
 impl NetConfig {
@@ -34,6 +41,7 @@ impl NetConfig {
             hop_latency_ns: 500, // self-routing switch decision, short fiber
             cluster_port_slots: 2,
             endpoint_rx_slots: 4,
+            switch_byte_budget: u64::MAX, // unbounded: the paper's hardware
         }
     }
 

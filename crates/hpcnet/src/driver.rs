@@ -13,9 +13,16 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use crate::fabric::{Fabric, FaultHook, NetEvent, Notify, Output};
 use crate::frame::{Frame, NodeAddr};
 
+/// Cap on each endpoint's busy-transmitter retry queue. Software that keeps
+/// injecting while its port is saturated loses the newest frames past this
+/// depth (counted in [`StandaloneNet::waiting_dropped`]) instead of growing
+/// the queue without bound.
+pub const WAITING_TX_CAP: usize = 256;
+
 enum Action {
     Net(NetEvent),
     Inject(Frame),
+    Crash(NodeAddr),
 }
 
 struct Entry {
@@ -58,6 +65,10 @@ pub struct StandaloneNet {
     /// hence outranks by seq — every lane entry.
     lane: VecDeque<(u64, Action)>,
     waiting_tx: HashMap<NodeAddr, VecDeque<Frame>>,
+    /// Frames discarded from `waiting_tx`: newest-first overflow past
+    /// [`WAITING_TX_CAP`], plus everything purged when the queue's endpoint
+    /// crashed.
+    pub waiting_dropped: u64,
     faults: Option<Box<dyn FaultHook>>,
 }
 
@@ -72,6 +83,7 @@ impl StandaloneNet {
             queue: BinaryHeap::new(),
             lane: VecDeque::new(),
             waiting_tx: HashMap::new(),
+            waiting_dropped: 0,
             faults: None,
         }
     }
@@ -91,6 +103,14 @@ impl StandaloneNet {
     /// Current time, ns.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Schedule a crash of `node` at time `t`: the endpoint goes down in the
+    /// fabric and every frame its (now dead) transmitter still had queued
+    /// for retry is purged into `waiting_dropped` — without the purge, a
+    /// crashed sender's retry queue would pin its frames forever.
+    pub fn crash_at(&mut self, t: u64, node: NodeAddr) {
+        self.push(t, Action::Crash(node));
     }
 
     fn push(&mut self, t: u64, action: Action) {
@@ -156,10 +176,23 @@ impl StandaloneNet {
                             Err(e) => panic!("injection failed: {e}"),
                         }
                     } else {
-                        // Transmitter busy: queue for retry on TxReady.
-                        self.waiting_tx.entry(src).or_default().push_back(frame);
+                        // Transmitter busy: queue for retry on TxReady,
+                        // shedding the newest frame once the queue is full.
+                        let q = self.waiting_tx.entry(src).or_default();
+                        if q.len() < WAITING_TX_CAP {
+                            q.push_back(frame);
+                        } else {
+                            self.waiting_dropped += 1;
+                        }
                         Output::default()
                     }
+                }
+                Action::Crash(node) => {
+                    if let Some(q) = self.waiting_tx.get_mut(&node) {
+                        self.waiting_dropped += q.len() as u64;
+                        q.clear();
+                    }
+                    self.fabric.set_endpoint_down(self.now, node, true)
                 }
             };
             self.process(out);
@@ -195,5 +228,67 @@ impl StandaloneNet {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetConfig;
+    use crate::frame::Payload;
+    use crate::topology::Topology;
+
+    fn net(nodes: usize) -> StandaloneNet {
+        StandaloneNet::new(Fabric::new(
+            Topology::single_cluster(nodes).unwrap(),
+            NetConfig::paper_1988(),
+        ))
+    }
+
+    #[test]
+    fn waiting_tx_overflow_sheds_newest_frames() {
+        let mut n = net(2);
+        // One frame starts serializing; WAITING_TX_CAP queue behind it; the
+        // overflow is shed instead of growing the retry queue.
+        let extra = 3;
+        for i in 0..(1 + WAITING_TX_CAP + extra) {
+            n.send_at(
+                0,
+                Frame::unicast(
+                    NodeAddr(0),
+                    NodeAddr(1),
+                    9,
+                    i as u64,
+                    Payload::Synthetic(64),
+                ),
+            );
+        }
+        n.run();
+        assert_eq!(n.waiting_dropped, extra as u64);
+        assert_eq!(n.delivered.len(), 1 + WAITING_TX_CAP);
+        // The *newest* frames were shed: every survivor seq < cap + 1.
+        assert!(n
+            .delivered
+            .iter()
+            .all(|(_, _, f)| f.seq < (1 + WAITING_TX_CAP) as u64));
+    }
+
+    #[test]
+    fn crash_purges_queued_frames_of_dead_sender() {
+        let mut n = net(2);
+        // 1000 B payloads serialize in 51.8 us each; five frames queue
+        // behind the first, then the sender dies mid-serialization.
+        for i in 0..6 {
+            n.send_at(
+                0,
+                Frame::unicast(NodeAddr(0), NodeAddr(1), 9, i, Payload::Synthetic(1000)),
+            );
+        }
+        n.crash_at(10_000, NodeAddr(0));
+        n.run();
+        assert_eq!(n.waiting_dropped, 5, "queued frames purged at crash");
+        // The frame already on the wire still delivers; nothing leaks.
+        assert_eq!(n.delivered.len(), 1);
+        assert_eq!(n.fabric.in_flight(), 0);
     }
 }

@@ -334,6 +334,63 @@ fn link_cut_drops_frames_then_retransmission_recovers() {
     );
 }
 
+/// BUSY-grant exhaustion: a receiver that never drains must surface a
+/// *typed* error to the writer within the `MAX_BUSY_GRANTS` cap — not
+/// stall silently forever. The reader opens the channel and then sleeps:
+/// the writer's first 8 one-byte messages land in the kernel side buffers
+/// and are acked; the 9th is refused with BUSY grants until the grant cap
+/// (64) runs dry, after which the ordinary retry budget expires and the
+/// writer gets `VorxError::PeerDown` while the reader is still asleep.
+#[test]
+fn busy_grant_exhaustion_surfaces_typed_error() {
+    use hpc_vorx::desim::SimTime;
+    const READER_NAP_NS: u64 = 60_000_000_000; // 60 s: far past the cap
+    let mut v = VorxBuilder::single_cluster(2)
+        .objmgr(ObjMgrMode::Centralized(NodeAddr(0)))
+        .trace(false)
+        .build();
+    let failure: Arc<Mutex<Option<(u8, hpc_vorx::vorx::VorxError, SimTime)>>> =
+        Arc::new(Mutex::new(None));
+    let sink = Arc::clone(&failure);
+    v.spawn("n0:writer", move |ctx| {
+        let ch = channel::open(&ctx, NodeAddr(0), "wedge");
+        for i in 0..32u8 {
+            if let Err(e) = ch.write(&ctx, Payload::copy_from(&[i])) {
+                *sink.lock() = Some((i, e, ctx.now()));
+                return;
+            }
+        }
+    });
+    v.spawn("n1:reader", |ctx| {
+        let _ch = channel::open(&ctx, NodeAddr(1), "wedge");
+        // Never drains: sleep through the writer's whole struggle.
+        ctx.sleep(SimDuration::from_ns(READER_NAP_NS));
+    });
+    let report = v.run();
+    assert_eq!(report.parked, vec![], "the writer must not wedge");
+    let (at_msg, err, when) = failure
+        .lock()
+        .take()
+        .expect("a never-draining receiver must produce a typed error, not silence");
+    assert_eq!(err, VorxError::PeerDown, "the failure must be typed");
+    assert!(
+        at_msg <= 9,
+        "only the side buffers (8) plus the blocked write may succeed; \
+         write {at_msg} should already have failed"
+    );
+    assert!(
+        when.as_ns() < READER_NAP_NS,
+        "the error must arrive while the reader is still asleep (bounded \
+         by the grant cap), not after it wakes"
+    );
+    let w = v.world();
+    assert!(w.faults.stats.busy_sent > 0, "BUSY grants must have flowed");
+    assert!(
+        w.faults.stats.peer_down_events >= 1,
+        "grant exhaustion ends in a peer-down verdict"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

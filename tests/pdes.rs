@@ -288,6 +288,67 @@ fn churn_schedule_small(topo: &Topology, seed: u64) -> FaultSchedule {
         .up_at(spare.0 as u32, SimTime::from_ns(6_000 * 1_000))
 }
 
+/// Overload determinism: budget squeezes plus burst-amplified traffic shed
+/// frames mid-run, the channel protocol rides the window out on
+/// retransmission — and none of it may depend on the worker count. Workers
+/// 1 and 4 must produce bit-identical traces with shedding demonstrably
+/// active in both.
+#[test]
+fn overload_shedding_is_worker_invariant() {
+    let run = |workers: usize| {
+        let topo = Topology::incomplete_hypercube(4, 4).unwrap();
+        let clusters = by_cluster(&topo);
+        // Squeeze the switches of clusters 0 and 2 to a zero byte budget
+        // mid-run, then restore: every data frame crossing those switches
+        // inside the window is shed (control traffic is never shed) and
+        // must be recovered by retransmission after the restore.
+        let faults = FaultSchedule::new(0x0BAD)
+            .squeeze_at(0, SimTime::from_ns(2_000_000), 0)
+            .squeeze_at(0, SimTime::from_ns(50_000_000), u64::MAX)
+            .squeeze_at(2, SimTime::from_ns(2_000_000), 0)
+            .squeeze_at(2, SimTime::from_ns(50_000_000), u64::MAX)
+            .burst(SimTime::ZERO, SimTime::from_ns(10_000_000), 3);
+        let mut v: VorxShardedSim = VorxBuilder::with_topology(topo)
+            .seed(0x0BAD)
+            .faults(faults)
+            .build_sharded(workers);
+        // Intra-cluster pairs: shedding happens inside a switch, so the
+        // overloaded traffic must stay within its shard (bridged frames
+        // model no switch contention — DESIGN.md §12).
+        for (c, nodes) in clusters.iter().enumerate() {
+            let (wn, rn) = (nodes[0], nodes[1]);
+            let name = format!("ov{c}");
+            let rname = name.clone();
+            v.spawn_at(wn, format!("n{}:w{c}", wn.0), move |ctx: VCtx| {
+                let ch = channel::open(&ctx, wn, &name);
+                for _ in 0..6 {
+                    // Burst windows amplify the offered load: bigger
+                    // payloads while a burst is active, derived from sim
+                    // time alone so replay stays deterministic.
+                    let amp = ctx.with(|w, s| w.faults.schedule.amplification(s.now().as_ns()));
+                    ch.write(&ctx, Payload::Synthetic(64 * amp)).unwrap();
+                }
+            });
+            v.spawn_at(rn, format!("n{}:r{c}", rn.0), move |ctx: VCtx| {
+                let ch = channel::open(&ctx, rn, &rname);
+                for _ in 0..6 {
+                    ch.read(&ctx).unwrap();
+                }
+            });
+        }
+        v.run_all();
+        let shed = v.sum_over_shards(|w| w.net.stats.frames_shed);
+        let retx = v.sum_over_shards(|w| w.faults.stats.retransmits);
+        (v.merged_trace().to_json(), shed, retx)
+    };
+    let (t1, shed1, retx1) = run(1);
+    let (t4, shed4, retx4) = run(4);
+    assert!(shed1 > 0, "the squeeze window must actually shed frames");
+    assert!(retx1 > 0, "shed data must be recovered by retransmission");
+    assert_eq!((shed1, retx1), (shed4, retx4));
+    assert_eq!(t1, t4, "overload handling diverged across worker counts");
+}
+
 // ---------------------------------------------------------------------------
 // Per-link lookahead properties, at the desim level: a toy shard world whose
 // messages ride the exact per-pair latency from a *random* matrix. Every
