@@ -37,4 +37,7 @@ cargo run --release -p vorx-bench --bin pdes_campaign -- --smoke
 echo "==> soak smoke (chaos soak under watchdog: all fault classes + overload, invariant oracles)"
 cargo run --release -p vorx-bench --bin soak_campaign -- --smoke
 
+echo "==> scale smoke (10k-endpoint hierarchy under watchdog: churn, workers {1,4} trace equality, recompute speedup)"
+cargo run --release -p vorx-bench --bin scale_campaign -- --smoke
+
 echo "CI OK"

@@ -221,7 +221,7 @@ pub fn run_cemu(c: &Circuit, p: usize, ticks: usize, seed: u64) -> CemuResult {
         let n_inputs = c.n_inputs;
         let waves = Arc::clone(&waves);
         v.spawn(format!("n{me}:cemu"), move |ctx| {
-            let node = NodeAddr(me as u16);
+            let node = NodeAddr(me as u32);
             // One UDCO per sending peer (tag = 50 + sender).
             for q in 0..p {
                 if q != me {
@@ -242,7 +242,7 @@ pub fn run_cemu(c: &Circuit, p: usize, ticks: usize, seed: u64) -> CemuResult {
                             udco::send(
                                 &ctx,
                                 node,
-                                NodeAddr(q as u16),
+                                NodeAddr(q as u32),
                                 50 + me as u16,
                                 t as u64,
                                 pack_bits(&vals),

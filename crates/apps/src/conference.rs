@@ -122,10 +122,10 @@ pub fn run_conference(p: ConferenceParams) -> ConferenceResult {
     let video_frags = p.video_frame_bytes.div_ceil(MAX_PAYLOAD) as u64;
 
     for me in 0..p.conferees {
-        let node = NodeAddr(me as u16);
+        let node = NodeAddr(me as u32);
         let others: Vec<NodeAddr> = (0..p.conferees)
             .filter(|q| *q != me)
-            .map(|q| NodeAddr(q as u16))
+            .map(|q| NodeAddr(q as u32))
             .collect();
 
         // Sender: paced audio + video to every other conferee.
@@ -180,8 +180,8 @@ pub fn run_conference(p: ConferenceParams) -> ConferenceResult {
         let peers = others;
         v.spawn(format!("n{me}:recv"), move |ctx| {
             for &peer in &peers {
-                udco::register(&ctx, node, AUDIO_BASE + peer.0, UdcoMode::Raw);
-                udco::register(&ctx, node, VIDEO_BASE + peer.0, UdcoMode::Raw);
+                udco::register(&ctx, node, AUDIO_BASE + peer.0 as u16, UdcoMode::Raw);
+                udco::register(&ctx, node, VIDEO_BASE + peer.0 as u16, UdcoMode::Raw);
             }
             let expect_audio = audio_frames * peers.len() as u64;
             let expect_video_frags = video_frames * video_frags * peers.len() as u64;
@@ -190,13 +190,13 @@ pub fn run_conference(p: ConferenceParams) -> ConferenceResult {
             while got_audio < expect_audio || got_video < expect_video_frags {
                 let mut progressed = false;
                 for &peer in &peers {
-                    while let Some(m) = udco::try_recv_raw(&ctx, node, AUDIO_BASE + peer.0) {
+                    while let Some(m) = udco::try_recv_raw(&ctx, node, AUDIO_BASE + peer.0 as u16) {
                         let lat = (ctx.now().as_ns() - m.seq) as f64 / 1000.0;
                         alat.lock().push(lat);
                         got_audio += 1;
                         progressed = true;
                     }
-                    while let Some(m) = udco::try_recv_raw(&ctx, node, VIDEO_BASE + peer.0) {
+                    while let Some(m) = udco::try_recv_raw(&ctx, node, VIDEO_BASE + peer.0 as u16) {
                         let lat = (ctx.now().as_ns() - m.seq) as f64 / 1000.0;
                         vlat.lock().push(lat);
                         got_video += 1;

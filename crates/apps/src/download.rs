@@ -32,7 +32,7 @@ pub fn run_download(n_nodes: usize, text_bytes: u32, mode: DownloadMode) -> SimD
         .hosts(1)
         .trace(false)
         .build();
-    let targets: Vec<NodeAddr> = (1..=n_nodes).map(|i| NodeAddr(i as u16)).collect();
+    let targets: Vec<NodeAddr> = (1..=n_nodes).map(|i| NodeAddr(i as u32)).collect();
     match mode {
         DownloadMode::PerProcessStub => {
             for &t in &targets {

@@ -156,7 +156,7 @@ pub fn run_fft2d(params: Fft2dParams, seed: u64) -> Fft2dResult {
             .collect();
         let coll = Arc::clone(&collected);
         v.spawn(format!("n{me}:fft"), move |ctx| {
-            let node = NodeAddr(me as u16);
+            let node = NodeAddr(me as u32);
             let mut rows = my_rows;
 
             // --- Setup: establish communications before computing ---
@@ -214,7 +214,7 @@ pub fn run_fft2d(params: Fft2dParams, seed: u64) -> Fft2dResult {
                 Distribution::Multicast => {
                     let others: Vec<NodeAddr> = (0..p)
                         .filter(|q| *q != me)
-                        .map(|q| NodeAddr(q as u16))
+                        .map(|q| NodeAddr(q as u32))
                         .collect();
                     for (ri, r) in rows.iter().enumerate() {
                         let row = me * rows_per + ri;

@@ -132,12 +132,12 @@ enum Op {
 fn encode_op(op: &Op) -> Payload {
     let mut b = BytesMut::new();
     let (tag, reply) = match op {
-        Op::Out(_) => (0u8, 0u16),
+        Op::Out(_) => (0u8, 0u32),
         Op::In(_, r) => (1, r.0),
         Op::Rd(_, r) => (2, r.0),
     };
     b.put_u8(tag);
-    b.put_u16(reply);
+    b.put_u32(reply);
     match op {
         Op::Out(t) => {
             b.put_u8(t.len() as u8);
@@ -164,9 +164,9 @@ fn encode_op(op: &Op) -> Payload {
 fn decode_op(p: &Payload) -> Op {
     let b = p.bytes().expect("op carries data");
     let tag = b[0];
-    let reply = NodeAddr(u16::from_be_bytes([b[1], b[2]]));
-    let n = b[3] as usize;
-    let mut off = 4;
+    let reply = NodeAddr(u32::from_be_bytes([b[1], b[2], b[3], b[4]]));
+    let n = b[5] as usize;
+    let mut off = 6;
     match tag {
         0 => Op::Out((0..n).map(|_| get_val(b, &mut off)).collect()),
         1 | 2 => {
@@ -453,7 +453,7 @@ mod tests {
     fn pending_rds_and_in_satisfied_by_one_out() {
         let mut v = VorxBuilder::single_cluster(5).build();
         let ts = TupleSpace::spawn(&v, vec![NodeAddr(0)]);
-        for n in [1u16, 2] {
+        for n in [1u32, 2] {
             let ts = ts.clone();
             v.spawn(format!("n{n}:rd"), move |ctx| {
                 ts.join(&ctx, NodeAddr(n));
@@ -492,7 +492,7 @@ mod tests {
         let mut v = VorxBuilder::single_cluster(6).build();
         let ts = TupleSpace::spawn(&v, vec![NodeAddr(0), NodeAddr(1)]);
         const JOBS: i64 = 12;
-        for wk in 2..5u16 {
+        for wk in 2..5u32 {
             let ts = ts.clone();
             v.spawn(format!("n{wk}:worker"), move |ctx| {
                 ts.join(&ctx, NodeAddr(wk));

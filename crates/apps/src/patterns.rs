@@ -52,7 +52,7 @@ pub fn many_to_one(senders: usize, msgs: u64, msg_len: u32) -> ManyToOneResult {
         .build();
     for sx in 1..=senders {
         v.spawn(format!("n{sx}:burst"), move |ctx| {
-            let ch = channel::open(&ctx, NodeAddr(sx as u16), &format!("burst-{sx}"));
+            let ch = channel::open(&ctx, NodeAddr(sx as u32), &format!("burst-{sx}"));
             for _ in 0..msgs {
                 ch.write(&ctx, Payload::Synthetic(msg_len)).unwrap();
             }

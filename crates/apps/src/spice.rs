@@ -130,11 +130,11 @@ pub fn run_spice(params: SpiceParams, seed: u64) -> SpiceResult {
         let my_b = b[me * k..(me + 1) * k].to_vec();
         let sol = Arc::clone(&solution);
         v.spawn(format!("n{me}:spice"), move |ctx| {
-            let node = NodeAddr(me as u16);
+            let node = NodeAddr(me as u32);
             udco::register(&ctx, node, TAG_TO_LEFT, UdcoMode::Raw);
             udco::register(&ctx, node, TAG_TO_RIGHT, UdcoMode::Raw);
-            let left = (me > 0).then(|| NodeAddr((me - 1) as u16));
-            let right = (me + 1 < p).then(|| NodeAddr((me + 1) as u16));
+            let left = (me > 0).then(|| NodeAddr((me - 1) as u32));
+            let right = (me + 1 < p).then(|| NodeAddr((me + 1) as u32));
             let mut x = vec![0.0f64; k];
             let mut nx = vec![0.0f64; k];
             for it in 0..iters {

@@ -16,8 +16,8 @@ fn bench_unicast(c: &mut Criterion) {
                 let topo = Topology::incomplete_hypercube(8, 4).unwrap();
                 let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
                 for i in 0..1_000u64 {
-                    let src = (i % 32) as u16;
-                    let dst = ((i + 17) % 32) as u16;
+                    let src = (i % 32) as u32;
+                    let dst = ((i + 17) % 32) as u32;
                     net.send_at(
                         i * 10,
                         Frame::unicast(NodeAddr(src), NodeAddr(dst), 0, i, Payload::Synthetic(256)),

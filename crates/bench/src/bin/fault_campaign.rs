@@ -103,8 +103,8 @@ fn run_cell(loss: f64, crash: bool, seed: u64) -> CellResult {
     }
     if crash {
         schedule = schedule
-            .down_at(u32::from(READER.0), SimTime::from_ns(CRASH_AT_NS))
-            .up_at(u32::from(READER.0), SimTime::from_ns(RESTART_AT_NS));
+            .down_at(READER.0, SimTime::from_ns(CRASH_AT_NS))
+            .up_at(READER.0, SimTime::from_ns(RESTART_AT_NS));
     }
     let mut v = VorxBuilder::single_cluster(4)
         .objmgr(ObjMgrMode::Centralized(NodeAddr(0)))

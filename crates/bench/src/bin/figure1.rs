@@ -26,7 +26,7 @@ fn main() {
     println!("  processing nodes:    70 (nodes n10..n79)");
     println!(
         "  longest route:       {} cluster hops",
-        (0..topo.n_endpoints() as u16)
+        (0..topo.n_endpoints() as u32)
             .map(|i| topo.hops(NodeAddr(0), NodeAddr(i)))
             .max()
             .unwrap()
@@ -39,7 +39,7 @@ fn main() {
 
     // A spanning application: workstation n0 sources a work list, eight
     // processing nodes transform items, workstation n9 collects results.
-    let workers: Vec<u16> = (10..18).collect();
+    let workers: Vec<u32> = (10..18).collect();
     let items_per_worker = 20u32;
 
     for &wk in &workers {

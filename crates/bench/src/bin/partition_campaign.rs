@@ -74,7 +74,7 @@ fn topo() -> Topology {
 
 /// Both directed link ids of the cluster cable `a`–`b` (link numbering is a
 /// pure function of the topology).
-fn cable(a: u16, b: u16) -> [u32; 2] {
+fn cable(a: u32, b: u32) -> [u32; 2] {
     let f = Fabric::new(topo(), NetConfig::paper_1988());
     [
         f.cluster_link(ClusterId(a), ClusterId(b)).expect("wired").0,
@@ -83,9 +83,9 @@ fn cable(a: u16, b: u16) -> [u32; 2] {
 }
 
 /// First endpoint attached to cluster `c`.
-fn node_in(c: u16) -> NodeAddr {
+fn node_in(c: u32) -> NodeAddr {
     let t = topo();
-    (0..t.n_endpoints() as u16)
+    (0..t.n_endpoints() as u32)
         .map(NodeAddr)
         .find(|&n| t.cluster_of(n) == ClusterId(c))
         .expect("cluster populated")

@@ -22,7 +22,7 @@ fn random_traffic(
 ) -> (f64, f64, usize) {
     let n = topo.n_endpoints() as u64;
     let max_hops = (0..n.min(64))
-        .map(|i| topo.hops(NodeAddr(0), NodeAddr(((i * 97 + 13) % n) as u16)))
+        .map(|i| topo.hops(NodeAddr(0), NodeAddr(((i * 97 + 13) % n) as u32)))
         .max()
         .unwrap_or(0);
     let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
@@ -34,10 +34,10 @@ fn random_traffic(
         state
     };
     for i in 0..frames {
-        let src = (rng() % n) as u16;
-        let mut dst = (rng() % n) as u16;
+        let src = (rng() % n) as u32;
+        let mut dst = (rng() % n) as u32;
         if dst == src {
-            dst = (dst + 1) % n as u16;
+            dst = (dst + 1) % n as u32;
         }
         // Spread injections so the fabric (not queueing) dominates.
         net.send_at(

@@ -49,9 +49,9 @@ use vorx::hpcnet::{ClusterId, Fabric, LinkId, NetConfig, NodeAddr, Payload, Topo
 use vorx::{accounting, channel, objmgr, FaultStats, VCtx, VorxBuilder, VorxShardedSim, World};
 
 /// Clusters in the campaign machine.
-const CLUSTERS: u16 = 4;
+const CLUSTERS: u32 = 4;
 /// Endpoints per cluster.
-const PER_CLUSTER: u16 = 4;
+const PER_CLUSTER: u32 = 4;
 /// Baseline per-switch sheddable-byte budget: finite (so the overload
 /// plane is armed and the byte oracle has a bound) but far above what the
 /// workload can buffer — only the scripted squeezes ever shed.
@@ -71,14 +71,14 @@ fn topo() -> Topology {
 }
 
 /// Endpoints of cluster `c`, in address order.
-fn nodes_of(t: &Topology, c: u16) -> Vec<NodeAddr> {
+fn nodes_of(t: &Topology, c: u32) -> Vec<NodeAddr> {
     t.endpoints()
         .filter(|&n| t.cluster_of(n) == ClusterId(c))
         .collect()
 }
 
 /// Both directed link ids of the cluster cable `a`–`b`.
-fn cable(a: u16, b: u16) -> [u32; 2] {
+fn cable(a: u32, b: u32) -> [u32; 2] {
     let f = Fabric::new(topo(), NetConfig::paper_1988());
     [
         f.cluster_link(ClusterId(a), ClusterId(b)).expect("wired").0,
@@ -136,10 +136,10 @@ fn soak_schedule(seed: u64, t: &Topology) -> FaultSchedule {
             delay_ns: 0,
         })
         // Crash/restart churn on process-free spares.
-        .down_at(spare_a.0 as u32, SimTime::from_ns(20_000_000))
-        .up_at(spare_a.0 as u32, SimTime::from_ns(45_000_000))
-        .down_at(spare_c.0 as u32, SimTime::from_ns(30_000_000))
-        .up_at(spare_c.0 as u32, SimTime::from_ns(55_000_000))
+        .down_at(spare_a.0, SimTime::from_ns(20_000_000))
+        .up_at(spare_a.0, SimTime::from_ns(45_000_000))
+        .down_at(spare_c.0, SimTime::from_ns(30_000_000))
+        .up_at(spare_c.0, SimTime::from_ns(55_000_000))
         // Overload: squeeze two switches to zero budget, then restore the
         // finite baseline; amplify offered load inside the burst window.
         .squeeze_at(0, SimTime::from_ns(SQUEEZE_NS.0), 0)
@@ -164,7 +164,7 @@ fn soak_schedule(seed: u64, t: &Topology) -> FaultSchedule {
 /// under one short lock so no two shard guards are ever held together.
 struct ShardSnap {
     /// `(node, [(servers-map key, server node)])` for owned nodes.
-    servers: Vec<(u16, Vec<(String, u16)>)>,
+    servers: Vec<(u32, Vec<(String, u32)>)>,
     membership_ok: bool,
     depth_ok: bool,
     max_port_depth: usize,
@@ -179,14 +179,14 @@ struct ShardSnap {
 }
 
 fn snapshot_shard(w: &World, t: &Topology, shard: usize) -> ShardSnap {
-    let owned: Vec<NodeAddr> = nodes_of(t, shard as u16);
+    let owned: Vec<NodeAddr> = nodes_of(t, shard as u32);
     let mut snap = ShardSnap {
         servers: Vec::new(),
         membership_ok: true,
         depth_ok: true,
         max_port_depth: w.net.max_port_link_depth_hwm(),
-        bytes_hwm: w.net.cluster_data_bytes_hwm(ClusterId(shard as u16)),
-        bytes_now: w.net.cluster_data_bytes(ClusterId(shard as u16)),
+        bytes_hwm: w.net.cluster_data_bytes_hwm(ClusterId(shard as u32)),
+        bytes_now: w.net.cluster_data_bytes(ClusterId(shard as u32)),
         mem_max: 0,
         mem_total: 0,
         mem_idle: 0,
@@ -208,7 +208,7 @@ fn snapshot_shard(w: &World, t: &Topology, shard: usize) -> ShardSnap {
         if !(n.up && n.mbr.partitioned.is_empty() && n.mbr.probing.is_empty()) {
             snap.membership_ok = false;
         }
-        let entries: Vec<(String, u16)> = n
+        let entries: Vec<(String, u32)> = n
             .mgr
             .servers
             .iter()
@@ -232,7 +232,7 @@ fn snapshot_shard(w: &World, t: &Topology, shard: usize) -> ShardSnap {
 /// replica. (Distributed mode: home = hash(name) mod n, successor = the
 /// next address — `objmgr::successor_for` in closed form.)
 fn replicas_consistent(snaps: &[ShardSnap], n_nodes: u64) -> bool {
-    let lookup = |node: u16, key: &str| -> Option<u16> {
+    let lookup = |node: u32, key: &str| -> Option<u32> {
         snaps
             .iter()
             .flat_map(|s| &s.servers)
@@ -247,11 +247,11 @@ fn replicas_consistent(snaps: &[ShardSnap], n_nodes: u64) -> bool {
             let Some(name) = key.split('\0').nth(1) else {
                 continue;
             };
-            let home = (objmgr::name_hash(name) % n_nodes) as u16;
+            let home = (objmgr::name_hash(name) % n_nodes) as u32;
             if home != *node {
                 continue; // a replica copy, not the home's own entry
             }
-            let succ = ((u64::from(home) + 1) % n_nodes) as u16;
+            let succ = ((u64::from(home) + 1) % n_nodes) as u32;
             if succ == home {
                 continue;
             }

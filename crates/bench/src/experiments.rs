@@ -104,7 +104,7 @@ pub fn open_scaling(pairs: usize, mode: ObjMgrMode) -> SimDuration {
         let (a, b) = (2 * i, 2 * i + 1);
         for node in [a, b] {
             v.spawn(format!("n{node}:open"), move |ctx| {
-                let _ = channel::open(&ctx, NodeAddr(node as u16), &format!("startup-{i}"));
+                let _ = channel::open(&ctx, NodeAddr(node as u32), &format!("startup-{i}"));
             });
         }
     }
@@ -122,7 +122,7 @@ pub fn open_scaling_served(pairs: usize, mode: ObjMgrMode) -> Vec<u64> {
     for i in 0..pairs {
         for node in [2 * i, 2 * i + 1] {
             v.spawn(format!("n{node}:open"), move |ctx| {
-                let _ = channel::open(&ctx, NodeAddr(node as u16), &format!("startup-{i}"));
+                let _ = channel::open(&ctx, NodeAddr(node as u32), &format!("startup-{i}"));
             });
         }
     }
@@ -419,7 +419,7 @@ pub fn shared_vs_exclusive(interferer: bool) -> (f64, f64) {
         v.spawn(format!("n{wk}:worker"), move |ctx| {
             let t0 = ctx.now();
             for _ in 0..10 {
-                user_compute(&ctx, NodeAddr(wk as u16), SimDuration::from_ms(1));
+                user_compute(&ctx, NodeAddr(wk as u32), SimDuration::from_ms(1));
             }
             spans.lock()[wk] = (ctx.now() - t0).as_ns();
         });

@@ -11,5 +11,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod workload;
 
 pub use experiments::*;

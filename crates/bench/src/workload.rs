@@ -1,0 +1,169 @@
+//! Streaming workload generation for large worlds.
+//!
+//! Spawning every workload process at build time materializes a coroutine
+//! stack per process before the first event runs — fine at 16 endpoints,
+//! fatal at a million. The streaming generator inverts that: one small
+//! generator process per shard wakes as each sim-time *window* opens and
+//! spawns only that window's writers and readers, on the shards that own
+//! them. The stream set is a pure function of `(seed, window, index)`, so
+//! every shard derives the same plan independently — no cross-shard
+//! coordination, no build-time materialization, and the simulated outcome
+//! stays bit-identical across worker counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use desim::SimDuration;
+use vorx::hpcnet::{NodeAddr, Payload};
+use vorx::{channel, VCtx, VorxShardedSim};
+
+/// A streaming stream-pair workload: `windows` windows open `window_ns`
+/// apart; each spawns `streams_per_window` writer/reader pairs whose
+/// endpoints are drawn pseudo-randomly (but purely) from the seed.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamingWorkload {
+    /// Seed for the pure stream derivation.
+    pub seed: u64,
+    /// Number of sim-time windows.
+    pub windows: u32,
+    /// Writer/reader pairs spawned per window.
+    pub streams_per_window: u32,
+    /// Messages each writer sends.
+    pub msgs_per_stream: u32,
+    /// Gap between window opens (ns); window `k` opens at `k * window_ns`.
+    pub window_ns: u64,
+    /// Gap between a writer's messages (ns).
+    pub pace_ns: u64,
+    /// Payload bytes per message (synthetic — no backing allocation).
+    pub payload_len: u32,
+}
+
+/// SplitMix64 finalizer: the pure source of stream endpoints.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl StreamingWorkload {
+    /// Total writer+reader processes the generators will spawn.
+    pub fn expected_processes(&self) -> u64 {
+        u64::from(self.windows) * u64::from(self.streams_per_window) * 2
+    }
+
+    /// Total messages the workload delivers when it runs to completion.
+    pub fn expected_messages(&self) -> u64 {
+        u64::from(self.windows)
+            * u64::from(self.streams_per_window)
+            * u64::from(self.msgs_per_stream)
+    }
+
+    /// The `i`-th stream of window `k` on an `n`-endpoint world: a pure
+    /// function every shard evaluates identically. Source and destination
+    /// are always distinct nodes.
+    pub fn stream(&self, n: u32, k: u32, i: u32) -> (NodeAddr, NodeAddr) {
+        debug_assert!(n >= 2);
+        let h = mix(self.seed ^ (u64::from(k) << 32) ^ u64::from(i));
+        let src = (h % u64::from(n)) as u32;
+        let step = (mix(h) % u64::from(n - 1)) as u32 + 1;
+        (NodeAddr(src), NodeAddr((src + step) % n))
+    }
+
+    /// Install one streaming generator per shard. `delivered` is bumped by
+    /// every reader per message, so the caller can report throughput;
+    /// process completion itself is the engine's `run_all` oracle.
+    pub fn install(&self, v: &VorxShardedSim, n: u32, delivered: &Arc<AtomicU64>) {
+        // One representative node per shard, to route each generator.
+        let mut rep: Vec<Option<NodeAddr>> = vec![None; v.n_shards()];
+        for a in 0..n {
+            let s = v.shard_of(NodeAddr(a));
+            if rep[s].is_none() {
+                rep[s] = Some(NodeAddr(a));
+            }
+        }
+        let cfg = *self;
+        for (shard, rep) in rep.into_iter().enumerate() {
+            let Some(rep) = rep else { continue };
+            let delivered = Arc::clone(delivered);
+            v.spawn_at(rep, format!("gen{shard}"), move |ctx: VCtx| {
+                generator(&ctx, cfg, n, &delivered);
+            });
+        }
+    }
+}
+
+/// One shard's generator: at each window open, derive the window's streams
+/// and spawn the halves this shard owns.
+fn generator(ctx: &VCtx, cfg: StreamingWorkload, n: u32, delivered: &Arc<AtomicU64>) {
+    for k in 0..cfg.windows {
+        if k > 0 {
+            ctx.sleep(SimDuration::from_ns(cfg.window_ns));
+        }
+        ctx.with(|w, sch| {
+            let me = w.shard.shard_id;
+            for i in 0..cfg.streams_per_window {
+                let (src, dst) = cfg.stream(n, k, i);
+                if w.shard.owner(src) == me {
+                    let name = format!("scale.{k}.{i}");
+                    sch.spawn(format!("n{}:w:{name}", src.0), move |ctx: VCtx| {
+                        let ch = channel::open(&ctx, src, &name);
+                        for _ in 0..cfg.msgs_per_stream {
+                            ctx.sleep(SimDuration::from_ns(cfg.pace_ns));
+                            ch.write(&ctx, Payload::Synthetic(cfg.payload_len))
+                                .expect("scale writer failed");
+                        }
+                    });
+                }
+                if w.shard.owner(dst) == me {
+                    let name = format!("scale.{k}.{i}");
+                    let del = Arc::clone(delivered);
+                    sch.spawn(format!("n{}:r:{name}", dst.0), move |ctx: VCtx| {
+                        let ch = channel::open(&ctx, dst, &name);
+                        for _ in 0..cfg.msgs_per_stream {
+                            ch.read(&ctx).expect("scale reader failed");
+                            del.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl() -> StreamingWorkload {
+        StreamingWorkload {
+            seed: 7,
+            windows: 3,
+            streams_per_window: 5,
+            msgs_per_stream: 2,
+            window_ns: 1_000_000,
+            pace_ns: 10_000,
+            payload_len: 64,
+        }
+    }
+
+    #[test]
+    fn streams_are_pure_and_distinct_endpoints() {
+        let w = wl();
+        for k in 0..w.windows {
+            for i in 0..w.streams_per_window {
+                let (a, b) = w.stream(1000, k, i);
+                assert_eq!((a, b), w.stream(1000, k, i), "must be pure");
+                assert_ne!(a, b, "no self-streams");
+                assert!(a.0 < 1000 && b.0 < 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn expected_counts() {
+        let w = wl();
+        assert_eq!(w.expected_processes(), 30);
+        assert_eq!(w.expected_messages(), 30);
+    }
+}

@@ -90,7 +90,7 @@ impl Allocator {
     }
 
     fn addr(&self, idx: usize) -> NodeAddr {
-        NodeAddr((self.first + idx) as u16)
+        NodeAddr((self.first + idx) as u32)
     }
 
     fn idx(&self, a: NodeAddr) -> usize {

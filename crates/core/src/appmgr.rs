@@ -48,9 +48,9 @@ pub struct AppRecord {
     /// Worker processes accounted for (clean exits plus failed nodes).
     pub finished_procs: usize,
     /// Nodes whose process exited cleanly.
-    pub done_nodes: Vec<u16>,
+    pub done_nodes: Vec<u32>,
     /// Nodes the failure detector declared dead while this app ran there.
-    pub failed_nodes: Vec<u16>,
+    pub failed_nodes: Vec<u32>,
 }
 
 /// Per-installation application registry (all hosts' managers share the

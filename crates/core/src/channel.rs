@@ -1726,13 +1726,13 @@ mod tests {
     #[test]
     fn open_rendezvous_connects_matching_names_only() {
         let mut v = VorxBuilder::single_cluster(5).build();
-        for (node, name, msg) in [(1u16, "a", b"AA"), (3, "b", b"BB")] {
+        for (node, name, msg) in [(1u32, "a", b"AA"), (3, "b", b"BB")] {
             v.spawn(format!("n{node}:w"), move |ctx| {
                 let ch = open(&ctx, NodeAddr(node), name);
                 ch.write(&ctx, Payload::copy_from(msg)).unwrap();
             });
         }
-        for (node, name, expect) in [(2u16, "a", b"AA"), (4, "b", b"BB")] {
+        for (node, name, expect) in [(2u32, "a", b"AA"), (4, "b", b"BB")] {
             v.spawn(format!("n{node}:r"), move |ctx| {
                 let ch = open(&ctx, NodeAddr(node), name);
                 let m = ch.read(&ctx).unwrap();
@@ -2178,7 +2178,7 @@ mod close_tests {
     #[test]
     fn read_any_errors_when_every_channel_closed() {
         let mut v = VorxBuilder::single_cluster(4).build();
-        for n in [1u16, 2] {
+        for n in [1u32, 2] {
             v.spawn(format!("n{n}:c"), move |ctx| {
                 let ch = open(&ctx, NodeAddr(n), &format!("m{n}"));
                 ch.close(&ctx);
@@ -2215,7 +2215,7 @@ mod listen_tests {
                 ch.close(&ctx);
             }
         });
-        for n in 2..6u16 {
+        for n in 2..6u32 {
             v.spawn(format!("n{n}:client"), move |ctx| {
                 let ch = open(&ctx, NodeAddr(n), "service");
                 assert_eq!(ch.peer, NodeAddr(1));
@@ -2262,7 +2262,7 @@ mod listen_tests {
             let (pa, pb) = (ma.bytes().unwrap()[0], mb.bytes().unwrap()[0]);
             assert_ne!(pa, pb);
         });
-        for n in 2..4u16 {
+        for n in 2..4u32 {
             v.spawn(format!("n{n}:client"), move |ctx| {
                 let ch = open(&ctx, NodeAddr(n), "s");
                 ch.write(&ctx, Payload::copy_from(&[n as u8])).unwrap();
@@ -2281,7 +2281,7 @@ mod listen_tests {
             let _ = l.accept(&ctx);
             assert_eq!(l.backlog(&ctx), 1);
         });
-        for n in 2..4u16 {
+        for n in 2..4u32 {
             v.spawn(format!("n{n}:client"), move |ctx| {
                 let _ = open(&ctx, NodeAddr(n), "b");
             });

@@ -72,7 +72,7 @@ pub enum TraceEvent {
     /// The CPU of `node` was busy on `cat` during `[start_ns, end_ns)`.
     Cpu {
         /// Node index.
-        node: u16,
+        node: u32,
         /// User or system time.
         cat: CpuCat,
         /// Interval start, ns.
@@ -83,7 +83,7 @@ pub enum TraceEvent {
     /// A process on `node` blocked for `reason`.
     Block {
         /// Node index.
-        node: u16,
+        node: u32,
         /// Why it blocked.
         reason: BlockReason,
     },
@@ -91,14 +91,14 @@ pub enum TraceEvent {
     /// un-matched `Block` for that node and reason).
     Unblock {
         /// Node index.
-        node: u16,
+        node: u32,
         /// The reason that ended.
         reason: BlockReason,
     },
     /// Profiler region enter/exit (the `prof` tool).
     Region {
         /// Node index.
-        node: u16,
+        node: u32,
         /// Region name.
         name: String,
         /// True on entry, false on exit.
@@ -108,7 +108,7 @@ pub enum TraceEvent {
     /// fault plane.
     Fault {
         /// Node index.
-        node: u16,
+        node: u32,
         /// New liveness state.
         up: bool,
     },

@@ -304,9 +304,9 @@ pub fn on_crash(w: &mut World, s: &mut VSched, node: NodeAddr) {
     if detect == u64::MAX {
         return;
     }
-    let mut hits: Vec<(u16, u32)> = Vec::new();
+    let mut hits: Vec<(u32, u32)> = Vec::new();
     for (i, other) in w.nodes.iter().enumerate() {
-        if i == usize::from(node.0) {
+        if i == node.0 as usize {
             continue;
         }
         let mut peered: Vec<u32> = other
@@ -317,7 +317,7 @@ pub fn on_crash(w: &mut World, s: &mut VSched, node: NodeAddr) {
             .collect();
         peered.sort_unstable();
         for id in peered {
-            hits.push((i as u16, id));
+            hits.push((i as u32, id));
         }
     }
     // Manager entries backed by the dead node are snapshotted the same way:
@@ -326,18 +326,18 @@ pub fn on_crash(w: &mut World, s: &mut VSched, node: NodeAddr) {
     // generation), those fresh entries must survive the sweep. Tokens are
     // world-unique, so `(manager, name, token)` identifies a queued request
     // exactly.
-    let mut stale_servers: Vec<(u16, String)> = Vec::new();
-    let mut stale_pending: Vec<(u16, String, u64)> = Vec::new();
+    let mut stale_servers: Vec<(u32, String)> = Vec::new();
+    let mut stale_pending: Vec<(u32, String, u64)> = Vec::new();
     for (i, other) in w.nodes.iter().enumerate() {
         for (name, srv) in &other.mgr.servers {
             if *srv == node {
-                stale_servers.push((i as u16, name.clone()));
+                stale_servers.push((i as u32, name.clone()));
             }
         }
         for (name, q) in &other.mgr.pending {
             for &(req, token) in q {
                 if req == node {
-                    stale_pending.push((i as u16, name.clone(), token));
+                    stale_pending.push((i as u32, name.clone(), token));
                 }
             }
         }
@@ -359,13 +359,13 @@ pub fn on_crash(w: &mut World, s: &mut VSched, node: NodeAddr) {
         // Evict the manager entries snapshotted at crash time — and only
         // those, so registrations made after a restart are untouched.
         for (ni, name) in &stale_servers {
-            let mgr = &mut w.nodes[usize::from(*ni)].mgr;
+            let mgr = &mut w.nodes[*ni as usize].mgr;
             if mgr.servers.get(name) == Some(&node) {
                 mgr.servers.remove(name);
             }
         }
         for (ni, name, token) in &stale_pending {
-            let mgr = &mut w.nodes[usize::from(*ni)].mgr;
+            let mgr = &mut w.nodes[*ni as usize].mgr;
             if let Some(q) = mgr.pending.get_mut(name) {
                 q.retain(|(req, t)| !(*req == node && t == token));
             }
@@ -400,7 +400,7 @@ pub fn on_restart(w: &mut World, s: &mut VSched, node: NodeAddr) {
     // the KIND_OPEN_QUEUED ack). The manager's queue died with it, so those
     // requests restart from scratch.
     for i in 0..w.nodes.len() {
-        let ni = NodeAddr(i as u16);
+        let ni = NodeAddr(i as u32);
         let mut tokens: Vec<u64> = w
             .node(ni)
             .open_waits

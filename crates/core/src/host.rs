@@ -151,7 +151,7 @@ pub struct Host {
     /// Stubs running on this host.
     pub stubs: Vec<Stub>,
     /// Which stub serves each node process.
-    pub stub_by_node: HashMap<u16, usize>,
+    pub stub_by_node: HashMap<u32, usize>,
     /// Per-stub descriptor limit (SunOS: 32).
     pub fd_limit: usize,
     /// Lazily created shared stub used by the decentralized syscall scheme
@@ -575,7 +575,7 @@ mod tests {
         v.spawn("setup", |ctx| {
             create_stub(&ctx, 0, vec![NodeAddr(1)]);
             create_stub(&ctx, 0, vec![NodeAddr(2)]);
-            for node in [1u16, 2] {
+            for node in [1u32, 2] {
                 ctx.with(move |_, s| {
                     s.spawn(format!("n{node}:opener"), move |ctx: VCtx| {
                         for _ in 0..32 {
@@ -727,7 +727,7 @@ mod decentral_tests {
         // 6 nodes each issue 8 write syscalls as fast as they can, directed
         // round-robin across the hosts (the decentralized scheme).
         let mut v = VorxBuilder::hypercube(3, 4).hosts(n_hosts).build();
-        for nd in (n_hosts as u16)..(n_hosts as u16 + 6) {
+        for nd in (n_hosts as u32)..(n_hosts as u32 + 6) {
             v.spawn(format!("n{nd}:storm"), move |ctx| {
                 let node = NodeAddr(nd);
                 for call in 0..8u64 {
@@ -769,10 +769,10 @@ mod decentral_tests {
     fn storm_with_home(n_hosts: usize) -> (SimTime, Vec<u64>) {
         let mut v = VorxBuilder::hypercube(3, 4).hosts(n_hosts).build();
         v.spawn("setup", move |ctx| {
-            for nd in (n_hosts as u16)..(n_hosts as u16 + 6) {
+            for nd in (n_hosts as u32)..(n_hosts as u32 + 6) {
                 create_stub(&ctx, 0, vec![NodeAddr(nd)]);
             }
-            for nd in (n_hosts as u16)..(n_hosts as u16 + 6) {
+            for nd in (n_hosts as u32)..(n_hosts as u32 + 6) {
                 ctx.with(move |_, s| {
                     s.spawn(format!("n{nd}:storm"), move |ctx: VCtx| {
                         for _ in 0..8u64 {

@@ -89,9 +89,17 @@ fn bridge(w: &mut World, s: &mut VSched, frame: Frame) -> Option<Frame> {
     let cfg = *w.net.config();
     let ser = cfg.serialize_ns(wire);
     let now = now_ns(s);
-    let src_cluster = w.shard.owner(src);
+    let src_cluster = w.net.topology().cluster_of(src);
     for t in remote {
-        let links = w.shard.links_between[src_cluster][w.shard.owner(t)];
+        // Fault-free baseline link count for the pair, walked from the
+        // implicit routes in O(path) — no O(clusters²) matrix. Static
+        // under churn (faults only lengthen real routes), so the bridge
+        // latency never depends on when a shard observed a reroute, and
+        // it never undercuts the engine's per-pair lookahead bound.
+        let links = w
+            .net
+            .topology()
+            .baseline_cluster_links(src_cluster, w.net.topology().cluster_of(t));
         let at = SimTime::from_ns(now + links * (ser + cfg.hop_latency_ns));
         // Injection statistics, mirroring what `Fabric::try_send` records.
         w.net.stats.frames_sent += 1;

@@ -48,9 +48,9 @@ use crate::world::{VSched, World};
 pub struct MbrState {
     /// Peers this node currently believes are partitioned away (alive but
     /// unreachable). Cleared pairwise by the heal sweep.
-    pub partitioned: BTreeSet<u16>,
+    pub partitioned: BTreeSet<u32>,
     /// Peers with a heartbeat beacon in flight.
-    pub probing: BTreeSet<u16>,
+    pub probing: BTreeSet<u32>,
 }
 
 /// True when `node` currently believes `peer` is partitioned away.
@@ -141,7 +141,7 @@ pub(crate) fn mark_partitioned(w: &mut World, s: &mut VSched, node: NodeAddr, pe
 
 /// Every ordered pair of live nodes the current routing tables cannot
 /// connect, sorted.
-fn unreachable_pairs(w: &World) -> Vec<(u16, u16)> {
+fn unreachable_pairs(w: &World) -> Vec<(u32, u32)> {
     let topo = w.net.topology();
     let n = w.nodes.len();
     let mut out = Vec::new();
@@ -149,14 +149,14 @@ fn unreachable_pairs(w: &World) -> Vec<(u16, u16)> {
         if !w.nodes[a].up {
             continue;
         }
-        let ca = topo.cluster_of(NodeAddr(a as u16));
+        let ca = topo.cluster_of(NodeAddr(a as u32));
         for b in 0..n {
             if a == b || !w.nodes[b].up {
                 continue;
             }
-            let cb = topo.cluster_of(NodeAddr(b as u16));
+            let cb = topo.cluster_of(NodeAddr(b as u32));
             if !topo.reachable(ca, cb) {
-                out.push((a as u16, b as u16));
+                out.push((a as u32, b as u32));
             }
         }
     }
@@ -178,7 +178,7 @@ pub fn schedule_partition_sweep(w: &mut World, s: &mut VSched) {
     s.schedule_in(SimDuration::from_ns(detect), move |w: &mut World, s| {
         // Recheck against the *current* tables: pairs the fabric healed (or
         // whose nodes crashed) inside the window are not declared.
-        let still: BTreeSet<(u16, u16)> = unreachable_pairs(w).into_iter().collect();
+        let still: BTreeSet<(u32, u32)> = unreachable_pairs(w).into_iter().collect();
         for &(a, b) in &pairs {
             if still.contains(&(a, b)) {
                 mark_partitioned(w, s, NodeAddr(a), NodeAddr(b));
@@ -194,8 +194,8 @@ pub fn schedule_partition_sweep(w: &mut World, s: &mut VSched) {
 pub fn on_heal(w: &mut World, s: &mut VSched) {
     let mut healed = false;
     for a in 0..w.nodes.len() {
-        let na = NodeAddr(a as u16);
-        let marks: Vec<u16> = w.nodes[a].mbr.partitioned.iter().copied().collect();
+        let na = NodeAddr(a as u32);
+        let marks: Vec<u32> = w.nodes[a].mbr.partitioned.iter().copied().collect();
         for b in marks {
             let nb = NodeAddr(b);
             let topo = w.net.topology();

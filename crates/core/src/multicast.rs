@@ -34,7 +34,7 @@ use crate::world::{VCtx, VSched, World};
 #[derive(Debug, Default)]
 pub struct McastEnd {
     /// Per-sender reassembly of fragmented multicast writes.
-    pub asm: std::collections::HashMap<u16, crate::channel::PayloadAsm>,
+    pub asm: std::collections::HashMap<u32, crate::channel::PayloadAsm>,
     /// Delivered messages awaiting [`mread`].
     pub rx: VecDeque<(NodeAddr, Payload)>,
     /// Processes blocked in [`mread`].
@@ -272,7 +272,7 @@ mod tests {
                 Payload::copy_from(b"bcast"),
             );
         });
-        for n in 1..5u16 {
+        for n in 1..5u32 {
             v.spawn(format!("n{n}:r"), move |ctx| {
                 join(&ctx, NodeAddr(n), 1);
                 let (src, p) = mread(&ctx, NodeAddr(n), 1);
@@ -330,7 +330,7 @@ mod tests {
                 );
             }
         });
-        for n in 1..4u16 {
+        for n in 1..4u32 {
             v.spawn(format!("n{n}:r"), move |ctx| {
                 join(&ctx, NodeAddr(n), 3);
                 for _ in 0..4 {
@@ -354,7 +354,7 @@ mod tests {
                 .collect();
             multi_write(&ctx, &chans, &Payload::copy_from(b"fanout")).unwrap();
         });
-        for n in 1..4u16 {
+        for n in 1..4u32 {
             v.spawn(format!("n{n}:r"), move |ctx| {
                 let ch = crate::channel::open(&ctx, NodeAddr(n), &format!("mw-{n}"));
                 assert_eq!(ch.read(&ctx).unwrap().bytes().unwrap().as_ref(), b"fanout");
@@ -384,7 +384,7 @@ mod frag_tests {
                 Payload::Data(bytes::Bytes::from(data)),
             );
         });
-        for n in 1..4u16 {
+        for n in 1..4u32 {
             let expect = expect.clone();
             v.spawn(format!("n{n}:r"), move |ctx| {
                 join(&ctx, NodeAddr(n), 9);
@@ -401,7 +401,7 @@ mod frag_tests {
         // Two nodes mwrite multi-fragment messages to the same group
         // member; per-sender reassembly must not mix the streams.
         let mut v = VorxBuilder::single_cluster(3).build();
-        for src in 0..2u16 {
+        for src in 0..2u32 {
             v.spawn(format!("n{src}:w"), move |ctx| {
                 join(&ctx, NodeAddr(src), 4);
                 let byte = 10 + src as u8;

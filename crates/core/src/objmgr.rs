@@ -56,9 +56,9 @@ pub struct MgrState {
     /// arrive within a few timeouts of the original, so the window only
     /// needs to cover requests still in flight — a manager that served
     /// millions of opens must not hold memory for all of them.
-    pub seen: HashSet<(u16, u64)>,
+    pub seen: HashSet<(u32, u64)>,
     /// FIFO eviction order for `seen`.
-    pub seen_order: VecDeque<(u16, u64)>,
+    pub seen_order: VecDeque<(u32, u64)>,
 }
 
 /// Bound on the per-manager duplicate-suppression window (`MgrState::seen`).
@@ -68,7 +68,7 @@ pub const SEEN_CAP: usize = 4096;
 
 /// Record `key` in the manager's duplicate-suppression window, evicting the
 /// oldest entry beyond [`SEEN_CAP`]. Returns `true` when the key is new.
-pub fn note_seen(st: &mut MgrState, key: (u16, u64)) -> bool {
+pub fn note_seen(st: &mut MgrState, key: (u32, u64)) -> bool {
     if !st.seen.insert(key) {
         return false;
     }
@@ -94,7 +94,7 @@ pub fn name_hash(name: &str) -> u64 {
 pub fn manager_for(w: &World, name: &str) -> NodeAddr {
     match w.objmgr_mode {
         ObjMgrMode::Centralized(a) => a,
-        ObjMgrMode::Distributed => NodeAddr((name_hash(name) % w.nodes.len() as u64) as u16),
+        ObjMgrMode::Distributed => NodeAddr((name_hash(name) % w.nodes.len() as u64) as u32),
     }
 }
 
@@ -185,7 +185,7 @@ pub fn successor_for(w: &World, name: &str) -> Option<NodeAddr> {
             if n < 2 {
                 return None;
             }
-            Some(NodeAddr(((name_hash(name) % n + 1) % n) as u16))
+            Some(NodeAddr(((name_hash(name) % n + 1) % n) as u32))
         }
     }
 }
@@ -307,7 +307,7 @@ pub(crate) fn anti_entropy(w: &mut World, s: &mut VSched) {
     if !matches!(w.objmgr_mode, ObjMgrMode::Distributed) {
         return;
     }
-    for me in 0..w.nodes.len() as u16 {
+    for me in 0..w.nodes.len() as u32 {
         let me = NodeAddr(me);
         if !w.node(me).up {
             continue;
@@ -867,7 +867,7 @@ mod tests {
     fn distributed_mode_spreads_managers() {
         let v = VorxBuilder::single_cluster(8).build();
         let w = v.world();
-        let mgrs: std::collections::HashSet<u16> = (0..50)
+        let mgrs: std::collections::HashSet<u32> = (0..50)
             .map(|i| manager_for(&w, &format!("chan-{i}")).0)
             .collect();
         assert!(
@@ -892,7 +892,7 @@ mod tests {
         let mut v = VorxBuilder::single_cluster(6)
             .objmgr(ObjMgrMode::Centralized(NodeAddr(0)))
             .build();
-        for pair in 0..2u16 {
+        for pair in 0..2u32 {
             let (wn, rn) = (1 + pair * 2, 2 + pair * 2);
             v.spawn(format!("n{wn}:w"), move |ctx| {
                 let ch = open(&ctx, NodeAddr(wn), &format!("c{pair}"));
@@ -906,7 +906,7 @@ mod tests {
         v.run_all();
         let w = v.world();
         assert_eq!(w.nodes[0].mgr.served, 4);
-        assert!(w.nodes[1..].iter().all(|n| n.mgr.served == 0));
+        assert!(w.nodes.iter().skip(1).all(|n| n.mgr.served == 0));
     }
 
     #[test]

@@ -99,11 +99,13 @@ pub fn parse_open_req(p: &Payload) -> String {
 
 /// Encode an open-reply payload: object kind + assigned id + peer address +
 /// the name (kept so the receiving kernel can label the end for `cdb`).
+/// Peer addresses are 32-bit on the wire (million-endpoint worlds outgrew
+/// u16 node ids).
 pub fn pack_open_rep_kind(kind: ObjKind, id: u32, peer: NodeAddr, name: &str) -> Payload {
-    let mut b = BytesMut::with_capacity(7 + name.len());
+    let mut b = BytesMut::with_capacity(9 + name.len());
     b.put_u8(kind.to_byte());
     b.put_u32(id);
-    b.put_u16(peer.0);
+    b.put_u32(peer.0);
     b.put_slice(name.as_bytes());
     Payload::Data(b.freeze())
 }
@@ -116,11 +118,11 @@ pub fn pack_open_rep(chan: u32, peer: NodeAddr, name: &str) -> Payload {
 /// Decode an open-reply payload into `(kind, id, peer, name)`.
 pub fn parse_open_rep_kind(p: &Payload) -> (ObjKind, u32, NodeAddr, String) {
     let b = p.bytes().expect("open reply carries data");
-    assert!(b.len() >= 7, "short open reply");
+    assert!(b.len() >= 9, "short open reply");
     let kind = ObjKind::from_byte(b[0]);
     let id = u32::from_be_bytes([b[1], b[2], b[3], b[4]]);
-    let peer = NodeAddr(u16::from_be_bytes([b[5], b[6]]));
-    let name = String::from_utf8(b[7..].to_vec()).expect("object names are UTF-8");
+    let peer = NodeAddr(u32::from_be_bytes([b[5], b[6], b[7], b[8]]));
+    let name = String::from_utf8(b[9..].to_vec()).expect("object names are UTF-8");
     (kind, id, peer, name)
 }
 
@@ -214,9 +216,9 @@ pub fn is_sheddable_kind(kind: u16) -> bool {
 /// Encode a replica registration (`KIND_REPL_REG`): object kind + the
 /// registered server's address + the name.
 pub fn pack_repl_reg(kind: ObjKind, server: NodeAddr, name: &str) -> Payload {
-    let mut b = BytesMut::with_capacity(3 + name.len());
+    let mut b = BytesMut::with_capacity(5 + name.len());
     b.put_u8(kind.to_byte());
-    b.put_u16(server.0);
+    b.put_u32(server.0);
     b.put_slice(name.as_bytes());
     Payload::Data(b.freeze())
 }
@@ -224,11 +226,11 @@ pub fn pack_repl_reg(kind: ObjKind, server: NodeAddr, name: &str) -> Payload {
 /// Decode a replica registration into `(kind, server, name)`.
 pub fn parse_repl_reg(p: &Payload) -> (ObjKind, NodeAddr, String) {
     let b = p.bytes().expect("replica registration carries data");
-    assert!(b.len() >= 3, "short replica registration");
+    assert!(b.len() >= 5, "short replica registration");
     (
         ObjKind::from_byte(b[0]),
-        NodeAddr(u16::from_be_bytes([b[1], b[2]])),
-        String::from_utf8(b[3..].to_vec()).expect("object names are UTF-8"),
+        NodeAddr(u32::from_be_bytes([b[1], b[2], b[3], b[4]])),
+        String::from_utf8(b[5..].to_vec()).expect("object names are UTF-8"),
     )
 }
 

@@ -801,7 +801,7 @@ mod multi_tests {
                 Payload::copy_from(b"mc"),
             );
         });
-        for n in 1..5u16 {
+        for n in 1..5u32 {
             v.spawn(format!("n{n}:rx"), move |ctx| {
                 register(&ctx, NodeAddr(n), 12, UdcoMode::Interrupt);
                 let m = recv(&ctx, NodeAddr(n), 12);

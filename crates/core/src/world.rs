@@ -129,6 +129,113 @@ impl Node {
     }
 }
 
+/// Kernel-state table with O(1) idle-node cost (DESIGN.md §14).
+///
+/// A million-endpoint world cannot afford a full [`Node`] — maps, queues,
+/// wait sets, a CPU model — per endpoint that never does anything. The
+/// table therefore holds one pointer-sized slot per endpoint and
+/// materializes the `Node` only on first *write* (the first time the
+/// kernel charges CPU, opens a channel, or delivers a frame there). Reads
+/// of an untouched node resolve to the shared `idle` template: a node
+/// that is up, with empty tables and an idle CPU — exactly the state a
+/// fresh `Node::new` would observe — so every existing read path works
+/// unchanged on never-touched endpoints.
+///
+/// Indexing is positional over the full address space: `table[i]` and
+/// `table.iter()` cover all `len()` addresses (idle stand-ins included),
+/// while [`NodeTable::materialized`] walks only the faulted-in nodes.
+pub struct NodeTable {
+    slots: Vec<Option<Box<Node>>>,
+    idle: Box<Node>,
+    materialized: usize,
+}
+
+impl NodeTable {
+    /// A table for `n` endpoints, none materialized.
+    pub fn new(n: usize) -> Self {
+        NodeTable {
+            slots: (0..n).map(|_| None).collect(),
+            idle: Box::new(Node::new(NodeAddr(u32::MAX))),
+            materialized: 0,
+        }
+    }
+
+    /// Number of endpoint addresses (materialized or not).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True iff the address space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Shared access; untouched nodes read as the idle template.
+    pub fn get(&self, i: usize) -> &Node {
+        assert!(i < self.slots.len(), "node index {i} out of range");
+        self.slots[i].as_deref().unwrap_or(&self.idle)
+    }
+
+    /// Mutable access; materializes the node on first touch.
+    pub fn get_mut(&mut self, i: usize) -> &mut Node {
+        let slot = &mut self.slots[i];
+        if slot.is_none() {
+            *slot = Some(Box::new(Node::new(NodeAddr(i as u32))));
+            self.materialized += 1;
+        }
+        slot.as_deref_mut().expect("just materialized")
+    }
+
+    /// True iff node `i` has been written to (has real kernel state).
+    pub fn is_materialized(&self, i: usize) -> bool {
+        self.slots[i].is_some()
+    }
+
+    /// Number of nodes holding real kernel state.
+    pub fn materialized_count(&self) -> usize {
+        self.materialized
+    }
+
+    /// All `len()` nodes in address order, idle stand-ins included.
+    pub fn iter(&self) -> impl Iterator<Item = &Node> {
+        self.slots
+            .iter()
+            .map(move |s| s.as_deref().unwrap_or(&self.idle))
+    }
+
+    /// Only the materialized nodes, in address order. Each carries its
+    /// real `addr`, so callers needing the index read it from there.
+    pub fn materialized(&self) -> impl Iterator<Item = &Node> {
+        self.slots.iter().filter_map(|s| s.as_deref())
+    }
+
+    /// Only the materialized nodes, mutably, in address order.
+    pub fn materialized_mut(&mut self) -> impl Iterator<Item = &mut Node> {
+        self.slots.iter_mut().filter_map(|s| s.as_deref_mut())
+    }
+}
+
+impl std::ops::Index<usize> for NodeTable {
+    type Output = Node;
+    fn index(&self, i: usize) -> &Node {
+        self.get(i)
+    }
+}
+
+impl std::ops::IndexMut<usize> for NodeTable {
+    fn index_mut(&mut self, i: usize) -> &mut Node {
+        self.get_mut(i)
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeTable {
+    type Item = &'a Node;
+    type IntoIter = Box<dyn Iterator<Item = &'a Node> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
 /// Cross-shard bridge state for the sharded engine (DESIGN.md §12).
 ///
 /// In a sharded build every shard owns one cluster's nodes and runs them in
@@ -145,15 +252,9 @@ pub struct ShardCtx {
     pub shard_id: usize,
     /// Total number of shards.
     pub n_shards: usize,
-    /// Owning shard per node address.
-    pub shard_of_node: Vec<usize>,
-    /// `links_between[a][b]`: directed links a frame crosses from a node in
-    /// cluster `a` to a node in cluster `b` (endpoint up-link + baseline
-    /// inter-cluster hops + endpoint down-link). Computed from the fault-free
-    /// routing tables at build time and deliberately held static under link
-    /// churn, so cross-shard latency — and with it the lookahead bound —
-    /// never depends on when a shard observed a reroute.
-    pub links_between: Vec<Vec<u64>>,
+    /// Owning shard per node address, shared (not cloned) across shards —
+    /// at a million endpoints this table is the dominant per-shard cost.
+    pub shard_of_node: std::sync::Arc<Vec<u32>>,
     /// Output registers currently serializing a bridged frame, per node.
     /// Only this shard's own nodes are ever set.
     pub tx_busy: Vec<bool>,
@@ -172,8 +273,7 @@ impl Default for ShardCtx {
             enabled: false,
             shard_id: 0,
             n_shards: 1,
-            shard_of_node: Vec::new(),
-            links_between: Vec::new(),
+            shard_of_node: std::sync::Arc::new(Vec::new()),
             tx_busy: Vec::new(),
             outbox: Vec::new(),
             chan_stride: 1,
@@ -185,12 +285,12 @@ impl Default for ShardCtx {
 impl ShardCtx {
     /// Owning shard of node `a`.
     pub fn owner(&self, a: NodeAddr) -> usize {
-        self.shard_of_node[a.0 as usize]
+        self.shard_of_node[a.0 as usize] as usize
     }
 
     /// True iff `a` lives on a different shard than this world.
     pub fn is_remote(&self, a: NodeAddr) -> bool {
-        self.enabled && self.shard_of_node[a.0 as usize] != self.shard_id
+        self.enabled && self.shard_of_node[a.0 as usize] as usize != self.shard_id
     }
 
     /// True iff `a`'s output register is busy with a bridged serialization.
@@ -205,8 +305,8 @@ pub struct World {
     pub calib: Calibration,
     /// The HPC interconnect.
     pub net: Fabric,
-    /// Kernel state per endpoint.
-    pub nodes: Vec<Node>,
+    /// Kernel state per endpoint, materialized on first touch.
+    pub nodes: NodeTable,
     /// Object-manager configuration.
     pub objmgr_mode: ObjMgrMode,
     /// Processor allocator (§3.1).
@@ -236,14 +336,15 @@ pub struct World {
 }
 
 impl World {
-    /// Mutable access to a node's kernel state.
+    /// Mutable access to a node's kernel state (materializes it).
     pub fn node_mut(&mut self, a: NodeAddr) -> &mut Node {
-        &mut self.nodes[a.0 as usize]
+        self.nodes.get_mut(a.0 as usize)
     }
 
-    /// Shared access to a node's kernel state.
+    /// Shared access to a node's kernel state; untouched nodes read as
+    /// the idle template (up, empty tables) without materializing.
     pub fn node(&self, a: NodeAddr) -> &Node {
-        &self.nodes[a.0 as usize]
+        self.nodes.get(a.0 as usize)
     }
 
     /// Allocate a fresh correlation token. Sharded builds stride by the
@@ -272,7 +373,7 @@ impl World {
             CpuCat::System,
             "user compute must go through api::compute"
         );
-        let (start, end) = self.nodes[a.0 as usize].cpu.reserve_system(now, d);
+        let (start, end) = self.nodes.get_mut(a.0 as usize).cpu.reserve_system(now, d);
         if self.trace.is_enabled() && !d.is_zero() {
             self.trace.record(
                 now,
@@ -335,6 +436,7 @@ pub struct VorxBuilder {
     seed: u64,
     n_hosts: usize,
     faults: Option<desim::FaultSchedule>,
+    shards: Option<usize>,
 }
 
 impl VorxBuilder {
@@ -364,6 +466,7 @@ impl VorxBuilder {
             seed: 0x5EED,
             n_hosts: 0,
             faults: None,
+            shards: None,
         }
     }
 
@@ -406,6 +509,23 @@ impl VorxBuilder {
         self
     }
 
+    /// Group clusters into exactly `n` shards for [`VorxBuilder::build_sharded`]
+    /// instead of the default one-shard-per-cluster partition. Clusters map
+    /// to shards in contiguous balanced blocks, so a hierarchical world's
+    /// level-0 groups (where most traffic stays) land on one shard. Grouped
+    /// mode uses a uniform cross-shard lookahead — the minimum links any
+    /// cross-cluster frame crosses × the header-frame link latency — rather
+    /// than the per-cluster-pair matrix, which would be O(clusters²) at
+    /// hierarchical scale. The shard partition is part of the simulated
+    /// outcome (it decides which frames ride the bridge approximation):
+    /// traces are bit-identical across *worker* counts at a fixed shard
+    /// count, not across different shard counts.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one shard");
+        self.shards = Some(n);
+        self
+    }
+
     /// Designate the first `n` endpoints as host workstations (§3.3). Hosts
     /// get ids `0..n` and live on node addresses `0..n`; processing nodes
     /// occupy the remaining addresses.
@@ -418,9 +538,9 @@ impl VorxBuilder {
     pub fn build(self) -> VorxSim {
         let n = self.topo.n_endpoints();
         assert!(self.n_hosts <= n, "more hosts than endpoints");
-        let nodes = (0..n).map(|i| Node::new(NodeAddr(i as u16))).collect();
+        let nodes = NodeTable::new(n);
         let hosts = (0..self.n_hosts)
-            .map(|i| Host::new(i, NodeAddr(i as u16), &self.calib))
+            .map(|i| Host::new(i, NodeAddr(i as u32), &self.calib))
             .collect();
         let schedule = self
             .faults
@@ -469,57 +589,72 @@ impl VorxBuilder {
         let topo = self.topo;
         let n = topo.n_endpoints();
         assert!(self.n_hosts <= n, "more hosts than endpoints");
-        let n_shards = topo.n_clusters();
-        let shard_of_node: Vec<usize> = topo
-            .endpoints()
-            .map(|a| topo.cluster_of(a).0 as usize)
+        let n_clusters = topo.n_clusters();
+        let n_shards = self.shards.unwrap_or(n_clusters).min(n_clusters);
+
+        // Clusters map to shards in contiguous balanced blocks; with the
+        // default one-shard-per-cluster partition this is the identity.
+        let shard_of_cluster: Vec<u32> = (0..n_clusters)
+            .map(|c| (c * n_shards / n_clusters) as u32)
             .collect();
+        let shard_of_node: std::sync::Arc<Vec<u32>> = std::sync::Arc::new(
+            topo.endpoints()
+                .map(|a| shard_of_cluster[topo.cluster_of(a).0 as usize])
+                .collect(),
+        );
 
-        // Baseline (fault-free) link counts between cluster pairs. Faults
-        // can only lengthen routes (rerouting) or kill them, never shorten
-        // below the baseline, so these stay valid lower bounds all run.
-        let links_between = topo.cluster_link_counts();
-
-        // Per-pair lookahead for the engine: every bridged frame crosses
-        // `links_between[a][b]` links of at least a header-frame's latency
-        // each (kernel::bridge charges exactly `links × (serialize + hop)`).
-        // Pairs that never exchange frames — the diagonal (the bridge only
-        // carries remote targets) and unreachable or endpoint-free clusters
-        // — carry `u64::MAX`, removing them from the EIT computation.
+        // Engine lookahead. Per-cluster partitions keep the tight per-pair
+        // matrix: every bridged frame from cluster `a` to `b` crosses
+        // `links[a][b]` links of at least a header-frame's latency each
+        // (kernel::bridge charges exactly `links × (serialize + hop)`, and
+        // faults can only lengthen routes, never shorten them below the
+        // fault-free baseline). Grouped partitions — hierarchical scale,
+        // where an O(clusters²) matrix is unaffordable — use the uniform
+        // lower bound instead: the minimum links *any* cross-cluster frame
+        // crosses (up-link + one inter-cluster hop + down-link = 3).
+        // Diagonals carry `u64::MAX`: the bridge only ever carries frames
+        // to other shards, so self-pairs never constrain the EIT.
         let probe_fabric = Fabric::new(topo.clone(), self.netcfg);
         let unit_ns = probe_fabric.header_link_latency_ns();
-        let latency: Vec<Vec<u64>> = links_between
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|&links| {
-                        if links == 0 {
-                            u64::MAX
-                        } else {
-                            links * unit_ns
-                        }
-                    })
-                    .collect()
+        let latency: Vec<Vec<u64>> = if n_shards == n_clusters {
+            topo.cluster_link_counts()
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|&links| {
+                            if links == 0 {
+                                u64::MAX
+                            } else {
+                                links * unit_ns
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        } else {
+            let floor = topo
+                .min_cross_cluster_links()
+                .expect("grouped shards need cross-cluster traffic bounds")
+                as u64
+                * unit_ns;
+            (0..n_shards)
+                .map(|a| {
+                    (0..n_shards)
+                        .map(|b| if a == b { u64::MAX } else { floor })
+                        .collect()
+                })
+                .collect()
+        };
+
+        // Map every fabric link to the shard that owns it: endpoint links
+        // to the endpoint's shard, inter-cluster cables to the `from`
+        // cluster's shard. One O(links) pass — no cluster-pair probing.
+        let link_shard: Vec<u32> = (0..probe_fabric.n_links())
+            .map(|l| {
+                let c = probe_fabric.link_owner_cluster(hpcnet::LinkId(l as u32));
+                shard_of_cluster[c.0 as usize]
             })
             .collect();
-
-        // Map every fabric link to the shard that owns it: endpoint links to
-        // the endpoint's shard, inter-cluster links to the `from` cluster.
-        let mut link_shard = vec![0usize; probe_fabric.n_links()];
-        for a in topo.endpoints() {
-            let sh = shard_of_node[a.0 as usize];
-            link_shard[probe_fabric.endpoint_up_link(a).0 as usize] = sh;
-            link_shard[probe_fabric.endpoint_down_link(a).0 as usize] = sh;
-        }
-        for ca in 0..n_shards {
-            for cb in 0..n_shards {
-                if let Some(l) =
-                    probe_fabric.cluster_link(ClusterId(ca as u16), ClusterId(cb as u16))
-                {
-                    link_shard[l.0 as usize] = ca;
-                }
-            }
-        }
         drop(probe_fabric);
 
         let schedule = self
@@ -528,12 +663,13 @@ impl VorxBuilder {
         let mut events: Vec<desim::FaultEvent> = schedule.events().to_vec();
         events.sort_by_key(|e| e.at);
         let owner = |e: &desim::FaultEvent| match e.action {
-            desim::FaultAction::Down(id) | desim::FaultAction::Up(id) => shard_of_node[id as usize],
+            desim::FaultAction::Down(id) | desim::FaultAction::Up(id) => {
+                shard_of_node[id as usize] as usize
+            }
             desim::FaultAction::LinkDown(id)
             | desim::FaultAction::LinkUp(id)
-            | desim::FaultAction::LinkDegrade(id) => link_shard[id as usize],
-            // Shard index == cluster index in the by-cluster partition.
-            desim::FaultAction::BudgetSqueeze(c) => c as usize,
+            | desim::FaultAction::LinkDegrade(id) => link_shard[id as usize] as usize,
+            desim::FaultAction::BudgetSqueeze(c) => shard_of_cluster[c as usize] as usize,
         };
 
         let mut shards = Vec::with_capacity(n_shards);
@@ -541,11 +677,11 @@ impl VorxBuilder {
             let world = World {
                 calib: self.calib,
                 net: data_plane_fabric(topo.clone(), self.netcfg),
-                nodes: (0..n).map(|i| Node::new(NodeAddr(i as u16))).collect(),
+                nodes: NodeTable::new(n),
                 objmgr_mode: self.objmgr_mode,
                 alloc: Allocator::new(self.n_hosts, n),
                 hosts: (0..self.n_hosts)
-                    .map(|i| Host::new(i, NodeAddr(i as u16), &self.calib))
+                    .map(|i| Host::new(i, NodeAddr(i as u32), &self.calib))
                     .collect(),
                 appmgr: crate::appmgr::AppRegistry::default(),
                 dbg: crate::debug::DbgState::default(),
@@ -567,8 +703,7 @@ impl VorxBuilder {
                     enabled: true,
                     shard_id: k,
                     n_shards,
-                    shard_of_node: shard_of_node.clone(),
-                    links_between: links_between.clone(),
+                    shard_of_node: std::sync::Arc::clone(&shard_of_node),
                     tx_busy: vec![false; n],
                     outbox: Vec::new(),
                     chan_stride: n_shards as u32,
@@ -614,10 +749,10 @@ fn spawn_fault_plane(sim: &Simulation<World>, events: Vec<desim::FaultEvent>) {
             }
             ctx.with(|w, s| match e.action {
                 desim::FaultAction::Down(id) => {
-                    crate::fault::on_crash(w, s, NodeAddr(id as u16));
+                    crate::fault::on_crash(w, s, NodeAddr(id));
                 }
                 desim::FaultAction::Up(id) => {
-                    crate::fault::on_restart(w, s, NodeAddr(id as u16));
+                    crate::fault::on_restart(w, s, NodeAddr(id));
                 }
                 desim::FaultAction::LinkDown(id) => {
                     crate::fault::on_link_down(w, s, hpcnet::LinkId(id));
@@ -630,7 +765,7 @@ fn spawn_fault_plane(sim: &Simulation<World>, events: Vec<desim::FaultEvent>) {
                 }
                 desim::FaultAction::BudgetSqueeze(c) => {
                     let b = w.faults.schedule.apply_squeeze(c);
-                    w.net.set_cluster_byte_budget(ClusterId(c as u16), b);
+                    w.net.set_cluster_byte_budget(ClusterId(c), b);
                 }
             });
         }
@@ -704,7 +839,7 @@ impl VorxSim {
 /// are a function of the topology and seed only, never of the worker count.
 pub struct VorxShardedSim {
     engine: desim::ShardedSim<World>,
-    shard_of_node: Vec<usize>,
+    shard_of_node: std::sync::Arc<Vec<u32>>,
 }
 
 impl VorxShardedSim {
@@ -720,7 +855,7 @@ impl VorxShardedSim {
 
     /// The shard owning node `a`.
     pub fn shard_of(&self, a: NodeAddr) -> usize {
-        self.shard_of_node[a.0 as usize]
+        self.shard_of_node[a.0 as usize] as usize
     }
 
     /// Spawn a simulated process on the shard owning `node`. The process

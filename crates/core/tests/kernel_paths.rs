@@ -79,7 +79,7 @@ fn kernel_and_udco_share_the_transmitter() {
 fn read_any_serves_all_producers() {
     let mut v = VorxBuilder::single_cluster(5).build();
     const PER: usize = 12;
-    for p in 1..4u16 {
+    for p in 1..4u32 {
         v.spawn(format!("n{p}:w"), move |ctx| {
             let ch = channel::open(&ctx, NodeAddr(p), &format!("mux{p}"));
             for _ in 0..PER {

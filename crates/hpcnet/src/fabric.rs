@@ -260,6 +260,28 @@ pub struct Fabric {
     /// traffic). Defaults to "nothing" — control/ack frames must never be
     /// shed, so the embedding software opts data kinds in explicitly.
     sheddable: fn(&Frame) -> bool,
+    /// Endpoints whose output register holds a frame awaiting injection,
+    /// sorted ascending. `progress` scans only these instead of every
+    /// endpoint — O(active) per event, which is what lets million-endpoint
+    /// worlds run (DESIGN.md §14). Sorted-`Vec` rather than a set so the
+    /// scan order matches the old full 0..n sweep exactly and capacity is
+    /// retained (no steady-state allocation).
+    pending_eps: Vec<u32>,
+    /// Frames buffered at each cluster's input ports (cluster-side links
+    /// only; endpoint receive FIFOs are not counted).
+    cluster_buffered: Vec<u32>,
+    /// Clusters with `cluster_buffered > 0`, sorted ascending — the only
+    /// clusters the forwarding scan visits.
+    active_clusters: Vec<u32>,
+    /// Reusable scan snapshot (progress mutates the candidate sets while
+    /// iterating them).
+    scan_scratch: Vec<u32>,
+    /// Reusable target buffer for `forward_one`: the subset of a head
+    /// frame's targets leaving through the port under consideration.
+    /// Hoisted so steady-state forwarding performs zero allocations.
+    fwd_scratch: Vec<NodeAddr>,
+    /// Reusable cluster-path buffer for [`Fabric::probe_route_ns`].
+    path_scratch: Vec<ClusterId>,
     /// Statistics.
     pub stats: Stats,
     now_ns: u64,
@@ -325,7 +347,7 @@ impl Fabric {
         for c in 0..topo.n_clusters() {
             for port in 0..PORTS_PER_CLUSTER {
                 let here = PortRef {
-                    cluster: ClusterId(c as u16),
+                    cluster: ClusterId(c as u32),
                     port: port as u8,
                 };
                 if let Attachment::Cluster(peer) = topo.attachment(here) {
@@ -382,6 +404,12 @@ impl Fabric {
             link_depth_hwm: vec![0; n_links],
             budgets_active: cfg.switch_byte_budget != u64::MAX,
             sheddable: |_| false,
+            pending_eps: Vec::new(),
+            cluster_buffered: vec![0; n_clusters],
+            active_clusters: Vec::new(),
+            scan_scratch: Vec::new(),
+            fwd_scratch: Vec::new(),
+            path_scratch: Vec::new(),
             stats: Stats {
                 per_endpoint_rx: vec![0; n_eps],
                 per_endpoint_tx: vec![0; n_eps],
@@ -431,6 +459,7 @@ impl Fabric {
         self.down[i] = down;
         if down {
             if self.eps[i].out_reg.take().is_some() {
+                sorted_remove(&mut self.pending_eps, node.0);
                 self.in_flight -= 1;
                 self.stats.frames_dropped += 1;
             }
@@ -524,6 +553,7 @@ impl Fabric {
         self.stats.per_endpoint_tx[frame.src.0 as usize] += 1;
         let src = frame.src;
         self.eps[src.0 as usize].out_reg = Some(frame);
+        sorted_insert(&mut self.pending_eps, src.0);
         self.in_flight += 1;
         let mut out = Output::default();
         self.progress(&mut out);
@@ -646,6 +676,9 @@ impl Fabric {
             }
         }
         self.links[l.0 as usize].buf.push_back(frame);
+        if let Element::Port(p) = to {
+            self.note_cluster_buffered(p.cluster);
+        }
         self.note_link_depth(l);
         if let Element::Endpoint(a) = to {
             out.notifies.push(Notify::RxArrived(a));
@@ -740,6 +773,16 @@ impl Fabric {
                 (LinkId(i as u32), desc, l.busy_ns, l.buf.len())
             })
             .collect()
+    }
+
+    /// The cluster that owns directed link `l` for shard-partition
+    /// purposes: the `from`-side cluster for inter-cluster cables, the
+    /// endpoint's own cluster for endpoint up/down links.
+    pub fn link_owner_cluster(&self, l: LinkId) -> ClusterId {
+        match self.links[l.0 as usize].from {
+            Element::Port(p) => p.cluster,
+            Element::Endpoint(a) => self.topo.cluster_of(a),
+        }
     }
 
     /// Number of directed links in the fabric.
@@ -883,22 +926,43 @@ impl Fabric {
         self.cfg.link_latency_ns(crate::frame::HEADER_BYTES)
     }
 
-    /// The destination port on `cluster` for each target of `dst`, grouped:
-    /// returns the ports in ascending order with their target subsets.
-    fn group_by_port(&self, cluster: ClusterId, dst: &Dest) -> Vec<(u8, Vec<NodeAddr>)> {
-        let mut groups: Vec<(u8, Vec<NodeAddr>)> = Vec::new();
-        for &t in dst.targets() {
-            let port = self.topo.route(cluster, t);
-            match groups.iter_mut().find(|(p, _)| *p == port) {
-                Some((_, v)) => v.push(t),
-                None => groups.push((port, vec![t])),
-            }
-        }
-        groups.sort_by_key(|(p, _)| *p);
-        groups
+    /// Uncontended store-and-forward latency (ns) of a header-only frame
+    /// from `src` to `dst` over the routing tables *currently* in force —
+    /// detours lengthen the answer, heals shrink it back — or `None` when
+    /// no route survives. Walks the implicit routes via
+    /// [`Topology::cluster_path_into`] into a hoisted scratch buffer, so
+    /// probing is allocation-free in steady state: the scale campaign calls
+    /// this per churn cycle on 10⁵–10⁶-endpoint worlds to record detour
+    /// stretch without perturbing the allocator.
+    pub fn probe_route_ns(&mut self, src: NodeAddr, dst: NodeAddr) -> Option<u64> {
+        let mut path = std::mem::take(&mut self.path_scratch);
+        let ok = self.topo.cluster_path_into(src, dst, &mut path);
+        // Endpoint up-link + one link per inter-cluster hop + down-link.
+        let links = path.len() as u64 + 1;
+        self.path_scratch = path;
+        ok.then(|| links * self.header_link_latency_ns())
     }
 
     /// Start every transmission that can start, repeating until quiescent.
+    /// A frame was buffered at one of `cluster`'s input ports.
+    fn note_cluster_buffered(&mut self, cluster: ClusterId) {
+        let c = cluster.0 as usize;
+        self.cluster_buffered[c] += 1;
+        if self.cluster_buffered[c] == 1 {
+            sorted_insert(&mut self.active_clusters, cluster.0);
+        }
+    }
+
+    /// A frame left one of `cluster`'s input-port buffers.
+    fn note_cluster_drained(&mut self, cluster: ClusterId) {
+        let c = cluster.0 as usize;
+        debug_assert!(self.cluster_buffered[c] > 0);
+        self.cluster_buffered[c] -= 1;
+        if self.cluster_buffered[c] == 0 {
+            sorted_remove(&mut self.active_clusters, cluster.0);
+        }
+    }
+
     fn progress(&mut self, out: &mut Output) {
         loop {
             let mut changed = false;
@@ -911,8 +975,15 @@ impl Fabric {
                 changed = true;
             }
 
-            // Endpoint injections.
-            for i in 0..self.eps.len() {
+            // Endpoint injections: scan only endpoints with a loaded
+            // output register, ascending — the order the old full 0..n
+            // sweep visited its non-trivial entries. Snapshot first;
+            // injection removes entries mid-scan.
+            let mut scan = std::mem::take(&mut self.scan_scratch);
+            scan.clear();
+            scan.extend_from_slice(&self.pending_eps);
+            for &ei in &scan {
+                let i = ei as usize;
                 let up = self.eps[i].up;
                 if !self.eps[i].tx_busy
                     && self.eps[i].out_reg.is_some()
@@ -921,6 +992,7 @@ impl Fabric {
                     && self.links[up.0 as usize].can_accept()
                 {
                     let frame = self.eps[i].out_reg.take().expect("checked");
+                    sorted_remove(&mut self.pending_eps, ei);
                     self.eps[i].tx_busy = true;
                     self.start_tx(up, frame, out);
                     changed = true;
@@ -928,8 +1000,12 @@ impl Fabric {
             }
 
             // Cluster forwarding, one output port at a time, fair
-            // round-robin over that cluster's inputs.
-            for c in 0..self.cluster_inputs.len() {
+            // round-robin over that cluster's inputs. Only clusters with
+            // buffered frames can forward anything.
+            scan.clear();
+            scan.extend_from_slice(&self.active_clusters);
+            for &ci in &scan {
+                let c = ci as usize;
                 for port in 0..PORTS_PER_CLUSTER {
                     let Some(out_link) = self.port_out[c][port] else {
                         continue;
@@ -940,11 +1016,12 @@ impl Fabric {
                     {
                         continue;
                     }
-                    if self.forward_one(ClusterId(c as u16), port as u8, out_link, out) {
+                    if self.forward_one(ClusterId(ci), port as u8, out_link, out) {
                         changed = true;
                     }
                 }
             }
+            self.scan_scratch = scan;
 
             if !changed {
                 return;
@@ -957,8 +1034,13 @@ impl Fabric {
     /// changed. Only called while at least one link is down.
     fn purge_unroutable_heads(&mut self) -> bool {
         let mut changed = false;
-        for c in 0..self.cluster_inputs.len() {
-            let cluster = ClusterId(c as u16);
+        // Only clusters holding buffered frames have heads to purge.
+        // Snapshot (the body drains counts); local vec is fine — this path
+        // only runs while links are down.
+        let active: Vec<u32> = self.active_clusters.clone();
+        for ci in active {
+            let c = ci as usize;
+            let cluster = ClusterId(ci);
             for k in 0..self.cluster_inputs[c].len() {
                 let input = self.cluster_inputs[c][k];
                 let Some(head) = self.links[input.0 as usize].buf.front() else {
@@ -983,6 +1065,7 @@ impl Fabric {
                         .buf
                         .pop_front()
                         .expect("checked");
+                    self.note_cluster_drained(cluster);
                     self.release_data_bytes(cluster, &dead);
                     self.in_flight -= 1;
                 } else if live.len() == 1 {
@@ -1014,72 +1097,99 @@ impl Fabric {
             return false;
         }
         let start = self.rr[out_link.0 as usize] % n;
+        // The subset of the head's targets leaving through `port`, collected
+        // into the hoisted scratch (target order preserved). Unicast heads —
+        // the hot path — and multicast heads whose targets share the port
+        // take the no-split branch below, which forwards the frame without
+        // allocating anything.
+        let mut via = std::mem::take(&mut self.fwd_scratch);
+        let mut hit = false;
         for k in 0..n {
             let input = inputs[(start + k) % n];
             let Some(head) = self.links[input.0 as usize].buf.front() else {
                 continue;
             };
-            let groups = self.group_by_port(cluster, &head.dst);
-            let Some((_, targets)) = groups.into_iter().find(|(p, _)| *p == port) else {
+            via.clear();
+            let total = head.dst.targets().len();
+            for &t in head.dst.targets() {
+                if self.topo.route(cluster, t) == port {
+                    via.push(t);
+                }
+            }
+            if via.is_empty() {
                 continue;
-            };
+            }
             // Found a frame (or a multicast branch of one) for this port.
             self.rr[out_link.0 as usize] = (start + k + 1) % n;
             // Count frames leaving through a port the fault-free tables
             // would not have chosen (adaptive reroute). The generation
             // guard keeps this off the fault-free hot path.
             if self.topo.generation() > 0
-                && targets
+                && via
                     .iter()
                     .any(|t| self.topo.base_route(cluster, *t) != port)
             {
                 self.stats.frames_rerouted += 1;
             }
-            let head = self.links[input.0 as usize]
-                .buf
-                .front_mut()
-                .expect("checked");
-            let sub_dst = if targets.len() == 1 {
-                Dest::Unicast(targets[0])
-            } else {
-                Dest::Multicast(targets.clone())
-            };
-            // Replicate the branch by hand instead of `head.clone()`: the
-            // payload is a refcounted slice (every fan-out branch shares the
-            // same bytes), and cloning `head.dst` only to overwrite it would
-            // copy the target list a second time.
-            let copy = Frame {
-                src: head.src,
-                dst: sub_dst,
-                kind: head.kind,
-                seq: head.seq,
-                payload: head.payload.clone(),
-                corrupted: head.corrupted,
-            };
-            // Remove the transmitted targets from the head frame; pop the
-            // buffer slot when every branch has been forwarded.
-            let remaining: Vec<NodeAddr> = head
-                .dst
-                .targets()
-                .iter()
-                .copied()
-                .filter(|t| !targets.contains(t))
-                .collect();
-            if remaining.is_empty() {
-                let done = self.links[input.0 as usize]
+            if via.len() == total {
+                // Every remaining target leaves through this port: forward
+                // the buffered frame itself. No destination list is copied
+                // and no branch is replicated.
+                let mut done = self.links[input.0 as usize]
                     .buf
                     .pop_front()
                     .expect("checked");
+                self.note_cluster_drained(cluster);
                 self.release_data_bytes(cluster, &done);
+                // A split can leave a one-target `Multicast` head behind;
+                // forward it as the `Unicast` it now is, so delivered
+                // frames are identical to the pre-scratch grouping code.
+                if let Dest::Multicast(ts) = &done.dst {
+                    if ts.len() == 1 {
+                        done.dst = Dest::Unicast(ts[0]);
+                    }
+                }
+                self.start_tx(out_link, done, out);
             } else {
+                let head = self.links[input.0 as usize]
+                    .buf
+                    .front_mut()
+                    .expect("checked");
+                let sub_dst = if via.len() == 1 {
+                    Dest::Unicast(via[0])
+                } else {
+                    Dest::Multicast(via.clone())
+                };
+                // Replicate the branch by hand instead of `head.clone()`:
+                // the payload is a refcounted slice (every fan-out branch
+                // shares the same bytes), and cloning `head.dst` only to
+                // overwrite it would copy the target list a second time.
+                let copy = Frame {
+                    src: head.src,
+                    dst: sub_dst,
+                    kind: head.kind,
+                    seq: head.seq,
+                    payload: head.payload.clone(),
+                    corrupted: head.corrupted,
+                };
+                // Remove the transmitted targets from the head frame; the
+                // split branch is a new frame inside the fabric.
+                let remaining: Vec<NodeAddr> = head
+                    .dst
+                    .targets()
+                    .iter()
+                    .copied()
+                    .filter(|t| !via.contains(t))
+                    .collect();
                 head.dst = Dest::Multicast(remaining);
-                // A replicated branch is a new frame inside the fabric.
                 self.in_flight += 1;
+                self.start_tx(out_link, copy, out);
             }
-            self.start_tx(out_link, copy, out);
-            return true;
+            hit = true;
+            break;
         }
-        false
+        self.fwd_scratch = via;
+        hit
     }
 
     fn start_tx(&mut self, l: LinkId, frame: Frame, out: &mut Output) {
@@ -1093,6 +1203,21 @@ impl Fabric {
         out.schedule.push((ser, NetEvent::LinkFree(l)));
         out.schedule
             .push((ser + self.cfg.hop_latency_ns, NetEvent::Arrive(l, frame)));
+    }
+}
+
+/// Insert `v` into sorted `vec` if absent. Capacity is retained across
+/// the run, so steady-state candidate-set churn is allocation-free.
+fn sorted_insert(vec: &mut Vec<u32>, v: u32) {
+    if let Err(pos) = vec.binary_search(&v) {
+        vec.insert(pos, v);
+    }
+}
+
+/// Remove `v` from sorted `vec` if present.
+fn sorted_remove(vec: &mut Vec<u32>, v: u32) {
+    if let Ok(pos) = vec.binary_search(&v) {
+        vec.remove(pos);
     }
 }
 
@@ -1278,7 +1403,7 @@ mod tests {
         );
         net.run();
         assert_eq!(net.delivered.len(), 3);
-        let mut who: Vec<u16> = net.delivered.iter().map(|(_, to, _)| to.0).collect();
+        let mut who: Vec<u32> = net.delivered.iter().map(|(_, to, _)| to.0).collect();
         who.sort_unstable();
         assert_eq!(who, vec![3, 4, 5]);
         // Source sent exactly one frame.
@@ -1303,7 +1428,7 @@ mod tests {
             },
         );
         net.run();
-        let mut who: Vec<u16> = net.delivered.iter().map(|(_, to, _)| to.0).collect();
+        let mut who: Vec<u32> = net.delivered.iter().map(|(_, to, _)| to.0).collect();
         who.sort_unstable();
         assert_eq!(who, vec![1, 2, 4]);
     }
@@ -1314,7 +1439,7 @@ mod tests {
         // receiver simultaneously. The HPC must deliver everything.
         let topo = Topology::single_cluster(12).unwrap();
         let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
-        for src in 1..12u16 {
+        for src in 1..12u32 {
             for seq in 0..5 {
                 net.send_at(
                     0,
@@ -1327,14 +1452,14 @@ mod tests {
         assert_eq!(net.fabric.in_flight(), 0);
         // Fairness: every sender's frame 0 arrives before any sender's
         // frame 4 (round-robin arbitration cannot starve anyone).
-        let pos_of = |src: u16, seq: u64| {
+        let pos_of = |src: u32, seq: u64| {
             net.delivered
                 .iter()
                 .position(|(_, _, f)| f.src == NodeAddr(src) && f.seq == seq)
                 .unwrap()
         };
-        for src in 1..12u16 {
-            for other in 1..12u16 {
+        for src in 1..12u32 {
+            for other in 1..12u32 {
                 assert!(
                     pos_of(src, 0) < pos_of(other, 4),
                     "sender {src} frame 0 starved behind {other} frame 4"
@@ -1347,7 +1472,7 @@ mod tests {
     fn per_pair_fifo_under_contention() {
         let topo = Topology::incomplete_hypercube(4, 3).unwrap();
         let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
-        let n = net.fabric.topology().n_endpoints() as u16;
+        let n = net.fabric.topology().n_endpoints() as u32;
         for src in 0..n {
             for seq in 0..4 {
                 let dst = (src + 1) % n;
@@ -1364,7 +1489,7 @@ mod tests {
             }
         }
         net.run();
-        assert_eq!(net.delivered.len(), usize::from(n) * 4);
+        assert_eq!(net.delivered.len(), n as usize * 4);
         // FIFO per (src, dst) pair.
         for src in 0..n {
             let seqs: Vec<u64> = net
@@ -1428,7 +1553,7 @@ mod tests {
         // port is busy, and the third finds the budget exhausted and is
         // shed — deterministically the same victim on every run.
         let mut net = budget_net(4, 150);
-        for (src, seq) in [(0u16, 10u64), (2, 20), (3, 30)] {
+        for (src, seq) in [(0u32, 10u64), (2, 20), (3, 30)] {
             net.send_at(
                 0,
                 Frame::unicast(NodeAddr(src), NodeAddr(1), 9, seq, Payload::Synthetic(100)),
@@ -1475,7 +1600,7 @@ mod tests {
         let topo = Topology::single_cluster(12).unwrap();
         let cfg = NetConfig::paper_1988();
         let mut net = StandaloneNet::new(Fabric::new(topo, cfg));
-        for src in 1..12u16 {
+        for src in 1..12u32 {
             for seq in 0..5 {
                 net.send_at(
                     0,

@@ -49,7 +49,7 @@ pub const MAX_FRAME: u32 = HEADER_BYTES + MAX_PAYLOAD;
 
 /// Address of an endpoint (a processing node or a host workstation port).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeAddr(pub u16);
+pub struct NodeAddr(pub u32);
 
 // Hand-written (derive unavailable offline, see vendor/README.md); matches
 // what `#[derive(Serialize)]` would emit for a newtype struct.

@@ -6,13 +6,29 @@
 //! connections with arbitrary topologies, we have chosen to connect the
 //! clusters in the shape of an incomplete hypercube." (§1)
 //!
-//! Both options exist here: an arbitrary-graph builder routed by BFS, and the
-//! paper's incomplete hypercube routed by the deadlock-free two-phase rule
-//! (clear differing bits from high to low, then set differing bits from low
-//! to high — every intermediate cluster id stays below the cluster count,
+//! Three generators exist here: an arbitrary-graph builder routed by BFS
+//! tables, the paper's flat incomplete hypercube, and the paper's scheme
+//! *recursed* — a hierarchy of incomplete hypercubes where each level-0
+//! group of clusters is an incomplete hypercube and designated gateway
+//! clusters link groups (then groups-of-groups, …) in higher-level
+//! incomplete hypercubes. Hypercube levels route by the deadlock-free
+//! two-phase rule (clear differing bits from high to low, then set differing
+//! bits from low to high — every intermediate id stays below the level size,
 //! which is Katseff's incomplete-hypercube property).
+//!
+//! # Implicit routing and the detour overlay
+//!
+//! Hypercube topologies do **not** keep dense `next_port` tables: the
+//! fault-free output port is computed in O(levels) from cluster coordinates
+//! ([`Topology::route`] stays O(1) for the flat paper topology). Link churn
+//! installs only the *differences* from that baseline into a hash-map
+//! overlay keyed `(cluster, destination)`, so [`Topology::recompute`] after
+//! churn costs O(affected destinations), and healing every edge is a single
+//! overlay clear — O(1), allocation-free — instead of the old O(n²) table
+//! restore. Arbitrary-graph (builder) topologies keep the dense BFS tables;
+//! they exist for small irregular worlds where O(n²) is irrelevant.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use crate::config::PORTS_PER_CLUSTER;
@@ -20,7 +36,7 @@ use crate::frame::NodeAddr;
 
 /// Identifies one HPC cluster (a 12-port self-routing star).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ClusterId(pub u16);
+pub struct ClusterId(pub u32);
 
 impl fmt::Debug for ClusterId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -67,8 +83,8 @@ pub enum TopologyError {
         /// Unreachable destination cluster.
         to: ClusterId,
     },
-    /// A hypercube was requested with more endpoints per cluster than free
-    /// ports.
+    /// A hypercube was requested with more endpoints per cluster (plus
+    /// dimension and gateway roles) than free ports.
     NotEnoughPorts {
         /// Ports needed.
         needed: usize,
@@ -114,7 +130,7 @@ impl TopologyBuilder {
 
     /// Add a cluster; returns its id.
     pub fn add_cluster(&mut self) -> ClusterId {
-        let id = ClusterId(self.clusters.len() as u16);
+        let id = ClusterId(self.clusters.len() as u32);
         self.clusters.push(Default::default());
         id
     }
@@ -147,7 +163,7 @@ impl TopologyBuilder {
     /// Attach a new endpoint to a cluster port; returns its address.
     pub fn attach_endpoint(&mut self, p: PortRef) -> Result<NodeAddr, TopologyError> {
         self.check_port(p)?;
-        let addr = NodeAddr(self.endpoints.len() as u16);
+        let addr = NodeAddr(self.endpoints.len() as u32);
         self.clusters[p.cluster.0 as usize][usize::from(p.port)] = Attachment::Endpoint(addr);
         self.endpoints.push(p);
         Ok(addr)
@@ -173,52 +189,221 @@ impl TopologyBuilder {
 
     /// Finalize: compute routing tables (BFS over the cluster graph).
     pub fn build(self) -> Result<Topology, TopologyError> {
-        Topology::finish(self.clusters, self.endpoints, RoutingMode::Bfs)
+        Topology::finish_table(self.clusters, self.endpoints)
     }
 }
 
 /// How inter-cluster routes are computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutingMode {
-    /// Shortest path by breadth-first search (arbitrary topologies).
+    /// Shortest path by breadth-first search over dense tables (arbitrary
+    /// topologies from [`TopologyBuilder`]).
     Bfs,
     /// Incomplete-hypercube two-phase bit-fixing (clear high→low, then set
-    /// low→high). Deterministic, minimal, and every intermediate cluster id
-    /// is `< cluster count`.
+    /// low→high), computed implicitly from cluster ids. Deterministic,
+    /// minimal, and every intermediate cluster id is `< cluster count`.
     IncompleteHypercube,
+    /// A hierarchy of incomplete hypercubes (groups of clusters linked by
+    /// gateway clusters, recursively). Routes are computed implicitly from
+    /// mixed-radix cluster coordinates in O(levels).
+    Hierarchical,
 }
 
-/// A finalized interconnect topology with routing tables.
+/// A directed inter-cluster edge: (cluster, output port). Kept sorted so
+/// membership tests are binary searches and churn never allocates once the
+/// vector has warmed up.
+type DeadEdge = (u32, u8);
+
+/// How the routing overlay currently relates to the implicit baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OverlayScope {
+    /// No dead edges: every route is the implicit baseline, overlay empty.
+    Baseline,
+    /// Every dead edge is a level-0 (intra-group) link. The overlay holds
+    /// group-local detours keyed by `(cluster, local waypoint target)`;
+    /// gateway hops are untouched and guaranteed alive.
+    Waypoint,
+    /// At least one gateway link is down (or a group lost internal
+    /// connectivity). The overlay holds exact per-destination detours keyed
+    /// by `(cluster, destination cluster)` for every affected destination,
+    /// computed by full reverse BFS — global ground truth.
+    Target,
+}
+
+/// Implicit-routing state for (possibly hierarchical) incomplete hypercubes.
+#[derive(Debug, Clone)]
+struct Hier {
+    /// Level sizes, innermost first. `levels[0]` clusters form one group
+    /// wired as an incomplete hypercube; `levels[1]` groups form a
+    /// super-hypercube linked by gateways, and so on. A flat paper topology
+    /// is `levels == [n_clusters]`.
+    levels: Vec<u32>,
+    /// `dims[l] = dims_for(levels[l])`: hypercube dimensions at each level.
+    dims: Vec<u32>,
+    /// `block[l]` = number of clusters per level-`l` unit = `∏ levels[..l]`.
+    /// `block[0] == 1`.
+    block: Vec<u32>,
+    /// Endpoints per cluster; endpoint `e` of cluster `c` has address
+    /// `c * eps + e` and sits on port `dims[0] + e`.
+    eps: u32,
+    /// `gw[l-1][d]` = the residue `r < block[l]` such that every cluster
+    /// `c ≡ r (mod block[l])` is the gateway for super-dimension `d` of
+    /// level `l` within its block. Chosen greedily at build time to spread
+    /// gateway port load.
+    gw: Vec<Vec<u32>>,
+    /// Detours installed by [`Topology::recompute`]: only entries that
+    /// *differ* from the implicit baseline are present (`u8::MAX` marks an
+    /// unreachable pair). Never iterated, so hash order cannot leak into
+    /// simulation behavior.
+    overlay: HashMap<(u32, u32), u8>,
+    /// What the overlay keys currently mean.
+    scope: OverlayScope,
+}
+
+/// Where the implicit walk from a cluster heads next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// Move within the level-0 group toward this (global) waypoint cluster.
+    Local(u32),
+    /// We are the gateway: cross the level-`level` link along `dim`.
+    Cross {
+        /// Hierarchy level of the gateway link.
+        level: usize,
+        /// Super-dimension being corrected.
+        dim: u32,
+    },
+}
+
+impl Hier {
+    /// Mixed-radix digit of cluster `c` at hierarchy level `l`.
+    #[inline]
+    fn digit(&self, c: u32, l: usize) -> u32 {
+        (c / self.block[l]) % self.levels[l]
+    }
+
+    /// Number of hierarchy levels.
+    fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The waypoint decision at cluster `x` for a frame bound for cluster
+    /// `dst` (`x != dst`): either the next intra-group target to walk toward
+    /// or the gateway link to cross. Descends from the highest differing
+    /// level: to correct level `l`, first travel (recursively) to the block's
+    /// gateway for the needed super-dimension, then cross. The `Local`
+    /// target depends only on digits ≥ 1 of `x`, so it is *stable* while the
+    /// frame moves within its level-0 group — group-local detours stay
+    /// consistent hop by hop.
+    fn waypoint(&self, x: u32, dst: u32) -> Step {
+        debug_assert_ne!(x, dst);
+        let mut goal = dst;
+        loop {
+            let mut l = self.n_levels() - 1;
+            while self.digit(x, l) == self.digit(goal, l) {
+                l -= 1;
+            }
+            if l == 0 {
+                return Step::Local(goal);
+            }
+            let d = hypercube_next_dim(self.digit(x, l), self.digit(goal, l));
+            let gwc = x - x % self.block[l] + self.gw[l - 1][d as usize];
+            if gwc == x {
+                return Step::Cross { level: l, dim: d };
+            }
+            // Head for the gateway; its highest level differing from `x` is
+            // strictly below `l`, so this terminates.
+            goal = gwc;
+        }
+    }
+
+    /// Fault-free output port of cluster `x` toward cluster `dst`
+    /// (`x != dst`). O(levels²) worst case, O(1) for flat topologies.
+    fn base_port(&self, x: u32, dst: u32) -> u8 {
+        match self.waypoint(x, dst) {
+            Step::Local(t) => hypercube_next_dim(self.digit(x, 0), self.digit(t, 0)) as u8,
+            Step::Cross { level, dim } => self.gateway_port(x, level, dim),
+        }
+    }
+
+    /// The port cluster `c` uses for its level-`level`, dimension-`dim`
+    /// gateway link. Gateway ports are allocated after the dimension and
+    /// endpoint ports in `(level, dim)` order of the roles `c` holds; a role
+    /// reserves its port even when the partner digit does not exist (keeps
+    /// port numbering identical across a residue class).
+    fn gateway_port(&self, c: u32, level: usize, dim: u32) -> u8 {
+        let mut port = self.dims[0] + self.eps;
+        for l in 1..self.n_levels() {
+            for d in 0..self.dims[l] {
+                if c % self.block[l] == self.gw[l - 1][d as usize] {
+                    if l == level && d == dim {
+                        return port as u8;
+                    }
+                    port += 1;
+                }
+            }
+        }
+        unreachable!("cluster {c} holds no gateway role ({level},{dim})")
+    }
+}
+
+/// Dense routing tables (arbitrary builder graphs) or implicit hierarchical
+/// routing with a sparse detour overlay (hypercube generators).
+#[derive(Debug, Clone)]
+enum Repr {
+    /// `next_port[c][d]` = output port on cluster `c` toward cluster `d`
+    /// (`u8::MAX` for c == d, or for d unreachable over surviving edges),
+    /// plus the fault-free baseline restored verbatim on heal.
+    Table {
+        /// Live tables (recomputed on churn).
+        next_port: Vec<Vec<u8>>,
+        /// The fault-free tables from construction.
+        base_next_port: Vec<Vec<u8>>,
+    },
+    /// Implicit routing from cluster coordinates plus the churn overlay.
+    Hier(Hier),
+}
+
+/// Reusable buffers for recompute/repair so link churn never allocates on
+/// the hot path once warmed up.
+#[derive(Debug, Clone)]
+struct Scratch {
+    dist: Vec<usize>,
+    queue: VecDeque<usize>,
+    ports: Vec<u8>,
+    targets: Vec<u32>,
+    groups: Vec<u32>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            dist: vec![usize::MAX; n],
+            queue: VecDeque::with_capacity(n),
+            ports: vec![u8::MAX; n],
+            targets: Vec::with_capacity(n),
+            groups: Vec::with_capacity(n.min(1024)),
+        }
+    }
+}
+
+/// A finalized interconnect topology.
 ///
 /// Routing is *live*: [`Topology::set_edge_state`] marks inter-cluster edges
-/// dead or alive and [`Topology::recompute`] rebuilds the first-hop tables
-/// over the surviving edges (BFS, shortest path), bumping a generation
-/// counter so the fabric can tell rerouted traffic from baseline traffic.
-/// A fault-free topology never recomputes and keeps the tables built by the
-/// original routing mode bit-for-bit.
+/// dead or alive and [`Topology::recompute`] repairs routing over the
+/// surviving edges, bumping a generation counter so the fabric can tell
+/// rerouted traffic from baseline traffic. A fault-free topology never
+/// recomputes and keeps routing exactly as built.
 #[derive(Debug, Clone)]
 pub struct Topology {
     clusters: Vec<[Attachment; PORTS_PER_CLUSTER]>,
     endpoints: Vec<PortRef>,
-    /// `next_port[c][d]` = output port on cluster `c` toward cluster `d`
-    /// (`u8::MAX` for c == d, or for d unreachable over surviving edges).
-    next_port: Vec<Vec<u8>>,
-    /// The fault-free tables from construction; restored verbatim when every
-    /// edge heals, and the baseline for "was this frame rerouted?" checks.
-    base_next_port: Vec<Vec<u8>>,
-    /// `dead_out[c][p]` = the directed inter-cluster edge out of port `p` of
-    /// cluster `c` is down.
-    dead_out: Vec<[bool; PORTS_PER_CLUSTER]>,
-    /// How many times the routing tables were recomputed. 0 = fault-free
-    /// baseline.
+    repr: Repr,
+    /// Sorted directed dead edges `(cluster, out port)`.
+    dead: Vec<DeadEdge>,
+    /// How many times routing was recomputed. 0 = fault-free baseline.
     generation: u64,
     mode: RoutingMode,
-    /// Reusable per-destination BFS distance array for
-    /// [`Topology::recompute`]; hoisted so link-churn recomputes do not
-    /// allocate on the hot path.
-    scratch_dist: Vec<usize>,
-    /// Reusable BFS work queue for [`Topology::recompute`].
-    scratch_queue: VecDeque<usize>,
+    scratch: Scratch,
 }
 
 impl Topology {
@@ -246,114 +431,234 @@ impl Topology {
     /// Dimension `d` always uses port `d` on both sides, so with `D`
     /// dimensions the endpoints occupy ports `D..D+endpoints_per_cluster`.
     /// A 1024-node system is `incomplete_hypercube(256, 4)`: 8 dimension
-    /// ports + 4 endpoint ports, exactly the paper's example.
+    /// ports + 4 endpoint ports, exactly the paper's example. Equivalent to
+    /// [`Topology::hierarchical_hypercube`] with a single level.
     pub fn incomplete_hypercube(
         n_clusters: usize,
         endpoints_per_cluster: usize,
     ) -> Result<Topology, TopologyError> {
-        assert!(n_clusters >= 1, "need at least one cluster");
-        let dims = dims_for(n_clusters);
-        if dims + endpoints_per_cluster > PORTS_PER_CLUSTER {
+        Topology::hierarchical_hypercube(&[n_clusters], endpoints_per_cluster)
+    }
+
+    /// The paper's scheme recursed: `levels[0]` clusters form a group wired
+    /// as an incomplete hypercube, `levels[1]` groups form a super-hypercube
+    /// whose links run between designated *gateway* clusters (one residue
+    /// class per super-dimension, chosen greedily to spread port load), and
+    /// so on for higher levels. Every cluster hosts
+    /// `endpoints_per_cluster` endpoints; endpoint `e` of cluster `c` is
+    /// address `c * eps + e`.
+    ///
+    /// With a single level this is exactly [`Topology::incomplete_hypercube`]
+    /// — same wiring, same port layout, same link ids. Multi-level
+    /// hierarchies require every level size ≥ 2 and fully populated levels.
+    pub fn hierarchical_hypercube(
+        levels: &[usize],
+        endpoints_per_cluster: usize,
+    ) -> Result<Topology, TopologyError> {
+        assert!(!levels.is_empty(), "need at least one hierarchy level");
+        assert!(levels[0] >= 1, "need at least one cluster");
+        if levels.len() > 1 {
+            assert!(
+                levels.iter().all(|&l| l >= 2),
+                "multi-level hierarchies need every level size >= 2"
+            );
+        }
+        let n_u64: u64 = levels.iter().map(|&l| l as u64).product();
+        let eps = endpoints_per_cluster;
+        assert!(
+            n_u64.saturating_mul(eps.max(1) as u64) <= u32::MAX as u64,
+            "cluster/endpoint count exceeds the u32 address space"
+        );
+        let n = n_u64 as usize;
+        let k = levels.len();
+        let levels_u: Vec<u32> = levels.iter().map(|&l| l as u32).collect();
+        let dims: Vec<u32> = levels.iter().map(|&l| dims_for(l) as u32).collect();
+        let mut block: Vec<u32> = Vec::with_capacity(k);
+        let mut acc = 1u32;
+        for &l in &levels_u {
+            block.push(acc);
+            acc = acc.saturating_mul(l);
+        }
+        let dims0 = dims[0] as usize;
+
+        // Greedy gateway selection: for each (level, super-dim) role pick
+        // the residue class (mod block[l]) whose most-loaded member holds
+        // the fewest roles so far; ties break to the lowest residue.
+        // Deterministic, and keeps the per-cluster gateway port count near
+        // the unavoidable ceil(total roles / block) floor.
+        let mut gw: Vec<Vec<u32>> = Vec::with_capacity(k.saturating_sub(1));
+        let mut load = vec![0u32; n];
+        for l in 1..k {
+            let b = block[l];
+            let mut row = Vec::with_capacity(dims[l] as usize);
+            for _d in 0..dims[l] {
+                let mut best_r = 0u32;
+                let mut best_load = u32::MAX;
+                for r in 0..b {
+                    let mut worst = 0u32;
+                    let mut c = r as usize;
+                    while c < n {
+                        worst = worst.max(load[c]);
+                        c += b as usize;
+                    }
+                    if worst < best_load {
+                        best_load = worst;
+                        best_r = r;
+                    }
+                }
+                let mut c = best_r as usize;
+                while c < n {
+                    load[c] += 1;
+                    c += b as usize;
+                }
+                row.push(best_r);
+            }
+            gw.push(row);
+        }
+        let max_load = load.iter().copied().max().unwrap_or(0) as usize;
+        if dims0 + eps + max_load > PORTS_PER_CLUSTER {
             return Err(TopologyError::NotEnoughPorts {
-                needed: dims + endpoints_per_cluster,
+                needed: dims0 + eps + max_load,
                 available: PORTS_PER_CLUSTER,
             });
         }
-        let mut b = TopologyBuilder::new();
-        for _ in 0..n_clusters {
-            b.add_cluster();
-        }
-        for c in 0..n_clusters {
-            for d in 0..dims {
-                let peer = c ^ (1 << d);
-                if peer < n_clusters && peer > c {
-                    b.connect(
-                        PortRef {
-                            cluster: ClusterId(c as u16),
-                            port: d as u8,
-                        },
-                        PortRef {
-                            cluster: ClusterId(peer as u16),
-                            port: d as u8,
-                        },
-                    )?;
+
+        let hier = Hier {
+            levels: levels_u.clone(),
+            dims: dims.clone(),
+            block: block.clone(),
+            eps: eps as u32,
+            gw: gw.clone(),
+            overlay: HashMap::new(),
+            scope: OverlayScope::Baseline,
+        };
+
+        // Wire it. Level-0 links use port d ↔ port d within each group —
+        // identical layout to the flat generator, so fabric link ids are
+        // stable across the flat/hierarchical representations.
+        let mut clusters = vec![[Attachment::Empty; PORTS_PER_CLUSTER]; n];
+        let g = levels_u[0] as usize;
+        for (c, ports) in clusters.iter_mut().enumerate() {
+            let a = c % g;
+            for (d, slot) in ports.iter_mut().enumerate().take(dims0) {
+                let peer_a = a ^ (1 << d);
+                if peer_a < g {
+                    *slot = Attachment::Cluster(PortRef {
+                        cluster: ClusterId((c - a + peer_a) as u32),
+                        port: d as u8,
+                    });
                 }
             }
         }
-        for c in 0..n_clusters {
-            for e in 0..endpoints_per_cluster {
-                b.attach_endpoint(PortRef {
-                    cluster: ClusterId(c as u16),
-                    port: (dims + e) as u8,
-                })?;
+        let mut endpoints = Vec::with_capacity(n * eps);
+        for (c, ports) in clusters.iter_mut().enumerate() {
+            for e in 0..eps {
+                let addr = NodeAddr((c * eps + e) as u32);
+                let port = (dims0 + e) as u8;
+                ports[usize::from(port)] = Attachment::Endpoint(addr);
+                endpoints.push(PortRef {
+                    cluster: ClusterId(c as u32),
+                    port,
+                });
             }
         }
-        Topology::finish(b.clusters, b.endpoints, RoutingMode::IncompleteHypercube)
+        // Gateway links, in (level, dim) role order. Every member of the
+        // residue class consumes one port per role (even when its partner
+        // digit is absent), which keeps port numbers identical across the
+        // class — both ends of a link compute the same port.
+        let mut next_gw_port = vec![(dims0 + eps) as u8; n];
+        for l in 1..k {
+            for d in 0..dims[l] {
+                let r = gw[l - 1][d as usize];
+                let mut c = r as usize;
+                while c < n {
+                    let port = next_gw_port[c];
+                    next_gw_port[c] += 1;
+                    let a = hier.digit(c as u32, l);
+                    let bdig = a ^ (1 << d);
+                    if bdig < levels_u[l] && bdig > a {
+                        let partner = c + ((bdig - a) * block[l]) as usize;
+                        debug_assert_eq!(clusters[c][usize::from(port)], Attachment::Empty);
+                        debug_assert_eq!(clusters[partner][usize::from(port)], Attachment::Empty);
+                        clusters[c][usize::from(port)] = Attachment::Cluster(PortRef {
+                            cluster: ClusterId(partner as u32),
+                            port,
+                        });
+                        clusters[partner][usize::from(port)] = Attachment::Cluster(PortRef {
+                            cluster: ClusterId(c as u32),
+                            port,
+                        });
+                    }
+                    c += block[l] as usize;
+                }
+            }
+        }
+
+        let mode = if k == 1 {
+            RoutingMode::IncompleteHypercube
+        } else {
+            RoutingMode::Hierarchical
+        };
+        Ok(Topology {
+            scratch: Scratch::new(n),
+            clusters,
+            endpoints,
+            repr: Repr::Hier(hier),
+            dead: Vec::new(),
+            generation: 0,
+            mode,
+        })
     }
 
-    fn finish(
+    /// Finalize a builder graph: dense BFS tables.
+    fn finish_table(
         clusters: Vec<[Attachment; PORTS_PER_CLUSTER]>,
         endpoints: Vec<PortRef>,
-        mode: RoutingMode,
     ) -> Result<Topology, TopologyError> {
         let n = clusters.len();
         let mut next_port = vec![vec![u8::MAX; n]; n];
-        match mode {
-            RoutingMode::Bfs => {
-                // BFS from every destination cluster over reversed edges
-                // gives, per source, the first hop of one shortest path.
-                for dst in 0..n {
-                    let mut dist = vec![usize::MAX; n];
-                    dist[dst] = 0;
-                    let mut q = VecDeque::from([dst]);
-                    while let Some(c) = q.pop_front() {
-                        for (port, att) in clusters[c].iter().enumerate() {
-                            if let Attachment::Cluster(peer) = att {
-                                let p = peer.cluster.0 as usize;
-                                if dist[p] == usize::MAX {
-                                    dist[p] = dist[c] + 1;
-                                    q.push_back(p);
-                                }
-                                // Record the port on `p` that leads back to
-                                // `c` if that is a step toward `dst`.
-                                if dist[p] == dist[c] + 1 && next_port[p][dst] == u8::MAX {
-                                    next_port[p][dst] = peer.port;
-                                }
-                                let _ = port;
-                            }
+        // BFS from every destination cluster over reversed edges gives, per
+        // source, the first hop of one shortest path.
+        for dst in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[dst] = 0;
+            let mut q = VecDeque::from([dst]);
+            while let Some(c) = q.pop_front() {
+                for att in clusters[c].iter() {
+                    if let Attachment::Cluster(peer) = att {
+                        let p = peer.cluster.0 as usize;
+                        if dist[p] == usize::MAX {
+                            dist[p] = dist[c] + 1;
+                            q.push_back(p);
                         }
-                    }
-                    for (src, d) in dist.iter().enumerate() {
-                        if src != dst && *d == usize::MAX {
-                            return Err(TopologyError::Unreachable {
-                                from: ClusterId(src as u16),
-                                to: ClusterId(dst as u16),
-                            });
+                        // Record the port on `p` that leads back to `c` if
+                        // that is a step toward `dst`.
+                        if dist[p] == dist[c] + 1 && next_port[p][dst] == u8::MAX {
+                            next_port[p][dst] = peer.port;
                         }
                     }
                 }
             }
-            RoutingMode::IncompleteHypercube => {
-                for (src, row) in next_port.iter_mut().enumerate() {
-                    for (dst, port) in row.iter_mut().enumerate() {
-                        if src != dst {
-                            *port = hypercube_next_dim(src, dst) as u8;
-                        }
-                    }
+            for (src, d) in dist.iter().enumerate() {
+                if src != dst && *d == usize::MAX {
+                    return Err(TopologyError::Unreachable {
+                        from: ClusterId(src as u32),
+                        to: ClusterId(dst as u32),
+                    });
                 }
             }
         }
-        let dead_out = vec![[false; PORTS_PER_CLUSTER]; n];
         Ok(Topology {
+            scratch: Scratch::new(n),
             clusters,
             endpoints,
-            base_next_port: next_port.clone(),
-            next_port,
-            dead_out,
+            repr: Repr::Table {
+                base_next_port: next_port.clone(),
+                next_port,
+            },
+            dead: Vec::new(),
             generation: 0,
-            mode,
-            scratch_dist: vec![usize::MAX; n],
-            scratch_queue: VecDeque::with_capacity(n),
+            mode: RoutingMode::Bfs,
         })
     }
 
@@ -369,12 +674,32 @@ impl Topology {
 
     /// All endpoint addresses.
     pub fn endpoints(&self) -> impl Iterator<Item = NodeAddr> + '_ {
-        (0..self.endpoints.len()).map(|i| NodeAddr(i as u16))
+        (0..self.endpoints.len()).map(|i| NodeAddr(i as u32))
     }
 
     /// The routing mode in effect.
     pub fn mode(&self) -> RoutingMode {
         self.mode
+    }
+
+    /// Level sizes (innermost first) of a hierarchical-hypercube topology;
+    /// `None` for table-routed builder graphs. Flat paper topologies report
+    /// one level.
+    pub fn hier_levels(&self) -> Option<&[u32]> {
+        match &self.repr {
+            Repr::Hier(h) => Some(&h.levels),
+            Repr::Table { .. } => None,
+        }
+    }
+
+    /// Number of detour entries currently overlaid on the implicit routing
+    /// baseline. 0 for fault-free hierarchies and for table-routed graphs
+    /// (which patch dense tables instead).
+    pub fn overlay_len(&self) -> usize {
+        match &self.repr {
+            Repr::Hier(h) => h.overlay.len(),
+            Repr::Table { .. } => 0,
+        }
     }
 
     /// The port an endpoint is attached to.
@@ -392,13 +717,50 @@ impl Topology {
         self.clusters[p.cluster.0 as usize][usize::from(p.port)]
     }
 
+    /// Output port on cluster `from` toward cluster `to` over the routing
+    /// currently in force (`u8::MAX` for `from == to` or unreachable).
+    fn next_port_of(&self, from: u32, to: u32) -> u8 {
+        if from == to {
+            return u8::MAX;
+        }
+        match &self.repr {
+            Repr::Table { next_port, .. } => next_port[from as usize][to as usize],
+            Repr::Hier(h) => match h.scope {
+                OverlayScope::Baseline => h.base_port(from, to),
+                OverlayScope::Target => h
+                    .overlay
+                    .get(&(from, to))
+                    .copied()
+                    .unwrap_or_else(|| h.base_port(from, to)),
+                OverlayScope::Waypoint => match h.waypoint(from, to) {
+                    // Gateway links are alive in this scope by definition.
+                    Step::Cross { level, dim } => h.gateway_port(from, level, dim),
+                    Step::Local(t) => h.overlay.get(&(from, t)).copied().unwrap_or_else(|| {
+                        hypercube_next_dim(h.digit(from, 0), h.digit(t, 0)) as u8
+                    }),
+                },
+            },
+        }
+    }
+
+    /// Fault-free baseline output port on cluster `from` toward `to`.
+    fn base_port_of(&self, from: u32, to: u32) -> u8 {
+        if from == to {
+            return u8::MAX;
+        }
+        match &self.repr {
+            Repr::Table { base_next_port, .. } => base_next_port[from as usize][to as usize],
+            Repr::Hier(h) => h.base_port(from, to),
+        }
+    }
+
     /// The output port on `cluster` for a frame addressed to `dst`.
     pub fn route(&self, cluster: ClusterId, dst: NodeAddr) -> u8 {
         let dp = self.endpoints[dst.0 as usize];
         if dp.cluster == cluster {
             dp.port
         } else {
-            self.next_port[cluster.0 as usize][dp.cluster.0 as usize]
+            self.next_port_of(cluster.0, dp.cluster.0)
         }
     }
 
@@ -410,7 +772,7 @@ impl Topology {
         if dp.cluster == cluster {
             dp.port
         } else {
-            self.base_next_port[cluster.0 as usize][dp.cluster.0 as usize]
+            self.base_port_of(cluster.0, dp.cluster.0)
         }
     }
 
@@ -424,13 +786,28 @@ impl Topology {
 
     /// Like [`Topology::cluster_path`], but `None` when no route survives.
     pub fn try_cluster_path(&self, src: NodeAddr, dst: NodeAddr) -> Option<Vec<ClusterId>> {
+        let mut path = Vec::new();
+        self.cluster_path_into(src, dst, &mut path).then_some(path)
+    }
+
+    /// Write the cluster path from `src` to `dst` into `path` (cleared
+    /// first), returning `false` when no route survives. The allocation-free
+    /// variant of [`Topology::cluster_path`] for per-frame hot paths: with a
+    /// reused buffer, steady state performs zero allocations.
+    pub fn cluster_path_into(
+        &self,
+        src: NodeAddr,
+        dst: NodeAddr,
+        path: &mut Vec<ClusterId>,
+    ) -> bool {
+        path.clear();
         let mut here = self.cluster_of(src);
         let goal = self.cluster_of(dst);
-        let mut path = vec![here];
+        path.push(here);
         while here != goal {
             let port = self.route(here, dst);
             if port == u8::MAX {
-                return None;
+                return false;
             }
             match self.attachment(PortRef {
                 cluster: here,
@@ -444,7 +821,7 @@ impl Topology {
             }
             assert!(path.len() <= self.clusters.len() + 1, "routing loop");
         }
-        Some(path)
+        true
     }
 
     /// Number of cluster-to-cluster hops between two endpoints.
@@ -453,47 +830,61 @@ impl Topology {
     }
 
     /// Minimum number of directed links on any endpoint-to-endpoint path
-    /// that crosses a cluster boundary, over the tables currently in force:
-    /// the source endpoint's up-link, the inter-cluster hops, and the
-    /// destination endpoint's down-link — so always ≥ 3. `None` when no two
-    /// endpoint-hosting clusters are connected (single-cluster topologies:
-    /// nothing ever crosses). This is the lookahead extraction for the
-    /// sharded engine: multiplied by the minimal per-link frame latency
-    /// ([`crate::NetConfig::link_latency_ns`] of a header-only frame) it
-    /// lower-bounds the fabric latency of every cross-cluster delivery.
+    /// that crosses a cluster boundary: the source endpoint's up-link, the
+    /// inter-cluster hops, and the destination endpoint's down-link — so
+    /// always ≥ 3. `None` when no two endpoint-hosting clusters are
+    /// connected (single-cluster topologies: nothing ever crosses). This is
+    /// the lookahead extraction for the sharded engine: multiplied by the
+    /// minimal per-link frame latency ([`crate::NetConfig::link_latency_ns`]
+    /// of a header-only frame) it lower-bounds the fabric latency of every
+    /// cross-cluster delivery — a static bound that churn can only increase,
+    /// never undercut.
     pub fn min_cross_cluster_links(&self) -> Option<usize> {
-        let mut hosts: Vec<usize> = self
-            .endpoints
-            .iter()
-            .map(|p| p.cluster.0 as usize)
-            .collect();
-        hosts.sort_unstable();
-        hosts.dedup();
-        let mut best: Option<usize> = None;
-        for &a in &hosts {
-            for &b in &hosts {
-                if a == b {
-                    continue;
-                }
-                if let Some(h) = self.cluster_hops(a, b) {
-                    let links = h + 2;
-                    best = Some(best.map_or(links, |m| m.min(links)));
+        match &self.repr {
+            // Hypercube generators always give every cluster endpoints and
+            // an adjacent in-group neighbor: the minimum is exactly 3.
+            Repr::Hier(h) => {
+                if self.clusters.len() >= 2 && h.eps > 0 {
+                    Some(3)
+                } else {
+                    None
                 }
             }
+            Repr::Table { .. } => {
+                let mut hosts: Vec<usize> = self
+                    .endpoints
+                    .iter()
+                    .map(|p| p.cluster.0 as usize)
+                    .collect();
+                hosts.sort_unstable();
+                hosts.dedup();
+                let mut best: Option<usize> = None;
+                for &a in &hosts {
+                    for &b in &hosts {
+                        if a == b {
+                            continue;
+                        }
+                        if let Some(h) = self.cluster_hops(a, b) {
+                            let links = h + 2;
+                            best = Some(best.map_or(links, |m| m.min(links)));
+                        }
+                    }
+                }
+                best
+            }
         }
-        best
     }
 
-    /// Directed link counts between cluster pairs over the tables currently
+    /// Directed link counts between cluster pairs over the routing currently
     /// in force: `counts[a][b]` is the number of links a unicast frame from
     /// an endpoint in cluster `a` crosses to reach an endpoint in cluster
     /// `b` — the source endpoint's up-link, the inter-cluster hops, and the
     /// destination endpoint's down-link (`hops + 2`). Entries are 0 on the
     /// diagonal (intra-cluster frames never cross the boundary), when
     /// either cluster hosts no endpoints, or when the pair is unreachable.
-    /// This is the per-pair lookahead structure for the sharded engine:
-    /// each entry times the per-link latency of a header-only frame
-    /// lower-bounds the fabric latency on that directed cluster pair.
+    /// O(clusters² · path): intended for small worlds where the sharded
+    /// engine keeps a per-pair lookahead matrix — large hierarchical worlds
+    /// use grouped shards with a uniform bound instead.
     pub fn cluster_link_counts(&self) -> Vec<Vec<u64>> {
         let nc = self.clusters.len();
         let mut hosted = vec![false; nc];
@@ -513,21 +904,51 @@ impl Topology {
         counts
     }
 
+    /// Number of directed links a unicast frame crosses between endpoints
+    /// hosted on clusters `a` and `b` under *fault-free baseline* routing:
+    /// up-link + baseline inter-cluster hops + down-link; 0 when `a == b`.
+    /// Non-allocating walk — the sharded bridge calls this per cross-shard
+    /// frame instead of carrying an O(clusters²) matrix.
+    pub fn baseline_cluster_links(&self, a: ClusterId, b: ClusterId) -> u64 {
+        if a == b {
+            return 0;
+        }
+        let mut here = a.0;
+        let mut hops = 0u64;
+        while here != b.0 {
+            let port = self.base_port_of(here, b.0);
+            debug_assert_ne!(port, u8::MAX, "baseline routing is fully connected");
+            match self.attachment(PortRef {
+                cluster: ClusterId(here),
+                port,
+            }) {
+                Attachment::Cluster(peer) => here = peer.cluster.0,
+                other => panic!("route led to non-cluster attachment {other:?}"),
+            }
+            hops += 1;
+            assert!(
+                hops as usize <= self.clusters.len(),
+                "baseline routing loop"
+            );
+        }
+        hops + 2
+    }
+
     /// Hop count of the routed path from cluster `from` to cluster `to`
-    /// over the tables currently in force; `None` when unreachable.
+    /// over the routing currently in force; `None` when unreachable.
     fn cluster_hops(&self, from: usize, to: usize) -> Option<usize> {
-        let mut here = from;
+        let mut here = from as u32;
         let mut hops = 0;
-        while here != to {
-            let port = self.next_port[here][to];
+        while here != to as u32 {
+            let port = self.next_port_of(here, to as u32);
             if port == u8::MAX {
                 return None;
             }
             match self.attachment(PortRef {
-                cluster: ClusterId(here as u16),
+                cluster: ClusterId(here),
                 port,
             }) {
-                Attachment::Cluster(peer) => here = peer.cluster.0 as usize,
+                Attachment::Cluster(peer) => here = peer.cluster.0,
                 other => panic!("route led to non-cluster attachment {other:?}"),
             }
             hops += 1;
@@ -541,16 +962,28 @@ impl Topology {
     /// Mark the directed inter-cluster edge out of `p` alive (`up = true`)
     /// or dead. Takes effect at the next [`Topology::recompute`].
     pub fn set_edge_state(&mut self, p: PortRef, up: bool) {
-        self.dead_out[p.cluster.0 as usize][usize::from(p.port)] = !up;
+        let key = (p.cluster.0, p.port);
+        match self.dead.binary_search(&key) {
+            Ok(i) => {
+                if up {
+                    self.dead.remove(i);
+                }
+            }
+            Err(i) => {
+                if !up {
+                    self.dead.insert(i, key);
+                }
+            }
+        }
     }
 
     /// True iff any inter-cluster edge is currently marked dead.
     pub fn has_dead_edges(&self) -> bool {
-        self.dead_out.iter().any(|ports| ports.iter().any(|d| *d))
+        !self.dead.is_empty()
     }
 
-    /// How many times the routing tables were recomputed; 0 means the
-    /// fault-free baseline tables are in force.
+    /// How many times routing was recomputed; 0 means the fault-free
+    /// baseline is in force.
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -558,57 +991,312 @@ impl Topology {
     /// True iff cluster `to` is reachable from cluster `from` over the
     /// surviving edges.
     pub fn reachable(&self, from: ClusterId, to: ClusterId) -> bool {
-        from == to || self.next_port[from.0 as usize][to.0 as usize] != u8::MAX
+        if from == to {
+            return true;
+        }
+        match &self.repr {
+            Repr::Table { next_port, .. } => next_port[from.0 as usize][to.0 as usize] != u8::MAX,
+            Repr::Hier(h) => {
+                if h.scope == OverlayScope::Baseline {
+                    return true; // generators build connected graphs
+                }
+                self.cluster_hops(from.0 as usize, to.0 as usize).is_some()
+            }
+        }
     }
 
-    /// Rebuild the first-hop tables over the surviving edges (shortest path
-    /// by BFS, ties broken by lowest port — deterministic) and bump the
-    /// generation counter. Unlike construction, unreachable cluster pairs
-    /// are tolerated: their entries become `u8::MAX` and the fabric fails
-    /// the affected traffic instead of delivering it. When every edge has
-    /// healed, the construction-time tables are restored verbatim so a fully
-    /// healed fabric routes exactly like a fault-free one.
+    /// Repair routing over the surviving edges and bump the generation
+    /// counter. Unreachable cluster pairs are tolerated: their routes become
+    /// `u8::MAX` and the fabric fails the affected traffic instead of
+    /// delivering it. When every edge has healed, routing returns to the
+    /// construction-time baseline verbatim.
+    ///
+    /// Cost depends on the representation. Dense tables (builder graphs)
+    /// re-run the all-destinations BFS. Implicit hierarchies clear the
+    /// overlay — so a full heal is O(1) and allocation-free — then repair
+    /// only what churn touched: intra-group link deaths rebuild group-local
+    /// detours (O(group² · affected targets), independent of total cluster
+    /// count, ties broken by lowest port exactly like the dense BFS);
+    /// gateway deaths or a disconnected group escalate to exact
+    /// per-destination reverse BFS over the affected destinations only.
     pub fn recompute(&mut self) {
         self.generation += 1;
-        if !self.has_dead_edges() {
+        if matches!(self.repr, Repr::Hier(_)) {
+            self.recompute_hier();
+        } else {
+            self.recompute_table();
+        }
+    }
+
+    fn recompute_table(&mut self) {
+        let Repr::Table {
+            next_port,
+            base_next_port,
+        } = &mut self.repr
+        else {
+            unreachable!()
+        };
+        if self.dead.is_empty() {
             // Element-wise restore: same result as cloning the baseline
             // tables, without allocating fresh rows on every heal.
-            for (row, base) in self.next_port.iter_mut().zip(&self.base_next_port) {
+            for (row, base) in next_port.iter_mut().zip(base_next_port.iter()) {
                 row.copy_from_slice(base);
             }
             return;
         }
         let n = self.clusters.len();
-        for row in self.next_port.iter_mut() {
+        for row in next_port.iter_mut() {
             row.fill(u8::MAX);
         }
+        // `dst` indexes a *column* across rows the BFS picks (`next_port[p]
+        // [dst]`), which `enumerate()` over rows cannot express.
+        #[allow(clippy::needless_range_loop)]
         for dst in 0..n {
-            // BFS over the hoisted scratch buffers (see `scratch_dist`):
-            // recompute runs on every link-churn event and must not allocate.
-            self.scratch_dist.fill(usize::MAX);
-            self.scratch_dist[dst] = 0;
-            self.scratch_queue.clear();
-            self.scratch_queue.push_back(dst);
-            while let Some(c) = self.scratch_queue.pop_front() {
+            // BFS over the hoisted scratch buffers: recompute runs on every
+            // link-churn event and must not allocate.
+            self.scratch.dist.fill(usize::MAX);
+            self.scratch.dist[dst] = 0;
+            self.scratch.queue.clear();
+            self.scratch.queue.push_back(dst);
+            while let Some(c) = self.scratch.queue.pop_front() {
                 for att in self.clusters[c].iter() {
                     if let Attachment::Cluster(peer) = att {
                         let p = peer.cluster.0 as usize;
                         // A frame taking this step leaves `p` through port
                         // `peer.port`; skip if that directed edge is dead.
-                        if self.dead_out[p][usize::from(peer.port)] {
+                        if self
+                            .dead
+                            .binary_search(&(peer.cluster.0, peer.port))
+                            .is_ok()
+                        {
                             continue;
                         }
-                        if self.scratch_dist[p] == usize::MAX {
-                            self.scratch_dist[p] = self.scratch_dist[c] + 1;
-                            self.scratch_queue.push_back(p);
+                        if self.scratch.dist[p] == usize::MAX {
+                            self.scratch.dist[p] = self.scratch.dist[c] + 1;
+                            self.scratch.queue.push_back(p);
                         }
-                        if self.scratch_dist[p] == self.scratch_dist[c] + 1
-                            && self.next_port[p][dst] == u8::MAX
+                        if self.scratch.dist[p] == self.scratch.dist[c] + 1
+                            && next_port[p][dst] == u8::MAX
                         {
-                            self.next_port[p][dst] = peer.port;
+                            next_port[p][dst] = peer.port;
                         }
                     }
                 }
+            }
+        }
+    }
+
+    fn recompute_hier(&mut self) {
+        let Repr::Hier(h) = &mut self.repr else {
+            unreachable!()
+        };
+        h.overlay.clear(); // keeps capacity: repeat churn cycles do not allocate
+        if self.dead.is_empty() {
+            h.scope = OverlayScope::Baseline;
+            return;
+        }
+        let dims0 = h.dims[0];
+        if self.dead.iter().all(|&(_, p)| u32::from(p) < dims0) {
+            h.scope = OverlayScope::Waypoint;
+            if waypoint_repair(h, &self.clusters, &self.dead, &mut self.scratch) {
+                return;
+            }
+            // A group lost internal connectivity: group-local detours are
+            // no longer ground truth (a path may exist through neighboring
+            // groups). Fall back to the exact global repair.
+            h.overlay.clear();
+        }
+        h.scope = OverlayScope::Target;
+        target_repair(h, &self.clusters, &self.dead, &mut self.scratch);
+    }
+
+    /// Rebuild the *dense* all-destinations routing tables over surviving
+    /// edges into a caller-owned buffer — the pre-overlay algorithm, kept as
+    /// the measured baseline for the implicit representation's recompute
+    /// speedup (the scale campaign times this against
+    /// [`Topology::recompute`]). Not used by any routing path.
+    #[doc(hidden)]
+    pub fn dense_bfs_into(&self, table: &mut Vec<Vec<u8>>) {
+        let n = self.clusters.len();
+        table.resize_with(n, Vec::new);
+        for row in table.iter_mut() {
+            row.resize(n, u8::MAX);
+            row.fill(u8::MAX);
+        }
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = VecDeque::with_capacity(n);
+        for dst in 0..n {
+            dist.fill(usize::MAX);
+            dist[dst] = 0;
+            queue.clear();
+            queue.push_back(dst);
+            while let Some(c) = queue.pop_front() {
+                for att in self.clusters[c].iter() {
+                    if let Attachment::Cluster(peer) = att {
+                        let p = peer.cluster.0 as usize;
+                        if self
+                            .dead
+                            .binary_search(&(peer.cluster.0, peer.port))
+                            .is_ok()
+                        {
+                            continue;
+                        }
+                        if dist[p] == usize::MAX {
+                            dist[p] = dist[c] + 1;
+                            queue.push_back(p);
+                        }
+                        if dist[p] == dist[c] + 1 && table[p][dst] == u8::MAX {
+                            table[p][dst] = peer.port;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Group-local repair for level-0 link deaths: for every group containing a
+/// dead edge, rebuild the in-group reverse-BFS in-tree of every *affected*
+/// local target (one some dead edge's baseline traffic used) and overlay the
+/// ports that differ from the implicit baseline. Neighbor iteration follows
+/// port order with first-write-wins — exactly the dense BFS tie-break, so
+/// flat topologies repair to byte-identical routing decisions.
+///
+/// Returns `false` when a multi-level group is internally disconnected
+/// (escalate to [`target_repair`]); flat topologies record `u8::MAX`
+/// sentinels instead, because there the group *is* the whole graph and
+/// unreached means unreachable.
+fn waypoint_repair(
+    h: &mut Hier,
+    clusters: &[[Attachment; PORTS_PER_CLUSTER]],
+    dead: &[DeadEdge],
+    s: &mut Scratch,
+) -> bool {
+    let g = h.levels[0] as usize;
+    let dims0 = h.dims[0] as usize;
+    let flat = h.n_levels() == 1;
+    s.groups.clear();
+    for &(u, _) in dead {
+        let grp = u / h.levels[0];
+        if s.groups.last() != Some(&grp) {
+            s.groups.push(grp); // dead is sorted, so groups arrive sorted
+        }
+    }
+    for gi in 0..s.groups.len() {
+        let grp = s.groups[gi];
+        let base = grp * h.levels[0];
+        // Affected local targets: some dead edge (u, p) in this group lies
+        // on the baseline two-phase step from u toward the target.
+        s.targets.clear();
+        for t in 0..g as u32 {
+            let affected = dead.iter().any(|&(u, p)| {
+                u / h.levels[0] == grp && {
+                    let ul = u - base;
+                    ul != t && hypercube_next_dim(ul, t) as u8 == p
+                }
+            });
+            if affected {
+                s.targets.push(t);
+            }
+        }
+        for ti in 0..s.targets.len() {
+            let t = s.targets[ti];
+            s.dist[..g].fill(usize::MAX);
+            s.ports[..g].fill(u8::MAX);
+            s.dist[t as usize] = 0;
+            s.queue.clear();
+            s.queue.push_back(t as usize);
+            while let Some(c) = s.queue.pop_front() {
+                // Only level-0 links (ports < dims0) stay inside the group.
+                for att in clusters[base as usize + c].iter().take(dims0) {
+                    if let Attachment::Cluster(peer) = att {
+                        debug_assert_eq!(peer.cluster.0 / h.levels[0], grp);
+                        let pl = (peer.cluster.0 - base) as usize;
+                        if dead.binary_search(&(peer.cluster.0, peer.port)).is_ok() {
+                            continue;
+                        }
+                        if s.dist[pl] == usize::MAX {
+                            s.dist[pl] = s.dist[c] + 1;
+                            s.queue.push_back(pl);
+                        }
+                        if s.dist[pl] == s.dist[c] + 1 && s.ports[pl] == u8::MAX {
+                            s.ports[pl] = peer.port;
+                        }
+                    }
+                }
+            }
+            for u in 0..g as u32 {
+                if u == t {
+                    continue;
+                }
+                let bfs = s.ports[u as usize];
+                if bfs == u8::MAX {
+                    if !flat {
+                        return false; // detour may exist via other groups
+                    }
+                    h.overlay.insert((base + u, base + t), u8::MAX);
+                } else if bfs != hypercube_next_dim(u, t) as u8 {
+                    h.overlay.insert((base + u, base + t), bfs);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Exact global repair: for every destination whose baseline in-tree lost an
+/// edge, run a full reverse BFS over the surviving physical links and
+/// overlay every cluster whose port differs from the implicit baseline
+/// (`u8::MAX` marks unreachable). Destinations whose baseline in-tree is
+/// intact need no entries: every baseline step toward them is alive, by
+/// definition of "affected".
+fn target_repair(
+    h: &mut Hier,
+    clusters: &[[Attachment; PORTS_PER_CLUSTER]],
+    dead: &[DeadEdge],
+    s: &mut Scratch,
+) {
+    let n = clusters.len();
+    s.targets.clear();
+    for dstc in 0..n as u32 {
+        let affected = dead
+            .iter()
+            .any(|&(u, p)| u != dstc && h.base_port(u, dstc) == p);
+        if affected {
+            s.targets.push(dstc);
+        }
+    }
+    for ti in 0..s.targets.len() {
+        let dstc = s.targets[ti];
+        s.dist[..n].fill(usize::MAX);
+        s.ports[..n].fill(u8::MAX);
+        s.dist[dstc as usize] = 0;
+        s.queue.clear();
+        s.queue.push_back(dstc as usize);
+        while let Some(c) = s.queue.pop_front() {
+            for att in clusters[c].iter() {
+                if let Attachment::Cluster(peer) = att {
+                    let p = peer.cluster.0 as usize;
+                    if dead.binary_search(&(peer.cluster.0, peer.port)).is_ok() {
+                        continue;
+                    }
+                    if s.dist[p] == usize::MAX {
+                        s.dist[p] = s.dist[c] + 1;
+                        s.queue.push_back(p);
+                    }
+                    if s.dist[p] == s.dist[c] + 1 && s.ports[p] == u8::MAX {
+                        s.ports[p] = peer.port;
+                    }
+                }
+            }
+        }
+        for u in 0..n as u32 {
+            if u == dstc {
+                continue;
+            }
+            let bfs = s.ports[u as usize];
+            if bfs != h.base_port(u, dstc) {
+                h.overlay.insert((u, dstc), bfs);
             }
         }
     }
@@ -626,15 +1314,15 @@ fn dims_for(n: usize) -> usize {
 /// Next dimension to correct when routing `src -> dst` in an incomplete
 /// hypercube: first clear differing 1-bits of `src` from high to low, then
 /// set differing 1-bits of `dst` from low to high. Every intermediate id is
-/// `<= max(src, dst)`, hence always a valid cluster.
-fn hypercube_next_dim(src: usize, dst: usize) -> usize {
+/// `<= max(src, dst)`, hence always a valid cluster — per hierarchy level.
+fn hypercube_next_dim(src: u32, dst: u32) -> u32 {
     debug_assert_ne!(src, dst);
     let diff = src ^ dst;
     let clears = diff & src; // bits that are 1 in src, 0 in dst
     if clears != 0 {
-        (usize::BITS - 1 - clears.leading_zeros()) as usize
+        u32::BITS - 1 - clears.leading_zeros()
     } else {
-        diff.trailing_zeros() as usize // lowest bit to set
+        diff.trailing_zeros() // lowest bit to set
     }
 }
 
@@ -891,7 +1579,7 @@ mod tests {
         );
         assert_eq!(t.route(ClusterId(0), NodeAddr(1)), u8::MAX);
         assert_eq!(t.try_cluster_path(NodeAddr(0), NodeAddr(1)), None);
-        // Heal: the construction-time tables come back verbatim.
+        // Heal: the construction-time routing comes back verbatim.
         t.set_edge_state(
             PortRef {
                 cluster: ClusterId(0),
@@ -904,6 +1592,7 @@ mod tests {
         assert_eq!(t.route(ClusterId(0), NodeAddr(1)), base_01);
         assert_eq!(t.base_route(ClusterId(0), NodeAddr(1)), base_01);
         assert!(t.reachable(ClusterId(0), ClusterId(1)));
+        assert_eq!(t.overlay_len(), 0, "heal clears every detour");
     }
 
     #[test]
@@ -922,5 +1611,191 @@ mod tests {
         assert_eq!(hypercube_next_dim(0b010, 0b101), 1);
         assert_eq!(hypercube_next_dim(0b000, 0b101), 0);
         assert_eq!(hypercube_next_dim(0b001, 0b101), 2);
+    }
+
+    #[test]
+    fn hierarchical_two_level_golden_route() {
+        // Two groups of four clusters (square each); one gateway role at
+        // level 1 lands on residue 0, so clusters 0 and 4 carry the
+        // inter-group cable on port dims0+eps = 3.
+        let t = Topology::hierarchical_hypercube(&[4, 2], 1).unwrap();
+        assert_eq!(t.n_clusters(), 8);
+        assert_eq!(t.n_endpoints(), 8);
+        assert_eq!(t.mode(), RoutingMode::Hierarchical);
+        assert_eq!(t.hier_levels(), Some(&[4u32, 2][..]));
+        // 3 -> 5: walk the group to gateway 0 (3->1->0), cross to 4, then
+        // one in-group hop to 5.
+        assert_eq!(
+            t.cluster_path(NodeAddr(3), NodeAddr(5)),
+            vec![
+                ClusterId(3),
+                ClusterId(1),
+                ClusterId(0),
+                ClusterId(4),
+                ClusterId(5)
+            ]
+        );
+        // The gateway cable itself.
+        assert_eq!(
+            t.attachment(PortRef {
+                cluster: ClusterId(0),
+                port: 3
+            }),
+            Attachment::Cluster(PortRef {
+                cluster: ClusterId(4),
+                port: 3
+            })
+        );
+        assert_eq!(t.baseline_cluster_links(ClusterId(3), ClusterId(5)), 6);
+        assert_eq!(t.baseline_cluster_links(ClusterId(3), ClusterId(3)), 0);
+    }
+
+    #[test]
+    fn hierarchical_every_pair_routes_and_is_reachable() {
+        let t = Topology::hierarchical_hypercube(&[4, 4], 1).unwrap();
+        assert_eq!(t.n_clusters(), 16);
+        for s in t.endpoints() {
+            for d in t.endpoints() {
+                if s != d {
+                    let path = t.cluster_path(s, d); // asserts loop-free
+                    assert!(path.len() <= t.n_clusters());
+                    assert!(t.reachable(t.cluster_of(s), t.cluster_of(d)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_level0_churn_detours_and_heals_o1() {
+        let mut t = Topology::hierarchical_hypercube(&[4, 2], 1).unwrap();
+        // Kill c3 -> c1 (dim 1 of the local square is port 1): traffic from
+        // cluster 3 bound for the gateway (c0) must detour via c2.
+        t.set_edge_state(
+            PortRef {
+                cluster: ClusterId(3),
+                port: 1,
+            },
+            false,
+        );
+        t.recompute();
+        assert_eq!(t.generation(), 1);
+        assert!(t.overlay_len() > 0, "detours live in the overlay");
+        assert_eq!(
+            t.cluster_path(NodeAddr(3), NodeAddr(5)),
+            vec![
+                ClusterId(3),
+                ClusterId(2),
+                ClusterId(0),
+                ClusterId(4),
+                ClusterId(5)
+            ]
+        );
+        // Other groups are untouched: no overlay entries reference them.
+        assert_eq!(
+            t.cluster_path(NodeAddr(5), NodeAddr(7)),
+            vec![ClusterId(5), ClusterId(7)]
+        );
+        // Heal: O(1) overlay clear back to the baseline.
+        t.set_edge_state(
+            PortRef {
+                cluster: ClusterId(3),
+                port: 1,
+            },
+            true,
+        );
+        t.recompute();
+        assert_eq!(t.overlay_len(), 0);
+        assert_eq!(
+            t.cluster_path(NodeAddr(3), NodeAddr(5)),
+            vec![
+                ClusterId(3),
+                ClusterId(1),
+                ClusterId(0),
+                ClusterId(4),
+                ClusterId(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn hierarchical_gateway_churn_escalates_to_exact_repair() {
+        let mut t = Topology::hierarchical_hypercube(&[4, 2], 1).unwrap();
+        // Kill the only inter-group cable in the 0->4 direction.
+        t.set_edge_state(
+            PortRef {
+                cluster: ClusterId(0),
+                port: 3,
+            },
+            false,
+        );
+        t.recompute();
+        assert!(!t.reachable(ClusterId(1), ClusterId(5)));
+        assert!(t.reachable(ClusterId(5), ClusterId(1)), "reverse alive");
+        assert_eq!(t.try_cluster_path(NodeAddr(1), NodeAddr(5)), None);
+        // In-group routing still works on both sides.
+        assert!(t.reachable(ClusterId(1), ClusterId(2)));
+        assert!(t.reachable(ClusterId(5), ClusterId(6)));
+        t.set_edge_state(
+            PortRef {
+                cluster: ClusterId(0),
+                port: 3,
+            },
+            true,
+        );
+        t.recompute();
+        assert_eq!(t.overlay_len(), 0);
+        assert!(t.reachable(ClusterId(1), ClusterId(5)));
+    }
+
+    #[test]
+    fn hierarchy_port_budget_is_enforced() {
+        // [8,16]: 3 level-0 dims, 4 super-dims spread over 8 residues (max
+        // one gateway role per cluster). 3 + 9 + 1 = 13 ports: too many.
+        assert!(matches!(
+            Topology::hierarchical_hypercube(&[8, 16], 9),
+            Err(TopologyError::NotEnoughPorts { needed: 13, .. })
+        ));
+        // 3 + 8 + 1 = 12: exactly fits.
+        let t = Topology::hierarchical_hypercube(&[8, 16], 8).unwrap();
+        assert_eq!(t.n_clusters(), 128);
+        assert_eq!(t.n_endpoints(), 1024);
+    }
+
+    #[test]
+    fn scale_config_fits_port_budget() {
+        // The 100k-endpoint campaign shape: 25_600 clusters, 102_400
+        // endpoints, 6 + 4 + 2 = 12 ports at the busiest gateway.
+        let t = Topology::hierarchical_hypercube(&[64, 20, 20], 4).unwrap();
+        assert_eq!(t.n_clusters(), 25_600);
+        assert_eq!(t.n_endpoints(), 102_400);
+        // Spot-check a long route: valid, loop-free, bounded.
+        let p = t.cluster_path(NodeAddr(0), NodeAddr(102_399));
+        assert!(p.len() <= 64);
+    }
+
+    #[test]
+    fn dense_bfs_matches_implicit_reachability() {
+        let mut t = Topology::incomplete_hypercube(6, 1).unwrap();
+        t.set_edge_state(
+            PortRef {
+                cluster: ClusterId(0),
+                port: 0,
+            },
+            false,
+        );
+        t.recompute();
+        let mut table = Vec::new();
+        t.dense_bfs_into(&mut table);
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                if a != b {
+                    assert_eq!(
+                        table[a as usize][b as usize] != u8::MAX,
+                        t.reachable(ClusterId(a), ClusterId(b)),
+                        "dense vs implicit disagree on {a}->{b}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -32,7 +32,7 @@ fn tree_topology_all_pairs() {
     }
     let topo = b.build().unwrap();
     let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
-    let n = eps.len() as u16;
+    let n = eps.len() as u32;
     let mut expected = 0;
     for s in 0..n {
         for d in 0..n {
@@ -86,7 +86,7 @@ fn ring_with_cyclic_routes_can_deadlock() {
     }
     let topo = b.build().unwrap();
     let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
-    let n = eps.len() as u16;
+    let n = eps.len() as u32;
     for s in 0..n {
         for d in 0..n {
             if s != d {

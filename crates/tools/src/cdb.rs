@@ -192,7 +192,7 @@ pub fn render(reports: &[ChanReport]) -> String {
 /// symptom: "the application stops running with each process waiting for
 /// input from another process."
 pub fn deadlock_cycles(w: &World) -> Vec<Vec<NodeAddr>> {
-    let mut edges: HashMap<u16, Vec<u16>> = HashMap::new();
+    let mut edges: HashMap<u32, Vec<u32>> = HashMap::new();
     for c in snapshot(w) {
         for e in &c.ends {
             if e.state != EndState::Idle {
@@ -201,9 +201,9 @@ pub fn deadlock_cycles(w: &World) -> Vec<Vec<NodeAddr>> {
         }
     }
     // DFS cycle enumeration (small graphs; dedupe by rotation).
-    let mut cycles: Vec<Vec<u16>> = Vec::new();
-    let nodes: Vec<u16> = {
-        let mut v: Vec<u16> = edges.keys().copied().collect();
+    let mut cycles: Vec<Vec<u32>> = Vec::new();
+    let nodes: Vec<u32> = {
+        let mut v: Vec<u32> = edges.keys().copied().collect();
         v.sort_unstable();
         v
     };
@@ -230,11 +230,11 @@ pub fn deadlock_cycles(w: &World) -> Vec<Vec<NodeAddr>> {
 }
 
 fn dfs(
-    start: u16,
-    here: u16,
-    edges: &HashMap<u16, Vec<u16>>,
-    stack: &mut Vec<u16>,
-    cycles: &mut Vec<Vec<u16>>,
+    start: u32,
+    here: u32,
+    edges: &HashMap<u32, Vec<u32>>,
+    stack: &mut Vec<u32>,
+    cycles: &mut Vec<Vec<u32>>,
 ) {
     if let Some(nexts) = edges.get(&here) {
         for &n in nexts {
@@ -291,7 +291,7 @@ mod tests {
     #[test]
     fn filters_isolate_channels() {
         let mut v = VorxBuilder::single_cluster(5).build();
-        for (a, b, name) in [(1u16, 2u16, "srv/a"), (3, 4, "cli/b")] {
+        for (a, b, name) in [(1u32, 2u32, "srv/a"), (3, 4, "cli/b")] {
             v.spawn(format!("n{a}"), move |ctx| {
                 let ch = channel::open(&ctx, NodeAddr(a), name);
                 ch.write(&ctx, Payload::Synthetic(1)).unwrap();
@@ -337,7 +337,7 @@ mod tests {
     fn detects_a_two_node_deadlock_cycle() {
         // The classic bug: both sides read first.
         let mut v = VorxBuilder::single_cluster(3).build();
-        for (me, _other) in [(1u16, 2u16), (2, 1)] {
+        for (me, _other) in [(1u32, 2u32), (2, 1)] {
             v.spawn(format!("n{me}"), move |ctx| {
                 let ch = channel::open(&ctx, NodeAddr(me), "dead");
                 let _ = ch.read(&ctx).unwrap(); // both block: deadlock

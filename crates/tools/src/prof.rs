@@ -68,7 +68,7 @@ pub struct RegionStat {
 #[derive(Debug, Default)]
 pub struct ProfReport {
     /// The aggregates.
-    pub regions: HashMap<(u16, String), RegionStat>,
+    pub regions: HashMap<(u32, String), RegionStat>,
 }
 
 impl ProfReport {
@@ -76,7 +76,7 @@ impl ProfReport {
     /// in the instrumented program); unmatched enters are attributed up to
     /// the end of the trace.
     pub fn from_trace(trace: &Trace<TraceEvent>) -> Self {
-        let mut open: HashMap<(u16, String), Vec<SimTime>> = HashMap::new();
+        let mut open: HashMap<(u32, String), Vec<SimTime>> = HashMap::new();
         let mut report = ProfReport::default();
         let mut t_end = SimTime::ZERO;
         for (t, ev) in trace.iter() {
@@ -114,7 +114,7 @@ impl ProfReport {
     /// Regions sorted by total time, descending — "typically one finds that
     /// a large portion of the execution time is spent in a small section of
     /// the code."
-    pub fn hottest(&self) -> Vec<(&(u16, String), &RegionStat)> {
+    pub fn hottest(&self) -> Vec<(&(u32, String), &RegionStat)> {
         let mut v: Vec<_> = self.regions.iter().collect();
         v.sort_by_key(|(k, s)| (std::cmp::Reverse(s.total), k.0, k.1.clone()));
         v
@@ -167,8 +167,8 @@ mod tests {
         v.run_all();
         let w = v.world();
         let p = ProfReport::from_trace(&w.trace);
-        let hot = &p.regions[&(0u16, "hot".to_string())];
-        let cold = &p.regions[&(0u16, "cold".to_string())];
+        let hot = &p.regions[&(0u32, "hot".to_string())];
+        let cold = &p.regions[&(0u32, "cold".to_string())];
         assert_eq!(hot.count, 3);
         assert_eq!(hot.total, SimDuration::from_us(900));
         assert_eq!(cold.total, SimDuration::from_us(30));
@@ -187,7 +187,7 @@ mod tests {
         });
         v.run_all();
         let p = ProfReport::from_trace(&v.world().trace);
-        let r = &p.regions[&(0u16, "forever".to_string())];
+        let r = &p.regions[&(0u32, "forever".to_string())];
         assert_eq!(r.total, SimDuration::from_us(100));
     }
 

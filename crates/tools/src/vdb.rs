@@ -23,7 +23,7 @@ use vorx::{VorxSim, World};
 pub struct Attachment(pub usize);
 
 /// List registered processes: `(index, name, node, stopped-at)`.
-pub fn ps(w: &World) -> Vec<(usize, String, u16, Option<String>)> {
+pub fn ps(w: &World) -> Vec<(usize, String, u32, Option<String>)> {
     w.dbg
         .procs
         .iter()
@@ -147,7 +147,7 @@ mod tests {
     use vorx::hpcnet::NodeAddr;
     use vorx::VorxBuilder;
 
-    fn counting_app(v: &VorxSim, node: u16, iters: u32) {
+    fn counting_app(v: &VorxSim, node: u32, iters: u32) {
         v.spawn(format!("n{node}:counter"), move |ctx| {
             let me = register_process(&ctx, NodeAddr(node), &format!("n{node}:counter"));
             for i in 0..iters {

@@ -13,7 +13,7 @@ fn main() {
 
     // A three-stage ring where every stage reads before writing — the
     // "surprisingly common" §6.1 programming error.
-    for (me, inbound, outbound) in [(1u16, "c3", "c1"), (2, "c1", "c2"), (3, "c2", "c3")] {
+    for (me, inbound, outbound) in [(1u32, "c3", "c1"), (2, "c1", "c2"), (3, "c2", "c3")] {
         system.spawn(format!("n{me}:stage"), move |ctx| {
             let node = NodeAddr(me);
             // Open in global name order so the rendezvous itself succeeds;

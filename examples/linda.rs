@@ -14,7 +14,7 @@ fn main() {
     let ts = TupleSpace::spawn(&system, vec![NodeAddr(0), NodeAddr(1)]);
 
     const JOBS: i64 = 20;
-    for wk in 2..6u16 {
+    for wk in 2..6u32 {
         let ts = ts.clone();
         system.spawn(format!("n{wk}:worker"), move |ctx| {
             ts.join(&ctx, NodeAddr(wk));

@@ -79,7 +79,7 @@ fn spanning_application_with_hosts_and_tools() {
 fn full_stack_determinism() {
     fn run() -> (u64, String) {
         let mut v = VorxBuilder::single_cluster(6).seed(99).build();
-        for i in 0..2u16 {
+        for i in 0..2u32 {
             let (a, b) = (1 + i * 2, 2 + i * 2);
             v.spawn(format!("n{a}:w"), move |ctx| {
                 let ch = channel::open(&ctx, NodeAddr(a), &format!("d{i}"));
@@ -113,7 +113,7 @@ fn objmgr_modes_agree_on_rendezvous() {
         ObjMgrMode::Distributed,
     ] {
         let mut v = VorxBuilder::single_cluster(9).objmgr(mode).build();
-        for i in 0..4u16 {
+        for i in 0..4u32 {
             let (a, b) = (1 + i * 2, 2 + i * 2);
             v.spawn(format!("n{a}"), move |ctx| {
                 let ch = channel::open(&ctx, NodeAddr(a), &format!("pair-{i}"));
@@ -281,9 +281,9 @@ fn hypercube_channel_and_multicast_stress() {
     use hpc_vorx::vorx::multicast;
 
     let mut v = VorxBuilder::hypercube(4, 4).seed(7).build();
-    let n = 16u16;
+    let n = 16u32;
     // 8 channel pairs crossing the machine.
-    for i in 0..8u16 {
+    for i in 0..8u32 {
         let (a, b) = (i, (i + 8) % n);
         v.spawn(format!("n{a}:w"), move |ctx| {
             let ch = channel::open(&ctx, NodeAddr(a), &format!("stress-{i}"));

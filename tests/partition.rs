@@ -34,7 +34,7 @@ fn probe_fabric() -> Fabric {
 }
 
 /// Both directed link ids of the cluster cable `a`–`b`.
-fn cable(a: u16, b: u16) -> [u32; 2] {
+fn cable(a: u32, b: u32) -> [u32; 2] {
     let f = probe_fabric();
     [
         f.cluster_link(ClusterId(a), ClusterId(b)).unwrap().0,
@@ -43,9 +43,9 @@ fn cable(a: u16, b: u16) -> [u32; 2] {
 }
 
 /// The first endpoint attached to cluster `c`.
-fn node_in(c: u16) -> NodeAddr {
+fn node_in(c: u32) -> NodeAddr {
     let t = topo();
-    (0..t.n_endpoints() as u16)
+    (0..t.n_endpoints() as u32)
         .map(NodeAddr)
         .find(|&n| t.cluster_of(n) == ClusterId(c))
         .unwrap()
@@ -215,7 +215,7 @@ fn open_fails_over_to_replica_when_home_is_partitioned() {
     let t = topo();
     let n = t.n_endpoints() as u64;
     let home = {
-        let c0 = (0..n as u16)
+        let c0 = (0..n as u32)
             .map(NodeAddr)
             .filter(|&a| t.cluster_of(a) == ClusterId(0))
             .max_by_key(|a| a.0)
@@ -284,7 +284,7 @@ fn resolve_cache_is_invalidated_across_failover_and_heal() {
     let n = t.n_endpoints() as u64;
     // A name homed on the last endpoint of cluster 0, so the successor
     // (home + 1, by address) lives in a different cluster.
-    let home = (0..n as u16)
+    let home = (0..n as u32)
         .map(NodeAddr)
         .filter(|&a| t.cluster_of(a) == ClusterId(0))
         .max_by_key(|a| a.0)

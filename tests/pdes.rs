@@ -84,9 +84,9 @@ fn churn_schedule(topo: &Topology, seed: u64) -> FaultSchedule {
     let spare_a = *clusters[2].last().unwrap();
     let spare_b = *clusters[7].last().unwrap();
     FaultSchedule::new(seed)
-        .down_at(spare_a.0 as u32, SimTime::from_ns(5_000 * 1_000))
-        .up_at(spare_a.0 as u32, SimTime::from_ns(8_000 * 1_000))
-        .down_at(spare_b.0 as u32, SimTime::from_ns(6_000 * 1_000))
+        .down_at(spare_a.0, SimTime::from_ns(5_000 * 1_000))
+        .up_at(spare_a.0, SimTime::from_ns(8_000 * 1_000))
+        .down_at(spare_b.0, SimTime::from_ns(6_000 * 1_000))
         .link_down_at(l01.0, SimTime::from_ns(4_000 * 1_000))
         .link_up_at(l01.0, SimTime::from_ns(7_000 * 1_000))
         .link_down_at(l10.0, SimTime::from_ns(4_500 * 1_000))
@@ -284,8 +284,8 @@ fn churn_schedule_small(topo: &Topology, seed: u64) -> FaultSchedule {
     let clusters = by_cluster(topo);
     let spare = *clusters[1].last().unwrap();
     FaultSchedule::new(seed)
-        .down_at(spare.0 as u32, SimTime::from_ns(4_000 * 1_000))
-        .up_at(spare.0 as u32, SimTime::from_ns(6_000 * 1_000))
+        .down_at(spare.0, SimTime::from_ns(4_000 * 1_000))
+        .up_at(spare.0, SimTime::from_ns(6_000 * 1_000))
 }
 
 /// Overload determinism: budget squeezes plus burst-amplified traffic shed

@@ -24,10 +24,10 @@ proptest! {
     fn fabric_delivers_everything_exactly_once(
         clusters in 1usize..8,
         eps_per in 1usize..4,
-        sends in proptest::collection::vec((0u16..32, 0u16..32, 0u32..1024, 0u64..1_000_000), 1..60),
+        sends in proptest::collection::vec((0u32..32, 0u32..32, 0u32..1024, 0u64..1_000_000), 1..60),
     ) {
         let topo = Topology::incomplete_hypercube(clusters, eps_per).unwrap();
-        let n = topo.n_endpoints() as u16;
+        let n = topo.n_endpoints() as u32;
         let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
         let expected = sends.len();
         for (seq, (src, dst, len, at)) in sends.into_iter().enumerate() {
@@ -122,7 +122,7 @@ proptest! {
         fn run(pairs: usize, msgs: u64, len: u32) -> u64 {
             let mut v = VorxBuilder::single_cluster(1 + 2 * pairs).trace(false).build();
             for i in 0..pairs {
-                let (a, b) = ((1 + 2 * i) as u16, (2 + 2 * i) as u16);
+                let (a, b) = ((1 + 2 * i) as u32, (2 + 2 * i) as u32);
                 v.spawn(format!("w{i}"), move |ctx| {
                     let ch = channel::open(&ctx, NodeAddr(a), &format!("p{i}"));
                     for _ in 0..msgs {

@@ -16,7 +16,7 @@ use proptest::prelude::*;
 /// All directed inter-cluster edges of `t`, as `(from_port, to_cluster)`.
 fn edges(t: &Topology) -> Vec<(PortRef, ClusterId)> {
     let mut out = Vec::new();
-    for c in 0..t.n_clusters() as u16 {
+    for c in 0..t.n_clusters() as u32 {
         for port in 0..PORTS_PER_CLUSTER as u8 {
             let p = PortRef {
                 cluster: ClusterId(c),
@@ -34,19 +34,36 @@ fn edges(t: &Topology) -> Vec<(PortRef, ClusterId)> {
 /// computed independently of the topology's own tables.
 fn bfs_reachable(
     n_clusters: usize,
-    alive: &BTreeSet<(u16, u16)>,
+    alive: &BTreeSet<(u32, u32)>,
     from: ClusterId,
-) -> BTreeSet<u16> {
+) -> BTreeSet<u32> {
     let mut seen = BTreeSet::from([from.0]);
     let mut q = VecDeque::from([from.0]);
     while let Some(c) = q.pop_front() {
-        for next in 0..n_clusters as u16 {
+        for next in 0..n_clusters as u32 {
             if alive.contains(&(c, next)) && seen.insert(next) {
                 q.push_back(next);
             }
         }
     }
     seen
+}
+
+/// Ground-truth shortest-path distances (in inter-cluster hops) from `from`
+/// over the surviving edge set; `usize::MAX` marks unreachable clusters.
+fn bfs_dist(n_clusters: usize, alive: &BTreeSet<(u32, u32)>, from: ClusterId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; n_clusters];
+    dist[from.0 as usize] = 0;
+    let mut q = VecDeque::from([from.0]);
+    while let Some(c) = q.pop_front() {
+        for next in 0..n_clusters as u32 {
+            if alive.contains(&(c, next)) && dist[next as usize] == usize::MAX {
+                dist[next as usize] = dist[c as usize] + 1;
+                q.push_back(next);
+            }
+        }
+    }
+    dist
 }
 
 proptest! {
@@ -64,7 +81,7 @@ proptest! {
     ) {
         let mut t = Topology::incomplete_hypercube(n_clusters, 1).unwrap();
         let all = edges(&t);
-        let mut alive: BTreeSet<(u16, u16)> = BTreeSet::new();
+        let mut alive: BTreeSet<(u32, u32)> = BTreeSet::new();
         for (i, (p, to)) in all.iter().enumerate() {
             let dead = *dead_mask.get(i).unwrap_or(&false);
             if dead {
@@ -75,9 +92,9 @@ proptest! {
         }
         t.recompute();
 
-        for src in 0..n_clusters as u16 {
+        for src in 0..n_clusters as u32 {
             let truth = bfs_reachable(n_clusters, &alive, ClusterId(src));
-            for dst in 0..n_clusters as u16 {
+            for dst in 0..n_clusters as u32 {
                 let (a, b) = (NodeAddr(src), NodeAddr(dst));
                 prop_assert_eq!(
                     t.reachable(ClusterId(src), ClusterId(dst)),
@@ -93,7 +110,7 @@ proptest! {
                         prop_assert!(truth.contains(&dst));
                         prop_assert_eq!(path[0].0, src);
                         prop_assert_eq!(path[path.len() - 1].0, dst);
-                        let distinct: BTreeSet<u16> =
+                        let distinct: BTreeSet<u32> =
                             path.iter().map(|c| c.0).collect();
                         prop_assert_eq!(
                             distinct.len(), path.len(),
@@ -106,6 +123,100 @@ proptest! {
                                 path, hop[0].0, hop[1].0
                             );
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Implicit hierarchical routing ≡ BFS ground truth. On random small
+    /// hierarchies (≤64 clusters, 1–3 levels) with arbitrary dead-edge
+    /// sets, walk the served next-hops port by port and check, for every
+    /// ordered cluster pair, that (a) `reachable` agrees with ground-truth
+    /// BFS, (b) every next-hop port is alive and attached to a cluster
+    /// link, (c) the walk never revisits a cluster (loop-free), and (d) on
+    /// single-level topologies — where routing promises shortest paths —
+    /// the walked length equals the BFS distance over surviving edges.
+    /// Multi-level routes funnel through gateway clusters, so their length
+    /// is the hierarchical scheme's cost, deliberately not the flat-graph
+    /// optimum; BFS still lower-bounds it.
+    #[test]
+    fn hierarchical_routing_matches_bfs_ground_truth(
+        levels in proptest::collection::vec(2usize..5, 1..4),
+        eps in 1usize..3,
+        dead_mask in proptest::collection::vec(any::<bool>(), 0..256),
+    ) {
+        let mut t = Topology::hierarchical_hypercube(&levels, eps).unwrap();
+        let n_clusters = t.n_clusters();
+        let all = edges(&t);
+        let mut alive: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let mut dead_ports: BTreeSet<(u32, u8)> = BTreeSet::new();
+        for (i, (p, to)) in all.iter().enumerate() {
+            if *dead_mask.get(i).unwrap_or(&false) {
+                t.set_edge_state(*p, false);
+                dead_ports.insert((p.cluster.0, p.port));
+            } else {
+                alive.insert((p.cluster.0, to.0));
+            }
+        }
+        t.recompute();
+
+        for src in 0..n_clusters as u32 {
+            let dist = bfs_dist(n_clusters, &alive, ClusterId(src));
+            for dst in 0..n_clusters as u32 {
+                let dst_ep = NodeAddr(dst * eps as u32);
+                let truth = dist[dst as usize] != usize::MAX;
+                prop_assert_eq!(
+                    t.reachable(ClusterId(src), ClusterId(dst)),
+                    truth,
+                    "reachable({}, {}) disagrees with ground truth", src, dst
+                );
+                // Walk the implicit next-hops like a frame would.
+                let mut here = src;
+                let mut steps = 0usize;
+                let mut visited = BTreeSet::from([src]);
+                let delivered = loop {
+                    if here == dst {
+                        break true;
+                    }
+                    let port = t.route(ClusterId(here), dst_ep);
+                    if port == u8::MAX {
+                        break false;
+                    }
+                    prop_assert!(
+                        !dead_ports.contains(&(here, port)),
+                        "next-hop {}:{} toward {} is a dead edge", here, port, dst
+                    );
+                    let att = t.attachment(PortRef { cluster: ClusterId(here), port });
+                    let Attachment::Cluster(peer) = att else {
+                        prop_assert!(
+                            false,
+                            "next-hop {}:{} toward {} is not a cluster link: {:?}",
+                            here, port, dst, att
+                        );
+                        unreachable!()
+                    };
+                    here = peer.cluster.0;
+                    steps += 1;
+                    prop_assert!(
+                        visited.insert(here),
+                        "route {} -> {} revisits cluster {}", src, dst, here
+                    );
+                };
+                prop_assert_eq!(
+                    delivered, truth,
+                    "route served for {} -> {} iff BFS connects them", src, dst
+                );
+                if delivered {
+                    prop_assert!(
+                        steps >= dist[dst as usize],
+                        "walk {} -> {} beat the BFS lower bound", src, dst
+                    );
+                    if levels.len() == 1 {
+                        prop_assert_eq!(
+                            steps, dist[dst as usize],
+                            "walked path {} -> {} is not shortest", src, dst
+                        );
                     }
                 }
             }
@@ -133,8 +244,8 @@ proptest! {
             t.set_edge_state(*p, true);
         }
         t.recompute();
-        for src in 0..n_clusters as u16 {
-            for dst in 0..n_clusters as u16 {
+        for src in 0..n_clusters as u32 {
+            for dst in 0..n_clusters as u32 {
                 let (a, b) = (NodeAddr(src), NodeAddr(dst));
                 prop_assert_eq!(
                     t.cluster_path(a, b),

@@ -79,7 +79,7 @@ fn recompute_allocates_nothing_in_steady_state() {
 fn scratch_reuse_preserves_routing_answers() {
     let _guard = METER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let mut t = Topology::incomplete_hypercube(10, 7).unwrap();
-    let last = NodeAddr((t.n_endpoints() - 1) as u16);
+    let last = NodeAddr((t.n_endpoints() - 1) as u32);
     let baseline = t.cluster_path(NodeAddr(0), last);
     for _ in 0..8 {
         churn_cycle(&mut t);
@@ -100,4 +100,74 @@ fn scratch_reuse_preserves_routing_answers() {
     );
     t.set_edge_state(EDGE, true);
     t.recompute();
+}
+
+/// On the hierarchical representation a full heal is an overlay clear:
+/// O(1), and — the regression this test pins — zero heap allocation per
+/// heal. The detour overlay exists only while edges are dead.
+#[test]
+fn hier_heal_is_overlay_clear_and_allocation_free() {
+    let _guard = METER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut t = Topology::hierarchical_hypercube(&[8, 8], 4).unwrap();
+    // Warm-up cycle: the first detour repair may grow the overlay map.
+    churn_cycle(&mut t);
+    assert_eq!(t.overlay_len(), 0, "healed topology must carry no overlay");
+
+    for i in 0..32 {
+        t.set_edge_state(EDGE, false);
+        t.recompute();
+        assert!(t.overlay_len() > 0, "dead edge must install detours");
+
+        t.set_edge_state(EDGE, true);
+        let before = ALLOCATED.load(Ordering::Relaxed);
+        t.recompute();
+        let heal = ALLOCATED.load(Ordering::Relaxed) - before;
+        assert_eq!(heal, 0, "heal #{i} allocated {heal} bytes");
+        assert_eq!(t.overlay_len(), 0, "heal must clear the overlay");
+    }
+}
+
+/// `cluster_path_into` with a reused buffer answers identically to the
+/// allocating `cluster_path` and performs zero allocations in steady state
+/// — baseline routes and overlay detours alike. This is the variant the
+/// fabric's route probe and the scale campaign drive per churn cycle.
+#[test]
+fn cluster_path_into_reuses_buffer_without_allocating() {
+    let _guard = METER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut t = Topology::hierarchical_hypercube(&[8, 8], 4).unwrap();
+    let n = t.n_endpoints() as u32;
+    let pairs: Vec<(NodeAddr, NodeAddr)> = (0..16)
+        .map(|i| (NodeAddr(i * 17 % n), NodeAddr((i * 97 + 13) % n)))
+        .collect();
+
+    // Expected answers from the allocating variant, on the fault-free
+    // tables and again mid-churn, gathered outside the metered region.
+    let expect_base: Vec<_> = pairs.iter().map(|&(a, b)| t.cluster_path(a, b)).collect();
+    t.set_edge_state(EDGE, false);
+    t.recompute();
+    let expect_churn: Vec<_> = pairs.iter().map(|&(a, b)| t.cluster_path(a, b)).collect();
+    t.set_edge_state(EDGE, true);
+    t.recompute();
+
+    // Warm the buffer to the longest path this topology can answer.
+    let mut path = Vec::with_capacity(t.n_clusters() + 1);
+
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    for (&(a, b), want) in pairs.iter().zip(&expect_base) {
+        assert!(t.cluster_path_into(a, b, &mut path));
+        assert_eq!(&path, want);
+    }
+    t.set_edge_state(EDGE, false);
+    t.recompute();
+    for (&(a, b), want) in pairs.iter().zip(&expect_churn) {
+        assert!(t.cluster_path_into(a, b, &mut path));
+        assert_eq!(&path, want);
+    }
+    t.set_edge_state(EDGE, true);
+    t.recompute();
+    let used = ALLOCATED.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        used, 0,
+        "cluster_path_into allocated {used} bytes with a reused buffer"
+    );
 }
