@@ -40,4 +40,7 @@ cargo run --release -p vorx-bench --bin soak_campaign -- --smoke
 echo "==> scale smoke (10k-endpoint hierarchy under watchdog: churn, workers {1,4} trace equality, recompute speedup)"
 cargo run --release -p vorx-bench --bin scale_campaign -- --smoke
 
+echo "==> gray smoke (gray failures under watchdog: delay/asymmetry/flap/gateway cells, adaptive-timer oracles)"
+cargo run --release -p vorx-bench --bin gray_campaign -- --smoke
+
 echo "CI OK"

@@ -255,12 +255,24 @@ fn run_cell(loss: f64, crash: bool, seed: u64) -> CellResult {
     }
 }
 
-/// Render one cell's per-link injection counters as indented summary lines.
+/// Render one cell's per-link injection counters as indented summary lines,
+/// with the delivered-latency profile when the schedule recorded one.
 fn print_link_faults(cell: &CellResult) {
     for (l, s) in &cell.link_faults {
+        let lat = if s.lat_count > 0 {
+            format!(
+                " lat(ns) min/mean/max={}/{}/{} over {}",
+                s.lat_min_ns,
+                s.lat_mean_ns(),
+                s.lat_max_ns,
+                s.lat_count
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "  link {l}: dropped={} corrupted={} delayed={} down_drops={} downs={}",
-            s.dropped, s.corrupted, s.delayed, s.down_drops, s.downs
+            "  link {l}: dropped={} corrupted={} delayed={} down_drops={} downs={} flaps={}{lat}",
+            s.dropped, s.corrupted, s.delayed, s.down_drops, s.downs, s.flaps
         );
     }
 }

@@ -129,8 +129,8 @@ struct CellResult {
     probes_sent: u64,
     recovery_ns: Option<u64>,
     leaked_waiters: usize,
-    /// `(link id, times down, frames dropped mid-flight at a cut)`.
-    link_downs: Vec<(u32, u64, u64)>,
+    /// Per-link fault counters for every link the timeline touched.
+    link_downs: Vec<(u32, desim::LinkStats)>,
     /// Max port-link occupancy high-water mark (slots).
     depth_hwm: usize,
     /// Max per-switch sheddable-byte high-water mark.
@@ -246,11 +246,11 @@ fn run_cell(churn: Churn, loss: f64, seed: u64) -> CellResult {
     let leaked_waiters = report.parked.len();
     let (stats, frames_rerouted, frames_dropped, link_downs, depth_hwm, bytes_hwm) = {
         let w = v.world();
-        let link_downs: Vec<(u32, u64, u64)> = w
+        let link_downs: Vec<(u32, desim::LinkStats)> = w
             .link_fault_stats()
             .iter()
-            .filter(|(_, s)| s.downs > 0)
-            .map(|(l, s)| (*l, s.downs, s.down_drops))
+            .filter(|(_, s)| s.downs > 0 || s.flaps > 0)
+            .map(|(l, s)| (*l, *s))
             .collect();
         (
             w.faults.stats.clone(),
@@ -329,7 +329,12 @@ fn to_json(cells: &[CellResult]) -> String {
         let links = c
             .link_downs
             .iter()
-            .map(|(l, d, dd)| format!("{{ \"link\": {l}, \"downs\": {d}, \"down_drops\": {dd} }}"))
+            .map(|(l, s)| {
+                format!(
+                    "{{ \"link\": {l}, \"downs\": {}, \"down_drops\": {}, \"flaps\": {} }}",
+                    s.downs, s.down_drops, s.flaps
+                )
+            })
             .collect::<Vec<_>>()
             .join(", ");
         out.push_str(&format!(
@@ -421,8 +426,22 @@ fn main() {
             c.depth_hwm,
             c.bytes_hwm,
         );
-        for (l, downs, dd) in &c.link_downs {
-            println!("  link {l}: downs={downs} mid-flight drops={dd}");
+        for (l, s) in &c.link_downs {
+            let lat = if s.lat_count > 0 {
+                format!(
+                    " lat(ns) min/mean/max={}/{}/{} over {}",
+                    s.lat_min_ns,
+                    s.lat_mean_ns(),
+                    s.lat_max_ns,
+                    s.lat_count
+                )
+            } else {
+                String::new()
+            };
+            println!(
+                "  link {l}: downs={} mid-flight drops={} flaps={}{lat}",
+                s.downs, s.down_drops, s.flaps
+            );
         }
         return;
     }
@@ -486,8 +505,22 @@ fn main() {
             c.depth_hwm,
             c.bytes_hwm,
         );
-        for (l, downs, dd) in &c.link_downs {
-            println!("  link {l}: downs={downs} mid-flight drops={dd}");
+        for (l, s) in &c.link_downs {
+            let lat = if s.lat_count > 0 {
+                format!(
+                    " lat(ns) min/mean/max={}/{}/{} over {}",
+                    s.lat_min_ns,
+                    s.lat_mean_ns(),
+                    s.lat_max_ns,
+                    s.lat_count
+                )
+            } else {
+                String::new()
+            };
+            println!(
+                "  link {l}: downs={} mid-flight drops={} flaps={}{lat}",
+                s.downs, s.down_drops, s.flaps
+            );
         }
     }
 

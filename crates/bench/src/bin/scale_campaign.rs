@@ -169,6 +169,7 @@ struct RunOutcome {
     overlay_mid_flap: u64,
     overlay_final: usize,
     rerouted: u64,
+    flaps: u64,
 }
 
 fn run_once(cfg: &ScaleCfg, workers: usize, ch: &Churn) -> RunOutcome {
@@ -210,6 +211,7 @@ fn run_once(cfg: &ScaleCfg, workers: usize, ch: &Churn) -> RunOutcome {
     let events: u64 = v.stats().events_per_shard.iter().sum();
 
     let (mut bpe, mut mem_max, mut idle, mut overlay_final, mut rerouted) = (0, 0, 0usize, 0, 0);
+    let mut flaps = 0u64;
     for k in 0..v.n_shards() {
         let w = v.world(k);
         let (mx, total, id) = accounting::world_mem_report(&w);
@@ -220,6 +222,7 @@ fn run_once(cfg: &ScaleCfg, workers: usize, ch: &Churn) -> RunOutcome {
         idle = idle.max(id);
         overlay_final = overlay_final.max(w.net.topology().overlay_len());
         rerouted += w.net.stats.frames_rerouted;
+        flaps += w.link_fault_stats().values().map(|s| s.flaps).sum::<u64>();
     }
     RunOutcome {
         trace,
@@ -233,6 +236,7 @@ fn run_once(cfg: &ScaleCfg, workers: usize, ch: &Churn) -> RunOutcome {
         overlay_mid_flap: overlay_mid.load(Ordering::Relaxed),
         overlay_final,
         rerouted,
+        flaps,
     }
 }
 
@@ -396,7 +400,7 @@ fn print_cell(c: &CellResult) {
     println!(
         "{:>4}: {:>9} endpoints / {:>6} clusters, end {:.2} ms, {} delivered, \
          {} events ({:.0}/s w1, {:.0}/s w4), {} B/endpoint, {} idle, \
-         overlay mid/final {}/{}, rerouted {}, workers-identical={}",
+         overlay mid/final {}/{}, rerouted {}, flaps {}, workers-identical={}",
         c.name,
         c.endpoints,
         c.clusters,
@@ -410,6 +414,7 @@ fn print_cell(c: &CellResult) {
         r.overlay_mid_flap,
         r.overlay_final,
         r.rerouted,
+        r.flaps,
         c.trace_identical,
     );
 }

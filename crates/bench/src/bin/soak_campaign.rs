@@ -120,6 +120,10 @@ struct RunOutcome {
     mem_max: u64,
     mem_total: u64,
     mem_idle: usize,
+    flaps: u64,
+    lat_min_ns: u64,
+    lat_mean_ns: u64,
+    lat_max_ns: u64,
 }
 
 /// The fault script: every class layered on one seeded schedule. All of it
@@ -176,6 +180,11 @@ struct ShardSnap {
     stats: FaultStats,
     frames_shed: u64,
     shed_links: usize,
+    flaps: u64,
+    lat_min_ns: u64,
+    lat_max_ns: u64,
+    lat_sum_ns: u64,
+    lat_count: u64,
 }
 
 fn snapshot_shard(w: &World, t: &Topology, shard: usize) -> ShardSnap {
@@ -193,7 +202,21 @@ fn snapshot_shard(w: &World, t: &Topology, shard: usize) -> ShardSnap {
         stats: w.faults.stats.clone(),
         frames_shed: w.net.stats.frames_shed,
         shed_links: w.link_fault_stats().values().filter(|s| s.shed > 0).count(),
+        flaps: w.link_fault_stats().values().map(|s| s.flaps).sum(),
+        lat_min_ns: u64::MAX,
+        lat_max_ns: 0,
+        lat_sum_ns: 0,
+        lat_count: 0,
     };
+    // Delivered-latency profile over every link this shard recorded.
+    for ls in w.link_fault_stats().values() {
+        if ls.lat_count > 0 {
+            snap.lat_min_ns = snap.lat_min_ns.min(ls.lat_min_ns);
+            snap.lat_max_ns = snap.lat_max_ns.max(ls.lat_max_ns);
+            snap.lat_sum_ns += ls.lat_sum_ns;
+            snap.lat_count += ls.lat_count;
+        }
+    }
     // Hardware flow control must hold on every port link; endpoint rx
     // links are exempt (the documented cross-shard bridge simplification).
     for l in 0..w.net.n_links() {
@@ -360,7 +383,16 @@ fn run_once(seed: u64, workers: usize, msgs: u32) -> RunOutcome {
     let (mut depth_ok, mut bytes_ok, mut drained, mut membership_ok) = (true, true, true, true);
     let (mut max_depth, mut max_bytes, mut shed, mut shed_links) = (0usize, 0u64, 0u64, 0usize);
     let (mut mem_max, mut mem_total, mut mem_idle) = (0u64, 0u64, 0usize);
+    let mut flaps = 0u64;
+    let (mut lat_min, mut lat_max, mut lat_sum, mut lat_count) = (u64::MAX, 0u64, 0u64, 0u64);
     for s in &snaps {
+        flaps += s.flaps;
+        if s.lat_count > 0 {
+            lat_min = lat_min.min(s.lat_min_ns);
+            lat_max = lat_max.max(s.lat_max_ns);
+            lat_sum += s.lat_sum_ns;
+            lat_count += s.lat_count;
+        }
         depth_ok &= s.depth_ok;
         bytes_ok &= s.bytes_hwm <= BYTE_BUDGET;
         drained &= s.bytes_now == 0;
@@ -407,6 +439,10 @@ fn run_once(seed: u64, workers: usize, msgs: u32) -> RunOutcome {
         mem_max,
         mem_total,
         mem_idle,
+        flaps,
+        lat_min_ns: if lat_count == 0 { 0 } else { lat_min },
+        lat_mean_ns: lat_sum.checked_div(lat_count).unwrap_or(0),
+        lat_max_ns: lat_max,
     }
 }
 
@@ -573,7 +609,8 @@ fn print_cell(c: &CellResult) {
     let viol = c.violations();
     println!(
         "seed {:#06x}: end {:>6.1} ms, {} delivered, shed {} on {} links, retx {}, \
-         corrupt {}, crash/restart {}/{}, rideouts {}, depth hwm {}, bytes hwm {}, \
+         corrupt {}, crash/restart {}/{}, rideouts {}, flaps {}, \
+         lat(ns) min/mean/max {}/{}/{}, depth hwm {}, bytes hwm {}, \
          mem max/idle {}/{}, workers-identical={} violations={:?}",
         c.seed,
         r.end_ns as f64 / 1e6,
@@ -585,6 +622,10 @@ fn print_cell(c: &CellResult) {
         r.stats.crashes,
         r.stats.restarts,
         r.stats.overload_rideouts,
+        r.flaps,
+        r.lat_min_ns,
+        r.lat_mean_ns,
+        r.lat_max_ns,
         r.max_port_depth_hwm,
         r.max_bytes_hwm,
         r.mem_max,

@@ -118,6 +118,27 @@ pub struct Calibration {
     /// partition signal.
     pub partition_detect_ns: u64,
 
+    // ----- adaptive timers (gray failures, DESIGN.md §15) -----
+    //
+    // Jacobson/Karn retransmission-timer estimation: RTO = SRTT + 4·RTTVAR,
+    // clamped to [rto_floor_ns, rto_ceil_ns]. The estimator arms only when
+    // the fault schedule contains a gray (pure-delay) degradation window;
+    // otherwise every timer uses the fixed calibration constants above and
+    // traces stay byte-identical to pre-estimator builds.
+    /// Lower clamp on the adaptive retransmission timeout. Keeps a freshly
+    /// converged estimator from firing inside normal delivery jitter.
+    pub rto_floor_ns: u64,
+    /// Upper clamp on the adaptive retransmission timeout (pre-backoff).
+    pub rto_ceil_ns: u64,
+    /// Downs within [`Calibration::flap_window_ns`] before the fault plane
+    /// declares a link *flapping* and holds it down.
+    pub flap_damp_downs: u32,
+    /// Sliding window over which downs of one link count toward damping.
+    pub flap_window_ns: u64,
+    /// How long a flapping link is held down after its last transition
+    /// before it is reinstated (hysteresis: each new flap extends the hold).
+    pub flap_hold_ns: u64,
+
     // ----- windowed channel data path (Tables 1/2 ordering) -----
     //
     // The paper's §5 channels are stop-and-wait; its Table 1 shows the
@@ -196,6 +217,11 @@ impl Calibration {
             open_max_retries: 8,
             crash_detect_ns: 200_000_000,
             partition_detect_ns: 250_000_000,
+            rto_floor_ns: 5_000_000,
+            rto_ceil_ns: 640_000_000,
+            flap_damp_downs: 3,
+            flap_window_ns: 50_000_000,
+            flap_hold_ns: 100_000_000,
             chan_window: 1,
             chan_rx_frag_buffers: 64,
             chan_reorder_frags: 32,
@@ -247,6 +273,11 @@ impl Calibration {
             open_max_retries: 8,
             crash_detect_ns: 200_000_000,
             partition_detect_ns: 250_000_000,
+            rto_floor_ns: 5_000_000,
+            rto_ceil_ns: 640_000_000,
+            flap_damp_downs: 3,
+            flap_window_ns: 50_000_000,
+            flap_hold_ns: 100_000_000,
             chan_window: 1,
             chan_rx_frag_buffers: 64,
             chan_reorder_frags: 32,

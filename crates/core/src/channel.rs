@@ -68,6 +68,13 @@ pub struct TxPending {
     pub frame: Frame,
     /// Its fragment number.
     pub frag: u32,
+    /// Sim time of the *first* transmission (never reset on retransmit):
+    /// an ack with `rexmit == false` yields an unambiguous RTT sample.
+    pub sent_ns: u64,
+    /// Retransmitted at least once — its ack is ambiguous, so it never
+    /// contributes an RTT sample (Karn's rule). Unlike `attempts`, never
+    /// reset by a probe-ack resume.
+    pub rexmit: bool,
     /// Retransmissions so far.
     pub attempts: u32,
     /// Timer-chain epoch: bumped whenever the chain is reset so stale
@@ -153,6 +160,7 @@ fn resume_tx(w: &mut World, s: &mut VSched, node: NodeAddr, chan: u32) {
             let tp = end.tx_pending.as_mut().expect("checked just above");
             tp.epoch = e;
             tp.attempts = 0;
+            tp.rexmit = true;
             Re::Data(tp.frame.clone(), tp.frag, e)
         } else if !end.win.inflight.is_empty() {
             end.win.epoch += 1;
@@ -160,9 +168,12 @@ fn resume_tx(w: &mut World, s: &mut VSched, node: NodeAddr, chan: u32) {
             Re::Win(
                 end.win
                     .inflight
-                    .values()
+                    .values_mut()
                     .filter(|fr| !fr.sacked)
-                    .map(|fr| fr.frame.clone())
+                    .map(|fr| {
+                        fr.rexmit = true;
+                        fr.frame.clone()
+                    })
                     .collect(),
                 end.win.epoch,
             )
@@ -334,6 +345,11 @@ pub struct WinFrag {
     pub frame: Frame,
     /// Selectively acknowledged: held by the receiver, skip on timeout.
     pub sacked: bool,
+    /// Sim time of the first transmission.
+    pub sent_ns: u64,
+    /// Retransmitted at least once — its ack is ambiguous, so it never
+    /// contributes an RTT sample (Karn's rule).
+    pub rexmit: bool,
 }
 
 /// Windowed-mode receive state: the bounded reorder buffer and the credit
@@ -419,6 +435,18 @@ pub struct ChanEnd {
     pub win: WinTx,
     /// Windowed receive state (untouched when `cfg.window == 1`).
     pub winrx: WinRx,
+    /// Jacobson/Karn round-trip estimator for this end's data acks. Sampled
+    /// only while a gray fault has armed adaptation
+    /// ([`crate::fault::FaultState::gray_armed`]); fault-free runs never
+    /// touch it, so their traces stay bit-identical.
+    pub rtt: crate::rtt::RttEstimator,
+    /// Karn backoff persistence: doublings applied to the *base* timeout of
+    /// fresh fragments after a timeout fired, until the next unambiguous
+    /// sample resets it. Without this the estimator cannot bootstrap when
+    /// the true RTT exceeds the fixed timeout — every fragment would be
+    /// retransmitted once (ambiguous ack, no sample) forever. Only bumped
+    /// and consulted while `gray_armed`.
+    pub rto_backoff: u32,
 }
 
 impl ChanEnd {
@@ -454,6 +482,8 @@ impl ChanEnd {
             cfg,
             win,
             winrx: WinRx::default(),
+            rtt: crate::rtt::RttEstimator::new(),
+            rto_backoff: 0,
         }
     }
 
@@ -633,6 +663,8 @@ impl ChannelHandle {
                 end.tx_pending = Some(TxPending {
                     frame: f.clone(),
                     frag: frag_no,
+                    sent_ns: now.as_ns(),
+                    rexmit: false,
                     attempts: 0,
                     epoch,
                     busy_grants: 0,
@@ -766,6 +798,8 @@ impl ChannelHandle {
                     WinFrag {
                         frame: f.clone(),
                         sacked: false,
+                        sent_ns: now.as_ns(),
+                        rexmit: false,
                     },
                 );
                 let arm = end.win.timer.is_none();
@@ -1039,6 +1073,44 @@ pub fn read_any(
     Ok((idx, payload))
 }
 
+/// Base (attempt-0) retransmit timeout for `chan` on `node`: the fixed
+/// `chan_ack_timeout_ns` until a gray fault arms adaptation and the end has
+/// observed at least one round trip, then the Jacobson RTO
+/// `clamp(SRTT + 4·RTTVAR, rto_floor_ns, rto_ceil_ns)`. The doubling
+/// backoff (`base << attempts`) is layered on top either way.
+fn rto_base_ns(w: &World, node: NodeAddr, chan: u32) -> u64 {
+    let fixed = w.calib.chan_ack_timeout_ns;
+    if !w.faults.gray_armed {
+        return fixed;
+    }
+    let floor = w.calib.rto_floor_ns;
+    let ceil = w.calib.rto_ceil_ns;
+    let Some(end) = w.node(node).chans.get(&chan) else {
+        return fixed;
+    };
+    let base = end.rtt.rto_ns(floor, ceil).unwrap_or(fixed);
+    // Karn backoff persistence: keep a timed-out end's doubled base until a
+    // valid sample replaces it, clamped to the configured ceiling.
+    (base << end.rto_backoff.min(10)).clamp(floor, ceil.max(floor))
+}
+
+/// The widest adaptive RTO among `node`'s channel ends peered with `peer`,
+/// or `None` when no such end has a round-trip sample yet. Feeds the
+/// heartbeat-probe deadline (`crate::membership`): a probe sent because a
+/// degraded channel exhausted its retries must outlive the degradation the
+/// channel itself observed. Taking the max over ends is order-independent,
+/// so sharded replays stay deterministic.
+pub(crate) fn peer_rto_hint(w: &World, node: NodeAddr, peer: NodeAddr) -> Option<u64> {
+    let floor = w.calib.rto_floor_ns;
+    let ceil = w.calib.rto_ceil_ns;
+    w.node(node)
+        .chans
+        .values()
+        .filter(|end| end.peer == peer)
+        .filter_map(|end| end.rtt.rto_ns(floor, ceil))
+        .max()
+}
+
 /// Arm (or re-arm) the writer's ack-timeout timer for the outstanding
 /// fragment. The timer is a no-op unless the exact `(frag, epoch, attempts)`
 /// it was armed for is still outstanding when it fires — acks, closes,
@@ -1054,7 +1126,8 @@ fn arm_data_timer(
     epoch: u32,
     attempts: u32,
 ) {
-    let delay = w.calib.chan_ack_timeout_ns << attempts.min(10);
+    let base = rto_base_ns(w, node, chan);
+    let delay = base << attempts.min(10);
     let timer = s.schedule_cancellable_in(desim::SimDuration::from_ns(delay), move |w, s| {
         if !w.node(node).up {
             return;
@@ -1066,33 +1139,42 @@ fn arm_data_timer(
             Resend(Frame),
         }
         let next = {
+            let gray = w.faults.gray_armed;
             let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
                 return; // channel gone (crash wiped it)
             };
-            match end.tx_pending.as_mut() {
+            let next = match end.tx_pending.as_mut() {
                 Some(tp) if tp.frag == frag && tp.epoch == epoch && tp.attempts == attempts => {
                     if tp.attempts >= max {
                         Next::GiveUp(end.peer)
                     } else {
                         tp.attempts += 1;
+                        tp.rexmit = true;
                         Next::Resend(tp.frame.clone())
                     }
                 }
                 _ => Next::Stale, // acked, or a newer timer chain owns it
+            };
+            if gray && matches!(next, Next::Resend(_)) {
+                end.rto_backoff = (end.rto_backoff + 1).min(10);
             }
+            next
         };
         match next {
             Next::Stale => {}
             Next::GiveUp(peer) => {
                 let rideout = w.net.overload_active();
-                if (w.net.topology().generation() > 0 || rideout) && w.node(peer).up {
+                if (w.net.topology().generation() > 0 || rideout || w.faults.gray_armed)
+                    && w.node(peer).up
+                {
                     // The partition plane is active (or the fabric is under
-                    // an overload budget that may be shedding our data) and
-                    // the peer's node is alive: the silence may be a routing
-                    // outage or overload rather than a crash. Park the
-                    // fragment (the exhausted timer is already dead) and let
-                    // a heartbeat probe — never shed — decide between resume
-                    // and peer-down.
+                    // an overload budget that may be shedding our data, or a
+                    // gray fault may be delaying acks past the retry chain)
+                    // and the peer's node is alive: the silence may be a
+                    // routing outage, overload, or degradation rather than a
+                    // crash. Park the fragment (the exhausted timer is
+                    // already dead) and let a heartbeat probe — never shed —
+                    // decide between resume and peer-down.
                     if rideout {
                         w.faults.stats.overload_rideouts += 1;
                     }
@@ -1260,11 +1342,23 @@ fn commit_fragment(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame, last
 /// Kernel handler: a channel ack arrived at the writer's node.
 pub fn on_ack(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
     let chan = proto::seq_chan(f.seq);
+    let now_ns = s.now().as_ns();
+    let gray = w.faults.gray_armed;
     let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
         return; // crash or close raced the ack
     };
-    if end.tx_pending.as_ref().map(|t| t.frag) != Some(proto::seq_frag(f.seq)) {
+    let Some(tp) = end.tx_pending.as_ref() else {
         return; // duplicate ack for an already-acknowledged fragment
+    };
+    if tp.frag != proto::seq_frag(f.seq) {
+        return;
+    }
+    // Karn's rule: only a never-retransmitted fragment's ack is an
+    // unambiguous round-trip sample.
+    if gray && !tp.rexmit && tp.attempts == 0 {
+        let rtt = now_ns.saturating_sub(tp.sent_ns);
+        end.rtt.sample(rtt);
+        end.rto_backoff = 0;
     }
     clear_tx(end);
     end.ack_ready = true;
@@ -1464,6 +1558,8 @@ pub fn on_wack(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
     let chan = proto::seq_chan(f.seq);
     let cum = proto::seq_frag(f.seq);
     let (sack, credit) = proto::parse_wack(&f.payload);
+    let now_ns = s.now().as_ns();
+    let gray = w.faults.gray_armed;
     let rearm_epoch = {
         let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
             return; // crash or close raced the ack
@@ -1471,13 +1567,26 @@ pub fn on_wack(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
         if end.cfg.window <= 1 {
             return; // defensive: stop-and-wait ends never use this kind
         }
-        // Cumulative ack: everything at or below `cum` is delivered.
+        // Cumulative ack: everything at or below `cum` is delivered. The
+        // *newest* never-retransmitted fragment it drains is the one
+        // unambiguous round-trip sample this ack carries (Karn's rule —
+        // older drained fragments may have been covered by a lost earlier
+        // ack, so their elapsed time overestimates the path).
         let before = end.win.inflight.len();
+        let mut rtt_sample = None;
         while let Some((&k, _)) = end.win.inflight.iter().next() {
             if k > cum {
                 break;
             }
-            end.win.inflight.remove(&k);
+            if let Some(fr) = end.win.inflight.remove(&k) {
+                if gray && !fr.rexmit {
+                    rtt_sample = Some(now_ns.saturating_sub(fr.sent_ns));
+                }
+            }
+        }
+        if let Some(rtt) = rtt_sample {
+            end.rtt.sample(rtt);
+            end.rto_backoff = 0;
         }
         let progress = end.win.inflight.len() < before;
         // Selective acks: skip these on retransmit timeouts.
@@ -1556,7 +1665,8 @@ fn arm_win_timer(
     epoch: u32,
     attempts: u32,
 ) {
-    let delay = w.calib.chan_ack_timeout_ns << attempts.min(10);
+    let base = rto_base_ns(w, node, chan);
+    let delay = base << attempts.min(10);
     let timer = s.schedule_cancellable_in(desim::SimDuration::from_ns(delay), move |w, s| {
         if !w.node(node).up {
             return;
@@ -1568,6 +1678,7 @@ fn arm_win_timer(
             Resend(Vec<Frame>),
         }
         let next = {
+            let gray = w.faults.gray_armed;
             let Some(end) = w.node_mut(node).chans.get_mut(&chan) else {
                 return; // channel gone (crash wiped it)
             };
@@ -1578,12 +1689,18 @@ fn arm_win_timer(
                 Next::GiveUp(end.peer)
             } else {
                 end.win.attempts += 1;
+                if gray {
+                    end.rto_backoff = (end.rto_backoff + 1).min(10);
+                }
                 Next::Resend(
                     end.win
                         .inflight
-                        .values()
+                        .values_mut()
                         .filter(|fr| !fr.sacked)
-                        .map(|fr| fr.frame.clone())
+                        .map(|fr| {
+                            fr.rexmit = true;
+                            fr.frame.clone()
+                        })
                         .collect(),
                 )
             }
@@ -1592,11 +1709,13 @@ fn arm_win_timer(
             Next::Stale => {}
             Next::GiveUp(peer) => {
                 let rideout = w.net.overload_active();
-                if (w.net.topology().generation() > 0 || rideout) && w.node(peer).up {
-                    // Alive peer + active partition plane or overload
-                    // budget: keep the in-flight window parked for a resume
-                    // retransmit and hand the verdict to a heartbeat probe
-                    // (see arm_data_timer).
+                if (w.net.topology().generation() > 0 || rideout || w.faults.gray_armed)
+                    && w.node(peer).up
+                {
+                    // Alive peer + active partition plane, overload budget,
+                    // or possible gray degradation: keep the in-flight
+                    // window parked for a resume retransmit and hand the
+                    // verdict to a heartbeat probe (see arm_data_timer).
                     if rideout {
                         w.faults.stats.overload_rideouts += 1;
                     }

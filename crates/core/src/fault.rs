@@ -70,26 +70,82 @@ pub struct FaultState {
     pub schedule: desim::FaultSchedule,
     /// Recovery counters.
     pub stats: FaultStats,
+    /// True iff the schedule contains a gray (pure-delay) degradation
+    /// window. Cached at construction: the transport RTT estimators sample
+    /// and adapt only when set, so fault-free and loss-only runs keep the
+    /// fixed calibration timers and replay byte-identically.
+    pub gray_armed: bool,
+    /// Cached [`desim::FaultSchedule::track_latency`]: whether delivered
+    /// per-link latency statistics are recorded (off on clean scale runs).
+    pub(crate) track_latency: bool,
+    /// Flap damping: recent down timestamps per link, pruned to
+    /// `flap_window_ns`. Keyed lookups only — never iterated.
+    flap_history: std::collections::HashMap<u32, std::collections::VecDeque<u64>>,
+    /// Links currently held down by the damper, with the suppress epoch
+    /// owning the pending reinstate timer (each new transition while held
+    /// bumps the epoch, extending the hold).
+    flap_held: std::collections::HashMap<u32, u64>,
 }
 
 impl FaultState {
     /// Wrap a schedule with zeroed statistics.
     pub fn new(schedule: desim::FaultSchedule) -> Self {
+        let gray_armed = schedule.gray_possible();
+        let track_latency = schedule.track_latency();
         FaultState {
             schedule,
             stats: FaultStats::default(),
+            gray_armed,
+            track_latency,
+            flap_history: std::collections::HashMap::new(),
+            flap_held: std::collections::HashMap::new(),
+        }
+    }
+
+    /// True iff the damper is currently holding `l` down.
+    pub fn is_flap_held(&self, l: LinkId) -> bool {
+        self.flap_held.contains_key(&l.0)
+    }
+
+    /// Downs of `l` recorded within the damping window ending at `now_ns`.
+    fn downs_in_window(&mut self, l: LinkId, now_ns: u64, window_ns: u64) -> usize {
+        match self.flap_history.get_mut(&l.0) {
+            Some(h) => {
+                while h.front().is_some_and(|&t| t + window_ns < now_ns) {
+                    h.pop_front();
+                }
+                h.len()
+            }
+            None => 0,
         }
     }
 }
 
 impl hpcnet::FaultHook for FaultState {
-    fn on_transit(&mut self, link: LinkId, _frame: &Frame) -> Transit {
-        match self.schedule.disposition(link.0) {
+    fn on_transit(&mut self, link: LinkId, _frame: &Frame, now_ns: u64, hop_ns: u64) -> Transit {
+        let disp = self.schedule.disposition(link.0);
+        // Gray degradation stacks on top of the probabilistic disposition:
+        // a frame that survives loss still crosses the slow link.
+        let gray = if self.gray_armed {
+            self.schedule.gray_delay_ns(link.0, now_ns, hop_ns)
+        } else {
+            0
+        };
+        let t = match disp {
+            desim::Disposition::Deliver if gray > 0 => Transit::Delay(gray),
             desim::Disposition::Deliver => Transit::Deliver,
             desim::Disposition::Drop => Transit::Drop,
             desim::Disposition::Corrupt => Transit::Corrupt,
-            desim::Disposition::Delay(ns) => Transit::Delay(ns),
+            desim::Disposition::Delay(ns) => Transit::Delay(ns + gray),
+        };
+        if self.track_latency {
+            match t {
+                Transit::Deliver | Transit::Corrupt => self.schedule.note_delivered(link.0, hop_ns),
+                Transit::Delay(extra) => self.schedule.note_delivered(link.0, hop_ns + extra),
+                Transit::Drop => {}
+            }
         }
+        t
     }
 
     fn on_down_drop(&mut self, link: LinkId) {
@@ -108,6 +164,10 @@ pub struct CtlPending {
     pub frame: Frame,
     /// Retransmissions so far (stale timers key off this).
     pub attempts: u32,
+    /// Base retransmit timeout for this frame (doubles per attempt).
+    /// `ctl_timeout_ns` for ordinary control traffic; heartbeat probes use
+    /// an adaptive deadline derived from the peer's observed RTT.
+    pub base_timeout_ns: u64,
     /// The armed retransmit timer, disarmed when the ack arrives.
     pub timer: Option<desim::TimerHandle>,
 }
@@ -119,6 +179,19 @@ pub struct CtlPending {
 /// among the sender's outstanding control frames (tokens and
 /// `chan_seq(id, 0)` keys never collide).
 pub fn reliable_send(w: &mut World, s: &mut VSched, frame: Frame) {
+    let base = w.calib.ctl_timeout_ns;
+    reliable_send_with_timeout(w, s, frame, base);
+}
+
+/// [`reliable_send`] with an explicit base timeout — the membership layer's
+/// heartbeat probes derive theirs from the peer's RTT estimate instead of
+/// the fixed control-plane constant.
+pub fn reliable_send_with_timeout(
+    w: &mut World,
+    s: &mut VSched,
+    frame: Frame,
+    base_timeout_ns: u64,
+) {
     let from = frame.src;
     let key = frame.seq;
     w.node_mut(from).ctl_unacked.insert(
@@ -126,6 +199,7 @@ pub fn reliable_send(w: &mut World, s: &mut VSched, frame: Frame) {
         CtlPending {
             frame: frame.clone(),
             attempts: 0,
+            base_timeout_ns,
             timer: None,
         },
     );
@@ -134,7 +208,13 @@ pub fn reliable_send(w: &mut World, s: &mut VSched, frame: Frame) {
 }
 
 fn arm_ctl_timer(w: &mut World, s: &mut VSched, from: NodeAddr, key: u64, attempts: u32) {
-    let delay = w.calib.ctl_timeout_ns << attempts.min(10);
+    let base = w
+        .node(from)
+        .ctl_unacked
+        .get(&key)
+        .map(|p| p.base_timeout_ns)
+        .unwrap_or(w.calib.ctl_timeout_ns);
+    let delay = base << attempts.min(10);
     let timer = s.schedule_cancellable_in(SimDuration::from_ns(delay), move |w: &mut World, s| {
         if !w.node(from).up {
             return;
@@ -207,7 +287,7 @@ pub fn on_ctl_ack(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
         }
         if p.frame.kind == proto::KIND_HEARTBEAT {
             if let hpcnet::Dest::Unicast(peer) = p.frame.dst {
-                crate::membership::on_probe_ack(w, s, node, peer);
+                crate::membership::on_probe_ack(w, s, node, peer, p.attempts);
             }
         }
     }
@@ -423,8 +503,24 @@ pub fn on_restart(w: &mut World, s: &mut VSched, node: NodeAddr) {
 /// any node pairs the failure disconnected. A physical cable cut is two
 /// directed links — inject both ids to model it.
 pub fn on_link_down(w: &mut World, s: &mut VSched, l: LinkId) {
+    let now = kernel::now_ns(s);
     if w.net.is_link_down(l) {
+        // Another down while the damper holds the link: not a state change,
+        // but evidence of continued instability — extend the hold.
+        if w.faults.flap_held.contains_key(&l.0) {
+            w.faults.schedule.note_flap(l.0);
+            extend_flap_hold(w, s, l);
+        }
         return;
+    }
+    // Flap bookkeeping: a down within the damping window of the previous
+    // down counts as a flap.
+    let window = w.calib.flap_window_ns;
+    if w.calib.flap_damp_downs > 0 {
+        if w.faults.downs_in_window(l, now, window) > 0 {
+            w.faults.schedule.note_flap(l.0);
+        }
+        w.faults.flap_history.entry(l.0).or_default().push_back(now);
     }
     w.faults.schedule.note_link_down(l.0);
     w.trace.record(
@@ -434,7 +530,7 @@ pub fn on_link_down(w: &mut World, s: &mut VSched, l: LinkId) {
             up: false,
         },
     );
-    let out = w.net.set_link_down(kernel::now_ns(s), l, true);
+    let out = w.net.set_link_down(now, l, true);
     kernel::process_output(w, s, out);
     crate::membership::schedule_partition_sweep(w, s);
 }
@@ -442,10 +538,32 @@ pub fn on_link_down(w: &mut World, s: &mut VSched, l: LinkId) {
 /// Bring directed link `l` back up: the routing tables recompute (healing
 /// to the baseline when no dead edges remain), and the membership heal
 /// sweep reconnects every node pair the restored edge made reachable again.
+///
+/// A link that flapped `flap_damp_downs` times within `flap_window_ns` is
+/// *damped*: the up is suppressed and the link held down until it has been
+/// stable for `flap_hold_ns` (each further transition extends the hold), so
+/// the detour overlay and channel pause/resume stop thrashing.
 pub fn on_link_up(w: &mut World, s: &mut VSched, l: LinkId) {
     if !w.net.is_link_down(l) {
         return;
     }
+    let now = kernel::now_ns(s);
+    if w.faults.flap_held.contains_key(&l.0) {
+        // Still inside the hold: not stable yet.
+        extend_flap_hold(w, s, l);
+        return;
+    }
+    let damp = w.calib.flap_damp_downs;
+    if damp > 0 && w.faults.downs_in_window(l, now, w.calib.flap_window_ns) >= damp as usize {
+        w.faults.flap_held.insert(l.0, 0);
+        extend_flap_hold(w, s, l);
+        return;
+    }
+    raise_link(w, s, l);
+}
+
+/// The undamped link-up path: trace, fabric state, heal sweep.
+fn raise_link(w: &mut World, s: &mut VSched, l: LinkId) {
     w.trace.record(
         s.now(),
         TraceEvent::LinkFault {
@@ -456,6 +574,32 @@ pub fn on_link_up(w: &mut World, s: &mut VSched, l: LinkId) {
     let out = w.net.set_link_down(kernel::now_ns(s), l, false);
     kernel::process_output(w, s, out);
     crate::membership::on_heal(w, s);
+}
+
+/// Bump the suppress epoch of held link `l` and (re)schedule its reinstate
+/// for `flap_hold_ns` from now. Only the newest epoch's timer acts, so
+/// every transition during the hold pushes reinstatement further out.
+fn extend_flap_hold(w: &mut World, s: &mut VSched, l: LinkId) {
+    let epoch = {
+        let e = w
+            .faults
+            .flap_held
+            .get_mut(&l.0)
+            .expect("caller holds the link");
+        *e += 1;
+        *e
+    };
+    let hold = w.calib.flap_hold_ns;
+    s.schedule_in(SimDuration::from_ns(hold), move |w: &mut World, s| {
+        if w.faults.flap_held.get(&l.0) != Some(&epoch) {
+            return; // a newer transition extended the hold
+        }
+        w.faults.flap_held.remove(&l.0);
+        w.faults.flap_history.remove(&l.0);
+        if w.net.is_link_down(l) {
+            raise_link(w, s, l);
+        }
+    });
 }
 
 /// Park the calling process until `node` is up (restart notification).

@@ -100,7 +100,16 @@ fn bridge(w: &mut World, s: &mut VSched, frame: Frame) -> Option<Frame> {
             .net
             .topology()
             .baseline_cluster_links(src_cluster, w.net.topology().cluster_of(t));
-        let at = SimTime::from_ns(now + links * (ser + cfg.hop_latency_ns));
+        let mut at_ns = now + links * (ser + cfg.hop_latency_ns);
+        if w.faults.gray_armed {
+            // Gray degradation applies to bridged frames too: the extra
+            // latency of every link on the baseline path, evaluated at the
+            // injection time. A pure function of `(seed, links, now)`, the
+            // same at every worker count, and strictly additive — the
+            // engine's lookahead bound is never undercut.
+            at_ns += bridge_gray_ns(w, src, t, now, cfg.hop_latency_ns);
+        }
+        let at = SimTime::from_ns(at_ns);
         // Injection statistics, mirroring what `Fabric::try_send` records.
         w.net.stats.frames_sent += 1;
         w.net.stats.per_endpoint_tx[src.0 as usize] += 1;
@@ -129,6 +138,33 @@ fn bridge(w: &mut World, s: &mut VSched, frame: Frame) -> Option<Frame> {
         f.dst = Dest::Multicast(local);
         Some(f)
     }
+}
+
+/// Sum of the gray-degradation delays on every link of the baseline path
+/// from `src` to `dst` — the source up-link, each inter-cluster cable, and
+/// the destination down-link — at injection time `now`, recording the
+/// delivered latency of each link when statistics are armed. Only called
+/// when a gray window armed the fault plane, so clean and loss-only runs
+/// never pay the walk.
+fn bridge_gray_ns(w: &mut World, src: NodeAddr, dst: NodeAddr, now: u64, hop_ns: u64) -> u64 {
+    let World { net, faults, .. } = w;
+    let topo = net.topology();
+    let mut extra = 0u64;
+    let mut visit = |l: hpcnet::LinkId| {
+        let g = faults.schedule.gray_delay_ns(l.0, now, hop_ns);
+        extra += g;
+        if faults.track_latency {
+            faults.schedule.note_delivered(l.0, hop_ns + g);
+        }
+    };
+    visit(net.endpoint_up_link(src));
+    topo.baseline_cluster_pairs(topo.cluster_of(src), topo.cluster_of(dst), |a, b| {
+        if let Some(l) = net.cluster_link(a, b) {
+            visit(l);
+        }
+    });
+    visit(net.endpoint_down_link(dst));
+    extra
 }
 
 /// Advance the fabric by one event with the fault plane consulted: every

@@ -62,6 +62,7 @@ pub mod multicast;
 pub mod objmgr;
 pub mod proto;
 pub mod protocols;
+pub mod rtt;
 pub mod sched;
 pub mod udco;
 pub mod world;

@@ -35,12 +35,13 @@
 //! schedule; fault-free runs execute none of this code, preserving PR 3
 //! trace bit-identity.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use desim::{SimDuration, Wakeup};
 use hpcnet::{Frame, NodeAddr, Payload};
 
 use crate::proto;
+use crate::rtt::RttEstimator;
 use crate::world::{VSched, World};
 
 /// Per-node membership state.
@@ -49,8 +50,13 @@ pub struct MbrState {
     /// Peers this node currently believes are partitioned away (alive but
     /// unreachable). Cleared pairwise by the heal sweep.
     pub partitioned: BTreeSet<u32>,
-    /// Peers with a heartbeat beacon in flight.
-    pub probing: BTreeSet<u32>,
+    /// Peers with a heartbeat beacon in flight, keyed to the sim time the
+    /// probe was sent (feeds the heartbeat RTT estimator on the ack).
+    pub probing: BTreeMap<u32, u64>,
+    /// Observed heartbeat round-trip estimators per peer (phi-accrual-lite:
+    /// the suspicion window is `SRTT + 4·RTTVAR`, clamped, instead of a
+    /// fixed constant). Only populated when a gray fault armed adaptation.
+    pub peer_rtt: BTreeMap<u32, RttEstimator>,
 }
 
 /// True when `node` currently believes `peer` is partitioned away.
@@ -62,13 +68,22 @@ pub fn is_partitioned(w: &World, node: NodeAddr, peer: NodeAddr) -> bool {
 /// heartbeat beacon to disambiguate *slow/rerouting* from *unreachable*.
 /// At most one probe per (node, peer) pair is in flight; the stalled
 /// transfers stay paused until it resolves.
+///
+/// The probe deadline adapts to gray degradation: when the fault schedule
+/// armed the estimators, the beacon's base timeout is the largest of the
+/// control-plane constant, the peer's observed heartbeat RTO, and the RTO
+/// of the channels that stalled behind it — so a *slow* peer's probes
+/// outlive its latency inflation instead of inheriting the exhausted
+/// channel's (too short) fixed chain and declaring a live peer partitioned.
 pub fn suspect(w: &mut World, s: &mut VSched, node: NodeAddr, peer: NodeAddr) {
     if w.node(node).mbr.partitioned.contains(&peer.0) {
         return; // verdict already in
     }
-    if !w.node_mut(node).mbr.probing.insert(peer.0) {
+    let now = s.now().as_ns();
+    if w.node(node).mbr.probing.contains_key(&peer.0) {
         return; // a probe is already out
     }
+    w.node_mut(node).mbr.probing.insert(peer.0, now);
     w.faults.stats.probes_sent += 1;
     let token = w.token();
     let f = Frame::unicast(
@@ -78,7 +93,30 @@ pub fn suspect(w: &mut World, s: &mut VSched, node: NodeAddr, peer: NodeAddr) {
         token,
         Payload::Synthetic(0),
     );
-    crate::fault::reliable_send(w, s, f);
+    let base = probe_timeout_ns(w, node, peer);
+    crate::fault::reliable_send_with_timeout(w, s, f, base);
+}
+
+/// Base retransmit timeout for a heartbeat probe from `node` to `peer`:
+/// the fixed `ctl_timeout_ns` until a gray fault arms adaptation, then the
+/// widest of the fixed constant, the heartbeat-RTT estimate, and the RTO of
+/// the channel ends stalled behind the probe.
+fn probe_timeout_ns(w: &World, node: NodeAddr, peer: NodeAddr) -> u64 {
+    let fixed = w.calib.ctl_timeout_ns;
+    if !w.faults.gray_armed {
+        return fixed;
+    }
+    let floor = w.calib.rto_floor_ns;
+    let ceil = w.calib.rto_ceil_ns;
+    let hb = w
+        .node(node)
+        .mbr
+        .peer_rtt
+        .get(&peer.0)
+        .and_then(|e| e.rto_ns(floor, ceil))
+        .unwrap_or(0);
+    let chan = crate::channel::peer_rto_hint(w, node, peer).unwrap_or(0);
+    fixed.max(hb).max(chan)
 }
 
 /// Kernel handler: a heartbeat beacon arrived. Liveness evidence is the
@@ -89,9 +127,20 @@ pub fn on_heartbeat(w: &mut World, s: &mut VSched, node: NodeAddr, f: Frame) {
 
 /// The peer acked our beacon: it is reachable after all (the fabric found an
 /// alternate route). Resume every transfer that stalled behind the probe.
-pub fn on_probe_ack(w: &mut World, s: &mut VSched, node: NodeAddr, peer: NodeAddr) {
-    if !w.node_mut(node).mbr.probing.remove(&peer.0) {
+/// `attempts` is the beacon's retransmission count — only a never-
+/// retransmitted probe yields an unambiguous RTT sample (Karn's rule).
+pub fn on_probe_ack(w: &mut World, s: &mut VSched, node: NodeAddr, peer: NodeAddr, attempts: u32) {
+    let Some(sent_ns) = w.node_mut(node).mbr.probing.remove(&peer.0) else {
         return;
+    };
+    if w.faults.gray_armed && attempts == 0 {
+        let rtt = s.now().as_ns().saturating_sub(sent_ns);
+        w.node_mut(node)
+            .mbr
+            .peer_rtt
+            .entry(peer.0)
+            .or_default()
+            .sample(rtt);
     }
     crate::channel::resume_peer(w, s, node, peer);
 }
@@ -100,7 +149,7 @@ pub fn on_probe_ack(w: &mut World, s: &mut VSched, node: NodeAddr, peer: NodeAdd
 /// if it is still up; ordinary PR 2 peer-down semantics if it crashed while
 /// the probe was out.
 pub fn on_probe_failed(w: &mut World, s: &mut VSched, node: NodeAddr, peer: NodeAddr) {
-    if !w.node_mut(node).mbr.probing.remove(&peer.0) {
+    if w.node_mut(node).mbr.probing.remove(&peer.0).is_none() {
         return;
     }
     if w.node(peer).up {

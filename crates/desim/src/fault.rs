@@ -125,6 +125,49 @@ pub struct LinkStats {
     /// Messages shed at this link's switch because a byte budget was
     /// exhausted (deterministic overload drops, not probabilistic faults).
     pub shed: u64,
+    /// Times the fault plane judged this link to be flapping (a down that
+    /// arrived within the damping window of the previous down).
+    pub flaps: u64,
+    /// Smallest delivered one-hop latency observed, ns (valid when
+    /// `lat_count > 0`).
+    pub lat_min_ns: u64,
+    /// Largest delivered one-hop latency observed, ns.
+    pub lat_max_ns: u64,
+    /// Sum of delivered one-hop latencies, ns (mean = sum / count).
+    pub lat_sum_ns: u64,
+    /// Delivered frames with a recorded latency.
+    pub lat_count: u64,
+}
+
+impl LinkStats {
+    /// Mean delivered latency in ns, 0 when nothing was recorded.
+    pub fn lat_mean_ns(&self) -> u64 {
+        self.lat_sum_ns.checked_div(self.lat_count).unwrap_or(0)
+    }
+}
+
+/// One deterministic latency-degradation window: between `start_ns` and
+/// `end_ns` (exclusive), frames on `link` are inflated by `factor_milli`
+/// (1000 = 1.0x) of the base hop latency plus a seeded jitter in
+/// `[0, jitter_ns]`. Both terms are pure functions of sim time, so sharded
+/// replays stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GrayWindow {
+    link: u32,
+    start_ns: u64,
+    end_ns: u64,
+    factor_milli: u64,
+    jitter_ns: u64,
+}
+
+/// SplitMix64 finalizer: a stateless hash used to derive per-frame jitter
+/// from `(seed, link, sim time)` without touching the schedule's RNG.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// A seeded, deterministic fault plan: a crash/restart timeline plus
@@ -151,6 +194,12 @@ pub struct FaultSchedule {
     /// function of sim time consulted by load generators, so overload bursts
     /// replay bit-identically without touching the RNG.
     bursts: Vec<(u64, u64, u32)>,
+    /// Latency-degradation windows consulted by
+    /// [`FaultSchedule::gray_delay_ns`]; pure functions of sim time.
+    lat_windows: Vec<GrayWindow>,
+    /// The construction seed, reused (hashed) for per-frame gray jitter so
+    /// jitter never perturbs the probabilistic RNG stream.
+    gray_seed: u64,
     /// Per-link injection counters (ordered so summaries are deterministic).
     link_stats: BTreeMap<u32, LinkStats>,
     /// What was injected so far.
@@ -170,6 +219,8 @@ impl FaultSchedule {
             degrades: HashMap::new(),
             squeezes: HashMap::new(),
             bursts: Vec::new(),
+            lat_windows: Vec::new(),
+            gray_seed: seed,
             link_stats: BTreeMap::new(),
             stats: FaultStats::default(),
         }
@@ -262,6 +313,31 @@ impl FaultSchedule {
         self
     }
 
+    /// Declare a gray-degradation window on `link`: between `start` and
+    /// `end` (exclusive), every frame's hop latency is multiplied by
+    /// `factor` (≥ 1.0) and stretched by a seeded jitter in `[0, jitter_ns]`.
+    /// Unlike [`FaultSchedule::degrade_at`] this drops nothing and draws no
+    /// randomness at arrival time — the delay is a pure function of
+    /// `(seed, link, sim time)`, so sharded replays stay bit-identical.
+    pub fn degrade(
+        mut self,
+        link: u32,
+        start: SimTime,
+        end: SimTime,
+        factor: f64,
+        jitter_ns: u64,
+    ) -> Self {
+        let factor_milli = ((factor.max(1.0)) * 1000.0).round() as u64;
+        self.lat_windows.push(GrayWindow {
+            link,
+            start_ns: start.as_ns(),
+            end_ns: end.as_ns(),
+            factor_milli,
+            jitter_ns,
+        });
+        self
+    }
+
     /// Apply `faults` to every link without a per-link override.
     pub fn all_links(mut self, faults: LinkFaults) -> Self {
         self.default_link = faults;
@@ -293,6 +369,47 @@ impl FaultSchedule {
             || !self.default_link.is_none()
             || self.per_link.values().any(|f| !f.is_none())
             || self.degrades.values().flatten().any(|f| !f.is_none())
+    }
+
+    /// True iff a gray latency-degradation window exists anywhere in the
+    /// schedule. Transport RTT estimators arm only when this is set, so
+    /// fault-free and loss-only runs keep their calibration-default timers
+    /// and replay byte-identically to earlier builds.
+    pub fn gray_possible(&self) -> bool {
+        !self.lat_windows.is_empty()
+    }
+
+    /// True iff delivered-latency statistics are worth recording (a gray
+    /// window or any probabilistic message fault is configured). Keeps the
+    /// per-frame counter update off the fast path of clean scale runs.
+    pub fn track_latency(&self) -> bool {
+        self.gray_possible() || self.message_faults_possible()
+    }
+
+    /// Extra delivery latency for a frame arriving on `link` at `now_ns`,
+    /// given the fabric's base hop latency `hop_ns`. Overlapping windows
+    /// take the worst inflation and the worst jitter bound. A pure function
+    /// of `(seed, link, now_ns)`: no RNG state is consumed, so dispositions
+    /// drawn before/after are unaffected and replays stay bit-identical.
+    pub fn gray_delay_ns(&self, link: u32, now_ns: u64, hop_ns: u64) -> u64 {
+        let mut factor_milli = 1000u64;
+        let mut jitter_bound = 0u64;
+        for w in &self.lat_windows {
+            if w.link == link && w.start_ns <= now_ns && now_ns < w.end_ns {
+                factor_milli = factor_milli.max(w.factor_milli);
+                jitter_bound = jitter_bound.max(w.jitter_ns);
+            }
+        }
+        if factor_milli == 1000 && jitter_bound == 0 {
+            return 0;
+        }
+        let inflation = hop_ns.saturating_mul(factor_milli.saturating_sub(1000)) / 1000;
+        let jitter = if jitter_bound == 0 {
+            0
+        } else {
+            splitmix64(self.gray_seed ^ (u64::from(link) << 32) ^ now_ns) % (jitter_bound + 1)
+        };
+        inflation + jitter
     }
 
     /// Per-link injection counters, keyed by link id. Links that never saw
@@ -354,6 +471,25 @@ impl FaultSchedule {
     /// Record the timeline taking `link` down.
     pub fn note_link_down(&mut self, link: u32) {
         self.link_stats.entry(link).or_default().downs += 1;
+    }
+
+    /// Record the fault plane judging `link` to be flapping (a down within
+    /// the damping window of the previous down).
+    pub fn note_flap(&mut self, link: u32) {
+        self.link_stats.entry(link).or_default().flaps += 1;
+    }
+
+    /// Record one delivered frame's end-to-end hop latency on `link`. Only
+    /// called when [`FaultSchedule::track_latency`] is set, so clean runs
+    /// pay nothing per frame.
+    pub fn note_delivered(&mut self, link: u32, latency_ns: u64) {
+        let s = self.link_stats.entry(link).or_default();
+        if s.lat_count == 0 || latency_ns < s.lat_min_ns {
+            s.lat_min_ns = latency_ns;
+        }
+        s.lat_max_ns = s.lat_max_ns.max(latency_ns);
+        s.lat_sum_ns += latency_ns;
+        s.lat_count += 1;
     }
 
     /// Decide the fate of one message arriving on `link`. Must be called
@@ -521,6 +657,70 @@ mod tests {
         assert_eq!(f.amplification(150), 8, "overlap takes the max");
         assert_eq!(f.amplification(200), 8, "end is exclusive");
         assert_eq!(f.amplification(300), 1);
+    }
+
+    #[test]
+    fn gray_delay_is_a_pure_function_of_time() {
+        let f = FaultSchedule::new(11).degrade(
+            3,
+            SimTime::from_ns(1_000),
+            SimTime::from_ns(2_000),
+            2.5,
+            400,
+        );
+        assert!(f.gray_possible());
+        assert_eq!(f.gray_delay_ns(3, 999, 1_000), 0, "before the window");
+        assert_eq!(f.gray_delay_ns(3, 2_000, 1_000), 0, "end is exclusive");
+        assert_eq!(f.gray_delay_ns(4, 1_500, 1_000), 0, "other links untouched");
+        let d = f.gray_delay_ns(3, 1_500, 1_000);
+        // 2.5x of a 1000ns hop = 1500ns inflation, plus jitter in [0, 400].
+        assert!((1_500..=1_900).contains(&d), "delay {d} out of range");
+        // Pure function: same (seed, link, time) gives the same delay, and
+        // consulting it consumes no RNG (dispositions unaffected).
+        let g = FaultSchedule::new(11).degrade(
+            3,
+            SimTime::from_ns(1_000),
+            SimTime::from_ns(2_000),
+            2.5,
+            400,
+        );
+        assert_eq!(d, g.gray_delay_ns(3, 1_500, 1_000));
+        assert_ne!(
+            f.gray_delay_ns(3, 1_500, 1_000),
+            f.gray_delay_ns(3, 1_501, 1_000),
+            "jitter varies with time (for this seed)"
+        );
+    }
+
+    #[test]
+    fn overlapping_gray_windows_take_the_worst_terms() {
+        let f = FaultSchedule::new(0)
+            .degrade(1, SimTime::from_ns(0), SimTime::from_ns(100), 3.0, 0)
+            .degrade(1, SimTime::from_ns(50), SimTime::from_ns(200), 2.0, 0);
+        assert_eq!(f.gray_delay_ns(1, 60, 1_000), 2_000, "max factor wins");
+        assert_eq!(f.gray_delay_ns(1, 150, 1_000), 1_000);
+    }
+
+    #[test]
+    fn gray_windows_do_not_count_as_message_faults() {
+        let f =
+            FaultSchedule::new(0).degrade(1, SimTime::from_ns(0), SimTime::from_ns(100), 2.0, 0);
+        assert!(!f.message_faults_possible(), "no drop/corrupt configured");
+        assert!(f.track_latency(), "but latency tracking arms");
+        assert!(!FaultSchedule::new(0).gray_possible());
+    }
+
+    #[test]
+    fn delivered_latency_stats_accumulate() {
+        let mut f = FaultSchedule::new(0);
+        f.note_delivered(2, 500);
+        f.note_delivered(2, 100);
+        f.note_delivered(2, 300);
+        f.note_flap(2);
+        let s = f.link_stats()[&2];
+        assert_eq!((s.lat_min_ns, s.lat_max_ns, s.lat_count), (100, 500, 3));
+        assert_eq!(s.lat_mean_ns(), 300);
+        assert_eq!(s.flaps, 1);
     }
 
     #[test]

@@ -114,8 +114,11 @@ pub enum Transit {
 /// Fault-injection hook consulted once per frame arrival on a link.
 /// Implementations must be deterministic given the arrival order.
 pub trait FaultHook {
-    /// Decide the fate of `frame` completing transit on `link`.
-    fn on_transit(&mut self, link: LinkId, frame: &Frame) -> Transit;
+    /// Decide the fate of `frame` completing transit on `link` at sim time
+    /// `now_ns`. `hop_ns` is the fabric's base hop latency, so hooks can
+    /// derive gray (pure-delay) degradation and delivered-latency stats
+    /// without reaching back into the fabric config.
+    fn on_transit(&mut self, link: LinkId, frame: &Frame, now_ns: u64, hop_ns: u64) -> Transit;
 
     /// A frame that was in flight on `link` when the link went down has been
     /// dropped (scripted loss — no disposition was drawn for it).
@@ -132,7 +135,7 @@ pub trait FaultHook {
 pub struct NoFaults;
 
 impl FaultHook for NoFaults {
-    fn on_transit(&mut self, _link: LinkId, _frame: &Frame) -> Transit {
+    fn on_transit(&mut self, _link: LinkId, _frame: &Frame, _now_ns: u64, _hop_ns: u64) -> Transit {
         Transit::Deliver
     }
 }
@@ -596,7 +599,7 @@ impl Fabric {
                     hook.on_down_drop(l);
                     self.drop_in_transit(l, &mut out);
                 } else {
-                    match hook.on_transit(l, &frame) {
+                    match hook.on_transit(l, &frame, now_ns, self.cfg.hop_latency_ns) {
                         Transit::Deliver => self.finish_arrival(l, frame, hook, &mut out),
                         Transit::Drop => self.drop_in_transit(l, &mut out),
                         Transit::Corrupt => {
@@ -1653,7 +1656,7 @@ mod fault_tests {
     }
 
     impl FaultHook for Script {
-        fn on_transit(&mut self, link: LinkId, _frame: &Frame) -> Transit {
+        fn on_transit(&mut self, link: LinkId, _frame: &Frame, _now: u64, _hop: u64) -> Transit {
             if link != self.link {
                 return Transit::Deliver;
             }
@@ -1777,7 +1780,7 @@ mod fault_tests {
     }
 
     impl FaultHook for DownCounter {
-        fn on_transit(&mut self, _link: LinkId, _frame: &Frame) -> Transit {
+        fn on_transit(&mut self, _link: LinkId, _frame: &Frame, _now: u64, _hop: u64) -> Transit {
             Transit::Deliver
         }
         fn on_down_drop(&mut self, _link: LinkId) {

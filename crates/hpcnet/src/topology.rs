@@ -251,6 +251,16 @@ struct Hier {
     /// level `l` within its block. Chosen greedily at build time to spread
     /// gateway port load.
     gw: Vec<Vec<u32>>,
+    /// Redundant worlds only ([`Topology::hierarchical_hypercube_redundant`]):
+    /// `gw_standby[l-1][d]` = a second residue class, distinct from
+    /// `gw[l-1][d]`, wired with its own physical copy of every level-`l`
+    /// dimension-`d` gateway link. Empty when the world has no standbys.
+    gw_standby: Vec<Vec<u32>>,
+    /// The residue class currently *routing* each gateway role. Starts as a
+    /// copy of `gw`; [`Topology::recompute`] flips a role to its standby when
+    /// the primary class loses a gateway link (and back on heal). Always
+    /// equals `gw` in non-redundant worlds.
+    gw_active: Vec<Vec<u32>>,
     /// Detours installed by [`Topology::recompute`]: only entries that
     /// *differ* from the implicit baseline are present (`u8::MAX` marks an
     /// unreachable pair). Never iterated, so hash order cannot leak into
@@ -306,7 +316,7 @@ impl Hier {
                 return Step::Local(goal);
             }
             let d = hypercube_next_dim(self.digit(x, l), self.digit(goal, l));
-            let gwc = x - x % self.block[l] + self.gw[l - 1][d as usize];
+            let gwc = x - x % self.block[l] + self.gw_active[l - 1][d as usize];
             if gwc == x {
                 return Step::Cross { level: l, dim: d };
             }
@@ -325,24 +335,59 @@ impl Hier {
         }
     }
 
+    /// The residue classes holding the `(l, dim)` gateway role, in port
+    /// allocation order: primary first, then the standby when the world has
+    /// one. Port numbering walks roles in exactly this order.
+    fn role_classes(&self, l: usize, dim: u32) -> impl Iterator<Item = u32> + '_ {
+        std::iter::once(self.gw[l - 1][dim as usize])
+            .chain(self.gw_standby.get(l - 1).map(|row| row[dim as usize]))
+    }
+
     /// The port cluster `c` uses for its level-`level`, dimension-`dim`
     /// gateway link. Gateway ports are allocated after the dimension and
-    /// endpoint ports in `(level, dim)` order of the roles `c` holds; a role
-    /// reserves its port even when the partner digit does not exist (keeps
-    /// port numbering identical across a residue class).
+    /// endpoint ports in `(level, dim, class)` order of the roles `c` holds;
+    /// a role reserves its port even when the partner digit does not exist
+    /// (keeps port numbering identical across a residue class). Within a
+    /// role, `c` belongs to at most one class (primary and standby residues
+    /// are distinct), so the match is unambiguous.
     fn gateway_port(&self, c: u32, level: usize, dim: u32) -> u8 {
         let mut port = self.dims[0] + self.eps;
         for l in 1..self.n_levels() {
             for d in 0..self.dims[l] {
-                if c % self.block[l] == self.gw[l - 1][d as usize] {
-                    if l == level && d == dim {
-                        return port as u8;
+                for r in self.role_classes(l, d) {
+                    if c % self.block[l] == r {
+                        if l == level && d == dim {
+                            return port as u8;
+                        }
+                        port += 1;
                     }
-                    port += 1;
                 }
             }
         }
         unreachable!("cluster {c} holds no gateway role ({level},{dim})")
+    }
+
+    /// The gateway role owning port `p` on cluster `c`, as
+    /// `(level, dim, class residue)` — `None` for dimension and endpoint
+    /// ports. The inverse of [`Hier::gateway_port`]'s allocation walk.
+    fn port_role(&self, c: u32, p: u8) -> Option<(usize, u32, u32)> {
+        if u32::from(p) < self.dims[0] + self.eps {
+            return None;
+        }
+        let mut port = self.dims[0] + self.eps;
+        for l in 1..self.n_levels() {
+            for d in 0..self.dims[l] {
+                for r in self.role_classes(l, d) {
+                    if c % self.block[l] == r {
+                        if port == u32::from(p) {
+                            return Some((l, d, r));
+                        }
+                        port += 1;
+                    }
+                }
+            }
+        }
+        None
     }
 }
 
@@ -455,6 +500,28 @@ impl Topology {
         levels: &[usize],
         endpoints_per_cluster: usize,
     ) -> Result<Topology, TopologyError> {
+        Topology::hier_impl(levels, endpoints_per_cluster, false)
+    }
+
+    /// [`Topology::hierarchical_hypercube`] with *redundant gateways*: every
+    /// gateway role gets a second residue class (the standby), wired with
+    /// its own physical copy of each gateway link. When the primary class
+    /// loses a gateway link, [`Topology::recompute`] re-wires the whole role
+    /// onto the standby class — an O(1) deterministic failover with no
+    /// overlay entries — and restores the primary on heal. Costs one extra
+    /// port per standby role held, checked against the port budget.
+    pub fn hierarchical_hypercube_redundant(
+        levels: &[usize],
+        endpoints_per_cluster: usize,
+    ) -> Result<Topology, TopologyError> {
+        Topology::hier_impl(levels, endpoints_per_cluster, true)
+    }
+
+    fn hier_impl(
+        levels: &[usize],
+        endpoints_per_cluster: usize,
+        redundant: bool,
+    ) -> Result<Topology, TopologyError> {
         assert!(!levels.is_empty(), "need at least one hierarchy level");
         assert!(levels[0] >= 1, "need at least one cluster");
         if levels.len() > 1 {
@@ -487,33 +554,51 @@ impl Topology {
         // Deterministic, and keeps the per-cluster gateway port count near
         // the unavoidable ceil(total roles / block) floor.
         let mut gw: Vec<Vec<u32>> = Vec::with_capacity(k.saturating_sub(1));
+        let mut gw_standby: Vec<Vec<u32>> = Vec::new();
         let mut load = vec![0u32; n];
+        // Pick the least-loaded residue class (mod b), excluding `exclude`.
+        let pick = |load: &mut [u32], b: u32, exclude: Option<u32>| -> u32 {
+            let mut best_r = 0u32;
+            let mut best_load = u32::MAX;
+            for r in 0..b {
+                if exclude == Some(r) {
+                    continue;
+                }
+                let mut worst = 0u32;
+                let mut c = r as usize;
+                while c < n {
+                    worst = worst.max(load[c]);
+                    c += b as usize;
+                }
+                if worst < best_load {
+                    best_load = worst;
+                    best_r = r;
+                }
+            }
+            let mut c = best_r as usize;
+            while c < n {
+                load[c] += 1;
+                c += b as usize;
+            }
+            best_r
+        };
         for l in 1..k {
             let b = block[l];
             let mut row = Vec::with_capacity(dims[l] as usize);
+            let mut standby_row = Vec::with_capacity(dims[l] as usize);
             for _d in 0..dims[l] {
-                let mut best_r = 0u32;
-                let mut best_load = u32::MAX;
-                for r in 0..b {
-                    let mut worst = 0u32;
-                    let mut c = r as usize;
-                    while c < n {
-                        worst = worst.max(load[c]);
-                        c += b as usize;
-                    }
-                    if worst < best_load {
-                        best_load = worst;
-                        best_r = r;
-                    }
+                let r = pick(&mut load, b, None);
+                row.push(r);
+                if redundant {
+                    // The standby must be a *different* residue class, so a
+                    // primary-class fault can never take both copies down.
+                    standby_row.push(pick(&mut load, b, Some(r)));
                 }
-                let mut c = best_r as usize;
-                while c < n {
-                    load[c] += 1;
-                    c += b as usize;
-                }
-                row.push(best_r);
             }
             gw.push(row);
+            if redundant {
+                gw_standby.push(standby_row);
+            }
         }
         let max_load = load.iter().copied().max().unwrap_or(0) as usize;
         if dims0 + eps + max_load > PORTS_PER_CLUSTER {
@@ -529,6 +614,8 @@ impl Topology {
             block: block.clone(),
             eps: eps as u32,
             gw: gw.clone(),
+            gw_standby: gw_standby.clone(),
+            gw_active: gw.clone(),
             overlay: HashMap::new(),
             scope: OverlayScope::Baseline,
         };
@@ -562,34 +649,39 @@ impl Topology {
                 });
             }
         }
-        // Gateway links, in (level, dim) role order. Every member of the
-        // residue class consumes one port per role (even when its partner
-        // digit is absent), which keeps port numbers identical across the
-        // class — both ends of a link compute the same port.
+        // Gateway links, in (level, dim, class) role order — primary then
+        // standby, matching `Hier::gateway_port`'s allocation walk. Every
+        // member of a residue class consumes one port per role (even when
+        // its partner digit is absent), which keeps port numbers identical
+        // across the class — both ends of a link compute the same port.
         let mut next_gw_port = vec![(dims0 + eps) as u8; n];
         for l in 1..k {
             for d in 0..dims[l] {
-                let r = gw[l - 1][d as usize];
-                let mut c = r as usize;
-                while c < n {
-                    let port = next_gw_port[c];
-                    next_gw_port[c] += 1;
-                    let a = hier.digit(c as u32, l);
-                    let bdig = a ^ (1 << d);
-                    if bdig < levels_u[l] && bdig > a {
-                        let partner = c + ((bdig - a) * block[l]) as usize;
-                        debug_assert_eq!(clusters[c][usize::from(port)], Attachment::Empty);
-                        debug_assert_eq!(clusters[partner][usize::from(port)], Attachment::Empty);
-                        clusters[c][usize::from(port)] = Attachment::Cluster(PortRef {
-                            cluster: ClusterId(partner as u32),
-                            port,
-                        });
-                        clusters[partner][usize::from(port)] = Attachment::Cluster(PortRef {
-                            cluster: ClusterId(c as u32),
-                            port,
-                        });
+                for r in hier.role_classes(l, d) {
+                    let mut c = r as usize;
+                    while c < n {
+                        let port = next_gw_port[c];
+                        next_gw_port[c] += 1;
+                        let a = hier.digit(c as u32, l);
+                        let bdig = a ^ (1 << d);
+                        if bdig < levels_u[l] && bdig > a {
+                            let partner = c + ((bdig - a) * block[l]) as usize;
+                            debug_assert_eq!(clusters[c][usize::from(port)], Attachment::Empty);
+                            debug_assert_eq!(
+                                clusters[partner][usize::from(port)],
+                                Attachment::Empty
+                            );
+                            clusters[c][usize::from(port)] = Attachment::Cluster(PortRef {
+                                cluster: ClusterId(partner as u32),
+                                port,
+                            });
+                            clusters[partner][usize::from(port)] = Attachment::Cluster(PortRef {
+                                cluster: ClusterId(c as u32),
+                                port,
+                            });
+                        }
+                        c += block[l] as usize;
                     }
-                    c += block[l] as usize;
                 }
             }
         }
@@ -934,6 +1026,37 @@ impl Topology {
         hops + 2
     }
 
+    /// Visit every consecutive cluster pair `(from, to)` on the fault-free
+    /// baseline route from `a` to `b`, in path order — the same walk
+    /// [`Topology::baseline_cluster_links`] counts. No-op when `a == b`.
+    /// The sharded bridge uses this to charge per-cable gray-degradation
+    /// latency without materializing the path.
+    pub fn baseline_cluster_pairs(
+        &self,
+        a: ClusterId,
+        b: ClusterId,
+        mut f: impl FnMut(ClusterId, ClusterId),
+    ) {
+        let mut here = a.0;
+        let mut hops = 0usize;
+        while here != b.0 {
+            let port = self.base_port_of(here, b.0);
+            debug_assert_ne!(port, u8::MAX, "baseline routing is fully connected");
+            match self.attachment(PortRef {
+                cluster: ClusterId(here),
+                port,
+            }) {
+                Attachment::Cluster(peer) => {
+                    f(ClusterId(here), peer.cluster);
+                    here = peer.cluster.0;
+                }
+                other => panic!("route led to non-cluster attachment {other:?}"),
+            }
+            hops += 1;
+            assert!(hops <= self.clusters.len(), "baseline routing loop");
+        }
+    }
+
     /// Hop count of the routed path from cluster `from` to cluster `to`
     /// over the routing currently in force; `None` when unreachable.
     fn cluster_hops(&self, from: usize, to: usize) -> Option<usize> {
@@ -1093,10 +1216,62 @@ impl Topology {
         h.overlay.clear(); // keeps capacity: repeat churn cycles do not allocate
         if self.dead.is_empty() {
             h.scope = OverlayScope::Baseline;
+            // Full heal restores the primary gateway classes.
+            for (a, p) in h.gw_active.iter_mut().zip(h.gw.iter()) {
+                a.copy_from_slice(p);
+            }
             return;
         }
+        // Redundant-gateway failover: re-derive the active class of every
+        // role from the dead set (a pure function of it, so sharded replays
+        // agree). A role whose primary class lost a gateway link moves to
+        // its standby — unless the standby class lost one too, in which
+        // case the exact repair below must route around both.
+        if !h.gw_standby.is_empty() {
+            for (a, p) in h.gw_active.iter_mut().zip(h.gw.iter()) {
+                a.copy_from_slice(p);
+            }
+            let mut class_dead: Vec<(usize, u32, u32)> = Vec::new();
+            for &(c, p) in &self.dead {
+                if let Some(role) = h.port_role(c, p) {
+                    if !class_dead.contains(&role) {
+                        class_dead.push(role);
+                    }
+                }
+            }
+            for l in 1..h.n_levels() {
+                for d in 0..h.dims[l] {
+                    let primary = h.gw[l - 1][d as usize];
+                    let standby = h.gw_standby[l - 1][d as usize];
+                    if class_dead.contains(&(l, d, primary))
+                        && !class_dead.contains(&(l, d, standby))
+                    {
+                        h.gw_active[l - 1][d as usize] = standby;
+                    }
+                }
+            }
+        }
         let dims0 = h.dims[0];
-        if self.dead.iter().all(|&(_, p)| u32::from(p) < dims0) {
+        // A dead gateway edge whose class is not routing its role carries no
+        // baseline traffic: it neither forces the exact global repair nor
+        // perturbs group-local detours.
+        let gateway_relevant = |h: &Hier, c: u32, p: u8| -> bool {
+            match h.port_role(c, p) {
+                Some((l, d, r)) => h.gw_active[l - 1][d as usize] == r,
+                None => true, // endpoint ports never appear in `dead`
+            }
+        };
+        if self
+            .dead
+            .iter()
+            .all(|&(c, p)| u32::from(p) < dims0 || !gateway_relevant(h, c, p))
+        {
+            if self.dead.iter().all(|&(_, p)| u32::from(p) >= dims0) {
+                // Pure gateway failover: every dead edge was re-wired onto a
+                // standby class, so the (new) baseline is ground truth.
+                h.scope = OverlayScope::Baseline;
+                return;
+            }
             h.scope = OverlayScope::Waypoint;
             if waypoint_repair(h, &self.clusters, &self.dead, &mut self.scratch) {
                 return;
@@ -1745,6 +1920,125 @@ mod tests {
         t.recompute();
         assert_eq!(t.overlay_len(), 0);
         assert!(t.reachable(ClusterId(1), ClusterId(5)));
+    }
+
+    #[test]
+    fn redundant_gateway_fails_over_and_heals() {
+        // [4,2] redundant: primary gateway class residue 0 (clusters 0, 4),
+        // standby class residue 1 (clusters 1, 5), both on port 3.
+        let mut t = Topology::hierarchical_hypercube_redundant(&[4, 2], 1).unwrap();
+        assert_eq!(
+            t.attachment(PortRef {
+                cluster: ClusterId(1),
+                port: 3
+            }),
+            Attachment::Cluster(PortRef {
+                cluster: ClusterId(5),
+                port: 3
+            }),
+            "standby class carries its own physical cable"
+        );
+        // Baseline routes via the primary gateway.
+        assert_eq!(
+            t.cluster_path(NodeAddr(3), NodeAddr(5)),
+            vec![
+                ClusterId(3),
+                ClusterId(1),
+                ClusterId(0),
+                ClusterId(4),
+                ClusterId(5)
+            ]
+        );
+        // Kill the primary inter-group cable (0 -> 4 direction): the whole
+        // role re-wires onto the standby class — no overlay entries, every
+        // pair still reachable.
+        t.set_edge_state(
+            PortRef {
+                cluster: ClusterId(0),
+                port: 3,
+            },
+            false,
+        );
+        t.recompute();
+        assert_eq!(t.overlay_len(), 0, "failover is a re-wire, not a detour");
+        assert_eq!(
+            t.cluster_path(NodeAddr(3), NodeAddr(5)),
+            vec![ClusterId(3), ClusterId(1), ClusterId(5)],
+            "traffic crosses at the standby gateway"
+        );
+        for s in 0..8u32 {
+            for d in 0..8u32 {
+                assert!(t.reachable(ClusterId(s), ClusterId(d)), "{s}->{d}");
+            }
+        }
+        // Heal restores the primary class.
+        t.set_edge_state(
+            PortRef {
+                cluster: ClusterId(0),
+                port: 3,
+            },
+            true,
+        );
+        t.recompute();
+        assert_eq!(
+            t.cluster_path(NodeAddr(3), NodeAddr(5)),
+            vec![
+                ClusterId(3),
+                ClusterId(1),
+                ClusterId(0),
+                ClusterId(4),
+                ClusterId(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn redundant_gateway_double_fault_escalates() {
+        let mut t = Topology::hierarchical_hypercube_redundant(&[4, 2], 1).unwrap();
+        // Kill both classes' cables in the forward direction: no failover
+        // target remains, so the exact repair must declare unreachability.
+        t.set_edge_state(
+            PortRef {
+                cluster: ClusterId(0),
+                port: 3,
+            },
+            false,
+        );
+        t.set_edge_state(
+            PortRef {
+                cluster: ClusterId(1),
+                port: 3,
+            },
+            false,
+        );
+        t.recompute();
+        assert!(!t.reachable(ClusterId(2), ClusterId(6)));
+        assert!(t.reachable(ClusterId(6), ClusterId(2)), "reverse alive");
+        // One heal brings the standby back: reachable again via failover.
+        t.set_edge_state(
+            PortRef {
+                cluster: ClusterId(1),
+                port: 3,
+            },
+            true,
+        );
+        t.recompute();
+        assert!(t.reachable(ClusterId(2), ClusterId(6)));
+        assert_eq!(t.overlay_len(), 0);
+    }
+
+    #[test]
+    fn redundant_world_routes_every_pair() {
+        let t = Topology::hierarchical_hypercube_redundant(&[4, 4], 2).unwrap();
+        assert_eq!(t.n_clusters(), 16);
+        for s in t.endpoints() {
+            for d in t.endpoints() {
+                if s != d {
+                    let path = t.cluster_path(s, d); // asserts loop-free
+                    assert!(path.len() <= t.n_clusters());
+                }
+            }
+        }
     }
 
     #[test]
