@@ -43,4 +43,7 @@ cargo run --release -p vorx-bench --bin scale_campaign -- --smoke
 echo "==> gray smoke (gray failures under watchdog: delay/asymmetry/flap/gateway cells, adaptive-timer oracles)"
 cargo run --release -p vorx-bench --bin gray_campaign -- --smoke
 
+echo "==> collective smoke (fan-in 512 under watchdog: in-network >= 3x software tree, workers {1,4} trace equality)"
+cargo run --release -p vorx-bench --bin collective_campaign -- --smoke
+
 echo "CI OK"

@@ -43,7 +43,8 @@ fn bench_multicast(c: &mut Criterion) {
             || {
                 let topo = Topology::incomplete_hypercube(8, 4).unwrap();
                 let mut net = StandaloneNet::new(Fabric::new(topo, NetConfig::paper_1988()));
-                let everyone: Vec<NodeAddr> = (1..32).map(NodeAddr).collect();
+                let everyone: std::sync::Arc<[NodeAddr]> =
+                    (1..32).map(NodeAddr).collect::<Vec<_>>().into();
                 for i in 0..100u64 {
                     net.send_at(
                         i * 100_000,

@@ -331,13 +331,16 @@ fn workspace_root() -> PathBuf {
 }
 
 /// Hand-rolled JSON, same convention as the other BENCH_*.json reports.
-fn to_json(cells: &[CellResult], speedup: &(u64, u64, f64)) -> String {
+fn to_json(host_cpus: usize, cells: &[CellResult], speedup: &(u64, u64, f64)) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
         "  \"note\": \"scale campaign: hierarchical worlds 1k..1M endpoints, sharded engine \
-         (8 shards), streaming workload, two cable flaps, workers {1,4}\",\n",
+         (8 shards), streaming workload, two cable flaps, workers {1,4}; events/sec figures \
+         are wall-clock and only comparable on similar host hardware (host_cpus = effective \
+         CPU affinity mask)\",\n",
     );
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     out.push_str(&format!(
         "  \"recompute_100k\": {{ \"overlay_ns\": {}, \"dense_bfs_ns\": {}, \
          \"speedup\": {:.0} }},\n",
@@ -464,8 +467,9 @@ fn main() {
     let bad: usize = cells.iter().filter(|c| !c.trace_identical).count();
     assert_eq!(bad, 0, "{bad} scale points broke worker determinism");
 
+    let host_cpus = desim::affinity::effective_parallelism();
     let root = workspace_root();
     let path = root.join("BENCH_scale.json");
-    std::fs::write(&path, to_json(&cells, &sp)).expect("write BENCH_scale.json");
+    std::fs::write(&path, to_json(host_cpus, &cells, &sp)).expect("write BENCH_scale.json");
     println!("wrote {}", path.display());
 }

@@ -59,6 +59,10 @@ pub struct FaultStats {
     /// Open requests refused (`KIND_OPEN_NACK`) or listener connections
     /// discarded because a bounded kernel table was full.
     pub table_rejects: u64,
+    /// Collective attempt epochs opened by a root's retry timer (a
+    /// contribution or flushed partial was lost, or a straggler outlasted
+    /// the timeout — see DESIGN.md §16).
+    pub coll_retries: u64,
 }
 
 /// The fault plane as the world sees it: the seeded schedule plus the
@@ -359,6 +363,7 @@ pub fn on_crash(w: &mut World, s: &mut VSched, node: NodeAddr) {
     n.udcos.clear();
     n.mcast.clear();
     n.mcast_pending.clear();
+    n.coll.clear();
     let mut chans = std::mem::take(&mut n.chans);
     let mut ids: Vec<u32> = chans.keys().copied().collect();
     ids.sort_unstable();

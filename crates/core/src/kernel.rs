@@ -135,7 +135,7 @@ fn bridge(w: &mut World, s: &mut VSched, frame: Frame) -> Option<Frame> {
         // (which owns the register for the duration); the remote copies ride
         // the bridge at no extra register cost.
         let mut f = frame;
-        f.dst = Dest::Multicast(local);
+        f.dst = Dest::Multicast(local.into());
         Some(f)
     }
 }
@@ -294,6 +294,14 @@ fn dispatch(w: &mut World, s: &mut VSched, a: NodeAddr, f: Frame) {
         proto::KIND_HEARTBEAT => crate::membership::on_heartbeat(w, s, a, f),
         proto::KIND_REPL_REG => objmgr::on_repl_reg(w, s, a, f),
         proto::KIND_OPEN_NACK => objmgr::on_open_nack(w, s, a, f),
+        proto::KIND_COLL_UP => crate::collective::on_up(w, s, a, f),
+        proto::KIND_COLL_RESULT => crate::collective::on_result(w, s, a, f),
+        proto::KIND_COLL_RETRY => crate::collective::on_retry(w, s, a, f),
+        proto::KIND_COLL_NUDGE => crate::collective::on_nudge(w, s, a, f),
+        proto::KIND_COLL_A2A | proto::KIND_COLL_A2A_VAL => {
+            crate::collective::on_a2a_val(w, s, a, f)
+        }
+        proto::KIND_COLL_A2A_REQ => crate::collective::on_a2a_req(w, s, a, f),
         k if k >= proto::KIND_UDCO_BASE => udco::on_frame(w, s, a, f),
         k => panic!("node {a}: frame with unknown protocol kind {k}"),
     }

@@ -51,6 +51,7 @@ pub mod api;
 pub mod appmgr;
 pub mod calib;
 pub mod channel;
+pub mod collective;
 pub mod cpu;
 pub mod debug;
 pub mod error;

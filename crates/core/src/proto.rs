@@ -204,6 +204,36 @@ pub const KIND_REPL_REG: u16 = 21;
 /// fails fast instead of retrying into an overloaded manager.
 pub const KIND_OPEN_NACK: u16 = 22;
 
+/// In-network collective contribution, combinable inside the fabric: a
+/// member's operand headed up to the group root. The payload is the
+/// `hpcnet::combine` 13-byte operand, and the `seq` is the
+/// `(group, sequence, attempt)` combining equivalence class
+/// ([`hpcnet::combine::enc_seq`]). This is the one kind registered with
+/// [`hpcnet::Fabric::comb_register_group`].
+pub const KIND_COLL_UP: u16 = 23;
+/// Collective result from the root back to the members, down the hardware
+/// multicast path. Doubles as the completion acknowledgement: a member that
+/// holds the result knows its contribution was counted.
+pub const KIND_COLL_RESULT: u16 = 24;
+/// Root-driven retry: the combining window closed without the full group
+/// arriving, so the root opens a fresh *attempt* epoch. Members re-send
+/// their operand under the new attempt; stale partials from the previous
+/// attempt can never merge with (or double-count into) the new one.
+pub const KIND_COLL_RETRY: u16 = 25;
+/// Member-driven result replay request: the member contributed but never
+/// saw the `KIND_COLL_RESULT` (lost on the way down). The root replays the
+/// completed result unicast.
+pub const KIND_COLL_NUDGE: u16 = 26;
+/// All-to-all value broadcast: one member's `(index, value)` pair,
+/// hardware-multicast to every other member.
+pub const KIND_COLL_A2A: u16 = 27;
+/// All-to-all recovery request: the requester is missing the addressee's
+/// value for the current operation and asks for a unicast replay.
+pub const KIND_COLL_A2A_REQ: u16 = 28;
+/// All-to-all recovery replay: a unicast `(index, value)` pair answering a
+/// `KIND_COLL_A2A_REQ`.
+pub const KIND_COLL_A2A_VAL: u16 = 29;
+
 /// True iff `kind` is lowest-priority, fully-retransmittable channel data —
 /// the only traffic class the fabric may shed under an overload byte budget.
 /// Everything else (acks, opens, control, heartbeats, UDCO) is never shed:
@@ -234,6 +264,39 @@ pub fn parse_repl_reg(p: &Payload) -> (ObjKind, NodeAddr, String) {
     )
 }
 
+/// Encode an all-to-all value payload: member index + 64-bit value.
+pub fn pack_a2a(idx: u32, value: u64) -> Payload {
+    let mut b = BytesMut::with_capacity(12);
+    b.put_u32(idx);
+    b.put_u64(value);
+    Payload::Data(b.freeze())
+}
+
+/// Decode an all-to-all value payload into `(index, value)`.
+pub fn parse_a2a(p: &Payload) -> (u32, u64) {
+    let b = p.bytes().expect("a2a value carries data");
+    let mut i = [0u8; 4];
+    i.copy_from_slice(&b[..4]);
+    let mut v = [0u8; 8];
+    v.copy_from_slice(&b[4..12]);
+    (u32::from_be_bytes(i), u64::from_be_bytes(v))
+}
+
+/// Encode an all-to-all recovery request: the requester's member index.
+pub fn pack_a2a_req(idx: u32) -> Payload {
+    let mut b = BytesMut::with_capacity(4);
+    b.put_u32(idx);
+    Payload::Data(b.freeze())
+}
+
+/// Decode an all-to-all recovery request into the requester's index.
+pub fn parse_a2a_req(p: &Payload) -> u32 {
+    let b = p.bytes().expect("a2a request carries the requester index");
+    let mut i = [0u8; 4];
+    i.copy_from_slice(&b[..4]);
+    u32::from_be_bytes(i)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +324,14 @@ mod tests {
     fn wack_round_trip() {
         let p = pack_wack(0b1010, 17);
         assert_eq!(parse_wack(&p), (0b1010, 17));
+    }
+
+    #[test]
+    fn a2a_round_trip() {
+        let p = pack_a2a(4095, 0xFACE_CAFE_0042_0000);
+        assert_eq!(parse_a2a(&p), (4095, 0xFACE_CAFE_0042_0000));
+        let r = pack_a2a_req(17);
+        assert_eq!(parse_a2a_req(&r), 17);
     }
 
     #[test]

@@ -159,7 +159,7 @@ pub fn send_multi(
     let pid = ctx.pid();
     let mut frame = Some(Frame {
         src: node,
-        dst: hpcnet::Dest::Multicast(dsts),
+        dst: hpcnet::Dest::Multicast(dsts.into()),
         kind: KIND_UDCO_BASE + tag,
         seq,
         payload,

@@ -98,6 +98,8 @@ pub struct Node {
     /// Data frames that arrived before their channel end existed (the
     /// open-reply race); re-dispatched when the channel is created.
     pub orphans: Vec<hpcnet::Frame>,
+    /// Collective protocol state per group (DESIGN.md §16).
+    pub coll: HashMap<u32, crate::collective::CollNodeState>,
 }
 
 impl Node {
@@ -125,6 +127,7 @@ impl Node {
             mcast: HashMap::new(),
             mcast_pending: HashMap::new(),
             orphans: Vec::new(),
+            coll: HashMap::new(),
         }
     }
 }
@@ -331,6 +334,8 @@ pub struct World {
     /// gathers recycle their scatter/gather buffers through it instead of
     /// allocating fresh ones per message.
     pub payload_pool: crate::alloc::PayloadPool,
+    /// Registered collective groups, by group id (DESIGN.md §16).
+    pub coll_groups: HashMap<u32, crate::collective::GroupCfg>,
     /// Sharded-engine bridge state; inert defaults in sequential builds.
     pub shard: ShardCtx,
 }
@@ -566,6 +571,7 @@ impl VorxBuilder {
             next_chan: 1,
             next_token: 0,
             payload_pool: crate::alloc::PayloadPool::default(),
+            coll_groups: HashMap::new(),
             shard: ShardCtx::default(),
         };
         let vs = VorxSim {
@@ -699,6 +705,7 @@ impl VorxBuilder {
                 next_chan: 1 + k as u32,
                 next_token: k as u64,
                 payload_pool: crate::alloc::PayloadPool::default(),
+                coll_groups: HashMap::new(),
                 shard: ShardCtx {
                     enabled: true,
                     shard_id: k,

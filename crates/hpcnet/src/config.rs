@@ -31,6 +31,16 @@ pub struct NetConfig {
     /// shedding; counted in `Stats::frames_shed`). `u64::MAX` — the default,
     /// and the 1988 hardware — disables the budget entirely.
     pub switch_byte_budget: u64,
+    /// Combining-ALU latency per merge at a star coupler, in ns: each
+    /// contribution folded into a held partial extends the partial's
+    /// readiness by this much. Only consulted once a collective group is
+    /// registered ([`crate::Fabric::comb_register_group`]).
+    pub comb_alu_ns: u64,
+    /// Combining window, in ns: the longest a star coupler holds a partial
+    /// combine waiting for more contributions before flushing it onward.
+    /// Bounds the latency a straggler (or a lost contribution) can impose
+    /// on the rest of its subtree — see DESIGN.md §16.
+    pub comb_window_ns: u64,
 }
 
 impl NetConfig {
@@ -42,6 +52,8 @@ impl NetConfig {
             cluster_port_slots: 2,
             endpoint_rx_slots: 4,
             switch_byte_budget: u64::MAX, // unbounded: the paper's hardware
+            comb_alu_ns: 100,             // a register-file ALU pass
+            comb_window_ns: 20_000,       // bounds straggler hold time
         }
     }
 

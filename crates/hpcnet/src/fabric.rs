@@ -27,7 +27,7 @@
 //! be driven by `desim`, by the standalone driver in [`crate::driver`], or
 //! directly by unit tests.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use crate::config::{NetConfig, PORTS_PER_CLUSTER};
@@ -95,6 +95,10 @@ pub enum NetEvent {
     /// [`NetEvent::Arrive`] except that the fault hook is not consulted
     /// again (each frame gets at most one disposition per hop).
     ArriveDelayed(LinkId, Frame),
+    /// A combining window (or ALU) deadline at a star coupler: flush the
+    /// partial combine keyed by `(cluster, seq)` onward. No-op if the entry
+    /// already flushed early (expected-count satisfied).
+    CombFlush(ClusterId, u64),
 }
 
 /// What the fault plane decided for one frame in transit on one link.
@@ -216,6 +220,12 @@ pub struct Stats {
     pub per_endpoint_rx: Vec<u64>,
     /// Per-endpoint injected-frame counts.
     pub per_endpoint_tx: Vec<u64>,
+    /// Contributions merged into a held partial by a combining switch (each
+    /// merge removed one frame from the network). Always zero until a
+    /// collective group is registered.
+    pub frames_combined: u64,
+    /// Partial combines flushed onward by the combining switches.
+    pub comb_flushes: u64,
 }
 
 /// The HPC interconnect model. See module docs.
@@ -285,9 +295,60 @@ pub struct Fabric {
     fwd_scratch: Vec<NodeAddr>,
     /// Reusable cluster-path buffer for [`Fabric::probe_route_ns`].
     path_scratch: Vec<ClusterId>,
+    /// In-switch combining state. `None` — and never consulted beyond one
+    /// pointer test on the arrival paths — until the software layer
+    /// registers a collective group, so non-collective runs are untouched.
+    comb: Option<Box<Comb>>,
     /// Statistics.
     pub stats: Stats,
     now_ns: u64,
+}
+
+/// In-switch combining: registered groups plus the live combining table.
+/// See `combine` module docs and DESIGN.md §16.
+struct Comb {
+    /// Registered groups by id.
+    groups: HashMap<u32, CombGroup>,
+    /// Live partial combines keyed by `(cluster, frame.seq)`.
+    entries: HashMap<(u32, u64), CombEntry>,
+}
+
+/// One registered collective group, as the switches see it.
+struct CombGroup {
+    /// The frame kind that combines for this group.
+    kind: u16,
+    /// Per-cluster expected contribution count: how many of the group's
+    /// members route through each cluster on their way to the root *through
+    /// this fabric*. Purely an optimization — a partial that reaches its
+    /// expected count flushes early instead of waiting out the window.
+    /// Correctness never depends on it: the root software accumulates
+    /// partials until the group total arrives.
+    expected: Vec<u32>,
+}
+
+/// One held partial combine at one star coupler.
+struct CombEntry {
+    op: crate::combine::CombOp,
+    /// The merged operand so far.
+    value: u64,
+    /// Original contributions folded into `value`.
+    count: u32,
+    /// When the combining ALU finishes the merges so far: each merge
+    /// extends this by `NetConfig::comb_alu_ns`, and the entry never
+    /// flushes earlier.
+    ready_at: u64,
+    /// Source of the first contribution (deterministic in arrival order) —
+    /// stamped on the flushed frame.
+    src: NodeAddr,
+    /// The common unicast destination (the group root's endpoint).
+    dst: NodeAddr,
+    /// The common frame kind.
+    kind: u16,
+    /// Input link of the first fabric-side contribution: the flushed frame
+    /// re-enters forwarding here. `None` when every contribution arrived
+    /// through the cross-shard bridge (then the entry sits at the
+    /// destination's own cluster and flushes straight into its FIFO).
+    arrival: Option<LinkId>,
 }
 
 /// Byte cost a frame charges against a cluster's store-and-forward budget:
@@ -413,6 +474,7 @@ impl Fabric {
             scan_scratch: Vec::new(),
             fwd_scratch: Vec::new(),
             path_scratch: Vec::new(),
+            comb: None,
             stats: Stats {
                 per_endpoint_rx: vec![0; n_eps],
                 per_endpoint_tx: vec![0; n_eps],
@@ -625,6 +687,7 @@ impl Fabric {
                     self.finish_arrival(l, frame, hook, &mut out);
                 }
             }
+            NetEvent::CombFlush(c, seq) => self.comb_flush(c, seq, &mut out),
         }
         out
     }
@@ -655,6 +718,25 @@ impl Fabric {
                 return;
             }
         }
+        // In-switch combining: a combinable frame arriving at a cluster
+        // input merges into the coupler's held partial instead of
+        // buffering. Entirely behind the one pointer test — non-collective
+        // runs take the unchanged path below.
+        let frame = if self.comb.is_some() {
+            if let Element::Port(p) = to {
+                match self.try_comb_absorb(p.cluster, Some(l), frame, out) {
+                    None => {
+                        self.progress(out);
+                        return;
+                    }
+                    Some(f) => f,
+                }
+            } else {
+                frame
+            }
+        } else {
+            frame
+        };
         if let Element::Port(p) = to {
             if (self.sheddable)(&frame) {
                 let c = p.cluster.0 as usize;
@@ -902,6 +984,24 @@ impl Fabric {
             self.stats.frames_dropped += 1;
             return out;
         }
+        // Bridged combinable frames merge at the destination's own star
+        // coupler: the sharded engine delivers cross-shard frames in
+        // deterministic `(arrival time, source shard, sequence)` order, so
+        // the merge order — and therefore the combined trace — is a pure
+        // function of that order, independent of worker count.
+        let frame = if self.comb.is_some() {
+            let cluster = self.topo.cluster_of(dst);
+            self.in_flight += 1; // the held partial owns one in-flight unit
+            match self.try_comb_absorb(cluster, None, frame, &mut out) {
+                None => return out,
+                Some(f) => {
+                    self.in_flight -= 1; // not combinable after all
+                    f
+                }
+            }
+        } else {
+            frame
+        };
         let down = self.eps[dst.0 as usize].down;
         self.links[down.0 as usize].buf.push_back(frame);
         self.note_link_depth(down);
@@ -944,6 +1044,204 @@ impl Fabric {
         let links = path.len() as u64 + 1;
         self.path_scratch = path;
         ok.then(|| links * self.header_link_latency_ns())
+    }
+
+    /// Register collective group `group`: frames of `kind` whose `seq`
+    /// carries this group id (see [`crate::combine::enc_seq`]) merge inside
+    /// the star couplers on their way to `root`. This call is what *arms*
+    /// the combining machinery — before the first registration the fabric's
+    /// arrival paths are bit-for-bit the non-collective ones.
+    ///
+    /// `path_members` are the members whose contributions reach `root`
+    /// through this fabric's links (under the sharded engine: the members
+    /// co-resident with the root; elsewhere: everyone). They seed the
+    /// per-cluster expected counts that let a coupler flush a completed
+    /// subtree early instead of waiting out the combining window. `total`
+    /// is the whole group size — the root's own coupler waits for all of
+    /// it, bridged contributions included.
+    pub fn comb_register_group(
+        &mut self,
+        group: u32,
+        kind: u16,
+        path_members: &[NodeAddr],
+        root: NodeAddr,
+        total: u32,
+    ) {
+        let n_clusters = self.topo.n_clusters();
+        let mut expected = vec![0u32; n_clusters];
+        let mut path = std::mem::take(&mut self.path_scratch);
+        for &m in path_members {
+            if self.topo.cluster_path_into(m, root, &mut path) {
+                for c in &path {
+                    expected[c.0 as usize] += 1;
+                }
+            }
+        }
+        self.path_scratch = path;
+        expected[self.topo.cluster_of(root).0 as usize] = total;
+        let comb = self.comb.get_or_insert_with(|| {
+            Box::new(Comb {
+                groups: HashMap::new(),
+                entries: HashMap::new(),
+            })
+        });
+        comb.groups.insert(group, CombGroup { kind, expected });
+    }
+
+    /// True iff at least one collective group is registered (combining
+    /// armed).
+    pub fn comb_armed(&self) -> bool {
+        self.comb.is_some()
+    }
+
+    /// Held partial combines currently live in the fabric's switches
+    /// (quiescence oracles: 0 once all collective traffic drained).
+    pub fn comb_entries_live(&self) -> usize {
+        self.comb.as_ref().map_or(0, |c| c.entries.len())
+    }
+
+    /// Try to merge `frame` into the partial combine at `cluster`. Returns
+    /// `None` when absorbed (the caller must not buffer the frame — the
+    /// held partial now owns its in-flight unit) or `Some(frame)` when the
+    /// frame is not combinable and must continue on the normal path.
+    ///
+    /// The caller guarantees the frame is already counted in `in_flight`.
+    fn try_comb_absorb(
+        &mut self,
+        cluster: ClusterId,
+        arrival: Option<LinkId>,
+        frame: Frame,
+        out: &mut Output,
+    ) -> Option<Frame> {
+        use std::collections::hash_map::Entry;
+        if frame.corrupted {
+            // A corrupted operand must never poison a merged value: let it
+            // travel on and die at the receiver's CRC check, so the count
+            // it carried goes missing and the attempt retries.
+            return Some(frame);
+        }
+        let dst = match &frame.dst {
+            Dest::Unicast(a) => *a,
+            Dest::Multicast(_) => return Some(frame),
+        };
+        let Some(comb) = self.comb.as_mut() else {
+            return Some(frame);
+        };
+        let group = crate::combine::seq_group(frame.seq);
+        let expected = match comb.groups.get(&group) {
+            Some(g) if g.kind == frame.kind => g.expected[cluster.0 as usize],
+            _ => return Some(frame),
+        };
+        let Some((op, value, count)) = crate::combine::unpack(&frame.payload) else {
+            return Some(frame);
+        };
+        let now = self.now_ns;
+        let alu = self.cfg.comb_alu_ns;
+        match comb.entries.entry((cluster.0, frame.seq)) {
+            Entry::Occupied(mut e) => {
+                let ent = e.get_mut();
+                if ent.op != op || ent.dst != dst {
+                    return Some(frame); // malformed mix: do not merge
+                }
+                ent.value = ent.op.apply(ent.value, value);
+                ent.count += count;
+                ent.ready_at = ent.ready_at.max(now) + alu;
+                if ent.arrival.is_none() {
+                    ent.arrival = arrival;
+                }
+                self.stats.frames_combined += 1;
+                self.in_flight -= 1; // two frames became one held partial
+                if expected > 0 && ent.count >= expected {
+                    let at = ent.ready_at - now;
+                    out.schedule
+                        .push((at, NetEvent::CombFlush(cluster, frame.seq)));
+                }
+                None
+            }
+            Entry::Vacant(v) => {
+                let seq = frame.seq;
+                v.insert(CombEntry {
+                    op,
+                    value,
+                    count,
+                    ready_at: now,
+                    src: frame.src,
+                    dst,
+                    kind: frame.kind,
+                    arrival,
+                });
+                // One deadline per entry: immediately when the expected
+                // subtree is already complete, else the window backstop
+                // (which re-arms against `ready_at` if merges are still in
+                // the ALU when it fires).
+                let at = if expected > 0 && count >= expected {
+                    0
+                } else {
+                    self.cfg.comb_window_ns
+                };
+                out.schedule.push((at, NetEvent::CombFlush(cluster, seq)));
+                None
+            }
+        }
+    }
+
+    /// A combining deadline fired: flush the partial at `(cluster, seq)`
+    /// onward, unless it already flushed (no-op) or its ALU is still
+    /// folding (re-arm for the remainder).
+    fn comb_flush(&mut self, cluster: ClusterId, seq: u64, out: &mut Output) {
+        let now = self.now_ns;
+        let Some(comb) = self.comb.as_mut() else {
+            return;
+        };
+        let Some(ent) = comb.entries.get(&(cluster.0, seq)) else {
+            return;
+        };
+        if ent.ready_at > now {
+            out.schedule
+                .push((ent.ready_at - now, NetEvent::CombFlush(cluster, seq)));
+            return;
+        }
+        let ent = comb
+            .entries
+            .remove(&(cluster.0, seq))
+            .expect("checked just above");
+        self.stats.comb_flushes += 1;
+        let frame = Frame {
+            src: ent.src,
+            dst: Dest::Unicast(ent.dst),
+            kind: ent.kind,
+            seq,
+            payload: crate::combine::pack_hw(ent.op, ent.value, ent.count),
+            corrupted: false,
+        };
+        match ent.arrival {
+            // The combined frame re-enters forwarding where its first
+            // contribution arrived. It is *not* re-absorbed here (combining
+            // happens only on arrival at a coupler), so it forwards toward
+            // the root and merges again at the next coupler — recursive
+            // combining at gateway levels falls out of this re-entry.
+            Some(l) => {
+                self.links[l.0 as usize].buf.push_back(frame);
+                self.note_cluster_buffered(cluster);
+                self.note_link_depth(l);
+                self.progress(out);
+            }
+            // Every contribution arrived through the cross-shard bridge:
+            // the entry sits at the root's own cluster and the bridge
+            // already charged full path latency, so the flush lands in the
+            // root's receive FIFO like any bridged arrival.
+            None => {
+                if self.down[ent.dst.0 as usize] {
+                    self.in_flight -= 1;
+                    self.stats.frames_dropped += 1;
+                    return;
+                }
+                let down = self.eps[ent.dst.0 as usize].down;
+                self.links[down.0 as usize].buf.push_back(frame);
+                self.note_link_depth(down);
+                out.notifies.push(Notify::RxArrived(ent.dst));
+            }
+        }
     }
 
     /// Start every transmission that can start, repeating until quiescent.
@@ -1074,7 +1372,7 @@ impl Fabric {
                 } else if live.len() == 1 {
                     head.dst = Dest::Unicast(live[0]);
                 } else {
-                    head.dst = Dest::Multicast(live);
+                    head.dst = Dest::Multicast(live.into());
                 }
                 self.stats.frames_dropped += lost;
                 changed = true;
@@ -1161,7 +1459,7 @@ impl Fabric {
                 let sub_dst = if via.len() == 1 {
                     Dest::Unicast(via[0])
                 } else {
-                    Dest::Multicast(via.clone())
+                    Dest::Multicast(via.as_slice().into())
                 };
                 // Replicate the branch by hand instead of `head.clone()`:
                 // the payload is a refcounted slice (every fan-out branch
@@ -1184,7 +1482,7 @@ impl Fabric {
                     .copied()
                     .filter(|t| !via.contains(t))
                     .collect();
-                head.dst = Dest::Multicast(remaining);
+                head.dst = Dest::Multicast(remaining.into());
                 self.in_flight += 1;
                 self.start_tx(out_link, copy, out);
             }
@@ -1397,7 +1695,7 @@ mod tests {
             0,
             Frame {
                 src: NodeAddr(0),
-                dst: Dest::Multicast(vec![NodeAddr(3), NodeAddr(4), NodeAddr(5)]),
+                dst: Dest::Multicast(vec![NodeAddr(3), NodeAddr(4), NodeAddr(5)].into()),
                 kind: 0,
                 seq: 0,
                 payload: Payload::Synthetic(1024),
@@ -1423,7 +1721,7 @@ mod tests {
             0,
             Frame {
                 src: NodeAddr(0),
-                dst: Dest::Multicast(vec![NodeAddr(1), NodeAddr(2), NodeAddr(4)]),
+                dst: Dest::Multicast(vec![NodeAddr(1), NodeAddr(2), NodeAddr(4)].into()),
                 kind: 0,
                 seq: 9,
                 payload: Payload::Synthetic(64),
@@ -1517,6 +1815,96 @@ mod tests {
         assert_eq!(net.fabric.stats.per_endpoint_tx[0], 1);
         assert_eq!(net.fabric.stats.per_endpoint_rx[1], 1);
         assert!(net.fabric.max_link_busy_ns() > 0);
+    }
+
+    #[test]
+    fn combining_merges_upward_frames() {
+        use crate::combine::{self, CombOp};
+        let topo = Topology::incomplete_hypercube(4, 3).unwrap(); // 12 endpoints
+        let mut fab = Fabric::new(topo, NetConfig::paper_1988());
+        let members: Vec<NodeAddr> = (0..12).map(NodeAddr).collect();
+        let root = NodeAddr(0);
+        fab.comb_register_group(5, 30, &members, root, 12);
+        assert!(fab.comb_armed());
+        let mut net = StandaloneNet::new(fab);
+        let seq = combine::enc_seq(5, 1, 0);
+        for m in 1..12u32 {
+            net.send_at(
+                0,
+                Frame::unicast(
+                    NodeAddr(m),
+                    root,
+                    30,
+                    seq,
+                    combine::pack(CombOp::Sum, u64::from(m), 1),
+                ),
+            );
+        }
+        net.run();
+        // The root receives merged partials — far fewer frames than the 11
+        // contributions — whose counts and values fold to the exact totals.
+        let (mut total, mut cnt) = (0u64, 0u32);
+        for (_, to, f) in &net.delivered {
+            assert_eq!(*to, root);
+            assert_eq!(f.kind, 30);
+            assert_eq!(f.seq, seq);
+            let (op, v, c) = combine::unpack(&f.payload).unwrap();
+            assert_eq!(op, CombOp::Sum);
+            total += v;
+            cnt += c;
+        }
+        assert_eq!(cnt, 11);
+        assert_eq!(total, (1..12).sum::<u64>());
+        assert!(
+            net.delivered.len() <= 4,
+            "expected heavy merging, got {} frames",
+            net.delivered.len()
+        );
+        assert!(net.fabric.stats.frames_combined > 0);
+        assert_eq!(net.fabric.comb_entries_live(), 0);
+        assert_eq!(net.fabric.in_flight(), 0);
+    }
+
+    #[test]
+    fn combining_early_flush_beats_window() {
+        use crate::combine::{self, CombOp};
+        // All 12 members contribute (root too): every coupler sees its full
+        // expected subtree, so nothing waits out the 20 us window.
+        let topo = Topology::incomplete_hypercube(4, 3).unwrap();
+        let mut fab = Fabric::new(topo, NetConfig::paper_1988());
+        let members: Vec<NodeAddr> = (0..12).map(NodeAddr).collect();
+        let root = NodeAddr(0);
+        fab.comb_register_group(5, 30, &members, root, 12);
+        let mut net = StandaloneNet::new(fab);
+        let seq = combine::enc_seq(5, 1, 0);
+        for m in 0..12u32 {
+            net.send_at(
+                0,
+                Frame::unicast(
+                    NodeAddr(m),
+                    root,
+                    30,
+                    seq,
+                    combine::pack(CombOp::Max, u64::from(m) * 7, 1),
+                ),
+            );
+        }
+        net.run();
+        let window = NetConfig::paper_1988().comb_window_ns;
+        let last = net.delivered.iter().map(|(t, _, _)| *t).max().unwrap();
+        assert!(
+            last < window,
+            "full subtree should flush early, finished at {last} ns"
+        );
+        let (mut best, mut cnt) = (0u64, 0u32);
+        for (_, _, f) in &net.delivered {
+            let (_, v, c) = combine::unpack(&f.payload).unwrap();
+            best = best.max(v);
+            cnt += c;
+        }
+        assert_eq!(cnt, 12);
+        assert_eq!(best, 77);
+        assert_eq!(net.fabric.in_flight(), 0);
     }
 
     fn budget_net(nodes: usize, budget: u64) -> StandaloneNet {

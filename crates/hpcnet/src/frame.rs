@@ -7,6 +7,7 @@
 use bytes::Bytes;
 use serde::Serialize;
 use std::fmt;
+use std::sync::Arc;
 
 /// Accounting for real payload-byte copies made by the simulator's own data
 /// structures (as opposed to *simulated* copies, which are charged as CPU
@@ -146,7 +147,10 @@ pub enum Dest {
     Unicast(NodeAddr),
     /// Hardware multicast: the fabric replicates the frame at branch
     /// clusters, so the source transmits it once (§4.2 of the paper).
-    Multicast(Vec<NodeAddr>),
+    /// The target list is refcounted so every fragment of a multi-frame
+    /// message (and every sender-side retransmission) shares one
+    /// allocation; only a fabric branch split builds a new list.
+    Multicast(Arc<[NodeAddr]>),
 }
 
 impl Dest {
@@ -279,7 +283,7 @@ mod tests {
     fn validate_rejects_empty_multicast() {
         let f = Frame {
             src: NodeAddr(0),
-            dst: Dest::Multicast(vec![]),
+            dst: Dest::Multicast(Vec::new().into()),
             kind: 0,
             seq: 0,
             payload: Payload::Synthetic(1),
@@ -303,7 +307,7 @@ mod tests {
         let u = Dest::Unicast(NodeAddr(3));
         assert_eq!(u.targets(), &[NodeAddr(3)]);
         assert_eq!(u.fanout(), 1);
-        let m = Dest::Multicast(vec![NodeAddr(1), NodeAddr(2)]);
+        let m = Dest::Multicast(vec![NodeAddr(1), NodeAddr(2)].into());
         assert_eq!(m.fanout(), 2);
     }
 }

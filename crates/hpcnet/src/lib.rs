@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod combine;
 pub mod config;
 pub mod driver;
 pub mod fabric;

@@ -42,7 +42,7 @@ fn fan_out(len: usize) -> (u64, Vec<Frame>) {
     let payload = Payload::copy_from(&vec![0xA5u8; len]);
     let frame = Frame {
         src: NodeAddr(0),
-        dst: Dest::Multicast(vec![NodeAddr(4), NodeAddr(5), NodeAddr(6)]),
+        dst: Dest::Multicast(vec![NodeAddr(4), NodeAddr(5), NodeAddr(6)].into()),
         kind: 0,
         seq: 7,
         payload,
